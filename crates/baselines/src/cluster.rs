@@ -1,0 +1,168 @@
+//! Lowest-ID clustering (cluster-based routing).
+//!
+//! Gerla-style clustering: a host becomes a *clusterhead* iff it has the
+//! lowest id in its closed neighbourhood after all lower-id hosts have
+//! decided; every other host joins the lowest-id clusterhead it hears.
+//! *Border* hosts (members adjacent to a host of another cluster) plus the
+//! clusterheads form the routing overlay the intro's cluster-based schemes
+//! use — a dominating set, though not necessarily connected as an induced
+//! subgraph (packets cross cluster boundaries via border pairs).
+
+use pacds_graph::{Graph, NodeId, VertexMask};
+
+/// Result of the clustering pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Clusterhead of each host (heads point to themselves).
+    pub head_of: Vec<NodeId>,
+    /// Whether each host is a clusterhead.
+    pub is_head: Vec<bool>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.is_head.iter().filter(|&&h| h).count()
+    }
+
+    /// Hosts belonging to the cluster headed by `head`.
+    pub fn members_of(&self, head: NodeId) -> Vec<NodeId> {
+        self.head_of
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &h)| (h == head).then_some(v as NodeId))
+            .collect()
+    }
+}
+
+/// Runs lowest-ID clustering on `g`.
+///
+/// Hosts decide in id order: an undecided host whose id is smaller than
+/// every undecided neighbour becomes a head; hosts adjacent to a head join
+/// the smallest-id head among their neighbours.
+pub fn lowest_id_clusters(g: &Graph) -> Clustering {
+    let n = g.n();
+    let mut head_of = vec![NodeId::MAX; n];
+    let mut is_head = vec![false; n];
+    // Processing in increasing id order implements the distributed
+    // "lowest id wins" rule deterministically.
+    for v in 0..n as NodeId {
+        if head_of[v as usize] != NodeId::MAX {
+            continue;
+        }
+        // v has the lowest id among undecided hosts in its neighbourhood
+        // (all lower ids are already decided), so it checks whether any
+        // neighbouring head already claims it.
+        let joined = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| is_head[u as usize])
+            .min();
+        match joined {
+            Some(h) => head_of[v as usize] = h,
+            None => {
+                is_head[v as usize] = true;
+                head_of[v as usize] = v;
+            }
+        }
+    }
+    Clustering { head_of, is_head }
+}
+
+/// Extracts the overlay (clusterheads + border hosts) as a vertex mask.
+///
+/// A border host is a non-head adjacent to a host of a different cluster.
+pub fn cluster_gateways(g: &Graph, clustering: &Clustering) -> VertexMask {
+    let n = g.n();
+    let mut mask = clustering.is_head.clone();
+    for v in 0..n as NodeId {
+        if mask[v as usize] {
+            continue;
+        }
+        let my = clustering.head_of[v as usize];
+        if g.neighbors(v)
+            .iter()
+            .any(|&u| clustering.head_of[u as usize] != my)
+        {
+            mask[v as usize] = true;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::verify::is_dominating_set;
+    use pacds_graph::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_cluster_on_a_star() {
+        let g = gen::star(6);
+        let c = lowest_id_clusters(&g);
+        assert_eq!(c.cluster_count(), 1);
+        assert!(c.is_head[0]);
+        assert_eq!(c.members_of(0).len(), 6);
+    }
+
+    #[test]
+    fn path_clusters_alternate() {
+        // Path 0-1-2-3-4-5: 0 heads {0,1}; 2 heads {2,3}; 4 heads {4,5}.
+        let g = gen::path(6);
+        let c = lowest_id_clusters(&g);
+        assert_eq!(c.head_of, vec![0, 0, 2, 2, 4, 4]);
+        assert_eq!(c.cluster_count(), 3);
+    }
+
+    #[test]
+    fn heads_form_an_independent_set() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let g = gen::connected_gnp(&mut rng, 30, 0.1, 8);
+            let c = lowest_id_clusters(&g);
+            for (u, v) in g.edges() {
+                assert!(
+                    !(c.is_head[u as usize] && c.is_head[v as usize]),
+                    "adjacent heads {u}, {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_host_has_a_head_in_closed_neighborhood() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let g = gen::connected_gnp(&mut rng, 25, 0.15, 8);
+            let c = lowest_id_clusters(&g);
+            for v in 0..g.n() as NodeId {
+                let h = c.head_of[v as usize];
+                assert!(c.is_head[h as usize]);
+                assert!(h == v || g.has_edge(v, h));
+            }
+            // Heads dominate the graph.
+            assert!(is_dominating_set(&g, &c.is_head));
+        }
+    }
+
+    #[test]
+    fn gateways_include_heads_and_borders() {
+        let g = gen::path(6);
+        let c = lowest_id_clusters(&g);
+        let gw = cluster_gateways(&g, &c);
+        // Heads 0, 2, 4; borders 1 (adj 2's cluster), 3 (adj 4's cluster);
+        // 5's neighbours are all in its own cluster.
+        assert_eq!(gw, vec![true, true, true, true, true, false]);
+        assert!(is_dominating_set(&g, &gw));
+    }
+
+    #[test]
+    fn isolated_vertices_head_themselves() {
+        let g = Graph::new(3);
+        let c = lowest_id_clusters(&g);
+        assert_eq!(c.cluster_count(), 3);
+        assert!(c.is_head.iter().all(|&h| h));
+    }
+}

@@ -1,0 +1,212 @@
+//! Centralized greedy heuristics.
+
+use pacds_graph::{Graph, NodeId, VertexMask};
+
+/// Classical greedy dominating set: repeatedly pick the vertex covering the
+/// most currently-uncovered vertices (its closed neighbourhood), ties to the
+/// smaller id. The result dominates `g` but need not be connected.
+pub fn greedy_dominating_set(g: &Graph) -> VertexMask {
+    let n = g.n();
+    let mut chosen = vec![false; n];
+    let mut covered = vec![false; n];
+    let mut uncovered = n;
+    while uncovered > 0 {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in g.vertices() {
+            if chosen[v as usize] {
+                continue;
+            }
+            let gain = g
+                .closed_neighbors(v)
+                .iter()
+                .filter(|&&u| !covered[u as usize])
+                .count();
+            if gain > 0 {
+                let cand = (gain, v);
+                best = Some(match best {
+                    None => cand,
+                    Some((bg, bv)) => {
+                        if gain > bg || (gain == bg && v < bv) {
+                            cand
+                        } else {
+                            (bg, bv)
+                        }
+                    }
+                });
+            }
+        }
+        let (gain, v) = best.expect("some vertex must cover an uncovered vertex");
+        chosen[v as usize] = true;
+        for u in g.closed_neighbors(v) {
+            if !covered[u as usize] {
+                covered[u as usize] = true;
+            }
+        }
+        uncovered -= gain;
+    }
+    chosen
+}
+
+/// Guha–Khuller-style greedy *connected* dominating set.
+///
+/// Vertices are coloured white (uncovered), gray (covered) or black
+/// (in the CDS). Start from the maximum-degree vertex, then repeatedly
+/// blacken the gray vertex that covers the most white vertices, keeping the
+/// black set connected by construction (only gray vertices — neighbours of
+/// black ones — are eligible). For `K_n` the single start vertex suffices;
+/// for a singleton graph the result is that vertex.
+///
+/// # Panics
+/// Panics if `g` is disconnected (no CDS exists) or empty.
+pub fn greedy_mcds(g: &Graph) -> VertexMask {
+    let n = g.n();
+    assert!(n > 0, "empty graph has no CDS");
+    assert!(
+        pacds_graph::algo::is_connected(g),
+        "greedy_mcds requires a connected graph"
+    );
+    if n == 1 {
+        return vec![true];
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut white = n;
+
+    let start = (0..n as NodeId)
+        .max_by_key(|&v| (g.degree(v), std::cmp::Reverse(v)))
+        .unwrap();
+    let blacken = |v: NodeId, color: &mut Vec<Color>, white: &mut usize| {
+        if color[v as usize] == Color::White {
+            *white -= 1;
+        }
+        color[v as usize] = Color::Black;
+        for &u in g.neighbors(v) {
+            if color[u as usize] == Color::White {
+                color[u as usize] = Color::Gray;
+                *white -= 1;
+            }
+        }
+    };
+    blacken(start, &mut color, &mut white);
+
+    while white > 0 {
+        // Choose the gray vertex with the most white neighbours.
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in 0..n as NodeId {
+            if color[v as usize] != Color::Gray {
+                continue;
+            }
+            let gain = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| color[u as usize] == Color::White)
+                .count();
+            if gain > 0 {
+                best = Some(match best {
+                    None => (gain, v),
+                    Some((bg, bv)) => {
+                        if gain > bg || (gain == bg && v < bv) {
+                            (gain, v)
+                        } else {
+                            (bg, bv)
+                        }
+                    }
+                });
+            }
+        }
+        let (_, v) = best.expect("connected graph: some gray vertex borders white");
+        blacken(v, &mut color, &mut white);
+    }
+
+    color.iter().map(|&c| c == Color::Black).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::verify::{is_dominating_set, verify_cds};
+    use pacds_graph::{gen, mask_to_vec};
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_ds_dominates_classic_families() {
+        for g in [gen::path(9), gen::cycle(7), gen::star(6), gen::grid(4, 4)] {
+            let ds = greedy_dominating_set(&g);
+            assert!(is_dominating_set(&g, &ds));
+        }
+    }
+
+    #[test]
+    fn greedy_ds_on_star_picks_center_only() {
+        let g = gen::star(8);
+        assert_eq!(mask_to_vec(&greedy_dominating_set(&g)), vec![0]);
+    }
+
+    #[test]
+    fn greedy_ds_covers_isolated_vertices() {
+        let g = Graph::new(3); // no edges: every vertex must choose itself
+        let ds = greedy_dominating_set(&g);
+        assert_eq!(ds, vec![true, true, true]);
+    }
+
+    #[test]
+    fn greedy_mcds_is_a_cds_on_random_connected_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for n in [2usize, 3, 10, 40, 90] {
+            let g = gen::connected_gnp(&mut rng, n, 0.1, 8);
+            let cds = greedy_mcds(&g);
+            assert!(verify_cds(&g, &cds).is_ok(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn greedy_mcds_on_path_selects_interior() {
+        let g = gen::path(6);
+        let cds = greedy_mcds(&g);
+        assert!(verify_cds(&g, &cds).is_ok());
+        let members = mask_to_vec(&cds);
+        assert!(members.len() <= 4, "path interior suffices: {members:?}");
+    }
+
+    #[test]
+    fn greedy_mcds_on_complete_graph_is_a_single_vertex() {
+        let g = gen::complete(6);
+        let cds = greedy_mcds(&g);
+        assert_eq!(cds.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn greedy_mcds_singleton() {
+        assert_eq!(greedy_mcds(&Graph::new(1)), vec![true]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn greedy_mcds_rejects_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        greedy_mcds(&g);
+    }
+
+    #[test]
+    fn greedy_mcds_usually_beats_marking_alone() {
+        // Sanity: the centralized heuristic should generally produce no more
+        // gateways than the unpruned marking on dense random graphs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut wins = 0;
+        for _ in 0..10 {
+            let g = gen::connected_gnp(&mut rng, 40, 0.2, 8);
+            let mcds = greedy_mcds(&g).iter().filter(|&&b| b).count();
+            let marked = pacds_core::marking(&g).iter().filter(|&&b| b).count();
+            if mcds <= marked {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 8, "greedy MCDS should be smaller in most trials");
+    }
+}

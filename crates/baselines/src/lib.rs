@@ -1,0 +1,25 @@
+//! Classical CDS and clustering baselines.
+//!
+//! The paper's introduction positions the marking process against several
+//! earlier approaches; these implementations make those comparisons
+//! runnable:
+//!
+//! * [`greedy_dominating_set`] — the classical greedy set-cover heuristic
+//!   for plain (possibly disconnected-induced) dominating sets.
+//! * [`greedy_mcds`] — a Guha–Khuller-style growth heuristic that produces
+//!   a *connected* dominating set by repeatedly expanding from the highest
+//!   white-degree vertex (the style of centralized algorithm used by
+//!   backbone/spine routing, e.g. Das et al.).
+//! * [`lowest_id_clusters`] — Gerla-style lowest-ID clustering
+//!   (cluster-based routing); [`cluster_gateways`] extracts the
+//!   clusterhead + border-node overlay it induces.
+//! * [`mpr_cds`] — the OLSR-style multipoint-relay CDS
+//!   (Adjih–Jacquet–Viennot), another 2-hop-local contemporary.
+
+pub mod cluster;
+pub mod greedy;
+pub mod mpr;
+
+pub use cluster::{cluster_gateways, lowest_id_clusters, Clustering};
+pub use greedy::{greedy_dominating_set, greedy_mcds};
+pub use mpr::{mpr_cds, mpr_set};

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of dominating-set-based routing: table construction and
+//! the three-step forwarding procedure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pacds_core::{compute_cds, CdsConfig, CdsInput, Policy};
+use pacds_graph::{algo, gen, Graph, NodeId};
+use pacds_routing::{route, RoutingState};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn connected_udg(n: usize, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let side = 100.0 * (n as f64 / 100.0).sqrt();
+    let bounds = pacds_geom::Rect::square(side);
+    loop {
+        let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+        let g = gen::unit_disk(bounds, 25.0, &pts);
+        if algo::is_connected(&g) {
+            return g;
+        }
+    }
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for n in [100usize, 300] {
+        let g = connected_udg(n, 11);
+        let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Degree));
+        group.bench_function(format!("build_tables/{n}"), |b| {
+            b.iter(|| black_box(RoutingState::build(&g, &cds)))
+        });
+        let state = RoutingState::build(&g, &cds);
+        group.bench_function(format!("route_all_pairs/{n}"), |b| {
+            b.iter(|| {
+                let mut hops = 0usize;
+                for s in (0..n as NodeId).step_by(7) {
+                    for t in (0..n as NodeId).step_by(11) {
+                        if let Ok(p) = route(&g, &state, s, t) {
+                            hops += p.len();
+                        }
+                    }
+                }
+                black_box(hops)
+            })
+        });
+        group.bench_function(format!("stretch_summary/{n}"), |b| {
+            b.iter(|| black_box(pacds_routing::stretch_summary(&g, &state)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

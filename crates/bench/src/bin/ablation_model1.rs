@@ -1,0 +1,32 @@
+//! Ablation: the two readings of the paper's drain Model 1.
+//!
+//! Taken literally, `d = 2/|G'|` makes gateways drain *slower* than the
+//! `d' = 1` non-gateways whenever `|G'| > 2`, so every policy's lifetime
+//! pins at 100 intervals and the policy choice cannot matter. The
+//! alternative reading — a fixed per-gateway drain `d = 2` — restores the
+//! gateway/non-gateway asymmetry. This binary runs both so EXPERIMENTS.md
+//! can report them side by side.
+
+use pacds_bench::{emit, sweep_from_env};
+use pacds_energy::DrainModel;
+use pacds_sim::experiments::lifetime_experiment;
+
+fn main() {
+    let sweep = sweep_from_env();
+    eprintln!(
+        "ablation_model1: sizes={:?} trials={} seed={:#x}",
+        sweep.sizes, sweep.trials, sweep.seed
+    );
+    let literal = lifetime_experiment(&sweep, DrainModel::ConstantTotal);
+    emit(
+        "ablation_model1_literal",
+        "Model 1 literal — d = 2/|G'| (lifetime)",
+        &literal,
+    );
+    let fixed = lifetime_experiment(&sweep, DrainModel::ConstantPerGateway { value: 2.0 });
+    emit(
+        "ablation_model1_fixed",
+        "Model 1 alternative — d = 2 per gateway (lifetime)",
+        &fixed,
+    );
+}

@@ -1,0 +1,27 @@
+//! Ablation: coarseness of the discrete energy levels the EL rules compare.
+//!
+//! The paper keeps energy on "multiple discrete levels" without giving the
+//! granularity; its Figure 8 labels hosts with single-digit levels, which a
+//! 0–100 battery reaches with quantum 10 (the workspace default). This
+//! sweep shows why it matters: fine levels (quantum 1) eliminate EL ties,
+//! so EL2's degree tie-break never fires and EL2's gateway sets drift away
+//! from ND's — breaking Figure 10's "ND and EL2 are the best".
+
+use pacds_bench::sweep_from_env;
+use pacds_sim::experiments::quantum_ablation;
+
+fn main() {
+    let sweep = sweep_from_env();
+    let n = *sweep.sizes.last().unwrap_or(&80);
+    eprintln!("ablation_quantum: n={n} trials={}", sweep.trials);
+    println!("# Energy-level quantum ablation (model 2, n = {n})");
+    println!(
+        "{:>8} {:>8} {:>14} {:>12}",
+        "quantum", "policy", "mean gateways", "lifetime"
+    );
+    for (q, label, gw, life) in
+        quantum_ablation(n, sweep.trials, sweep.seed, &[1.0, 5.0, 10.0, 25.0, 50.0])
+    {
+        println!("{:>8} {:>8} {:>14.2} {:>12.2}", q, label, gw, life);
+    }
+}

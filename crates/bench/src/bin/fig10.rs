@@ -1,0 +1,22 @@
+//! Figure 10: average number of gateway hosts vs network size, for the
+//! five selection policies (NR, ID, ND, EL1, EL2).
+//!
+//! Expected shape (paper): NR largest; ND and EL2 smallest; curves grow
+//! with N and the gap widens as density rises.
+
+use pacds_bench::{emit, sweep_from_env};
+use pacds_sim::experiments::cds_size_experiment;
+
+fn main() {
+    let sweep = sweep_from_env();
+    eprintln!(
+        "fig10: sizes={:?} trials={} seed={:#x}",
+        sweep.sizes, sweep.trials, sweep.seed
+    );
+    let series = cds_size_experiment(&sweep);
+    emit(
+        "fig10_cds_size",
+        "Figure 10 — average number of gateway hosts",
+        &series,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 11: average number of update intervals until the first host
+//! death, under drain model `d = 2/|G'|`.
+
+use pacds_bench::{emit, sweep_from_env};
+use pacds_energy::DrainModel;
+use pacds_sim::experiments::lifetime_experiment;
+
+fn main() {
+    let sweep = sweep_from_env();
+    eprintln!(
+        "fig11: sizes={:?} trials={} seed={:#x}",
+        sweep.sizes, sweep.trials, sweep.seed
+    );
+    let series = lifetime_experiment(&sweep, DrainModel::ConstantTotal);
+    emit(
+        "fig11_lifetime",
+        "Figure 11 — average network lifetime, d = 2/|G'|",
+        &series,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 12: average number of update intervals until the first host
+//! death, under drain model `d = N/|G'|`.
+
+use pacds_bench::{emit, sweep_from_env};
+use pacds_energy::DrainModel;
+use pacds_sim::experiments::lifetime_experiment;
+
+fn main() {
+    let sweep = sweep_from_env();
+    eprintln!(
+        "fig12: sizes={:?} trials={} seed={:#x}",
+        sweep.sizes, sweep.trials, sweep.seed
+    );
+    let series = lifetime_experiment(&sweep, DrainModel::LinearInN);
+    emit(
+        "fig12_lifetime",
+        "Figure 12 — average network lifetime, d = N/|G'|",
+        &series,
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 13: average number of update intervals until the first host
+//! death, under drain model `d = N(N-1)/2/(10|G'|)`.
+
+use pacds_bench::{emit, sweep_from_env};
+use pacds_energy::DrainModel;
+use pacds_sim::experiments::lifetime_experiment;
+
+fn main() {
+    let sweep = sweep_from_env();
+    eprintln!(
+        "fig13: sizes={:?} trials={} seed={:#x}",
+        sweep.sizes, sweep.trials, sweep.seed
+    );
+    let series = lifetime_experiment(&sweep, DrainModel::QuadraticInN);
+    emit(
+        "fig13_lifetime",
+        "Figure 13 — average network lifetime, d = N(N-1)/2/(10|G'|)",
+        &series,
+    );
+}

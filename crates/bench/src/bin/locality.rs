@@ -1,0 +1,20 @@
+//! Locality experiment: fraction of hosts whose gateway status changes per
+//! update interval under the paper's mobility model (c = 0.5). Low churn is
+//! the premise behind the marking process's cheap localized maintenance.
+
+use pacds_bench::{emit, sweep_from_env};
+use pacds_sim::experiments::locality_experiment;
+
+fn main() {
+    let sweep = sweep_from_env();
+    eprintln!(
+        "locality: sizes={:?} trials={} seed={:#x}",
+        sweep.sizes, sweep.trials, sweep.seed
+    );
+    let series = locality_experiment(&sweep);
+    emit(
+        "locality_churn",
+        "Gateway-status churn per interval (fraction of hosts)",
+        &series,
+    );
+}

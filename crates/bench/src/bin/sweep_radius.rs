@@ -1,0 +1,37 @@
+//! Ablation: transmission radius. The paper fixes r = 25 in a 100x100
+//! arena; this sweep shows how the gateway-set sizes and the pruning gap
+//! respond to density (larger radius → denser graph → relatively smaller
+//! backbones).
+
+use pacds_bench::sweep_from_env;
+use pacds_core::Policy;
+use pacds_energy::DrainModel;
+use pacds_sim::montecarlo::run_trials;
+use pacds_sim::{NetworkState, SimConfig, Summary};
+
+fn main() {
+    let sweep = sweep_from_env();
+    let n = *sweep.sizes.last().unwrap_or(&80);
+    eprintln!("sweep_radius: n={n} trials={}", sweep.trials);
+    println!("# Gateway count vs transmission radius (n = {n})");
+    print!("{:>8}", "radius");
+    for p in Policy::ALL {
+        print!("{:>10}", p.label());
+    }
+    println!();
+    for radius in [15.0f64, 20.0, 25.0, 30.0, 40.0, 50.0] {
+        print!("{radius:>8}");
+        for policy in Policy::ALL {
+            let mut cfg = SimConfig::paper(n, policy, DrainModel::LinearInN);
+            cfg.radius = radius;
+            // Sparser radii may fail to connect within the retry cap; the
+            // marking process still runs per component.
+            let counts = run_trials(sweep.seed ^ radius.to_bits(), sweep.trials, |_, rng| {
+                let mut st = NetworkState::init(cfg, rng);
+                st.compute_gateways().iter().filter(|&&b| b).count() as f64
+            });
+            print!("{:>10.2}", Summary::from_slice(&counts).mean);
+        }
+        println!();
+    }
+}

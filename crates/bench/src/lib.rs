@@ -1,0 +1,82 @@
+//! Shared harness for the figure-reproduction binaries.
+//!
+//! Every binary accepts the same environment knobs so CI and quick local
+//! runs can scale the work:
+//!
+//! * `PACDS_TRIALS` — Monte-Carlo trials per point (default 30);
+//! * `PACDS_SIZES` — comma-separated network sizes (default `5,10,...,100`);
+//! * `PACDS_SEED` — master seed (default `0xC0FFEE`);
+//! * `PACDS_OUT` — directory for CSV output (default `results/`).
+
+use pacds_sim::experiments::{Series, SweepConfig};
+use std::path::PathBuf;
+
+/// Reads the sweep configuration from the environment.
+pub fn sweep_from_env() -> SweepConfig {
+    let trials = std::env::var("PACDS_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let sizes = std::env::var("PACDS_SIZES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("PACDS_SIZES: bad integer"))
+                .collect()
+        })
+        .unwrap_or_else(default_sizes);
+    let seed = std::env::var("PACDS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    SweepConfig {
+        sizes,
+        trials,
+        seed,
+        ..SweepConfig::default()
+    }
+}
+
+/// The default size grid: 5 then 10..=100 step 10 (the paper sweeps 3..100).
+pub fn default_sizes() -> Vec<usize> {
+    let mut sizes = vec![5];
+    sizes.extend((1..=10).map(|k| k * 10));
+    sizes
+}
+
+/// Prints the table to stdout and writes `name.csv` under `PACDS_OUT`.
+pub fn emit(name: &str, title: &str, series: &[Series]) {
+    print!("{}", pacds_sim::csv::series_to_table(title, series));
+    let dir: PathBuf = std::env::var("PACDS_OUT")
+        .unwrap_or_else(|_| "results".to_string())
+        .into();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, pacds_sim::csv::series_to_csv(series)) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizes_cover_the_paper_range() {
+        let s = default_sizes();
+        assert_eq!(s.first(), Some(&5));
+        assert_eq!(s.last(), Some(&100));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_defaults_are_sane() {
+        let sweep = SweepConfig::default();
+        assert!(sweep.trials >= 1);
+        assert_eq!(sweep.policies.len(), 5);
+    }
+}

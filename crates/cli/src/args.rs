@@ -1,0 +1,167 @@
+//! A small `--flag value` argument parser.
+//!
+//! The workspace deliberately avoids new external dependencies (see
+//! DESIGN.md), and the CLI's needs are modest: subcommands with typed
+//! `--key value` options and a few boolean switches.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional token (subcommand).
+    pub command: Option<String>,
+    /// `--key value` pairs, last occurrence wins.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses a token stream (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgError("empty option name '--'".into()));
+                }
+                // `--key=value` or `--key value` or bare switch.
+                if let Some((k, v)) = key.split_once('=') {
+                    out.options.insert(k.to_string(), v.to_string());
+                } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                    out.options.insert(key.to_string(), it.next().unwrap());
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument '{tok}'")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// A required typed option.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let raw = self
+            .get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))?;
+        raw.parse()
+            .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'")))
+    }
+
+    /// Rejects options/flags outside `allowed` (catches typos).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str)) {
+            if !allowed.contains(&k) {
+                return Err(ArgError(format!(
+                    "unknown option --{k} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("cds --n 40 --policy el1").unwrap();
+        assert_eq!(a.command.as_deref(), Some("cds"));
+        assert_eq!(a.get("n"), Some("40"));
+        assert_eq!(a.get("policy"), Some("el1"));
+    }
+
+    #[test]
+    fn equals_form() {
+        let a = parse("gen --n=10 --radius=25.5").unwrap();
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 10);
+        assert_eq!(a.get_or("radius", 0.0f64).unwrap(), 25.5);
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = parse("simulate --verbose --n 5").unwrap();
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get("n"), Some("5"));
+    }
+
+    #[test]
+    fn last_option_wins() {
+        let a = parse("x --n 1 --n 2").unwrap();
+        assert_eq!(a.get("n"), Some("2"));
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let a = parse("x --n 7").unwrap();
+        assert_eq!(a.get_or("n", 3usize).unwrap(), 7);
+        assert_eq!(a.get_or("m", 3usize).unwrap(), 3);
+        assert_eq!(a.require::<usize>("n").unwrap(), 7);
+        assert!(a.require::<usize>("absent").is_err());
+        assert!(a.get_or("n", 0.0f32).is_ok());
+        assert!(parse("x --n seven").unwrap().get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positionals_and_unknown_options() {
+        assert!(parse("a b").is_err());
+        let a = parse("x --good 1 --bad 2").unwrap();
+        assert!(a.check_known(&["good"]).is_err());
+        assert!(a.check_known(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("").unwrap();
+        assert!(a.command.is_none());
+    }
+}

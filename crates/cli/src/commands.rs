@@ -1,0 +1,517 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use pacds_core::{compute_cds_trace, verify_cds, CdsConfig, CdsInput, Policy};
+use pacds_energy::DrainModel;
+use pacds_geom::Rect;
+use pacds_graph::{algo, gen, io, mask_to_vec, Graph};
+use pacds_routing::RoutingState;
+use pacds_sim::{SimConfig, Simulation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Top-level usage text.
+pub const HELP: &str = "\
+pacds — power-aware connected dominating sets (Wu/Gao/Stojmenovic, ICPP'01)
+
+USAGE: pacds <command> [--option value ...]
+
+COMMANDS:
+  gen       Generate a unit-disk topology.
+              --n <int=40> --radius <f=25> --side <f=100> --seed <int=1>
+              --format <edges|dot|json =edges> --connected
+  cds       Compute the gateway set of a topology.
+              topology: --input <edge-list file> | (--n/--radius/--seed as gen)
+              --policy <nr|id|nd|el1|el2 =id> --semantics <safe|literal|seq =safe>
+              --energy-seed <int> (random levels; default: uniform full)
+              --dot (emit DOT with gateways highlighted)
+  route     Route between two hosts over the gateway overlay.
+              topology options as cds, plus --from <id> --to <id>
+  simulate  Run the update-interval lifetime simulation.
+              --n <int=50> --policy <..=el1> --model <1|2|3|d2 =2>
+              --trials <int=10> --seed <int=1> --incremental
+  compare   All five policies on one topology: set sizes + verification.
+              topology options as cds
+  trace     Run a simulation and emit a JSON-lines trace (one interval/line).
+              --n <int=30> --policy <..=el1> --model <..=2> --seed <int=1>
+              --max <int=200> --out <file; default stdout>
+  watch     ASCII animation of the arena over a few intervals.
+              --n <int=30> --policy <..=el1> --intervals <int=8> --seed <int=1>
+  robustness  Backbone robustness (cut vertices / bridges / sole dominators).
+              topology options as cds, plus --policy/--semantics/--energy-seed
+  explain   Why is a host a gateway (or not) under a policy?
+              topology options as cds, plus --host <id> (omit: all hosts)
+  run       Execute a scenario file and print the JSON result.
+              --scenario <file.json>
+  scenario-template
+            Print an editable scenario JSON to stdout.
+  help      Show this message.
+";
+
+fn policy_of(name: &str) -> Result<Policy, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "nr" => Policy::NoPruning,
+        "id" => Policy::Id,
+        "nd" => Policy::Degree,
+        "el1" => Policy::Energy,
+        "el2" => Policy::EnergyDegree,
+        other => return Err(format!("unknown policy '{other}' (nr|id|nd|el1|el2)")),
+    })
+}
+
+fn cds_config_of(policy: Policy, semantics: &str) -> Result<CdsConfig, String> {
+    Ok(match semantics.to_ascii_lowercase().as_str() {
+        "safe" => CdsConfig::policy(policy),
+        "literal" => CdsConfig::paper(policy),
+        "seq" | "sequential" => CdsConfig::sequential(policy),
+        other => return Err(format!("unknown semantics '{other}' (safe|literal|seq)")),
+    })
+}
+
+fn model_of(name: &str) -> Result<DrainModel, String> {
+    Ok(match name {
+        "1" => DrainModel::ConstantTotal,
+        "2" => DrainModel::LinearInN,
+        "3" => DrainModel::QuadraticInN,
+        "d2" => DrainModel::ConstantPerGateway { value: 2.0 },
+        other => return Err(format!("unknown drain model '{other}' (1|2|3|d2)")),
+    })
+}
+
+/// Builds a topology from `--input` or generation options.
+fn topology(args: &Args) -> Result<Graph, Box<dyn std::error::Error>> {
+    if let Some(path) = args.get("input") {
+        let text = std::fs::read_to_string(path)?;
+        return Ok(io::from_edge_list(&text)?);
+    }
+    let n: usize = args.get_or("n", 40)?;
+    let radius: f64 = args.get_or("radius", 25.0)?;
+    let side: f64 = args.get_or("side", 100.0)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let bounds = Rect::square(side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut last = Graph::new(0);
+    for _ in 0..200 {
+        let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+        last = gen::unit_disk(bounds, radius, &pts);
+        if !args.flag("connected") || algo::is_connected(&last) {
+            return Ok(last);
+        }
+    }
+    eprintln!("warning: no connected placement found in 200 draws; using the last one");
+    Ok(last)
+}
+
+/// Energy levels for the topology: random under `--energy-seed`, else full.
+fn energy_levels(args: &Args, n: usize) -> Result<Vec<u64>, Box<dyn std::error::Error>> {
+    match args.get("energy-seed") {
+        None => Ok(vec![10; n]),
+        Some(_) => {
+            let seed: u64 = args.require("energy-seed")?;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            use rand::Rng;
+            Ok((0..n).map(|_| rng.random_range(0..=10u64)).collect())
+        }
+    }
+}
+
+const TOPOLOGY_OPTS: &[&str] = &[
+    "input", "n", "radius", "side", "seed", "connected",
+];
+
+/// `pacds gen`
+pub fn gen(args: &Args) -> CliResult {
+    let mut known = TOPOLOGY_OPTS.to_vec();
+    known.push("format");
+    args.check_known(&known)?;
+    let g = topology(args)?;
+    match args.get("format").unwrap_or("edges") {
+        "edges" => print!("{}", io::to_edge_list(&g)),
+        "dot" => print!("{}", io::to_dot(&g, None)),
+        "json" => println!("{}", serde_json::to_string(&g)?),
+        other => return Err(format!("unknown format '{other}' (edges|dot|json)").into()),
+    }
+    Ok(())
+}
+
+/// `pacds cds`
+pub fn cds(args: &Args) -> CliResult {
+    let mut known = TOPOLOGY_OPTS.to_vec();
+    known.extend(["policy", "semantics", "energy-seed", "dot"]);
+    args.check_known(&known)?;
+    let g = topology(args)?;
+    let policy = policy_of(args.get("policy").unwrap_or("id"))?;
+    let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+    let energy = energy_levels(args, g.n())?;
+    let trace = compute_cds_trace(&CdsInput::with_energy(&g, &energy), &cfg);
+    if args.flag("dot") {
+        print!("{}", io::to_dot(&g, Some(&trace.after_rule2)));
+        return Ok(());
+    }
+    println!(
+        "hosts: {}   links: {}   connected: {}",
+        g.n(),
+        g.m(),
+        algo::is_connected(&g)
+    );
+    println!(
+        "policy {} ({:?}/{:?}): marked {} -> rule1 {} -> gateways {}",
+        policy.label(),
+        cfg.rule2,
+        cfg.application,
+        trace.marked.iter().filter(|&&b| b).count(),
+        trace.after_rule1.iter().filter(|&&b| b).count(),
+        trace.gateway_count(),
+    );
+    println!("gateways: {:?}", mask_to_vec(&trace.after_rule2));
+    match verify_cds(&g, &trace.after_rule2) {
+        Ok(()) => println!("verification: connected dominating set ✓"),
+        Err(e) => println!("verification: FAILED — {e}"),
+    }
+    Ok(())
+}
+
+/// `pacds route`
+pub fn route(args: &Args) -> CliResult {
+    let mut known = TOPOLOGY_OPTS.to_vec();
+    known.extend(["policy", "semantics", "energy-seed", "from", "to"]);
+    args.check_known(&known)?;
+    let g = topology(args)?;
+    let policy = policy_of(args.get("policy").unwrap_or("id"))?;
+    let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+    let energy = energy_levels(args, g.n())?;
+    let from: u32 = args.require("from")?;
+    let to: u32 = args.require("to")?;
+    let gateways = pacds_core::compute_cds(&CdsInput::with_energy(&g, &energy), &cfg);
+    let state = RoutingState::build(&g, &gateways);
+    let path = pacds_routing::route(&g, &state, from, to)?;
+    let shortest = algo::shortest_path(&g, from, to)?;
+    println!("route ({} hops): {:?}", path.len() - 1, path);
+    println!(
+        "shortest path has {} hops; stretch +{}",
+        shortest.len() - 1,
+        path.len() - shortest.len()
+    );
+    Ok(())
+}
+
+/// `pacds simulate`
+pub fn simulate(args: &Args) -> CliResult {
+    args.check_known(&[
+        "n", "policy", "model", "trials", "seed", "incremental", "semantics",
+    ])?;
+    let n: usize = args.get_or("n", 50)?;
+    let policy = policy_of(args.get("policy").unwrap_or("el1"))?;
+    let model = model_of(args.get("model").unwrap_or("2"))?;
+    let trials: usize = args.get_or("trials", 10)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut cfg = SimConfig::paper(n, policy, model);
+    if let Some(sem) = args.get("semantics") {
+        cfg.cds = cds_config_of(policy, sem)?;
+    }
+    cfg.incremental = args.flag("incremental");
+
+    println!(
+        "simulating n={n} policy={} model={} trials={trials}",
+        policy.label(),
+        model.label()
+    );
+    let outcomes = pacds_sim::montecarlo::run_trials(seed, trials, |_, rng| {
+        let sim = Simulation::new(cfg, rng).without_verification();
+        sim.run_lifetime(rng)
+    });
+    let lives: Vec<f64> = outcomes.iter().map(|o| f64::from(o.intervals)).collect();
+    let gws: Vec<f64> = outcomes.iter().map(|o| o.mean_gateways).collect();
+    let life = pacds_sim::Summary::from_slice(&lives);
+    let gw = pacds_sim::Summary::from_slice(&gws);
+    println!("lifetime: {life}");
+    println!("mean gateways: {gw}");
+    Ok(())
+}
+
+/// `pacds compare`
+pub fn compare(args: &Args) -> CliResult {
+    let mut known = TOPOLOGY_OPTS.to_vec();
+    known.extend(["semantics", "energy-seed"]);
+    args.check_known(&known)?;
+    let g = topology(args)?;
+    let energy = energy_levels(args, g.n())?;
+    let semantics = args.get("semantics").unwrap_or("safe").to_string();
+    println!(
+        "{} hosts, {} links, avg degree {:.1}, connected: {}",
+        g.n(),
+        g.m(),
+        g.avg_degree(),
+        algo::is_connected(&g)
+    );
+    println!("{:>6} {:>8} {:>8} {:>9}  verification", "policy", "marked", "final", "reduction");
+    for policy in Policy::ALL {
+        let cfg = cds_config_of(policy, &semantics)?;
+        let trace = compute_cds_trace(&CdsInput::with_energy(&g, &energy), &cfg);
+        let marked = trace.marked.iter().filter(|&&b| b).count();
+        let fin = trace.gateway_count();
+        let reduction = if marked == 0 {
+            0.0
+        } else {
+            100.0 * (marked - fin) as f64 / marked as f64
+        };
+        let verdict = match verify_cds(&g, &trace.after_rule2) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("FAILED: {e}"),
+        };
+        println!(
+            "{:>6} {:>8} {:>8} {:>8.1}%  {verdict}",
+            policy.label(),
+            marked,
+            fin,
+            reduction
+        );
+    }
+    Ok(())
+}
+
+/// `pacds trace`
+pub fn trace(args: &Args) -> CliResult {
+    args.check_known(&["n", "policy", "model", "seed", "max", "out", "semantics"])?;
+    let n: usize = args.get_or("n", 30)?;
+    let policy = policy_of(args.get("policy").unwrap_or("el1"))?;
+    let model = model_of(args.get("model").unwrap_or("2"))?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let max: u32 = args.get_or("max", 200)?;
+    let mut cfg = SimConfig::paper(n, policy, model);
+    if let Some(sem) = args.get("semantics") {
+        cfg.cds = cds_config_of(policy, sem)?;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let recorder = pacds_sim::TraceRecorder::record(cfg, max, &mut rng);
+    let jsonl = recorder.to_jsonl();
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, jsonl)?;
+            eprintln!("wrote {} records to {path}", recorder.records().len());
+        }
+        None => print!("{jsonl}"),
+    }
+    Ok(())
+}
+
+/// `pacds watch`
+pub fn watch(args: &Args) -> CliResult {
+    args.check_known(&["n", "policy", "intervals", "seed", "model"])?;
+    let n: usize = args.get_or("n", 30)?;
+    let policy = policy_of(args.get("policy").unwrap_or("el1"))?;
+    let model = model_of(args.get("model").unwrap_or("2"))?;
+    let intervals: u32 = args.get_or("intervals", 8)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let cfg = SimConfig::paper(n, policy, model);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let recorder = pacds_sim::TraceRecorder::record(cfg, intervals, &mut rng);
+    for r in recorder.records() {
+        let positions: Vec<pacds_geom::Point2> = r
+            .positions
+            .iter()
+            .map(|&(x, y)| pacds_geom::Point2::new(x, y))
+            .collect();
+        let mut gw = vec![false; n];
+        for &g in &r.gateways {
+            gw[g as usize] = true;
+        }
+        println!(
+            "interval {} — {} gateways, {} links, connected: {}",
+            r.interval,
+            r.gateways.len(),
+            r.links,
+            r.connected
+        );
+        print!(
+            "{}",
+            pacds_sim::render_ascii(cfg.bounds, &positions, &gw, None, 50, 16)
+        );
+    }
+    println!("legend: # gateway   o host");
+    Ok(())
+}
+
+/// `pacds robustness`
+pub fn robustness(args: &Args) -> CliResult {
+    let mut known = TOPOLOGY_OPTS.to_vec();
+    known.extend(["policy", "semantics", "energy-seed"]);
+    args.check_known(&known)?;
+    let g = topology(args)?;
+    let energy = energy_levels(args, g.n())?;
+    let semantics = args.get("semantics").unwrap_or("safe").to_string();
+    println!("{:>6} {:>9} {:>6} {:>8} {:>6} {:>8}", "policy", "gateways", "cuts", "bridges", "sole", "spof");
+    for policy in Policy::ALL {
+        let cfg = cds_config_of(policy, &semantics)?;
+        let gw = pacds_core::compute_cds(&CdsInput::with_energy(&g, &energy), &cfg);
+        let r = pacds_routing::backbone_robustness(&g, &gw);
+        println!(
+            "{:>6} {:>9} {:>6} {:>8} {:>6} {:>7.1}%",
+            policy.label(),
+            r.gateways,
+            r.backbone_cut_vertices.len(),
+            r.backbone_bridges,
+            r.sole_dominators.len(),
+            100.0 * r.spof_fraction
+        );
+    }
+    Ok(())
+}
+
+/// `pacds explain`
+pub fn explain(args: &Args) -> CliResult {
+    let mut known = TOPOLOGY_OPTS.to_vec();
+    known.extend(["policy", "semantics", "energy-seed", "host"]);
+    args.check_known(&known)?;
+    let g = topology(args)?;
+    let policy = policy_of(args.get("policy").unwrap_or("id"))?;
+    let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+    let energy = energy_levels(args, g.n())?;
+    let input = CdsInput::with_energy(&g, &energy);
+    let hosts: Vec<u32> = match args.get("host") {
+        Some(_) => vec![args.require("host")?],
+        None => (0..g.n() as u32).collect(),
+    };
+    for v in hosts {
+        if (v as usize) >= g.n() {
+            return Err(format!("host {v} out of range (n = {})", g.n()).into());
+        }
+        println!("host {v:>3}: {}", pacds_core::explain(&input, &cfg, v));
+    }
+    Ok(())
+}
+
+/// `pacds run`
+pub fn run_scenario(args: &Args) -> CliResult {
+    args.check_known(&["scenario"])?;
+    let path: String = args.require("scenario")?;
+    let text = std::fs::read_to_string(&path)?;
+    let scenario: pacds_sim::Scenario = serde_json::from_str(&text)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let result = scenario.run();
+    println!("{}", serde_json::to_string_pretty(&result)?);
+    Ok(())
+}
+
+/// `pacds scenario-template`
+pub fn scenario_template(args: &Args) -> CliResult {
+    args.check_known(&[])?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&pacds_sim::Scenario::template())?
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for (name, policy) in [
+            ("nr", Policy::NoPruning),
+            ("id", Policy::Id),
+            ("nd", Policy::Degree),
+            ("el1", Policy::Energy),
+            ("EL2", Policy::EnergyDegree),
+        ] {
+            assert_eq!(policy_of(name).unwrap(), policy);
+        }
+        assert!(policy_of("bogus").is_err());
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(model_of("1").unwrap(), DrainModel::ConstantTotal);
+        assert_eq!(model_of("2").unwrap(), DrainModel::LinearInN);
+        assert_eq!(model_of("3").unwrap(), DrainModel::QuadraticInN);
+        assert!(matches!(
+            model_of("d2").unwrap(),
+            DrainModel::ConstantPerGateway { .. }
+        ));
+        assert!(model_of("x").is_err());
+    }
+
+    #[test]
+    fn topology_generation_is_deterministic() {
+        let a = topology(&args("gen --n 20 --seed 9")).unwrap();
+        let b = topology(&args("gen --n 20 --seed 9")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.n(), 20);
+    }
+
+    #[test]
+    fn connected_flag_yields_connected_graph() {
+        let g = topology(&args("gen --n 30 --seed 2 --connected")).unwrap();
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn energy_levels_default_uniform() {
+        let a = args("cds");
+        assert_eq!(energy_levels(&a, 3).unwrap(), vec![10, 10, 10]);
+        let b = args("cds --energy-seed 5");
+        let levels = energy_levels(&b, 50).unwrap();
+        assert!(levels.iter().any(|&l| l != levels[0]));
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        gen(&args("gen --n 15 --seed 3")).unwrap();
+        cds(&args("cds --n 25 --seed 3 --connected --policy el2 --energy-seed 1")).unwrap();
+        compare(&args("compare --n 25 --seed 3 --connected")).unwrap();
+        route(&args("route --n 25 --seed 3 --connected --from 0 --to 7")).unwrap();
+        simulate(&args("simulate --n 15 --trials 2 --model 3")).unwrap();
+    }
+
+    #[test]
+    fn trace_and_watch_and_robustness_run() {
+        let dir = std::env::temp_dir().join("pacds_cli_test_trace.jsonl");
+        let out = format!("trace --n 12 --max 5 --out {}", dir.display());
+        trace(&args(&out)).unwrap();
+        assert!(dir.exists());
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert!(text.lines().count() >= 1);
+        let _ = std::fs::remove_file(&dir);
+        watch(&args("watch --n 12 --intervals 2")).unwrap();
+        robustness(&args("robustness --n 25 --seed 3 --connected")).unwrap();
+    }
+
+    #[test]
+    fn explain_runs_for_all_hosts_and_single_host() {
+        explain(&args("explain --n 20 --seed 3 --connected --policy el1 --energy-seed 2")).unwrap();
+        explain(&args("explain --n 20 --seed 3 --host 5")).unwrap();
+        assert!(explain(&args("explain --n 10 --seed 1 --host 99")).is_err());
+    }
+
+    #[test]
+    fn scenario_round_trip_through_cli() {
+        scenario_template(&args("scenario-template")).unwrap();
+        // Write a small scenario and run it.
+        let mut sc = pacds_sim::Scenario::template();
+        sc.trials = 2;
+        sc.sim.n = 12;
+        let path = std::env::temp_dir().join("pacds_cli_scenario.json");
+        std::fs::write(&path, serde_json::to_string(&sc).unwrap()).unwrap();
+        run_scenario(&args(&format!("run --scenario {}", path.display()))).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        assert!(gen(&args("gen --bogus 3")).is_err());
+        assert!(simulate(&args("simulate --radius 3")).is_err());
+    }
+
+    #[test]
+    fn bad_route_endpoints_error() {
+        assert!(route(&args("route --n 10 --seed 3 --from 0 --to 999")).is_err());
+    }
+}

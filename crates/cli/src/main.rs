@@ -1,0 +1,53 @@
+//! `pacds` — command-line interface to the PACDS workspace.
+//!
+//! ```text
+//! pacds gen       generate a unit-disk topology (edge list / DOT / JSON)
+//! pacds cds       compute the gateway set of a topology under a policy
+//! pacds route     route a packet with the 3-step procedure
+//! pacds simulate  run a network-lifetime simulation
+//! pacds compare   compare all policies on one network
+//! ```
+//!
+//! Run `pacds help [command]` for options.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let command = args.command.clone().unwrap_or_else(|| "help".to_string());
+    let result = match command.as_str() {
+        "gen" => commands::gen(&args),
+        "cds" => commands::cds(&args),
+        "route" => commands::route(&args),
+        "simulate" => commands::simulate(&args),
+        "compare" => commands::compare(&args),
+        "trace" => commands::trace(&args),
+        "watch" => commands::watch(&args),
+        "robustness" => commands::robustness(&args),
+        "explain" => commands::explain(&args),
+        "run" => commands::run_scenario(&args),
+        "scenario-template" => commands::scenario_template(&args),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", commands::HELP).into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Data-parallel variants of the marking process and rule passes.
+//!
+//! Every per-vertex decision in the simultaneous semantics reads only the
+//! input snapshot, so the sweeps are embarrassingly parallel. These
+//! variants (rayon `par_iter` over vertices) return bit-identical results
+//! to their sequential counterparts — property-tested. Whether they pay
+//! off depends on the machine: the per-vertex work is small, so on
+//! few-core hosts the fork-join overhead dominates even at thousands of
+//! hosts (see the `parallel` criterion group in `pacds-bench`, which
+//! measures exactly this). At the paper's N ≤ 100 the sequential passes
+//! are always faster; treat the parallel path as an opt-in for wide
+//! machines and very dense sweeps, and benchmark before switching.
+//!
+//! The sequential in-place sweep ([`crate::Application::Sequential`]) has
+//! no parallel form: its loop carries a dependency.
+
+use crate::marking::has_unconnected_neighbors;
+use crate::priority::PriorityKey;
+use crate::rules::{rule2_decides_removal, Rule2Semantics};
+use pacds_graph::{Graph, NeighborBitmap, NodeId, VertexMask};
+use rayon::prelude::*;
+
+/// Parallel marking process; equals [`crate::marking`].
+pub fn marking_par(g: &Graph) -> VertexMask {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|v| has_unconnected_neighbors(g, v))
+        .collect()
+}
+
+/// Parallel simultaneous Rule 1 pass; equals [`crate::rule1_pass`] modulo
+/// the removal log.
+pub fn rule1_pass_par(
+    g: &Graph,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+) -> VertexMask {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            marked[v as usize]
+                && !g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| marked[u as usize] && key.lt(v, u) && bm.closed_subset(v, u))
+        })
+        .collect()
+}
+
+/// Parallel simultaneous Rule 2 pass; equals [`crate::rule2_pass`] modulo
+/// the removal log.
+pub fn rule2_pass_par(
+    g: &Graph,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    semantics: Rule2Semantics,
+) -> VertexMask {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            if !marked[v as usize] {
+                return false;
+            }
+            let marked_nbrs: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| marked[u as usize])
+                .collect();
+            if marked_nbrs.len() < 2 {
+                return true;
+            }
+            !rule2_decides_removal(bm, key, semantics, v, &marked_nbrs)
+        })
+        .collect()
+}
+
+/// End-to-end parallel pipeline (marking → Rule 1 → Rule 2), equal to
+/// [`crate::compute_cds`] for simultaneous single-pass configurations.
+pub fn compute_cds_par(
+    g: &Graph,
+    energy: Option<&[crate::EnergyLevel]>,
+    cfg: &crate::CdsConfig,
+) -> VertexMask {
+    assert_eq!(cfg.application, crate::Application::Simultaneous);
+    assert_eq!(cfg.schedule, crate::PruneSchedule::SinglePass);
+    let marked = marking_par(g);
+    if !cfg.policy.prunes() {
+        return marked;
+    }
+    let bm = NeighborBitmap::build(g);
+    let key = PriorityKey::build(cfg.policy, g, energy);
+    let semantics = match cfg.policy {
+        crate::Policy::Id => Rule2Semantics::MinOfThree,
+        _ => cfg.rule2,
+    };
+    let after1 = rule1_pass_par(g, &bm, &marked, &key);
+    rule2_pass_par(g, &bm, &after1, &key, semantics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compute_cds, CdsConfig, CdsInput, Policy};
+    use pacds_graph::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_marking_equals_sequential() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 10, 100, 500] {
+            let g = gen::gnp(&mut rng, n, 0.1);
+            assert_eq!(marking_par(&g), crate::marking(&g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_equals_sequential_for_every_policy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for trial in 0..15 {
+            let n = 20 + trial * 10;
+            let g = gen::connected_gnp(&mut rng, n, 0.08, 8);
+            let energy: Vec<u64> = (0..n as u64).map(|i| (i * 31) % 10).collect();
+            for policy in Policy::ALL {
+                for cfg in [CdsConfig::policy(policy), CdsConfig::paper(policy)] {
+                    let seq = compute_cds(&CdsInput::with_energy(&g, &energy), &cfg);
+                    let par = compute_cds_par(&g, Some(&energy), &cfg);
+                    assert_eq!(seq, par, "trial {trial} {policy:?} {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pipeline_on_unit_disks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bounds = pacds_geom::Rect::square(300.0);
+        let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, 800);
+        let g = gen::unit_disk(bounds, 25.0, &pts);
+        let energy: Vec<u64> = (0..800u64).map(|i| i % 10).collect();
+        let cfg = CdsConfig::policy(Policy::EnergyDegree);
+        assert_eq!(
+            compute_cds(&CdsInput::with_energy(&g, &energy), &cfg),
+            compute_cds_par(&g, Some(&energy), &cfg)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn sequential_application_rejected() {
+        let g = gen::path(4);
+        compute_cds_par(&g, None, &CdsConfig::sequential(Policy::Id));
+    }
+}

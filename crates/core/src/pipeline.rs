@@ -1,0 +1,318 @@
+//! End-to-end CDS computation: marking followed by the selected rule pair.
+
+use crate::marking::marking;
+use crate::priority::{EnergyLevel, Policy, PriorityKey};
+use crate::rules::{
+    rule1_pass, rule1_pass_sequential, rule2_pass, rule2_pass_sequential, Rule2Semantics,
+};
+use pacds_graph::{Graph, NeighborBitmap, NodeId, VertexMask};
+use serde::{Deserialize, Serialize};
+
+/// Inputs to a CDS computation.
+#[derive(Debug, Clone, Copy)]
+pub struct CdsInput<'a> {
+    /// The network graph.
+    pub graph: &'a Graph,
+    /// Discrete energy level of each host (required by the EL policies).
+    pub energy: Option<&'a [EnergyLevel]>,
+}
+
+impl<'a> CdsInput<'a> {
+    /// Input without energy information (sufficient for NR/ID/ND).
+    pub fn new(graph: &'a Graph) -> Self {
+        Self {
+            graph,
+            energy: None,
+        }
+    }
+
+    /// Input with per-host energy levels.
+    pub fn with_energy(graph: &'a Graph, energy: &'a [EnergyLevel]) -> Self {
+        Self {
+            graph,
+            energy: Some(energy),
+        }
+    }
+}
+
+/// How each rule pass visits the marked vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Application {
+    /// All removal decisions are evaluated against a snapshot of the
+    /// marked set and applied at once — the distributed reality, where
+    /// every host decides from the same exchanged markers.
+    #[default]
+    Simultaneous,
+    /// Vertices are visited in ascending id order and markers update in
+    /// place, so later decisions see earlier removals — how a sequential
+    /// simulation loop naturally implements the rules. Sound for any
+    /// priority order and any Rule 2 semantics.
+    Sequential,
+}
+
+/// How many times the rule pair is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PruneSchedule {
+    /// One Rule 1 pass over the marking result, then one Rule 2 pass over
+    /// Rule 1's output — the paper's procedure.
+    #[default]
+    SinglePass,
+    /// Repeat (Rule 1; Rule 2) until a fixpoint. An ablation: the extra
+    /// rounds occasionally shave off a few more gateways at extra cost.
+    Fixpoint,
+}
+
+/// Full configuration of a CDS computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CdsConfig {
+    /// The rule family / priority order.
+    pub policy: Policy,
+    /// Rule application schedule.
+    pub schedule: PruneSchedule,
+    /// Rule 2 semantics. [`Rule2Semantics::MinOfThree`] is provably safe
+    /// for every policy; [`Rule2Semantics::CaseAnalysis`] is the paper's
+    /// literal extended rule (see its fidelity warning). For
+    /// [`Policy::Id`] the paper's Rule 2 *is* min-of-three, so this field
+    /// is forced to `MinOfThree` for that policy.
+    pub rule2: Rule2Semantics,
+    /// Simultaneous (snapshot) or sequential (in-place) rule application.
+    pub application: Application,
+}
+
+impl CdsConfig {
+    /// Safe single-pass configuration for `policy` (min-of-three Rule 2,
+    /// simultaneous application).
+    pub fn policy(policy: Policy) -> Self {
+        Self {
+            policy,
+            schedule: PruneSchedule::SinglePass,
+            rule2: Rule2Semantics::MinOfThree,
+            application: Application::Simultaneous,
+        }
+    }
+
+    /// The paper's literal configuration for `policy`: case-analysis
+    /// Rule 2 for the extended rule families (min-of-three for `Id`),
+    /// applied simultaneously. **Unsound** on a sizable fraction of
+    /// paper-scale topologies — see the crate docs and EXPERIMENTS.md.
+    pub fn paper(policy: Policy) -> Self {
+        Self {
+            policy,
+            schedule: PruneSchedule::SinglePass,
+            rule2: Rule2Semantics::CaseAnalysis,
+            application: Application::Simultaneous,
+        }
+    }
+
+    /// The paper's rules applied as a sequential in-place sweep — sound
+    /// for every policy, and the variant that best matches the paper's
+    /// reported behaviour (a sequential simulator updates markers in
+    /// place as it loops over hosts).
+    pub fn sequential(policy: Policy) -> Self {
+        Self {
+            policy,
+            schedule: PruneSchedule::SinglePass,
+            rule2: Rule2Semantics::CaseAnalysis,
+            application: Application::Sequential,
+        }
+    }
+
+    /// Fixpoint-schedule (safe) configuration for `policy`.
+    pub fn fixpoint(policy: Policy) -> Self {
+        Self {
+            policy,
+            schedule: PruneSchedule::Fixpoint,
+            rule2: Rule2Semantics::MinOfThree,
+            application: Application::Simultaneous,
+        }
+    }
+
+    fn rule2_semantics(&self) -> Rule2Semantics {
+        match self.policy {
+            // The original Rule 2 is already the min-of-three form.
+            Policy::Id => Rule2Semantics::MinOfThree,
+            _ => self.rule2,
+        }
+    }
+}
+
+/// Intermediate states of a CDS computation, for inspection and tests.
+#[derive(Debug, Clone)]
+pub struct CdsTrace {
+    /// Output of the bare marking process.
+    pub marked: VertexMask,
+    /// After the Rule 1 pass(es).
+    pub after_rule1: VertexMask,
+    /// Final gateway set (after Rule 2).
+    pub after_rule2: VertexMask,
+    /// Vertices removed by Rule 1 (first round only, in id order).
+    pub removed_by_rule1: Vec<NodeId>,
+    /// Vertices removed by Rule 2 (first round only, in id order).
+    pub removed_by_rule2: Vec<NodeId>,
+    /// Number of (Rule 1; Rule 2) rounds executed.
+    pub rounds: usize,
+}
+
+impl CdsTrace {
+    /// The final gateway mask.
+    pub fn gateways(&self) -> &VertexMask {
+        &self.after_rule2
+    }
+
+    /// Number of gateways in the final set.
+    pub fn gateway_count(&self) -> usize {
+        self.after_rule2.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Computes the gateway set of `input.graph` under `cfg`.
+///
+/// Equivalent to [`compute_cds_trace`] but returns only the final mask.
+pub fn compute_cds(input: &CdsInput<'_>, cfg: &CdsConfig) -> VertexMask {
+    compute_cds_trace(input, cfg).after_rule2
+}
+
+/// Computes the gateway set, returning every intermediate state.
+pub fn compute_cds_trace(input: &CdsInput<'_>, cfg: &CdsConfig) -> CdsTrace {
+    let g = input.graph;
+    let marked = marking(g);
+    if !cfg.policy.prunes() {
+        return CdsTrace {
+            after_rule1: marked.clone(),
+            after_rule2: marked.clone(),
+            marked,
+            removed_by_rule1: Vec::new(),
+            removed_by_rule2: Vec::new(),
+            rounds: 0,
+        };
+    }
+
+    let bm = NeighborBitmap::build(g);
+    let key = PriorityKey::build(cfg.policy, g, input.energy);
+    let semantics = cfg.rule2_semantics();
+
+    let r1 = |m: &[bool], rem: Option<&mut Vec<NodeId>>| match cfg.application {
+        Application::Simultaneous => rule1_pass(g, &bm, m, &key, rem),
+        Application::Sequential => rule1_pass_sequential(g, &bm, m, &key, rem),
+    };
+    let r2 = |m: &[bool], rem: Option<&mut Vec<NodeId>>| match cfg.application {
+        Application::Simultaneous => rule2_pass(g, &bm, m, &key, semantics, rem),
+        Application::Sequential => rule2_pass_sequential(g, &bm, m, &key, semantics, rem),
+    };
+
+    let mut removed1 = Vec::new();
+    let mut removed2 = Vec::new();
+    let mut after_rule1 = r1(&marked, Some(&mut removed1));
+    let mut after_rule2 = r2(&after_rule1, Some(&mut removed2));
+    let mut rounds = 1;
+
+    if cfg.schedule == PruneSchedule::Fixpoint {
+        loop {
+            let next1 = r1(&after_rule2, None);
+            let next2 = r2(&next1, None);
+            let changed = next2 != after_rule2;
+            after_rule1 = next1;
+            let prev = std::mem::replace(&mut after_rule2, next2);
+            rounds += 1;
+            if !changed {
+                after_rule2 = prev; // identical; keep the earlier allocation
+                break;
+            }
+        }
+    }
+
+    CdsTrace {
+        marked,
+        after_rule1,
+        after_rule2,
+        removed_by_rule1: removed1,
+        removed_by_rule2: removed2,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_graph::{gen, mask_to_vec};
+
+    #[test]
+    fn figure1_id_policy() {
+        // u=0, v=1, w=2, x=3, y=4.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 4), (2, 3)]);
+        let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Id));
+        assert_eq!(mask_to_vec(&cds), vec![1, 2]);
+    }
+
+    #[test]
+    fn no_pruning_returns_bare_marking() {
+        let g = gen::cycle(6);
+        let trace = compute_cds_trace(&CdsInput::new(&g), &CdsConfig::policy(Policy::NoPruning));
+        assert_eq!(trace.marked, trace.after_rule2);
+        assert_eq!(trace.gateway_count(), 6);
+        assert_eq!(trace.rounds, 0);
+    }
+
+    #[test]
+    fn pruning_never_grows_the_set() {
+        let g = gen::grid(4, 5);
+        let nr = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::NoPruning));
+        for policy in [Policy::Id, Policy::Degree] {
+            let pruned = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(policy));
+            for v in 0..g.n() {
+                assert!(!pruned[v] || nr[v], "{policy:?} added vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_policies_respond_to_energy() {
+        // Twin hubs 0 and 1 with identical closed neighbourhoods {0,1,2,3}:
+        // Rule 1b keeps whichever has more energy.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
+        let hi_first: Vec<u64> = vec![90, 10, 90, 90];
+        let hi_second: Vec<u64> = vec![10, 90, 90, 90];
+        let a = compute_cds(
+            &CdsInput::with_energy(&g, &hi_first),
+            &CdsConfig::policy(Policy::Energy),
+        );
+        let b = compute_cds(
+            &CdsInput::with_energy(&g, &hi_second),
+            &CdsConfig::policy(Policy::Energy),
+        );
+        assert_ne!(a, b, "different energy assignments must steer selection");
+    }
+
+    #[test]
+    fn trace_reports_removals() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 4)]);
+        let trace = compute_cds_trace(&CdsInput::new(&g), &CdsConfig::policy(Policy::Id));
+        assert_eq!(mask_to_vec(&trace.marked), vec![0, 1, 2]);
+        assert!(trace.rounds >= 1);
+        // Every vertex is accounted for: marked = gateways + removed.
+        let total_removed = trace.removed_by_rule1.len() + trace.removed_by_rule2.len();
+        assert_eq!(
+            trace.gateway_count() + total_removed,
+            mask_to_vec(&trace.marked).len()
+        );
+        assert!(total_removed >= 1, "this topology is prunable");
+    }
+
+    #[test]
+    fn fixpoint_never_ends_larger_than_single_pass() {
+        let g = gen::grid(5, 5);
+        let single = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Degree));
+        let fix = compute_cds(&CdsInput::new(&g), &CdsConfig::fixpoint(Policy::Degree));
+        let count = |m: &[bool]| m.iter().filter(|&&b| b).count();
+        assert!(count(&fix) <= count(&single));
+    }
+
+    #[test]
+    fn complete_graph_yields_empty_cds() {
+        let g = gen::complete(5);
+        for policy in [Policy::NoPruning, Policy::Id, Policy::Degree] {
+            let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(policy));
+            assert!(cds.iter().all(|&b| !b), "{policy:?}");
+        }
+    }
+}

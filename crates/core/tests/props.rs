@@ -1,0 +1,187 @@
+//! Property-based tests for the paper's claimed invariants.
+//!
+//! These are the load-bearing guarantees: on every connected graph, the
+//! marking process yields a CDS (Properties 1–2), Property 3 holds for the
+//! raw marking, and *every* rule family preserves the CDS property while
+//! only ever shrinking the set.
+
+use pacds_core::{
+    compute_cds, compute_cds_trace, verify_cds, CdsConfig, CdsInput, Policy,
+};
+use pacds_graph::{gen, Graph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// A random connected graph plus a deterministic energy assignment.
+fn connected_graph_with_energy() -> impl Strategy<Value = (Graph, Vec<u64>)> {
+    (2usize..48, 0.02f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = gen::connected_gnp(&mut rng, n, p, 8);
+        let energy: Vec<u64> = (0..n)
+            .map(|i| {
+                // Deterministic but varied, with deliberate ties.
+                (seed.wrapping_mul(i as u64 + 1) >> 17) % 10
+            })
+            .collect();
+        (g, energy)
+    })
+}
+
+/// A random unit-disk graph in the paper's arena (largest component kept).
+fn unit_disk_component() -> impl Strategy<Value = (Graph, Vec<u64>)> {
+    (3usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bounds = pacds_geom::Rect::paper_arena();
+        let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+        let g = gen::unit_disk(bounds, 25.0, &pts);
+        let keep = pacds_graph::algo::largest_component(&g);
+        let (sub, _) = g.induced(&keep);
+        let energy: Vec<u64> = (0..sub.n())
+            .map(|i| (seed.wrapping_mul(i as u64 + 3) >> 13) % 8)
+            .collect();
+        (sub, energy)
+    })
+}
+
+fn count(mask: &[bool]) -> usize {
+    mask.iter().filter(|&&b| b).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn every_policy_yields_a_cds_on_gnp((g, energy) in connected_graph_with_energy()) {
+        for policy in Policy::ALL {
+            let cds = compute_cds(
+                &CdsInput { graph: &g, energy: Some(&energy) },
+                &CdsConfig::policy(policy),
+            );
+            prop_assert!(
+                verify_cds(&g, &cds).is_ok(),
+                "policy {policy:?} violated CDS on {:?}",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn every_policy_yields_a_cds_on_unit_disk((g, energy) in unit_disk_component()) {
+        for policy in Policy::ALL {
+            let cds = compute_cds(
+                &CdsInput { graph: &g, energy: Some(&energy) },
+                &CdsConfig::policy(policy),
+            );
+            prop_assert!(
+                verify_cds(&g, &cds).is_ok(),
+                "policy {policy:?} violated CDS on {:?}",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_is_monotone_shrinking((g, energy) in connected_graph_with_energy()) {
+        let input = CdsInput { graph: &g, energy: Some(&energy) };
+        let trace_nr = compute_cds(&input, &CdsConfig::policy(Policy::NoPruning));
+        for policy in [Policy::Id, Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let trace = compute_cds_trace(&input, &CdsConfig::policy(policy));
+            // Stage-wise: marked ⊇ after_rule1 ⊇ after_rule2.
+            for (v, &nr) in trace_nr.iter().enumerate() {
+                prop_assert!(!trace.after_rule1[v] || trace.marked[v]);
+                prop_assert!(!trace.after_rule2[v] || trace.after_rule1[v]);
+                prop_assert!(!trace.after_rule2[v] || nr);
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_schedule_stays_a_cds_and_never_grows((g, energy) in connected_graph_with_energy()) {
+        let input = CdsInput { graph: &g, energy: Some(&energy) };
+        for policy in [Policy::Id, Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let single = compute_cds(&input, &CdsConfig::policy(policy));
+            let fix = compute_cds(&input, &CdsConfig::fixpoint(policy));
+            prop_assert!(verify_cds(&g, &fix).is_ok(), "fixpoint {policy:?}");
+            prop_assert!(count(&fix) <= count(&single));
+        }
+    }
+
+    #[test]
+    fn marking_preserves_shortest_paths((g, _energy) in unit_disk_component()) {
+        // Property 3 applies to the bare marking output.
+        if g.n() <= 30 {
+            let m = pacds_core::marking(&g);
+            if !g.is_complete() {
+                prop_assert!(pacds_core::verify::preserves_shortest_paths(&g, &m));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_literal_mode_is_monotone_and_dominating_or_flagged((g, energy) in connected_graph_with_energy()) {
+        // The literal case-analysis Rule 2 may (rarely) lose domination —
+        // that is a documented property of the paper's rule, not of this
+        // implementation. What must always hold: the result is a subset of
+        // the marking, and verify_cds either passes or reports a
+        // NotDominating/NotConnected violation (never panics).
+        let input = CdsInput { graph: &g, energy: Some(&energy) };
+        for policy in [Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let trace = compute_cds_trace(&input, &CdsConfig::paper(policy));
+            for v in 0..g.n() {
+                prop_assert!(!trace.after_rule2[v] || trace.marked[v]);
+            }
+            let _ = verify_cds(&g, &trace.after_rule2);
+        }
+    }
+
+    #[test]
+    fn sequential_sweep_always_yields_a_cds((g, energy) in connected_graph_with_energy()) {
+        // The in-place sweep is sound for every policy and both Rule 2
+        // semantics: each single removal preserves the CDS invariant.
+        let input = CdsInput { graph: &g, energy: Some(&energy) };
+        for policy in [Policy::Id, Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let cds = compute_cds(&input, &CdsConfig::sequential(policy));
+            prop_assert!(verify_cds(&g, &cds).is_ok(), "sequential {policy:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_sweep_yields_a_cds_on_unit_disk((g, energy) in unit_disk_component()) {
+        let input = CdsInput { graph: &g, energy: Some(&energy) };
+        for policy in [Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let cds = compute_cds(&input, &CdsConfig::sequential(policy));
+            prop_assert!(verify_cds(&g, &cds).is_ok(), "sequential {policy:?}");
+        }
+    }
+
+    #[test]
+    fn rule_k_always_yields_a_cds((g, energy) in connected_graph_with_energy()) {
+        for policy in [Policy::Id, Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let cds = pacds_core::compute_cds_daiwu(&g, Some(&energy), policy);
+            prop_assert!(verify_cds(&g, &cds).is_ok(), "rule-k {policy:?}");
+        }
+    }
+
+    #[test]
+    fn rule_k_yields_a_cds_on_unit_disk((g, energy) in unit_disk_component()) {
+        for policy in [Policy::Degree, Policy::EnergyDegree] {
+            let cds = pacds_core::compute_cds_daiwu(&g, Some(&energy), policy);
+            prop_assert!(verify_cds(&g, &cds).is_ok(), "rule-k {policy:?}");
+        }
+    }
+
+    #[test]
+    fn energy_levels_only_permute_priorities_not_safety((g, _e) in connected_graph_with_energy()) {
+        // Degenerate energy tables (all equal, extremes) must still verify.
+        let n = g.n();
+        for energy in [vec![0u64; n], vec![u64::MAX; n]] {
+            for policy in [Policy::Energy, Policy::EnergyDegree] {
+                let cds = compute_cds(
+                    &CdsInput { graph: &g, energy: Some(&energy) },
+                    &CdsConfig::policy(policy),
+                );
+                prop_assert!(verify_cds(&g, &cds).is_ok());
+            }
+        }
+    }
+}

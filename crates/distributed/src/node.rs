@@ -1,0 +1,264 @@
+//! Per-host state and the purely local decision procedures.
+//!
+//! Everything in this module operates on a [`LocalView`]: the host's own
+//! id, energy and neighbour list, plus what its neighbours told it. There
+//! is deliberately no `Graph` anywhere in these signatures — a host cannot
+//! consult global topology.
+
+use pacds_core::{Policy, Rule2Semantics};
+use pacds_graph::NodeId;
+use std::collections::HashMap;
+
+/// What a host knows after the hello round: its 2-hop neighbourhood.
+#[derive(Debug, Clone)]
+pub struct LocalView {
+    /// This host's id.
+    pub id: NodeId,
+    /// This host's energy level.
+    pub energy: u64,
+    /// This host's open neighbour set, sorted.
+    pub neighbors: Vec<NodeId>,
+    /// For each neighbour: its open neighbour set (sorted) and energy.
+    pub neighbor_info: HashMap<NodeId, NeighborInfo>,
+}
+
+/// One neighbour's hello payload.
+#[derive(Debug, Clone)]
+pub struct NeighborInfo {
+    /// The neighbour's open neighbour set, sorted.
+    pub neighbors: Vec<NodeId>,
+    /// The neighbour's energy level.
+    pub energy: u64,
+}
+
+/// Marker state a host tracks for itself and each neighbour.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// The local view (static during one update interval).
+    pub view: LocalView,
+    /// This host's marker.
+    pub marked: bool,
+    /// Last received marker of each neighbour.
+    pub neighbor_marked: HashMap<NodeId, bool>,
+}
+
+impl LocalView {
+    /// Whether neighbour lists know `b ∈ N(a)` — only valid when `a` is
+    /// this host or one of its neighbours.
+    fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        if a == self.id {
+            return self.neighbors.binary_search(&b).is_ok();
+        }
+        self.neighbor_info
+            .get(&a)
+            .map(|i| i.neighbors.binary_search(&b).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Step 3 of the marking process, decided purely locally: does this
+    /// host have two neighbours that are not connected to each other?
+    pub fn decide_marker(&self) -> bool {
+        for (i, &x) in self.neighbors.iter().enumerate() {
+            for &y in &self.neighbors[i + 1..] {
+                if !self.adjacent(x, y) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The priority key of `who` (this host or a neighbour) under `policy`,
+    /// computed from exchanged information only.
+    fn key(&self, policy: Policy, who: NodeId) -> [u64; 3] {
+        let (deg, el) = if who == self.id {
+            (self.neighbors.len() as u64, self.energy)
+        } else {
+            let info = &self.neighbor_info[&who];
+            (info.neighbors.len() as u64, info.energy)
+        };
+        let id = who as u64;
+        match policy {
+            Policy::NoPruning | Policy::Id => [id, 0, 0],
+            Policy::Degree => [deg, id, 0],
+            Policy::Energy => [el, id, 0],
+            Policy::EnergyDegree => [el, deg, id],
+        }
+    }
+
+    /// `N[self] ⊆ N[u]` from local data.
+    fn closed_covered_by(&self, u: NodeId) -> bool {
+        // self must be adjacent to u (given: u is a neighbour), and every
+        // neighbour of self must be u itself or adjacent to u.
+        self.neighbors
+            .iter()
+            .all(|&x| x == u || self.adjacent(u, x))
+    }
+
+    /// `N(a) ⊆ N(b) ∪ N(c)` where `a, b, c` are this host or neighbours.
+    fn open_covered_by_pair(&self, a: NodeId, b: NodeId, c: NodeId) -> bool {
+        let a_nbrs: &[NodeId] = if a == self.id {
+            &self.neighbors
+        } else {
+            &self.neighbor_info[&a].neighbors
+        };
+        a_nbrs
+            .iter()
+            .all(|&x| self.adjacent(b, x) || self.adjacent(c, x))
+    }
+}
+
+impl NodeState {
+    /// Initialises a host from its local view (markers unknown yet).
+    pub fn new(view: LocalView) -> Self {
+        Self {
+            marked: false,
+            neighbor_marked: HashMap::new(),
+            view,
+        }
+    }
+
+    /// Rule 1, decided locally: should this (marked) host unmark itself?
+    pub fn rule1_decides_unmark(&self, policy: Policy) -> bool {
+        if !self.marked {
+            return false;
+        }
+        let v = self.view.id;
+        self.view.neighbors.iter().any(|&u| {
+            self.neighbor_marked.get(&u).copied().unwrap_or(false)
+                && self.view.key(policy, v) < self.view.key(policy, u)
+                && self.view.closed_covered_by(u)
+        })
+    }
+
+    /// Rule 2, decided locally on the post-Rule-1 markers.
+    pub fn rule2_decides_unmark(&self, policy: Policy, semantics: Rule2Semantics) -> bool {
+        if !self.marked {
+            return false;
+        }
+        let v = self.view.id;
+        let marked_nbrs: Vec<NodeId> = self
+            .view
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|u| self.neighbor_marked.get(u).copied().unwrap_or(false))
+            .collect();
+        for (i, &u) in marked_nbrs.iter().enumerate() {
+            for &w in &marked_nbrs[i + 1..] {
+                if !self.view.open_covered_by_pair(v, u, w) {
+                    continue;
+                }
+                let kv = self.view.key(policy, v);
+                let ku = self.view.key(policy, u);
+                let kw = self.view.key(policy, w);
+                let ok = match semantics {
+                    Rule2Semantics::MinOfThree => kv < ku && kv < kw,
+                    Rule2Semantics::CaseAnalysis => {
+                        let cu = self.view.open_covered_by_pair(u, v, w);
+                        let cw = self.view.open_covered_by_pair(w, v, u);
+                        match (cu, cw) {
+                            (false, false) => true,
+                            (true, false) => kv < ku,
+                            (false, true) => kv < kw,
+                            (true, true) => kv < ku && kv < kw,
+                        }
+                    }
+                };
+                if ok {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built local view of vertex 1 in Figure 1 (v, with neighbours
+    /// u=0, w=2, y=4).
+    fn fig1_view_of_v() -> LocalView {
+        let mut neighbor_info = HashMap::new();
+        neighbor_info.insert(
+            0,
+            NeighborInfo {
+                neighbors: vec![1, 4],
+                energy: 100,
+            },
+        );
+        neighbor_info.insert(
+            2,
+            NeighborInfo {
+                neighbors: vec![1, 3],
+                energy: 100,
+            },
+        );
+        neighbor_info.insert(
+            4,
+            NeighborInfo {
+                neighbors: vec![0, 1],
+                energy: 100,
+            },
+        );
+        LocalView {
+            id: 1,
+            energy: 100,
+            neighbors: vec![0, 2, 4],
+            neighbor_info,
+        }
+    }
+
+    #[test]
+    fn marker_decision_from_local_view() {
+        let view = fig1_view_of_v();
+        // Neighbours 0 and 2 are unconnected: v marks itself.
+        assert!(view.decide_marker());
+    }
+
+    #[test]
+    fn marker_negative_when_neighbors_form_clique() {
+        let mut neighbor_info = HashMap::new();
+        neighbor_info.insert(
+            1,
+            NeighborInfo {
+                neighbors: vec![0, 2],
+                energy: 1,
+            },
+        );
+        neighbor_info.insert(
+            2,
+            NeighborInfo {
+                neighbors: vec![0, 1],
+                energy: 1,
+            },
+        );
+        let view = LocalView {
+            id: 0,
+            energy: 1,
+            neighbors: vec![1, 2],
+            neighbor_info,
+        };
+        assert!(!view.decide_marker());
+    }
+
+    #[test]
+    fn local_coverage_checks() {
+        let view = fig1_view_of_v();
+        // N[1] = {0,1,2,4}; N[0] = {0,1,4}: not covered by 0.
+        assert!(!view.closed_covered_by(0));
+        // N(0) = {1,4} ⊆ N(1) ∪ N(2)? 4 ∈ N(1) ✓ (view.adjacent(1=self)).
+        assert!(view.open_covered_by_pair(0, 1, 2));
+    }
+
+    #[test]
+    fn rule1_requires_marked_higher_priority_cover() {
+        let mut st = NodeState::new(fig1_view_of_v());
+        st.marked = true;
+        st.neighbor_marked = HashMap::from([(0, false), (2, true), (4, false)]);
+        // N[1] ⊄ N[2], so no unmark.
+        assert!(!st.rule1_decides_unmark(Policy::Id));
+    }
+}

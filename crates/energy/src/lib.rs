@@ -1,0 +1,25 @@
+//! Energy model of the paper's evaluation (Section 4).
+//!
+//! Every host starts with energy 100. After each update interval, a gateway
+//! host's energy drops by `d` and a non-gateway host's by `d'` (a unit
+//! constant). The paper studies three models for `d`, all functions of the
+//! gateway-set size `|G'|` and the network size `N`:
+//!
+//! 1. `d = 2 / |G'|` — constant total gateway traffic;
+//! 2. `d = N / |G'|` — total traffic proportional to the host count;
+//! 3. `d = N(N-1)/2 / (10 |G'|)` — total traffic proportional to the number
+//!    of host pairs.
+//!
+//! A host whose energy reaches zero ceases to function; the *lifetime* of
+//! the network is the number of completed update intervals before the first
+//! death.
+//!
+//! The selective-removal rules compare *discrete* energy levels; batteries
+//! are continuous `f64` internally and quantised through
+//! [`EnergyConfig::level_of`].
+
+pub mod battery;
+pub mod drain;
+
+pub use battery::{Battery, Fleet};
+pub use drain::{DrainModel, EnergyConfig};

@@ -1,0 +1,87 @@
+//! Property-based tests for the energy model.
+
+use pacds_energy::{DrainModel, EnergyConfig, Fleet};
+use proptest::prelude::*;
+
+fn model() -> impl Strategy<Value = DrainModel> {
+    prop_oneof![
+        Just(DrainModel::ConstantTotal),
+        Just(DrainModel::LinearInN),
+        Just(DrainModel::QuadraticInN),
+        (0.1f64..10.0).prop_map(|value| DrainModel::ConstantPerGateway { value }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn energy_is_conserved_until_saturation(
+        m in model(),
+        n in 1usize..40,
+        gw_bits in any::<u64>(),
+        intervals in 1u32..20,
+    ) {
+        let cfg = EnergyConfig::paper(m);
+        let mut fleet = Fleet::new(n, cfg);
+        let gateways: Vec<bool> = (0..n).map(|i| (gw_bits >> (i % 64)) & 1 == 1).collect();
+        let g_count = gateways.iter().filter(|&&b| b).count();
+        let d = m.gateway_drain(n, g_count);
+        let expected_per_interval =
+            d * g_count as f64 + 1.0 * (n - g_count) as f64;
+        let mut prev_total = fleet.total_energy();
+        for _ in 0..intervals {
+            let any_dead_before = fleet.any_dead();
+            fleet.drain_interval(&gateways);
+            let total = fleet.total_energy();
+            // Monotone decrease; exact decrement until someone saturates.
+            prop_assert!(total <= prev_total + 1e-9);
+            if !any_dead_before && !fleet.any_dead() {
+                prop_assert!((prev_total - total - expected_per_interval).abs() < 1e-6);
+            }
+            prev_total = total;
+        }
+    }
+
+    #[test]
+    fn levels_are_monotone_in_energy(q in 0.5f64..50.0, a in 0.0f64..200.0, b in 0.0f64..200.0) {
+        let cfg = EnergyConfig {
+            quantum: q,
+            ..EnergyConfig::paper(DrainModel::LinearInN)
+        };
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cfg.level_of(lo) <= cfg.level_of(hi));
+        // A level never exceeds energy/quantum.
+        prop_assert!(cfg.level_of(hi) as f64 <= hi / q + 1e-9);
+    }
+
+    #[test]
+    fn shared_models_total_gateway_drain_is_size_independent(
+        n in 2usize..100,
+        g1 in 1usize..50,
+        g2 in 1usize..50,
+    ) {
+        // Models 1-3 share a fixed total across gateways: |G'|*d constant.
+        for m in DrainModel::PAPER_MODELS {
+            let t1 = m.gateway_drain(n, g1) * g1 as f64;
+            let t2 = m.gateway_drain(n, g2) * g2 as f64;
+            prop_assert!((t1 - t2).abs() < 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn drain_each_matches_manual_bookkeeping(
+        n in 1usize..30,
+        amounts in prop::collection::vec(0.0f64..30.0, 1..30),
+    ) {
+        let cfg = EnergyConfig::paper(DrainModel::LinearInN);
+        let mut fleet = Fleet::new(n, cfg);
+        let amounts: Vec<f64> = (0..n).map(|i| amounts[i % amounts.len()]).collect();
+        let died = fleet.drain_each(|v| amounts[v]);
+        for v in 0..n {
+            let expect = (100.0 - amounts[v]).max(0.0);
+            prop_assert!((fleet.energy(v) - expect).abs() < 1e-9);
+            prop_assert_eq!(died.contains(&v), amounts[v] >= 100.0);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The eight compass directions of the paper's movement model.
+//!
+//! In Section 4 a moving host picks `dir = rand(1, 8)`, one of
+//! E, S, W, N, SE, NE, SW and NW, and moves `l` units along it. Diagonal
+//! moves displace the host by `l` along *each* axis in the paper's integer
+//! grid reading; we expose both that reading ([`Compass::offset`]) and a
+//! unit-length reading ([`Compass::unit`]) so the simulator can choose.
+
+use crate::Vec2;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's eight movement directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Compass {
+    E,
+    S,
+    W,
+    N,
+    SE,
+    NE,
+    SW,
+    NW,
+}
+
+impl Compass {
+    /// All eight directions, in the paper's listing order (E, S, W, N, SE,
+    /// NE, SW, NW), so that `ALL[dir - 1]` matches `dir = rand(1, 8)`.
+    pub const ALL: [Compass; 8] = [
+        Compass::E,
+        Compass::S,
+        Compass::W,
+        Compass::N,
+        Compass::SE,
+        Compass::NE,
+        Compass::SW,
+        Compass::NW,
+    ];
+
+    /// Draws a direction uniformly at random (the paper's `rand(1, 8)`).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Compass {
+        Self::ALL[rng.random_range(0..8)]
+    }
+
+    /// The axis step of this direction: each component is -1, 0 or +1.
+    ///
+    /// The simulation plane puts `+y` to the north.
+    #[inline]
+    pub fn axis(&self) -> (f64, f64) {
+        match self {
+            Compass::E => (1.0, 0.0),
+            Compass::S => (0.0, -1.0),
+            Compass::W => (-1.0, 0.0),
+            Compass::N => (0.0, 1.0),
+            Compass::SE => (1.0, -1.0),
+            Compass::NE => (1.0, 1.0),
+            Compass::SW => (-1.0, -1.0),
+            Compass::NW => (-1.0, 1.0),
+        }
+    }
+
+    /// Displacement of `l` units along each axis (grid reading: a diagonal
+    /// move of `l` shifts both coordinates by `l`, total length `l * sqrt 2`).
+    #[inline]
+    pub fn offset(&self, l: f64) -> Vec2 {
+        let (dx, dy) = self.axis();
+        Vec2::new(dx * l, dy * l)
+    }
+
+    /// Unit-length direction vector (diagonals normalised to length 1), so
+    /// `unit() * l` always moves exactly `l` units.
+    #[inline]
+    pub fn unit(&self) -> Vec2 {
+        let (dx, dy) = self.axis();
+        let v = Vec2::new(dx, dy);
+        // Axis steps are never zero-length.
+        v.normalized().expect("compass axis is non-zero")
+    }
+
+    /// Whether the direction is diagonal.
+    #[inline]
+    pub fn is_diagonal(&self) -> bool {
+        let (dx, dy) = self.axis();
+        dx != 0.0 && dy != 0.0
+    }
+
+    /// The opposite direction.
+    pub fn opposite(&self) -> Compass {
+        match self {
+            Compass::E => Compass::W,
+            Compass::W => Compass::E,
+            Compass::N => Compass::S,
+            Compass::S => Compass::N,
+            Compass::NE => Compass::SW,
+            Compass::SW => Compass::NE,
+            Compass::NW => Compass::SE,
+            Compass::SE => Compass::NW,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eight_distinct_directions() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Compass::ALL {
+            seen.insert(d.axis().0.to_bits() ^ d.axis().1.to_bits().rotate_left(17));
+        }
+        assert_eq!(Compass::ALL.len(), 8);
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn unit_vectors_have_length_one() {
+        for d in Compass::ALL {
+            assert!((d.unit().norm() - 1.0).abs() < 1e-12, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn offset_matches_axis_times_l() {
+        assert_eq!(Compass::NE.offset(3.0), Vec2::new(3.0, 3.0));
+        assert_eq!(Compass::W.offset(2.0), Vec2::new(-2.0, 0.0));
+    }
+
+    #[test]
+    fn opposite_is_involutive_and_reverses_axis() {
+        for d in Compass::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dx, dy) = d.axis();
+            let (ox, oy) = d.opposite().axis();
+            assert_eq!((dx, dy), (-ox, -oy));
+        }
+    }
+
+    #[test]
+    fn diagonals_are_exactly_four() {
+        assert_eq!(Compass::ALL.iter().filter(|d| d.is_diagonal()).count(), 4);
+    }
+
+    #[test]
+    fn random_draws_cover_all_directions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(format!("{:?}", Compass::random(&mut rng)));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,210 @@
+//! A uniform spatial hash grid for radius queries.
+//!
+//! Building the unit-disk graph naively costs O(n^2) distance checks. The
+//! grid bins points into square cells with side >= query radius, so a radius
+//! query only inspects the 3x3 block of cells around the query point. For
+//! the paper's parameters (up to 100 hosts, radius 25 in a 100x100 arena)
+//! both approaches are fast, but the grid keeps large-N sweeps (benchmarks
+//! use thousands of hosts) linear.
+
+use crate::{Point2, Rect};
+
+/// A spatial index over a fixed set of points.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    bounds: Rect,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR-style bucket layout: `starts[c]..starts[c+1]` indexes `items`.
+    starts: Vec<u32>,
+    items: Vec<u32>,
+    points: Vec<Point2>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid over `points` with cells sized for queries of radius
+    /// `radius`. Points outside `bounds` are clamped into it for binning
+    /// purposes (they keep their true coordinates for distance checks).
+    pub fn build(bounds: Rect, radius: f64, points: &[Point2]) -> Self {
+        assert!(radius > 0.0, "query radius must be positive");
+        let cell = radius;
+        let nx = (bounds.width() / cell).ceil().max(1.0) as usize;
+        let ny = (bounds.height() / cell).ceil().max(1.0) as usize;
+        let ncells = nx * ny;
+
+        // Counting sort into buckets (two passes, no per-bucket Vec churn).
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: Point2| -> usize {
+            let q = bounds.clamp(p);
+            let cx = (((q.x - bounds.x0) / cell) as usize).min(nx - 1);
+            let cy = (((q.y - bounds.y0) / cell) as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        for &p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 0..ncells {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        Self {
+            bounds,
+            cell,
+            nx,
+            ny,
+            starts,
+            items,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Calls `f(index)` for every point within `radius` of `p`, **excluding**
+    /// the point with index `skip` (pass `usize::MAX` to keep all).
+    ///
+    /// `radius` must not exceed the radius the grid was built with, otherwise
+    /// neighbours in cells beyond the 3x3 block would be missed; this is
+    /// checked with an assertion.
+    pub fn for_each_within<F: FnMut(usize)>(&self, p: Point2, radius: f64, skip: usize, mut f: F) {
+        assert!(
+            radius <= self.cell + crate::EPS,
+            "query radius {radius} exceeds grid cell size {}",
+            self.cell
+        );
+        let r2 = radius * radius + crate::EPS;
+        let q = self.bounds.clamp(p);
+        let cx = (((q.x - self.bounds.x0) / self.cell) as usize).min(self.nx - 1) as isize;
+        let cy = (((q.y - self.bounds.y0) / self.cell) as usize).min(self.ny - 1) as isize;
+        for dy in -1..=1isize {
+            let y = cy + dy;
+            if y < 0 || y >= self.ny as isize {
+                continue;
+            }
+            for dx in -1..=1isize {
+                let x = cx + dx;
+                if x < 0 || x >= self.nx as isize {
+                    continue;
+                }
+                let c = y as usize * self.nx + x as usize;
+                let (lo, hi) = (self.starts[c] as usize, self.starts[c + 1] as usize);
+                for &j in &self.items[lo..hi] {
+                    let j = j as usize;
+                    if j != skip && self.points[j].distance2(p) <= r2 {
+                        f(j);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the indices of all points within `radius` of point `i`
+    /// (excluding `i` itself).
+    pub fn neighbors_of(&self, i: usize, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(self.points[i], radius, i, |j| out.push(j));
+        out
+    }
+
+    /// The indexed points, in insertion order.
+    pub fn points(&self) -> &[Point2] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_neighbors(points: &[Point2], i: usize, r: f64) -> Vec<usize> {
+        (0..points.len())
+            .filter(|&j| j != i && points[i].within(points[j], r))
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid() {
+        let g = SpatialGrid::build(Rect::square(100.0), 25.0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn single_cell_arena() {
+        // radius bigger than arena: everything lands in one cell.
+        let pts = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(9.0, 9.0)];
+        let g = SpatialGrid::build(Rect::square(10.0), 50.0, &pts);
+        assert_eq!(g.neighbors_of(0, 5.0), vec![1]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_points() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1usize, 2, 10, 100, 400] {
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| Point2::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+                .collect();
+            let g = SpatialGrid::build(Rect::square(100.0), 25.0, &pts);
+            for i in 0..n {
+                let mut fast = g.neighbors_of(i, 25.0);
+                fast.sort_unstable();
+                assert_eq!(fast, brute_neighbors(&pts, i, 25.0), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_query_radius_is_allowed() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), Point2::new(30.0, 0.0)];
+        let g = SpatialGrid::build(Rect::square(100.0), 25.0, &pts);
+        assert_eq!(g.neighbors_of(0, 15.0), vec![1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn larger_query_radius_panics() {
+        let pts = vec![Point2::new(0.0, 0.0)];
+        let g = SpatialGrid::build(Rect::square(100.0), 25.0, &pts);
+        g.neighbors_of(0, 26.0);
+    }
+
+    #[test]
+    fn points_on_cell_boundaries_are_found() {
+        // Points exactly on the 25-unit cell lines.
+        let pts = vec![
+            Point2::new(25.0, 25.0),
+            Point2::new(50.0, 25.0),
+            Point2::new(25.0, 50.0),
+            Point2::new(50.0, 50.0),
+        ];
+        let g = SpatialGrid::build(Rect::square(100.0), 25.0, &pts);
+        let mut n0 = g.neighbors_of(0, 25.0);
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]); // (50,50) is at distance 25*sqrt2 > 25
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_still_indexed() {
+        let pts = vec![Point2::new(-5.0, 50.0), Point2::new(3.0, 50.0)];
+        let g = SpatialGrid::build(Rect::square(100.0), 25.0, &pts);
+        assert_eq!(g.neighbors_of(1, 25.0), vec![0]);
+    }
+}

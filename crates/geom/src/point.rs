@@ -1,0 +1,261 @@
+//! Points and displacement vectors in the plane.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A position in the 2-D simulation plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement between two [`Point2`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point2::distance`] in hot loops (unit-disk graph
+    /// construction compares against `r^2` and never needs the square root).
+    #[inline]
+    pub fn distance2(&self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point2) -> f64 {
+        self.distance2(other).sqrt()
+    }
+
+    /// Whether `other` lies within transmission radius `r` of `self`
+    /// (inclusive, with a small tolerance for rim cases).
+    #[inline]
+    pub fn within(&self, other: Point2, r: f64) -> bool {
+        self.distance2(other) <= r * r + crate::EPS
+    }
+
+    /// Component-wise midpoint.
+    #[inline]
+    pub fn midpoint(&self, other: Point2) -> Point2 {
+        Point2::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Displacement from `other` to `self`.
+    #[inline]
+    pub fn vector_from(&self, other: Point2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// True when both coordinates are finite (no NaN/inf).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    #[inline]
+    pub const fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// Squared length.
+    #[inline]
+    pub fn norm2(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    pub fn normalized(&self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= crate::EPS {
+            None
+        } else {
+            Some(Vec2::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, v: Vec2) -> Point2 {
+        Point2::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, v: Vec2) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, v: Vec2) -> Point2 {
+        Point2::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl Sub<Point2> for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, other: Point2) -> Vec2 {
+        Vec2::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec2) {
+        self.x -= o.x;
+        self.y -= o.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert_eq!(a.distance(a), 0.0);
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn distance2_avoids_sqrt() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance2(b), 25.0);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_the_rim() {
+        let a = Point2::origin();
+        let b = Point2::new(25.0, 0.0);
+        assert!(a.within(b, 25.0));
+        assert!(!a.within(Point2::new(25.1, 0.0), 25.0));
+    }
+
+    #[test]
+    fn point_vector_arithmetic_round_trips() {
+        let p = Point2::new(2.0, 3.0);
+        let v = Vec2::new(-1.0, 4.0);
+        let q = p + v;
+        assert_eq!(q - p, v);
+        assert_eq!(q - v, p);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, 4.0);
+        assert_eq!(a.midpoint(b), Point2::new(5.0, 2.0));
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_none() {
+        assert!(Vec2::zero().normalized().is_none());
+        let v = Vec2::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_product_of_orthogonal_vectors_is_zero() {
+        assert_eq!(Vec2::new(1.0, 0.0).dot(Vec2::new(0.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let v = Vec2::new(1.0, -2.0);
+        assert_eq!(v * 2.0, Vec2::new(2.0, -4.0));
+        assert_eq!(v / 2.0, Vec2::new(0.5, -1.0));
+        assert_eq!(-v, Vec2::new(-1.0, 2.0));
+    }
+}

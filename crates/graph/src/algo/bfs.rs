@@ -1,0 +1,112 @@
+//! Breadth-first search primitives.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distance used for "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `src` to every vertex (`UNREACHABLE` if disconnected).
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == UNREACHABLE {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS tree parents from `src`; `parent[src] = src`, unreached = `NodeId::MAX`.
+pub fn bfs_parents(g: &Graph, src: NodeId) -> Vec<NodeId> {
+    let mut parent = vec![NodeId::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    parent[src as usize] = src;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if parent[u as usize] == NodeId::MAX {
+                parent[u as usize] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    parent
+}
+
+/// Eccentricity of `src`: the greatest hop distance to any reachable vertex.
+/// Returns `None` when some vertex is unreachable (infinite eccentricity).
+pub fn eccentricity(g: &Graph, src: NodeId) -> Option<u32> {
+    let dist = bfs_distances(g, src);
+    let mut ecc = 0;
+    for d in dist {
+        if d == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let d = bfs_distances(&path5(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distances_with_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn parents_form_a_tree_towards_source() {
+        let g = path5();
+        let p = bfs_parents(&g, 2);
+        assert_eq!(p[2], 2);
+        assert_eq!(p[1], 2);
+        assert_eq!(p[0], 1);
+        assert_eq!(p[3], 2);
+        assert_eq!(p[4], 3);
+    }
+
+    #[test]
+    fn parents_mark_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let p = bfs_parents(&g, 0);
+        assert_eq!(p[2], NodeId::MAX);
+    }
+
+    #[test]
+    fn eccentricity_path_ends_and_middle() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 0), Some(4));
+        assert_eq!(eccentricity(&g, 2), Some(2));
+    }
+
+    #[test]
+    fn eccentricity_disconnected_is_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(eccentricity(&g, 0), None);
+    }
+}

@@ -1,0 +1,308 @@
+//! Graph generators.
+//!
+//! [`unit_disk`] is the paper's network model: hosts within mutual
+//! transmission range are connected. The deterministic families exist for
+//! tests, and [`gnp`] provides a non-geometric random baseline.
+
+use crate::{Graph, NodeId};
+use pacds_geom::{Point2, Rect, SpatialGrid};
+use rand::Rng;
+
+/// Builds the unit-disk graph of `points` with transmission radius `radius`
+/// inside `bounds`, using a spatial grid (O(n + m) expected).
+///
+/// ```
+/// use pacds_geom::{Point2, Rect};
+/// use pacds_graph::gen::unit_disk;
+/// let pts = [Point2::new(0.0, 0.0), Point2::new(20.0, 0.0), Point2::new(60.0, 0.0)];
+/// let g = unit_disk(Rect::paper_arena(), 25.0, &pts);
+/// assert!(g.has_edge(0, 1) && !g.has_edge(0, 2));
+/// ```
+pub fn unit_disk(bounds: Rect, radius: f64, points: &[Point2]) -> Graph {
+    let mut g = Graph::new(points.len());
+    if points.is_empty() {
+        return g;
+    }
+    let grid = SpatialGrid::build(bounds, radius, points);
+    for (i, &p) in points.iter().enumerate() {
+        grid.for_each_within(p, radius, i, |j| {
+            if i < j {
+                g.add_edge(i as NodeId, j as NodeId);
+            }
+        });
+    }
+    g
+}
+
+/// Brute-force unit-disk graph (O(n^2)); reference implementation for tests.
+pub fn unit_disk_naive(radius: f64, points: &[Point2]) -> Graph {
+    let mut g = Graph::new(points.len());
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            if points[i].within(points[j], radius) {
+                g.add_edge(i as NodeId, j as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// Quasi unit-disk graph: pairs within `r_min` are always connected, pairs
+/// beyond `r_max` never, and in between the link exists with probability
+/// falling linearly from 1 (at `r_min`) to 0 (at `r_max`) — a standard
+/// model of radio irregularity. `r_min = r_max` degenerates to the exact
+/// unit-disk graph.
+pub fn quasi_unit_disk<R: Rng + ?Sized>(
+    rng: &mut R,
+    bounds: Rect,
+    r_min: f64,
+    r_max: f64,
+    points: &[Point2],
+) -> Graph {
+    assert!(0.0 < r_min && r_min <= r_max, "need 0 < r_min <= r_max");
+    let mut g = Graph::new(points.len());
+    if points.is_empty() {
+        return g;
+    }
+    let grid = SpatialGrid::build(bounds, r_max, points);
+    // Collect candidate pairs first so the RNG consumption order is
+    // deterministic in (i, j) order regardless of grid iteration details.
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..points.len() {
+        grid.for_each_within(points[i], r_max, i, |j| {
+            if i < j {
+                candidates.push((i, j, points[i].distance(points[j])));
+            }
+        });
+    }
+    candidates.sort_unstable_by_key(|a| (a.0, a.1));
+    for (i, j, d) in candidates {
+        let p = if d <= r_min {
+            1.0
+        } else {
+            (r_max - d) / (r_max - r_min)
+        };
+        if p >= 1.0 || rng.random_range(0.0..1.0) < p {
+            g.add_edge(i as NodeId, j as NodeId);
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi G(n, p).
+pub fn gnp<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as NodeId {
+        for v in u + 1..n as NodeId {
+            if rng.random_range(0.0..1.0) < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A connected G(n, p): re-samples until connected (up to `max_tries`), then
+/// falls back to threading a random spanning path through the last sample.
+pub fn connected_gnp<R: Rng + ?Sized>(rng: &mut R, n: usize, p: f64, max_tries: usize) -> Graph {
+    for _ in 0..max_tries {
+        let g = gnp(rng, n, p);
+        if crate::algo::is_connected(&g) {
+            return g;
+        }
+    }
+    let mut g = gnp(rng, n, p);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    // Fisher-Yates shuffle for a random spanning path.
+    for i in (1..n).rev() {
+        order.swap(i, rng.random_range(0..=i));
+    }
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
+}
+
+/// Path graph `0 - 1 - ... - n-1`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n as NodeId {
+        g.add_edge(v - 1, v);
+    }
+    g
+}
+
+/// Cycle graph on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(0, n as NodeId - 1);
+    g
+}
+
+/// Star graph: vertex 0 adjacent to all others.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n as NodeId {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as NodeId {
+        for v in u + 1..n as NodeId {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// `rows x cols` grid graph (4-neighbour lattice).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use pacds_geom::placement;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_disk_matches_naive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        for n in [0usize, 1, 2, 30, 120] {
+            let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
+            let fast = unit_disk(Rect::paper_arena(), 25.0, &pts);
+            let slow = unit_disk_naive(25.0, &pts);
+            assert_eq!(fast, slow, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unit_disk_edges_respect_radius() {
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(24.0, 0.0),
+            Point2::new(50.0, 0.0),
+        ];
+        let g = unit_disk(Rect::paper_arena(), 25.0, &pts);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2)); // distance 26 > 25
+    }
+
+    #[test]
+    fn unit_disk_rim_distance() {
+        let pts = vec![Point2::new(0.0, 0.0), Point2::new(25.0, 0.0)];
+        let g = unit_disk(Rect::paper_arena(), 25.0, &pts);
+        assert!(g.has_edge(0, 1), "rim distance is inclusive");
+    }
+
+    #[test]
+    fn quasi_udg_degenerates_to_udg() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 50);
+        let q = quasi_unit_disk(&mut rng, Rect::paper_arena(), 25.0, 25.0, &pts);
+        let u = unit_disk(Rect::paper_arena(), 25.0, &pts);
+        assert_eq!(q, u);
+    }
+
+    #[test]
+    fn quasi_udg_respects_the_bands() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 80);
+        let g = quasi_unit_disk(&mut rng, Rect::paper_arena(), 15.0, 30.0, &pts);
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                let d = pts[i].distance(pts[j]);
+                let e = g.has_edge(i as NodeId, j as NodeId);
+                if d <= 15.0 {
+                    assert!(e, "certain band must connect ({i},{j}) at {d}");
+                }
+                if d > 30.0 {
+                    assert!(!e, "outside r_max must not connect ({i},{j}) at {d}");
+                }
+            }
+        }
+        // The probabilistic band should produce a mix (statistically).
+        let inner = unit_disk_naive(15.0, &pts).m();
+        let outer = unit_disk_naive(30.0, &pts).m();
+        assert!(g.m() > inner && g.m() < outer);
+    }
+
+    #[test]
+    fn quasi_udg_is_deterministic_per_seed() {
+        let pts = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(46);
+            placement::uniform_points(&mut rng, Rect::paper_arena(), 40)
+        };
+        let a = quasi_unit_disk(
+            &mut rand::rngs::StdRng::seed_from_u64(9),
+            Rect::paper_arena(),
+            15.0,
+            30.0,
+            &pts,
+        );
+        let b = quasi_unit_disk(
+            &mut rand::rngs::StdRng::seed_from_u64(9),
+            Rect::paper_arena(),
+            15.0,
+            30.0,
+            &pts,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(gnp(&mut rng, 10, 0.0).m(), 0);
+        assert_eq!(gnp(&mut rng, 10, 1.0).m(), 45);
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = connected_gnp(&mut rng, 25, 0.05, 5);
+            assert!(algo::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn deterministic_families() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(5).m(), 4);
+        assert_eq!(complete(5).m(), 10);
+        assert!(complete(5).is_complete());
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal 3*3, vertical 2*4
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::diameter(&g), Some(5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Host mobility models.
+//!
+//! The paper's movement model (Section 4): in each update interval, every
+//! host independently stays put with probability `c` (0.5 in the paper);
+//! otherwise it moves `l ∈ [1..6]` units in one of the eight compass
+//! directions, `dir ∈ [1..8]`.
+//!
+//! [`RandomWaypoint`] and [`Static`] are provided for extension experiments
+//! (the paper's future work asks for "more in-depth simulation under
+//! different settings").
+
+pub mod models;
+
+pub use models::{MobilityModel, PaperWalk, RandomWaypoint, Static};

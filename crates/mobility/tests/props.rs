@@ -1,0 +1,93 @@
+//! Property-based tests for the mobility models.
+
+use pacds_geom::{Boundary, Point2, Rect};
+use pacds_mobility::{MobilityModel, PaperWalk, RandomWaypoint, Static};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn positions(n: usize, bounds: Rect, seed: u64) -> Vec<Point2> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    pacds_geom::placement::uniform_points(&mut rng, bounds, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn paper_walk_confines_and_bounds_steps(
+        seed in any::<u64>(),
+        n in 1usize..60,
+        c in 0.0f64..=1.0,
+        steps in 1usize..30,
+        grid_diag in any::<bool>(),
+    ) {
+        let bounds = Rect::paper_arena();
+        let mut pos = positions(n, bounds, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut walk = PaperWalk {
+            stay_probability: c,
+            max_step: 6,
+            boundary: Boundary::Clamp,
+            grid_diagonals: grid_diag,
+        };
+        for _ in 0..steps {
+            let before = pos.clone();
+            walk.step(&mut rng, bounds, &mut pos);
+            let cap = if grid_diag { 6.0 * std::f64::consts::SQRT_2 } else { 6.0 };
+            for (a, b) in pos.iter().zip(&before) {
+                prop_assert!(bounds.contains(*a));
+                // Clamping can only shorten a move, never lengthen it.
+                prop_assert!(a.distance(*b) <= cap + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stay_probability_one_is_static(seed in any::<u64>(), n in 1usize..40) {
+        let bounds = Rect::paper_arena();
+        let mut a = positions(n, bounds, seed);
+        let b = a.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        PaperWalk::with_stay_probability(1.0).step(&mut rng, bounds, &mut a);
+        prop_assert_eq!(a.clone(), b.clone());
+        let mut c = b.clone();
+        Static.step(&mut rng, bounds, &mut c);
+        prop_assert_eq!(c, b);
+    }
+
+    #[test]
+    fn random_waypoint_speed_cap_holds(
+        seed in any::<u64>(),
+        n in 1usize..30,
+        speed in 0.5f64..20.0,
+        steps in 1usize..40,
+    ) {
+        let bounds = Rect::paper_arena();
+        let mut pos = positions(n, bounds, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 1);
+        let mut rw = RandomWaypoint::new(speed);
+        for _ in 0..steps {
+            let before = pos.clone();
+            rw.step(&mut rng, bounds, &mut pos);
+            for (a, b) in pos.iter().zip(&before) {
+                prop_assert!(bounds.contains(*a));
+                prop_assert!(a.distance(*b) <= speed + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed(seed in any::<u64>(), n in 1usize..30) {
+        let bounds = Rect::paper_arena();
+        let run = |s: u64| {
+            let mut pos = positions(n, bounds, seed);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(s);
+            let mut walk = PaperWalk::paper();
+            for _ in 0..10 {
+                walk.step(&mut rng, bounds, &mut pos);
+            }
+            pos
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

@@ -1,0 +1,154 @@
+//! Broadcast/flood cost — the motivation for dominating-set-based routing.
+//!
+//! On-demand route discovery floods a request through the network. With
+//! blind flooding every host retransmits once; with a CDS overlay only
+//! gateway hosts retransmit, and domination guarantees every host still
+//! hears the request. [`flood_cost`] simulates both and counts
+//! transmissions, making the paper's "reduced searching space" claim
+//! measurable.
+
+use pacds_graph::{Graph, NodeId};
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Outcome of one flood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FloodCost {
+    /// Hosts that transmitted (the source always transmits once).
+    pub transmissions: usize,
+    /// Hosts that received the message (excluding the source).
+    pub reached: usize,
+    /// Maximum hop count at which a host first received the message.
+    pub depth: u32,
+}
+
+/// Simulates a flood from `source`. A host retransmits the first time it
+/// receives the message iff `relays` marks it (the source always
+/// transmits; `None` = blind flooding, everyone relays).
+///
+/// ```
+/// use pacds_graph::gen;
+/// use pacds_routing::flood_cost;
+/// let g = gen::star(6);
+/// // Only the hub relays: one transmission from the hub floods everyone.
+/// let relays = vec![true, false, false, false, false, false];
+/// let c = flood_cost(&g, 0, Some(&relays));
+/// assert_eq!((c.transmissions, c.reached), (1, 5));
+/// ```
+pub fn flood_cost(g: &Graph, source: NodeId, relays: Option<&[bool]>) -> FloodCost {
+    let n = g.n();
+    assert!((source as usize) < n, "source out of range");
+    if let Some(r) = relays {
+        assert_eq!(r.len(), n);
+    }
+    let mut received = vec![false; n];
+    let mut depth = vec![0u32; n];
+    let mut transmissions = 0usize;
+    let mut queue = VecDeque::new();
+
+    // The source transmits unconditionally.
+    queue.push_back(source);
+    let mut transmitted = vec![false; n];
+    transmitted[source as usize] = true;
+
+    while let Some(v) = queue.pop_front() {
+        transmissions += 1;
+        for &u in g.neighbors(v) {
+            if u == source || received[u as usize] {
+                continue;
+            }
+            received[u as usize] = true;
+            depth[u as usize] = depth[v as usize] + 1;
+            let is_relay = relays.is_none_or(|r| r[u as usize]);
+            if is_relay && !transmitted[u as usize] {
+                transmitted[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+
+    FloodCost {
+        transmissions,
+        reached: received.iter().filter(|&&b| b).count(),
+        depth: depth.into_iter().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::{compute_cds, CdsConfig, CdsInput, Policy};
+    use pacds_graph::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blind_flood_reaches_everyone_with_n_transmissions() {
+        let g = gen::cycle(8);
+        let c = flood_cost(&g, 0, None);
+        assert_eq!(c.reached, 7);
+        // Everyone relays except possibly the last hosts to hear (a cycle:
+        // all transmit).
+        assert_eq!(c.transmissions, 8);
+        assert_eq!(c.depth, 4);
+    }
+
+    #[test]
+    fn cds_flood_still_reaches_everyone_cheaper() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let bounds = pacds_geom::Rect::paper_arena();
+        for _ in 0..10 {
+            let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, 60);
+            let full = gen::unit_disk(bounds, 25.0, &pts);
+            let keep = pacds_graph::algo::largest_component(&full);
+            let (g, _) = full.induced(&keep);
+            if g.n() < 10 {
+                continue;
+            }
+            let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Degree));
+            let blind = flood_cost(&g, 0, None);
+            let overlay = flood_cost(&g, 0, Some(&cds));
+            assert_eq!(blind.reached, g.n() - 1);
+            assert_eq!(
+                overlay.reached,
+                g.n() - 1,
+                "domination guarantees full coverage"
+            );
+            assert!(
+                overlay.transmissions < blind.transmissions,
+                "gateway flood must be cheaper: {} vs {}",
+                overlay.transmissions,
+                blind.transmissions
+            );
+        }
+    }
+
+    #[test]
+    fn flood_depth_on_a_path() {
+        let g = gen::path(6);
+        let c = flood_cost(&g, 0, None);
+        assert_eq!(c.depth, 5);
+        assert_eq!(c.reached, 5);
+    }
+
+    #[test]
+    fn non_relay_neighbors_receive_but_do_not_forward() {
+        // Star: leaves never relay, but the centre's single transmission
+        // reaches them all.
+        let g = gen::star(6);
+        let relays = vec![true, false, false, false, false, false];
+        let from_center = flood_cost(&g, 0, Some(&relays));
+        assert_eq!(from_center.transmissions, 1);
+        assert_eq!(from_center.reached, 5);
+        // From a leaf, the centre relays once: 2 transmissions total.
+        let from_leaf = flood_cost(&g, 3, Some(&relays));
+        assert_eq!(from_leaf.transmissions, 2);
+        assert_eq!(from_leaf.reached, 5);
+    }
+
+    #[test]
+    fn disconnected_source_component_only() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3), (3, 4)]);
+        let c = flood_cost(&g, 0, None);
+        assert_eq!(c.reached, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! Dominating-set-based routing (Section 2.1 of the paper).
+//!
+//! Once a connected dominating set (the *gateway* hosts) is in place,
+//! routing reduces to three steps:
+//!
+//! 1. a non-gateway source forwards to an adjacent *source gateway*;
+//! 2. the packet travels inside the subgraph induced by the gateways;
+//! 3. the *destination gateway* (the destination itself, or one of its
+//!    gateway neighbours) delivers the packet.
+//!
+//! Each gateway maintains a **domain membership list** (its adjacent
+//! non-gateway hosts) and a **gateway routing table** with one entry per
+//! gateway carrying that gateway's membership list — exactly the tables of
+//! Figure 2. [`RoutingState`] materialises those tables; [`route`] executes
+//! the three-step procedure; [`stretch`] compares the resulting hop counts
+//! against true shortest paths.
+
+pub mod flood;
+pub mod robustness;
+pub mod stretch;
+pub mod tables;
+
+pub use flood::{flood_cost, FloodCost};
+pub use robustness::{backbone_robustness, RobustnessReport};
+pub use stretch::{stretch, stretch_summary, StretchSummary};
+pub use tables::{route, RouteError, RoutingState};

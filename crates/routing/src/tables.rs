@@ -1,0 +1,413 @@
+//! Gateway tables and the three-step forwarding procedure.
+
+use pacds_graph::{algo, Graph, NodeId};
+use serde::Serialize;
+
+/// Errors from the routing procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// An endpoint is out of range.
+    OutOfRange,
+    /// The source is a non-gateway with no adjacent gateway (the set does
+    /// not dominate it).
+    SourceNotDominated,
+    /// The destination is a non-gateway with no adjacent gateway.
+    DestinationNotDominated,
+    /// No gateway-only path connects the source and destination gateways
+    /// (the gateway set is disconnected, or empty on a non-trivial graph).
+    GatewayPathMissing,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::OutOfRange => write!(f, "endpoint out of range"),
+            RouteError::SourceNotDominated => write!(f, "source has no adjacent gateway"),
+            RouteError::DestinationNotDominated => {
+                write!(f, "destination has no adjacent gateway")
+            }
+            RouteError::GatewayPathMissing => write!(f, "gateway subgraph has no path"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// One gateway's routing-table entry (a row of Figure 2(c)).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GatewayEntry {
+    /// The gateway host this entry describes.
+    pub gateway: NodeId,
+    /// Its domain membership list: adjacent non-gateway hosts.
+    pub members: Vec<NodeId>,
+    /// Hop distance from the owning gateway, within the gateway subgraph.
+    pub distance: u32,
+    /// Next gateway on a shortest gateway-only path (self for distance 0).
+    pub next_hop: NodeId,
+}
+
+/// Routing state of the whole network under a fixed gateway set.
+///
+/// Holds, for every gateway, the gateway routing table of Figure 2 —
+/// distances and next hops are all *within the induced gateway subgraph*,
+/// because Step 2 of the procedure never leaves it.
+#[derive(Debug, Clone)]
+pub struct RoutingState {
+    n: usize,
+    gateway: Vec<bool>,
+    /// Domain membership list per gateway (empty vec for non-gateways).
+    members: Vec<Vec<NodeId>>,
+    /// Gateway-subgraph hop distances: `dist[g][h]` for gateways g, h.
+    /// Stored densely over all vertex ids for simplicity.
+    dist: Vec<Vec<u32>>,
+    /// Next hop towards each gateway, `next[g][h]`; `NodeId::MAX` when
+    /// unreachable.
+    next: Vec<Vec<NodeId>>,
+}
+
+impl RoutingState {
+    /// Builds membership lists and gateway routing tables for `g` under the
+    /// gateway mask `gateway`.
+    ///
+    /// ```
+    /// use pacds_graph::Graph;
+    /// use pacds_routing::{route, RoutingState};
+    /// // Figure 1: u=0, v=1, w=2, x=3, y=4 with gateways {v, w}.
+    /// let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 4), (2, 3)]);
+    /// let state = RoutingState::build(&g, &[false, true, true, false, false]);
+    /// assert_eq!(route(&g, &state, 4, 3).unwrap(), vec![4, 1, 2, 3]);
+    /// ```
+    pub fn build(g: &Graph, gateway: &[bool]) -> Self {
+        assert_eq!(gateway.len(), g.n());
+        let n = g.n();
+
+        // Membership lists: non-gateway hosts adjacent to each gateway.
+        let mut members = vec![Vec::new(); n];
+        for v in g.vertices() {
+            if gateway[v as usize] {
+                members[v as usize] = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !gateway[u as usize])
+                    .collect();
+            }
+        }
+
+        // Gateway-only BFS from every gateway (Step 2 operates in G[V']).
+        let mut dist = vec![Vec::new(); n];
+        let mut next = vec![Vec::new(); n];
+        for s in g.vertices() {
+            if !gateway[s as usize] {
+                continue;
+            }
+            let (d, parents) = gateway_bfs(g, gateway, s);
+            // Convert parents (towards s) into next hops (from s): walk
+            // back from each target.
+            let mut nh = vec![NodeId::MAX; n];
+            for t in g.vertices() {
+                if d[t as usize] == u32::MAX || !gateway[t as usize] {
+                    continue;
+                }
+                if t == s {
+                    nh[t as usize] = s;
+                    continue;
+                }
+                let mut cur = t;
+                while parents[cur as usize] != s {
+                    cur = parents[cur as usize];
+                }
+                nh[t as usize] = cur;
+            }
+            dist[s as usize] = d;
+            next[s as usize] = nh;
+        }
+
+        Self {
+            n,
+            gateway: gateway.to_vec(),
+            members,
+            dist,
+            next,
+        }
+    }
+
+    /// Whether `v` is a gateway.
+    pub fn is_gateway(&self, v: NodeId) -> bool {
+        self.gateway[v as usize]
+    }
+
+    /// The gateway hosts.
+    pub fn gateways(&self) -> Vec<NodeId> {
+        pacds_graph::mask_to_vec(&self.gateway)
+    }
+
+    /// Domain membership list of gateway `v` (Figure 2(b)); empty for
+    /// non-gateways.
+    pub fn members(&self, v: NodeId) -> &[NodeId] {
+        &self.members[v as usize]
+    }
+
+    /// The full gateway routing table stored at gateway `at` (Figure 2(c)).
+    ///
+    /// # Panics
+    /// Panics if `at` is not a gateway.
+    pub fn routing_table(&self, at: NodeId) -> Vec<GatewayEntry> {
+        assert!(self.is_gateway(at), "host {at} is not a gateway");
+        let d = &self.dist[at as usize];
+        let nh = &self.next[at as usize];
+        (0..self.n as NodeId)
+            .filter(|&h| self.gateway[h as usize] && d[h as usize] != u32::MAX)
+            .map(|h| GatewayEntry {
+                gateway: h,
+                members: self.members[h as usize].clone(),
+                distance: d[h as usize],
+                next_hop: nh[h as usize],
+            })
+            .collect()
+    }
+
+    /// The gateway whose domain contains non-gateway `v`, chosen as the
+    /// smallest-id adjacent gateway; `None` if `v` is undominated.
+    /// Gateways belong to themselves.
+    pub fn gateway_of(&self, g: &Graph, v: NodeId) -> Option<NodeId> {
+        if self.gateway[v as usize] {
+            return Some(v);
+        }
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .find(|&u| self.gateway[u as usize])
+    }
+
+    /// Gateway-subgraph hop distance between two gateways.
+    pub fn gateway_distance(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        if !self.is_gateway(a) || !self.is_gateway(b) {
+            return None;
+        }
+        let d = self.dist[a as usize][b as usize];
+        (d != u32::MAX).then_some(d)
+    }
+}
+
+/// BFS restricted to gateway vertices, returning (distances, parents).
+fn gateway_bfs(g: &Graph, gateway: &[bool], src: NodeId) -> (Vec<u32>, Vec<NodeId>) {
+    let n = g.n();
+    let mut d = vec![u32::MAX; n];
+    let mut parent = vec![NodeId::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    d[src as usize] = 0;
+    parent[src as usize] = src;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if gateway[u as usize] && d[u as usize] == u32::MAX {
+                d[u as usize] = d[v as usize] + 1;
+                parent[u as usize] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    (d, parent)
+}
+
+/// Executes the paper's three-step routing procedure from `src` to `dst`,
+/// returning the full hop sequence (inclusive of both endpoints).
+///
+/// * Step 1 — a non-gateway source hands the packet to its source gateway;
+/// * Step 2 — the packet follows gateway routing tables through `G[V']`;
+/// * Step 3 — the destination gateway delivers directly to the destination.
+///
+/// Direct neighbours short-circuit: if `dst ∈ N(src)` the packet is handed
+/// over in one hop without entering the gateway overlay.
+pub fn route(
+    g: &Graph,
+    state: &RoutingState,
+    src: NodeId,
+    dst: NodeId,
+) -> Result<Vec<NodeId>, RouteError> {
+    let n = g.n();
+    if (src as usize) >= n || (dst as usize) >= n {
+        return Err(RouteError::OutOfRange);
+    }
+    if src == dst {
+        return Ok(vec![src]);
+    }
+    if g.has_edge(src, dst) {
+        return Ok(vec![src, dst]);
+    }
+
+    let sg = state
+        .gateway_of(g, src)
+        .ok_or(RouteError::SourceNotDominated)?;
+    let dg = state
+        .gateway_of(g, dst)
+        .ok_or(RouteError::DestinationNotDominated)?;
+
+    // Step 2: walk the gateway tables from sg to dg.
+    let mut path = Vec::new();
+    path.push(src);
+    if sg != src {
+        path.push(sg);
+    }
+    if state.gateway_distance(sg, dg).is_none() {
+        return Err(RouteError::GatewayPathMissing);
+    }
+    let mut cur = sg;
+    while cur != dg {
+        let nh = state.next[cur as usize][dg as usize];
+        debug_assert_ne!(nh, NodeId::MAX);
+        path.push(nh);
+        cur = nh;
+    }
+    if dg != dst {
+        path.push(dst);
+    }
+    Ok(path)
+}
+
+/// Validates that `path` is a walk in `g` (each consecutive pair adjacent).
+pub fn is_valid_walk(g: &Graph, path: &[NodeId]) -> bool {
+    path.windows(2).all(|w| g.has_edge(w[0], w[1]))
+}
+
+/// Convenience: hop count of a routed path (`len - 1`).
+pub fn hop_count(path: &[NodeId]) -> usize {
+    path.len().saturating_sub(1)
+}
+
+/// Checks the routing tables against a freshly recomputed restricted BFS
+/// (used by tests and the simulator's self-checks).
+pub fn tables_consistent(g: &Graph, state: &RoutingState) -> bool {
+    for a in g.vertices().filter(|&a| state.is_gateway(a)) {
+        for b in g.vertices().filter(|&b| state.is_gateway(b)) {
+            let expected =
+                algo::restricted_shortest_path(g, a, b, |v| state.is_gateway(v)).ok();
+            let table = state.gateway_distance(a, b);
+            match (expected, table) {
+                (None, None) => {}
+                (Some(p), Some(d)) => {
+                    if (p.len() - 1) as u32 != d {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::{compute_cds, CdsConfig, CdsInput, Policy};
+    use pacds_graph::gen;
+    use rand::SeedableRng;
+
+    /// Figure 1's network: u=0, v=1, w=2, x=3, y=4; gateways {1, 2}.
+    fn fig1() -> (Graph, RoutingState) {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 4), (2, 3)]);
+        let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Id));
+        let state = RoutingState::build(&g, &cds);
+        (g, state)
+    }
+
+    #[test]
+    fn membership_lists_partition_non_gateways() {
+        let (_, state) = fig1();
+        assert_eq!(state.members(1), &[0, 4]); // v's domain: u, y
+        assert_eq!(state.members(2), &[3]); // w's domain: x
+        assert!(state.members(0).is_empty());
+    }
+
+    #[test]
+    fn routing_table_rows() {
+        let (_, state) = fig1();
+        let table = state.routing_table(1);
+        assert_eq!(table.len(), 2); // entries for gateways 1 and 2
+        let row2 = table.iter().find(|e| e.gateway == 2).unwrap();
+        assert_eq!(row2.distance, 1);
+        assert_eq!(row2.next_hop, 2);
+        assert_eq!(row2.members, vec![3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn routing_table_at_non_gateway_panics() {
+        let (_, state) = fig1();
+        state.routing_table(0);
+    }
+
+    #[test]
+    fn three_step_route_crosses_the_backbone() {
+        let (g, state) = fig1();
+        // y=4 to x=3: 4 -> 1 (source gateway) -> 2 (dest gateway) -> 3.
+        let path = route(&g, &state, 4, 3).unwrap();
+        assert_eq!(path, vec![4, 1, 2, 3]);
+        assert!(is_valid_walk(&g, &path));
+    }
+
+    #[test]
+    fn direct_neighbors_bypass_the_overlay() {
+        let (g, state) = fig1();
+        assert_eq!(route(&g, &state, 0, 4).unwrap(), vec![0, 4]);
+        assert_eq!(route(&g, &state, 3, 3).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn gateway_endpoints_skip_steps_one_or_three() {
+        let (g, state) = fig1();
+        assert_eq!(route(&g, &state, 1, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(route(&g, &state, 4, 2).unwrap(), vec![4, 1, 2]);
+        assert_eq!(route(&g, &state, 1, 2).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn undominated_endpoints_error() {
+        // 0-1-2 path plus isolated 3: empty-adjacent host.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let state = RoutingState::build(&g, &[false, true, false, false]);
+        assert_eq!(route(&g, &state, 3, 0), Err(RouteError::SourceNotDominated));
+        assert_eq!(
+            route(&g, &state, 0, 3),
+            Err(RouteError::DestinationNotDominated)
+        );
+        assert_eq!(route(&g, &state, 0, 9), Err(RouteError::OutOfRange));
+    }
+
+    #[test]
+    fn disconnected_gateway_set_reports_missing_path() {
+        // Path 0-1-2-3-4-5 with gateways {1, 4} (dominating 0..5 except 3? no:
+        // 2 adj 1, 3 adj 4 — dominating but disconnected as a gateway set).
+        let g = gen::path(6);
+        let state = RoutingState::build(&g, &[false, true, false, false, true, false]);
+        assert_eq!(route(&g, &state, 0, 5), Err(RouteError::GatewayPathMissing));
+    }
+
+    #[test]
+    fn routes_are_valid_walks_on_random_unit_disks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let bounds = pacds_geom::Rect::paper_arena();
+        for _ in 0..10 {
+            let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, 40);
+            let full = gen::unit_disk(bounds, 25.0, &pts);
+            let keep = pacds_graph::algo::largest_component(&full);
+            let (g, _) = full.induced(&keep);
+            if g.n() < 3 || g.is_complete() {
+                continue;
+            }
+            let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Degree));
+            let state = RoutingState::build(&g, &cds);
+            assert!(tables_consistent(&g, &state));
+            for s in 0..g.n() as NodeId {
+                for t in 0..g.n() as NodeId {
+                    let path = route(&g, &state, s, t).unwrap();
+                    assert!(is_valid_walk(&g, &path), "{s}->{t}: {path:?}");
+                    assert_eq!(path.first(), Some(&s));
+                    assert_eq!(path.last(), Some(&t));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text emitters for experiment results.
+
+use crate::experiments::Series;
+use std::fmt::Write as _;
+
+/// Renders series as CSV: `n,<label1>,<label1>_ci95,<label2>,...`.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::from("n");
+    for s in series {
+        let _ = write!(out, ",{},{}_ci95", s.label, s.label);
+    }
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    let rows = series[0].points.len();
+    for s in series {
+        assert_eq!(s.points.len(), rows, "ragged series");
+    }
+    for r in 0..rows {
+        let n = series[0].points[r].0;
+        let _ = write!(out, "{n}");
+        for s in series {
+            assert_eq!(s.points[r].0, n, "misaligned sweep sizes");
+            let _ = write!(out, ",{:.4},{:.4}", s.points[r].1.mean, s.points[r].1.ci95);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as a fixed-width table for terminal output, one row per
+/// network size, one column per policy.
+pub fn series_to_table(title: &str, series: &[Series]) -> String {
+    let mut out = format!("# {title}\n");
+    let _ = write!(out, "{:>6}", "n");
+    for s in series {
+        let _ = write!(out, "{:>12}", s.label);
+    }
+    out.push('\n');
+    if series.is_empty() {
+        return out;
+    }
+    for r in 0..series[0].points.len() {
+        let _ = write!(out, "{:>6}", series[0].points[r].0);
+        for s in series {
+            let _ = write!(out, "{:>12.2}", s.points[r].1.mean);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    fn fake_series() -> Vec<Series> {
+        let summary = |m: f64| Summary::from_slice(&[m, m]);
+        vec![
+            Series {
+                label: "NR".into(),
+                points: vec![(10, summary(8.0)), (20, summary(15.0))],
+            },
+            Series {
+                label: "ID".into(),
+                points: vec![(10, summary(5.0)), (20, summary(9.0))],
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = series_to_csv(&fake_series());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("n,NR,NR_ci95,ID,ID_ci95"));
+        assert_eq!(lines.next(), Some("10,8.0000,0.0000,5.0000,0.0000"));
+        assert_eq!(lines.next(), Some("20,15.0000,0.0000,9.0000,0.0000"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn table_contains_title_and_values() {
+        let t = series_to_table("Figure 10", &fake_series());
+        assert!(t.contains("# Figure 10"));
+        assert!(t.contains("NR"));
+        assert!(t.contains("15.00"));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert_eq!(series_to_csv(&[]), "n\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_series_rejected() {
+        let mut s = fake_series();
+        s[1].points.pop();
+        series_to_csv(&s);
+    }
+}

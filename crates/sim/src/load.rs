@@ -1,0 +1,174 @@
+//! Load-aware lifetime simulation (extension).
+//!
+//! The paper's drain models approximate bypass traffic analytically
+//! (`d ∝ N`, `d ∝ N²`). This module measures it directly: each interval a
+//! batch of random flows is routed through the gateway overlay with the
+//! 3-step procedure, and every host pays energy per packet it *forwards*
+//! (intermediate hops only). Gateways attract bypass traffic exactly as
+//! the paper argues, so rotating the role by energy level should — and,
+//! per EXPERIMENTS.md, does — extend the time to first death here too,
+//! without assuming any analytic drain form.
+
+use crate::config::SimConfig;
+use crate::network::NetworkState;
+use pacds_routing::{route, RoutingState};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Traffic and energy-cost parameters for the load-aware run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadConfig {
+    /// Random (src, dst) flows injected per update interval.
+    pub flows_per_interval: usize,
+    /// Energy paid per packet forwarded (per intermediate hop served).
+    pub per_forward_cost: f64,
+    /// Baseline idle drain per interval for every host.
+    pub idle_drain: f64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            flows_per_interval: 40,
+            per_forward_cost: 0.25,
+            idle_drain: 0.05,
+        }
+    }
+}
+
+/// Outcome of a load-aware lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LoadOutcome {
+    /// Completed intervals before the first death (or the cap).
+    pub intervals: u32,
+    /// Whether a host actually died.
+    pub died: bool,
+    /// Mean gateway-set size over the run.
+    pub mean_gateways: f64,
+    /// Flows successfully delivered.
+    pub delivered: u64,
+    /// Flows that could not be routed (disconnected topology instants).
+    pub undeliverable: u64,
+    /// Mean hops per delivered flow.
+    pub mean_hops: f64,
+}
+
+/// Runs the update-interval loop with measured (routed) bypass traffic.
+pub fn load_aware_lifetime<R: Rng + ?Sized>(
+    cfg: SimConfig,
+    load: LoadConfig,
+    rng: &mut R,
+) -> LoadOutcome {
+    cfg.validate();
+    let mut state = NetworkState::init(cfg, rng);
+    let n = cfg.n;
+    let mut intervals = 0u32;
+    let mut died = false;
+    let mut total_gateways = 0u64;
+    let mut delivered = 0u64;
+    let mut undeliverable = 0u64;
+    let mut total_hops = 0u64;
+    let mut forwards = vec![0u32; n];
+
+    while intervals < cfg.max_intervals {
+        let gateways = state.compute_gateways();
+        total_gateways += gateways.iter().filter(|&&b| b).count() as u64;
+        let tables = RoutingState::build(state.graph(), &gateways);
+
+        forwards.iter_mut().for_each(|f| *f = 0);
+        for _ in 0..load.flows_per_interval {
+            let src = rng.random_range(0..n) as u32;
+            let dst = rng.random_range(0..n) as u32;
+            match route(state.graph(), &tables, src, dst) {
+                Ok(path) => {
+                    delivered += 1;
+                    total_hops += (path.len() - 1) as u64;
+                    if path.len() > 2 {
+                        for &hop in &path[1..path.len() - 1] {
+                            forwards[hop as usize] += 1;
+                        }
+                    }
+                }
+                Err(_) => undeliverable += 1,
+            }
+        }
+
+        // Drain: idle cost plus the measured forwarding load.
+        let first_death = state.drain_custom(|v| {
+            load.idle_drain + load.per_forward_cost * f64::from(forwards[v])
+        });
+        intervals += 1;
+        if first_death {
+            died = true;
+            break;
+        }
+        state.advance_topology(rng);
+    }
+
+    LoadOutcome {
+        intervals,
+        died,
+        mean_gateways: if intervals == 0 {
+            0.0
+        } else {
+            total_gateways as f64 / f64::from(intervals)
+        },
+        delivered,
+        undeliverable,
+        mean_hops: if delivered == 0 {
+            0.0
+        } else {
+            total_hops as f64 / delivered as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::Policy;
+    use pacds_energy::DrainModel;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize, policy: Policy) -> SimConfig {
+        let mut c = SimConfig::paper(n, policy, DrainModel::LinearInN);
+        c.max_intervals = 20_000;
+        c
+    }
+
+    #[test]
+    fn flows_are_delivered_and_hosts_eventually_die() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let out = load_aware_lifetime(cfg(25, Policy::Id), LoadConfig::default(), &mut rng);
+        assert!(out.died, "{out:?}");
+        assert!(out.delivered > 0);
+        assert!(out.mean_hops >= 1.0 || out.delivered == 0);
+        assert!(out.mean_gateways >= 1.0);
+    }
+
+    #[test]
+    fn zero_traffic_reduces_to_idle_drain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let load = LoadConfig {
+            flows_per_interval: 0,
+            per_forward_cost: 1.0,
+            idle_drain: 10.0,
+        };
+        let out = load_aware_lifetime(cfg(10, Policy::Id), load, &mut rng);
+        // Everyone drains 10/interval from 100: first death at interval 10.
+        assert_eq!(out.intervals, 10);
+        assert_eq!(out.delivered, 0);
+    }
+
+    #[test]
+    fn energy_rotation_helps_under_measured_load() {
+        let run = |policy: Policy, seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            load_aware_lifetime(cfg(30, policy), LoadConfig::default(), &mut rng).intervals
+        };
+        let seeds = [1u64, 2, 3, 4, 5];
+        let id: u32 = seeds.iter().map(|&s| run(Policy::Id, s)).sum();
+        let el: u32 = seeds.iter().map(|&s| run(Policy::Energy, s)).sum();
+        assert!(el * 10 >= id * 9, "EL1 ({el}) should be competitive with ID ({id})");
+    }
+}

@@ -1,0 +1,270 @@
+//! The live network state: host positions, topology, batteries.
+
+use crate::config::{ConnectivityMode, SimConfig};
+use pacds_core::{compute_cds, CdsInput, IncrementalCds};
+use pacds_energy::Fleet;
+use pacds_geom::Point2;
+use pacds_graph::{algo, gen, Graph, VertexMask};
+use pacds_mobility::{MobilityModel, PaperWalk};
+use rand::Rng;
+
+/// Mutable state of the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkState {
+    cfg: SimConfig,
+    positions: Vec<Point2>,
+    graph: Graph,
+    fleet: Fleet,
+    walk: PaperWalk,
+    incremental: Option<IncrementalCds>,
+    off: Vec<bool>,
+}
+
+impl NetworkState {
+    /// Places hosts per the config and builds the initial topology.
+    pub fn init<R: Rng + ?Sized>(cfg: SimConfig, rng: &mut R) -> Self {
+        cfg.validate();
+        let positions = match cfg.connectivity {
+            ConnectivityMode::AcceptAny => {
+                pacds_geom::placement::uniform_points(rng, cfg.bounds, cfg.n)
+            }
+            ConnectivityMode::ResampleInitial => {
+                let mut last = Vec::new();
+                for _ in 0..cfg.placement_retries.max(1) {
+                    last = pacds_geom::placement::uniform_points(rng, cfg.bounds, cfg.n);
+                    let g = gen::unit_disk(cfg.bounds, cfg.radius, &last);
+                    if algo::is_connected(&g) {
+                        break;
+                    }
+                }
+                last
+            }
+        };
+        let graph = gen::unit_disk(cfg.bounds, cfg.radius, &positions);
+        let fleet = Fleet::new(cfg.n, cfg.energy);
+        let walk = cfg.walk;
+        let incremental = cfg.incremental.then(|| {
+            IncrementalCds::new(graph.clone(), Fleet::new(cfg.n, cfg.energy).levels(), cfg.cds)
+        });
+        Self {
+            off: vec![false; cfg.n],
+            cfg,
+            positions,
+            graph,
+            fleet,
+            walk,
+            incremental,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current host positions.
+    pub fn positions(&self) -> &[Point2] {
+        &self.positions
+    }
+
+    /// Current unit-disk topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current batteries.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Computes the gateway set for the current topology and energy levels
+    /// under the configured policy. Uses the localized incremental
+    /// maintainer when `cfg.incremental` is set (identical output).
+    pub fn compute_gateways(&mut self) -> VertexMask {
+        let levels = self.fleet.levels();
+        match self.incremental.as_mut() {
+            Some(inc) => inc.update(self.graph.clone(), levels).clone(),
+            None => compute_cds(&CdsInput::with_energy(&self.graph, &levels), &self.cfg.cds),
+        }
+    }
+
+    /// Vertices the incremental maintainer touched in the last update
+    /// (`None` when running full recomputation).
+    pub fn last_recomputed(&self) -> Option<usize> {
+        self.incremental.as_ref().map(IncrementalCds::last_recomputed)
+    }
+
+    /// Which hosts are switched off this interval.
+    pub fn off(&self) -> &[bool] {
+        &self.off
+    }
+
+    /// Applies one interval's battery drain given the gateway roles.
+    /// Returns the hosts that died. Off hosts pay nothing.
+    pub fn drain(&mut self, gateways: &[bool]) -> Vec<usize> {
+        if self.off.iter().any(|&o| o) {
+            self.fleet.drain_interval_with_off(gateways, &self.off)
+        } else {
+            self.fleet.drain_interval(gateways)
+        }
+    }
+
+    /// Applies an arbitrary per-host drain (used by the load-aware
+    /// extension). Returns `true` if any host died.
+    pub fn drain_custom<F: Fn(usize) -> f64>(&mut self, amount: F) -> bool {
+        !self.fleet.drain_each(amount).is_empty()
+    }
+
+    /// Like [`NetworkState::drain_custom`] but returns the hosts that died.
+    pub fn drain_custom_collect<F: Fn(usize) -> f64>(&mut self, amount: F) -> Vec<usize> {
+        self.fleet.drain_each(amount)
+    }
+
+    /// Moves hosts one interval, resamples on/off states, and rebuilds the
+    /// topology (off hosts are isolated for the interval).
+    pub fn advance_topology<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.walk.step(rng, self.cfg.bounds, &mut self.positions);
+        if self.cfg.off_probability > 0.0 {
+            for o in self.off.iter_mut() {
+                *o = rng.random_range(0.0..1.0) < self.cfg.off_probability;
+            }
+        }
+        self.graph = gen::unit_disk(self.cfg.bounds, self.cfg.radius, &self.positions);
+        if self.cfg.off_probability > 0.0 {
+            for v in 0..self.cfg.n {
+                if self.off[v] {
+                    self.graph.isolate(v as u32);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::Policy;
+    use pacds_energy::DrainModel;
+    use rand::SeedableRng;
+
+    fn cfg(n: usize) -> SimConfig {
+        SimConfig::paper(n, Policy::Id, DrainModel::LinearInN)
+    }
+
+    #[test]
+    fn init_resamples_to_a_connected_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for n in [3usize, 10, 40] {
+            let st = NetworkState::init(cfg(n), &mut rng);
+            assert_eq!(st.positions().len(), n);
+            assert!(
+                algo::is_connected(st.graph()),
+                "paper-density topologies should connect within the retry cap (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn gateways_dominate_connected_topologies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut st = NetworkState::init(cfg(30), &mut rng);
+        let gw = st.compute_gateways();
+        assert!(pacds_core::verify_cds(st.graph(), &gw).is_ok());
+    }
+
+    #[test]
+    fn drain_kills_eventually() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut st = NetworkState::init(cfg(10), &mut rng);
+        let mut died = Vec::new();
+        for _ in 0..100_000 {
+            let gw = st.compute_gateways();
+            died = st.drain(&gw);
+            if !died.is_empty() {
+                break;
+            }
+        }
+        assert!(!died.is_empty(), "model 2 must kill within the cap");
+    }
+
+    #[test]
+    fn incremental_mode_matches_full_recompute_over_a_run() {
+        let mut base = cfg(25);
+        base.max_intervals = 40;
+        let mut inc_cfg = base;
+        inc_cfg.incremental = true;
+        let run = |c: SimConfig| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+            let mut st = NetworkState::init(c, &mut rng);
+            let mut sets = Vec::new();
+            for _ in 0..c.max_intervals {
+                let gw = st.compute_gateways();
+                sets.push(gw.clone());
+                st.drain(&gw);
+                st.advance_topology(&mut rng);
+            }
+            sets
+        };
+        assert_eq!(run(base), run(inc_cfg));
+    }
+
+    #[test]
+    fn incremental_mode_touches_few_hosts() {
+        let mut c = cfg(60);
+        c.incremental = true;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut st = NetworkState::init(c, &mut rng);
+        let _ = st.compute_gateways();
+        // Second interval with mobility: churn should touch a strict subset.
+        st.advance_topology(&mut rng);
+        let _ = st.compute_gateways();
+        let touched = st.last_recomputed().unwrap();
+        assert!(touched <= 60);
+    }
+
+    #[test]
+    fn off_hosts_are_isolated_and_preserved() {
+        let mut c = cfg(30);
+        c.off_probability = 0.4;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut st = NetworkState::init(c, &mut rng);
+        let mut saw_off = false;
+        for _ in 0..10 {
+            st.advance_topology(&mut rng);
+            let gw = st.compute_gateways();
+            let off = st.off().to_vec();
+            for (v, &gwv) in gw.iter().enumerate() {
+                if off[v] {
+                    saw_off = true;
+                    assert_eq!(st.graph().degree(v as u32), 0, "off host must be isolated");
+                    assert!(!gwv, "off host cannot be a gateway");
+                }
+            }
+            let before: Vec<f64> = (0..30).map(|v| st.fleet().energy(v)).collect();
+            st.drain(&gw);
+            for (v, &b) in before.iter().enumerate() {
+                if off[v] {
+                    assert_eq!(st.fleet().energy(v), b, "off host pays nothing");
+                }
+            }
+        }
+        assert!(saw_off, "with p=0.4 some host must have switched off");
+    }
+
+    #[test]
+    fn advance_topology_rebuilds_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut st = NetworkState::init(cfg(25), &mut rng);
+        let before = st.graph().clone();
+        let mut changed = false;
+        for _ in 0..10 {
+            st.advance_topology(&mut rng);
+            if *st.graph() != before {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "mobility should alter the topology quickly");
+        assert!(st.positions().iter().all(|&p| st.config().bounds.contains(p)));
+    }
+}

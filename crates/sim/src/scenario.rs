@@ -1,0 +1,173 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] bundles a full simulation configuration, an experiment
+//! kind, a seed and a trial count into one serialisable document, so a
+//! result can be reproduced from a single JSON file
+//! (`pacds run --scenario exp.json`).
+
+use crate::config::SimConfig;
+use crate::load::{load_aware_lifetime, LoadConfig};
+use crate::montecarlo::run_trials;
+use crate::simulation::{run_extended_lifetime, Simulation};
+use crate::stats::Summary;
+use pacds_core::Policy;
+use pacds_energy::DrainModel;
+use serde::{Deserialize, Serialize};
+
+/// Which measurement the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentKind {
+    /// Update intervals until the first host death (Figures 11–13).
+    Lifetime,
+    /// Mean gateway count over a dynamic run (Figure 10).
+    CdsSize,
+    /// Milestones past the first death (extension).
+    Extended,
+    /// Measured-forwarding-load lifetime (extension).
+    Load(LoadConfig),
+}
+
+/// A fully-specified, reproducible experiment.
+///
+/// ```
+/// let mut sc = pacds_sim::Scenario::template();
+/// sc.trials = 2;
+/// sc.sim.n = 10;
+/// let result = sc.run();
+/// assert_eq!(result.trials, 2);
+/// assert!(result.primary.mean >= 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name, echoed in the result.
+    pub name: String,
+    /// Master seed for the Monte-Carlo trials.
+    pub seed: u64,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// The simulation configuration.
+    pub sim: SimConfig,
+    /// What to measure.
+    pub experiment: ExperimentKind,
+}
+
+/// Aggregated scenario result (serialises to JSON).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioResult {
+    /// Echo of the scenario name.
+    pub name: String,
+    /// The primary metric's summary (lifetime intervals, or gateway count).
+    pub primary: Summary,
+    /// Metric label for the primary summary.
+    pub metric: String,
+    /// Trials executed.
+    pub trials: usize,
+}
+
+impl Scenario {
+    /// A ready-to-edit template at the paper's parameters.
+    pub fn template() -> Self {
+        Self {
+            name: "paper-fig12-el1-n50".into(),
+            seed: 0xC0FFEE,
+            trials: 30,
+            sim: SimConfig::paper(50, Policy::Energy, DrainModel::LinearInN),
+            experiment: ExperimentKind::Lifetime,
+        }
+    }
+
+    /// Runs the scenario and aggregates the primary metric.
+    pub fn run(&self) -> ScenarioResult {
+        assert!(self.trials >= 1, "a scenario needs at least one trial");
+        self.sim.validate();
+        let (metric, values): (&str, Vec<f64>) = match self.experiment {
+            ExperimentKind::Lifetime => (
+                "intervals_to_first_death",
+                run_trials(self.seed, self.trials, |_, rng| {
+                    let sim = Simulation::new(self.sim, rng).without_verification();
+                    f64::from(sim.run_lifetime(rng).intervals)
+                }),
+            ),
+            ExperimentKind::CdsSize => (
+                "mean_gateways",
+                run_trials(self.seed, self.trials, |_, rng| {
+                    let sim = Simulation::new(self.sim, rng).without_verification();
+                    sim.run_lifetime(rng).mean_gateways
+                }),
+            ),
+            ExperimentKind::Extended => (
+                "intervals_to_half_dead",
+                run_trials(self.seed, self.trials, |_, rng| {
+                    f64::from(run_extended_lifetime(self.sim, rng).half_dead)
+                }),
+            ),
+            ExperimentKind::Load(load) => (
+                "intervals_to_first_death_measured_load",
+                run_trials(self.seed, self.trials, |_, rng| {
+                    f64::from(load_aware_lifetime(self.sim, load, rng).intervals)
+                }),
+            ),
+        };
+        ScenarioResult {
+            name: self.name.clone(),
+            primary: Summary::from_slice(&values),
+            metric: metric.to_string(),
+            trials: self.trials,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_round_trips_through_json() {
+        let sc = Scenario::template();
+        let json = serde_json::to_string_pretty(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn scenario_runs_are_reproducible() {
+        let mut sc = Scenario::template();
+        sc.sim = SimConfig::paper(15, Policy::Id, DrainModel::LinearInN);
+        sc.trials = 3;
+        let a = sc.run();
+        let b = sc.run();
+        assert_eq!(a.primary.mean, b.primary.mean);
+        assert_eq!(a.metric, "intervals_to_first_death");
+        assert_eq!(a.trials, 3);
+    }
+
+    #[test]
+    fn every_experiment_kind_runs() {
+        let mut sc = Scenario::template();
+        sc.sim = SimConfig::paper(12, Policy::Energy, DrainModel::LinearInN);
+        sc.sim.max_intervals = 5_000;
+        sc.trials = 2;
+        for kind in [
+            ExperimentKind::Lifetime,
+            ExperimentKind::CdsSize,
+            ExperimentKind::Extended,
+            ExperimentKind::Load(LoadConfig {
+                flows_per_interval: 5,
+                per_forward_cost: 0.5,
+                idle_drain: 0.5,
+            }),
+        ] {
+            sc.experiment = kind;
+            let r = sc.run();
+            assert!(r.primary.mean >= 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trials_rejected() {
+        let mut sc = Scenario::template();
+        sc.trials = 0;
+        sc.run();
+    }
+}

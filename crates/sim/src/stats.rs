@@ -1,0 +1,116 @@
+//! Summary statistics for Monte-Carlo aggregation.
+
+use serde::Serialize;
+
+/// Mean / dispersion summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub stddev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises `values`.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or non-finite values.
+    pub fn from_slice(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "sample contains non-finite values"
+        );
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let stddev = var.sqrt();
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            1.96 * stddev / (n as f64).sqrt()
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Self {
+            n,
+            mean,
+            stddev,
+            ci95,
+            min,
+            max,
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3} (n={})", self.mean, self.ci95, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value() {
+        let s = Summary::from_slice(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!((s.min, s.max), (5.0, 5.0));
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected stddev of this classic sample is ~2.138.
+        assert!((s.stddev - 2.1380899).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = Summary::from_slice(&[3.0; 10]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_sample_panics() {
+        Summary::from_slice(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_finite_rejected() {
+        Summary::from_slice(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        assert!(format!("{s}").contains("n=3"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-cutting simulator properties: determinism per seed, agreement
+//! between the trace recorder and the lifetime loop, and incremental
+//! maintenance inside full runs.
+
+use pacds_core::Policy;
+use pacds_energy::DrainModel;
+use pacds_sim::experiments::{lifetime_experiment, SweepConfig};
+use pacds_sim::{run_extended_lifetime, SimConfig, Simulation, TraceRecorder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn cfg(n: usize, policy: Policy) -> SimConfig {
+    SimConfig::paper(n, policy, DrainModel::LinearInN)
+}
+
+#[test]
+fn lifetime_is_a_pure_function_of_seed_and_config() {
+    for policy in [Policy::Id, Policy::Energy] {
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            Simulation::new(cfg(25, policy), &mut rng).run_lifetime(&mut rng)
+        };
+        assert_eq!(run(5), run(5));
+        // Different seeds should (almost surely) differ in some field.
+        let (a, b) = (run(5), run(6));
+        assert!(
+            a != b || a.intervals == b.intervals,
+            "distinct seeds produced byte-identical outcomes repeatedly"
+        );
+    }
+}
+
+#[test]
+fn trace_recorder_agrees_with_lifetime_loop() {
+    let c = cfg(20, Policy::Energy);
+    let lifetime = {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        Simulation::new(c, &mut rng)
+            .without_verification()
+            .run_lifetime(&mut rng)
+    };
+    let trace = {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        TraceRecorder::record(c, c.max_intervals, &mut rng)
+    };
+    // The trace ends on the interval of the first death; its record count
+    // equals the lifetime interval count.
+    assert_eq!(trace.records().len() as u32, lifetime.intervals);
+    let last = trace.records().last().unwrap();
+    assert!(!last.deaths.is_empty());
+    // Gateway counts agree on average.
+    let mean_gw: f64 = trace
+        .records()
+        .iter()
+        .map(|r| r.gateways.len() as f64)
+        .sum::<f64>()
+        / trace.records().len() as f64;
+    assert!((mean_gw - lifetime.mean_gateways).abs() < 1e-9);
+}
+
+#[test]
+fn incremental_flag_never_changes_results() {
+    for policy in [Policy::Id, Policy::Degree, Policy::EnergyDegree] {
+        let mut base = cfg(30, policy);
+        base.max_intervals = 60;
+        let mut inc = base;
+        inc.incremental = true;
+        let run = |c: SimConfig| {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            Simulation::new(c, &mut rng)
+                .without_verification()
+                .run_lifetime(&mut rng)
+        };
+        assert_eq!(run(base), run(inc), "{policy:?}");
+    }
+}
+
+#[test]
+fn experiments_are_reproducible_across_invocations() {
+    let sweep = SweepConfig {
+        sizes: vec![20],
+        trials: 4,
+        seed: 77,
+        policies: vec![Policy::Id, Policy::Energy],
+    };
+    let a = lifetime_experiment(&sweep, DrainModel::LinearInN);
+    let b = lifetime_experiment(&sweep, DrainModel::LinearInN);
+    for (sa, sb) in a.iter().zip(&b) {
+        assert_eq!(sa.label, sb.label);
+        for (pa, pb) in sa.points.iter().zip(&sb.points) {
+            assert_eq!(pa.1.mean, pb.1.mean);
+        }
+    }
+}
+
+#[test]
+fn extended_lifetime_is_deterministic_and_ordered() {
+    let run = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        run_extended_lifetime(cfg(24, Policy::EnergyDegree), &mut rng)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b);
+    assert!(a.first_death <= a.quarter_dead);
+    assert!(a.quarter_dead <= a.half_dead);
+}
+
+#[test]
+fn on_off_runs_are_deterministic() {
+    let mut c = cfg(25, Policy::Energy);
+    c.off_probability = 0.3;
+    let run = || {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        Simulation::new(c, &mut rng)
+            .without_verification()
+            .run_lifetime(&mut rng)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,66 @@
+//! Dominating-set-based routing demo: builds the gateway overlay, prints a
+//! Figure-2-style gateway routing table, routes packets with the 3-step
+//! procedure, and reports path stretch against true shortest paths.
+//!
+//! ```sh
+//! cargo run --example routing_demo
+//! ```
+
+use pacds::core::{compute_cds, CdsConfig, CdsInput, Policy};
+use pacds::graph::gen;
+use pacds::routing::{route, stretch_summary, RoutingState};
+use rand::SeedableRng;
+
+fn main() {
+    let bounds = pacds::geom::Rect::paper_arena();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    let graph = loop {
+        let pts = pacds::geom::placement::uniform_points(&mut rng, bounds, 30);
+        let g = gen::unit_disk(bounds, 25.0, &pts);
+        if pacds::graph::algo::is_connected(&g) {
+            break g;
+        }
+    };
+
+    let cds = compute_cds(&CdsInput::new(&graph), &CdsConfig::policy(Policy::Degree));
+    let state = RoutingState::build(&graph, &cds);
+    let gateways = state.gateways();
+    println!(
+        "{} hosts, {} links; gateway overlay: {:?}\n",
+        graph.n(),
+        graph.m(),
+        gateways
+    );
+
+    // A Figure 2(c)-style routing table at the first gateway.
+    let at = gateways[0];
+    println!("gateway routing table at host {at}:");
+    println!("{:>8} {:>9} {:>9}  domain members", "gateway", "distance", "next hop");
+    for row in state.routing_table(at) {
+        println!(
+            "{:>8} {:>9} {:>9}  {:?}",
+            row.gateway, row.distance, row.next_hop, row.members
+        );
+    }
+
+    // Route a few packets with the three-step procedure.
+    println!("\nsample routes (3-step procedure):");
+    let n = graph.n() as u32;
+    for (s, t) in [(0u32, n - 1), (1, n / 2), (n / 3, n - 2)] {
+        match route(&graph, &state, s, t) {
+            Ok(path) => println!("  {s:>3} -> {t:<3}  {path:?}"),
+            Err(e) => println!("  {s:>3} -> {t:<3}  failed: {e}"),
+        }
+    }
+
+    // How much longer are overlay routes than true shortest paths?
+    let s = stretch_summary(&graph, &state);
+    println!(
+        "\nstretch over {} pairs: mean +{:.3} hops, max +{}, {:.1}% optimal, {} failures",
+        s.pairs,
+        s.mean_extra_hops,
+        s.max_extra_hops,
+        100.0 * s.optimal_fraction,
+        s.failures
+    );
+}

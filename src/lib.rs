@@ -1,0 +1,28 @@
+//! # PACDS — Power-Aware Connected Dominating Sets
+//!
+//! Meta-crate for the reproduction of *"On Calculating Power-Aware
+//! Connected Dominating Sets for Efficient Routing in Ad Hoc Wireless
+//! Networks"* (Wu, Gao, Stojmenovic; ICPP 2001).
+//!
+//! This crate re-exports the whole workspace under one namespace and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). Library users normally depend on the individual crates:
+//!
+//! * [`core`](pacds_core) — marking process and selective-removal rules.
+//! * [`graph`](pacds_graph) — graph substrate.
+//! * [`sim`](pacds_sim) — the ad hoc network simulator and experiments.
+//! * [`routing`](pacds_routing) — dominating-set-based routing.
+//! * [`distributed`](pacds_distributed) — message-passing protocol.
+//! * [`baselines`](pacds_baselines), [`energy`](pacds_energy),
+//!   [`mobility`](pacds_mobility), [`geom`](pacds_geom) — supporting
+//!   substrates.
+
+pub use pacds_baselines as baselines;
+pub use pacds_core as core;
+pub use pacds_distributed as distributed;
+pub use pacds_energy as energy;
+pub use pacds_geom as geom;
+pub use pacds_graph as graph;
+pub use pacds_mobility as mobility;
+pub use pacds_routing as routing;
+pub use pacds_sim as sim;

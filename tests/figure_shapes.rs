@@ -1,0 +1,142 @@
+//! Statistical shape checks for the paper's figures, at reduced scale so
+//! they run in test time. The full-scale regeneration lives in
+//! `pacds-bench` (`cargo run -p pacds-bench --release --bin fig10` etc.);
+//! these tests pin the *orderings* the paper reports so a regression in any
+//! crate shows up as a failed shape. EXPERIMENTS.md records the calibration
+//! behind each expectation.
+
+use pacds::core::Policy;
+use pacds::energy::DrainModel;
+use pacds::sim::experiments::{cds_size_experiment, lifetime_experiment, SweepConfig};
+
+fn sweep() -> SweepConfig {
+    SweepConfig {
+        sizes: vec![40, 80],
+        trials: 16,
+        seed: 0xFEED,
+        policies: Policy::ALL.to_vec(),
+    }
+}
+
+fn mean_of(series: &[pacds::sim::experiments::Series], label: &str, n: usize) -> f64 {
+    series
+        .iter()
+        .find(|s| s.label == label)
+        .unwrap_or_else(|| panic!("missing series {label}"))
+        .points
+        .iter()
+        .find(|(sz, _)| *sz == n)
+        .unwrap_or_else(|| panic!("missing size {n}"))
+        .1
+        .mean
+}
+
+/// Figure 10 ordering: NR is by far the largest set; ND prunes hardest;
+/// EL2's degree tie-break keeps it at or below EL1.
+#[test]
+fn fig10_shape_nr_largest_nd_smallest() {
+    let series = cds_size_experiment(&sweep());
+    for &n in &[40usize, 80] {
+        let nr = mean_of(&series, "NR", n);
+        let id = mean_of(&series, "ID", n);
+        let nd = mean_of(&series, "ND", n);
+        let el1 = mean_of(&series, "EL1", n);
+        let el2 = mean_of(&series, "EL2", n);
+        assert!(
+            nr > id && nr > nd && nr > el1 && nr > el2,
+            "n={n}: NR must dominate ({nr} vs {id}/{nd}/{el1}/{el2})"
+        );
+        assert!(nd <= id, "n={n}: ND {nd} must not exceed ID {id}");
+        assert!(nd <= el1 && nd <= el2, "n={n}: ND is the strongest reducer");
+        assert!(el2 <= el1 + 0.5, "n={n}: EL2 {el2} at or below EL1 {el1}");
+    }
+}
+
+/// Figure 10 growth: the unpruned marking tracks network size; the pruned
+/// backbones stay much smaller at high density.
+#[test]
+fn fig10_marking_grows_and_pruning_saturates() {
+    let series = cds_size_experiment(&sweep());
+    let nr40 = mean_of(&series, "NR", 40);
+    let nr80 = mean_of(&series, "NR", 80);
+    assert!(nr80 > nr40 * 1.5, "marking grows with N: {nr40} -> {nr80}");
+    for label in ["ID", "ND", "EL1", "EL2"] {
+        let at80 = mean_of(&series, label, 80);
+        assert!(
+            at80 < nr80 * 0.6,
+            "{label} should stay well below NR at n=80: {at80} vs {nr80}"
+        );
+    }
+}
+
+/// Figures 12–13 headline: under the N-dependent drain models, the
+/// energy-aware policies clearly outlive the static ID priority, even
+/// though EL1 does not produce the smallest gateway set.
+#[test]
+fn fig12_13_energy_rotation_beats_static_ids() {
+    for model in [DrainModel::LinearInN, DrainModel::QuadraticInN] {
+        let series = lifetime_experiment(&sweep(), model);
+        for &n in &[40usize, 80] {
+            let id = mean_of(&series, "ID", n);
+            let el1 = mean_of(&series, "EL1", n);
+            let el2 = mean_of(&series, "EL2", n);
+            assert!(
+                el1 > id,
+                "{}: EL1 {el1} must beat ID {id} at n={n}",
+                model.label()
+            );
+            assert!(
+                el2 > id * 0.95,
+                "{}: EL2 {el2} must at least match ID {id} at n={n}",
+                model.label()
+            );
+        }
+    }
+}
+
+/// The paper's remark "EL1 ... does not generate the smallest connected
+/// dominating set": the lifetime winner is not the size winner.
+#[test]
+fn el1_wins_lifetime_without_smallest_set() {
+    let s_size = cds_size_experiment(&sweep());
+    let s_life = lifetime_experiment(&sweep(), DrainModel::LinearInN);
+    let nd_size = mean_of(&s_size, "ND", 80);
+    let el1_size = mean_of(&s_size, "EL1", 80);
+    let nd_life = mean_of(&s_life, "ND", 80);
+    let el1_life = mean_of(&s_life, "EL1", 80);
+    assert!(el1_size > nd_size, "EL1's set is larger than ND's");
+    assert!(el1_life > nd_life, "yet EL1 outlives ND");
+}
+
+/// Figure 11 (literal model 1): `d = 2/|G'| < d' = 1` for realistic set
+/// sizes, so lifetimes cluster at/above the 100-interval non-gateway wall
+/// and the policies barely separate (the documented Model-1 pathology).
+#[test]
+fn fig11_literal_model1_clusters_at_the_wall() {
+    let series = lifetime_experiment(&sweep(), DrainModel::ConstantTotal);
+    for s in &series {
+        for (n, summary) in &s.points {
+            assert!(
+                summary.mean >= 90.0,
+                "{} at n={n}: {} below the wall",
+                s.label,
+                summary.mean
+            );
+        }
+    }
+    // NR's huge gateway set drains slowest of all under the literal model.
+    let nr = mean_of(&series, "NR", 80);
+    let id = mean_of(&series, "ID", 80);
+    assert!(nr >= id, "NR {nr} vs ID {id}");
+}
+
+/// The alternative model-1 reading (fixed d = 2 per gateway) restores the
+/// asymmetry: lifetimes drop below the wall and rotation helps again.
+#[test]
+fn model1_alternative_reading_discriminates() {
+    let series = lifetime_experiment(&sweep(), DrainModel::ConstantPerGateway { value: 2.0 });
+    let id = mean_of(&series, "ID", 80);
+    let el1 = mean_of(&series, "EL1", 80);
+    assert!(id < 100.0, "gateways now die first: {id}");
+    assert!(el1 >= id, "EL1 {el1} vs ID {id}");
+}
