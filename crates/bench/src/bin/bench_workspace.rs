@@ -1,0 +1,130 @@
+//! Records the workspace-reuse speedup as a committed JSON artifact.
+//!
+//! Times one Monte-Carlo interval (mobility step + topology rebuild + CDS
+//! recomputation + verification) under the v0 allocate-per-call pipeline
+//! ([`pacds_bench::seed_baseline`]: fresh Graph/bitmap/key/masks, full-word
+//! coverage scans) and under the retained [`CdsWorkspace`] + in-place CSR
+//! hot path, at n in {100, 1000, 10000}, and writes `BENCH_workspace.json`
+//! (override the path with `PACDS_BENCH_OUT`). Run with `--release`; the
+//! acceptance target is a >= 2x speedup at n >= 1000.
+//!
+//! The JSON is written by hand — the bench crate deliberately takes no
+//! serde dependency.
+
+use pacds_bench::seed_baseline::compute_cds_seed;
+use pacds_core::{verify_cds, CdsConfig, CdsWorkspace, Policy};
+use pacds_geom::{Point2, Rect};
+use pacds_graph::{gen, CsrGraph};
+use pacds_mobility::{MobilityModel, PaperWalk};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const RADIUS: f64 = 25.0;
+
+fn arena(n: usize) -> Rect {
+    Rect::square((100.0 * (n as f64 / 100.0).sqrt()).max(1.0))
+}
+
+struct Interval {
+    bounds: Rect,
+    positions: Vec<Point2>,
+    walk: PaperWalk,
+    energy: Vec<u64>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Interval {
+    fn new(n: usize, seed: u64) -> Self {
+        let bounds = arena(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let positions = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+        let energy = (0..n).map(|i| (i as u64 * 7919) % 100).collect();
+        Self { bounds, positions, walk: PaperWalk::paper(), energy, rng }
+    }
+
+    fn step(&mut self) {
+        self.walk.step(&mut self.rng, self.bounds, &mut self.positions);
+    }
+}
+
+/// Mean wall-clock nanoseconds per interval over `iters` runs of `f`,
+/// after `warmup` unmeasured runs.
+fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let iters_for = |n: usize| (200_000 / n).clamp(8, 400);
+    let mut rows = Vec::new();
+
+    for n in [100usize, 1000, 10000] {
+        let iters = iters_for(n);
+
+        let mut iv = Interval::new(n, 42);
+        let alloc_ns = time_ns(5, iters, || {
+            iv.step();
+            let g = gen::unit_disk(iv.bounds, RADIUS, &iv.positions);
+            let cds = compute_cds_seed(&g, Some(&iv.energy), &cfg);
+            let _ = black_box(verify_cds(&g, &cds));
+            black_box(cds);
+        });
+
+        let mut iv = Interval::new(n, 42);
+        let mut csr = CsrGraph::new();
+        let mut scratch = gen::UnitDiskScratch::new();
+        let mut ws = CdsWorkspace::with_capacity(n);
+        let reuse_ns = time_ns(5, iters, || {
+            iv.step();
+            gen::unit_disk_csr(iv.bounds, RADIUS, &iv.positions, None, &mut csr, &mut scratch);
+            ws.compute(&csr, Some(&iv.energy), &cfg);
+            let _ = black_box(ws.verify_last(&csr));
+            black_box(ws.gateway_count());
+        });
+
+        let speedup = alloc_ns / reuse_ns;
+        println!(
+            "n={n:>6}  alloc {:>12.0} ns/interval  reuse {:>12.0} ns/interval  speedup {speedup:.2}x",
+            alloc_ns, reuse_ns
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {},\n",
+                "      \"iters\": {},\n",
+                "      \"alloc_ns_per_interval\": {:.0},\n",
+                "      \"reuse_ns_per_interval\": {:.0},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            n, iters, alloc_ns, reuse_ns, speedup
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"workspace\",\n",
+            "  \"description\": \"one Monte-Carlo interval: mobility step + topology rebuild ",
+            "+ CDS (EnergyDegree, single-pass) + verification; alloc = v0 pipeline ",
+            "(fresh Graph + full-word-scan passes), reuse = in-place CSR + CdsWorkspace\",\n",
+            "  \"unit\": \"ns/interval\",\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        rows.join(",\n")
+    );
+    let out = std::env::var("PACDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_workspace.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+}

@@ -2,6 +2,10 @@
 //! metric). Dead hosts drop out of the topology and the run continues —
 //! reported: first death, 25% dead, 50% dead, and the first partition of
 //! the surviving topology.
+//!
+//! Each trial's interval loop runs on the zero-allocation hot path: the
+//! survivor topology is re-masked into a retained CSR and the CDS is
+//! recomputed in one `CdsWorkspace` (see `pacds_sim::run_extended_lifetime`).
 
 use pacds_bench::sweep_from_env;
 use pacds_core::Policy;

@@ -28,7 +28,9 @@ fn main() {
             // marking process still runs per component.
             let counts = run_trials(sweep.seed ^ radius.to_bits(), sweep.trials, |_, rng| {
                 let mut st = NetworkState::init(cfg, rng);
-                st.compute_gateways().iter().filter(|&&b| b).count() as f64
+                // In-place workspace compute: no per-trial mask clone.
+                let gw = st.compute_gateways_in_place();
+                gw.iter().filter(|&&b| b).count() as f64
             });
             print!("{:>10.2}", Summary::from_slice(&counts).mean);
         }

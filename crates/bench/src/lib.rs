@@ -8,6 +8,8 @@
 //! * `PACDS_SEED` — master seed (default `0xC0FFEE`);
 //! * `PACDS_OUT` — directory for CSV output (default `results/`).
 
+pub mod seed_baseline;
+
 use pacds_sim::experiments::{Series, SweepConfig};
 use std::path::PathBuf;
 

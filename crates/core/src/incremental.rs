@@ -244,16 +244,11 @@ fn rule2_unmarks(
     if !after1[v as usize] {
         return false;
     }
-    let marked_nbrs: Vec<NodeId> = g
-        .neighbors(v)
-        .iter()
-        .copied()
-        .filter(|&u| after1[u as usize])
-        .collect();
-    if marked_nbrs.len() < 2 {
+    let mut scratch = crate::rules::RuleScratch::new();
+    if !crate::rules::fill_rule2_candidates(g, after1, key, semantics, v, &mut scratch.nbrs) {
         return false;
     }
-    crate::rules::rule2_decides_removal(bm, key, semantics, v, &marked_nbrs)
+    crate::rules::rule2_decides_removal(bm, key, semantics, v, &mut scratch)
 }
 
 /// Multi-source BFS distances capped at `cap`, over the union of the old

@@ -56,15 +56,19 @@ pub mod pipeline;
 pub mod priority;
 pub mod rules;
 pub mod verify;
+pub mod workspace;
 
 pub use daiwu::{compute_cds_daiwu, rule_k_pass};
 pub use explain::{explain, Explanation};
 pub use incremental::IncrementalCds;
-pub use marking::marking;
-pub use parallel::{compute_cds_par, marking_par};
+pub use marking::{marking, marking_into};
+pub use parallel::{compute_cds_par, compute_cds_par_with, marking_par};
 pub use pipeline::{
     compute_cds, compute_cds_trace, Application, CdsConfig, CdsInput, CdsTrace, PruneSchedule,
 };
 pub use priority::{EnergyLevel, Policy, PriorityKey};
-pub use rules::{rule1_pass, rule2_pass, Rule2Semantics};
-pub use verify::{is_connected_dominating_set, is_dominating_set, verify_cds, CdsViolation};
+pub use rules::{rule1_pass, rule2_pass, Rule2Semantics, RuleScratch};
+pub use verify::{
+    is_connected_dominating_set, is_dominating_set, verify_cds, verify_cds_scratch, CdsViolation,
+};
+pub use workspace::CdsWorkspace;

@@ -1,6 +1,6 @@
 //! The Wu-Li marking process.
 
-use pacds_graph::{Graph, NodeId, VertexMask};
+use pacds_graph::{Neighbors, NodeId, VertexMask};
 
 /// Runs the marking process on `g` and returns the marker mask.
 ///
@@ -21,12 +21,17 @@ use pacds_graph::{Graph, NodeId, VertexMask};
 /// graph that is not complete; Property 2 guarantees the induced subgraph is
 /// connected. (On a complete graph nothing is marked: every pair of
 /// neighbours is connected.)
-pub fn marking(g: &Graph) -> VertexMask {
-    let mut marked = vec![false; g.n()];
-    for v in g.vertices() {
-        marked[v as usize] = has_unconnected_neighbors(g, v);
-    }
+pub fn marking<G: Neighbors + ?Sized>(g: &G) -> VertexMask {
+    let mut marked = Vec::new();
+    marking_into(g, &mut marked);
     marked
+}
+
+/// [`marking`] writing into a caller-provided mask (cleared and refilled),
+/// so the hot path can reuse the allocation across update intervals.
+pub fn marking_into<G: Neighbors + ?Sized>(g: &G, marked: &mut VertexMask) {
+    marked.clear();
+    marked.extend(g.vertices().map(|v| has_unconnected_neighbors(g, v)));
 }
 
 /// Whether `v` has two neighbours that are not adjacent to each other.
@@ -34,7 +39,7 @@ pub fn marking(g: &Graph) -> VertexMask {
 /// Scans neighbour pairs but bails out on the first witness; for unit-disk
 /// graphs the first few pairs almost always decide, so the quadratic worst
 /// case is rarely reached.
-pub fn has_unconnected_neighbors(g: &Graph, v: NodeId) -> bool {
+pub fn has_unconnected_neighbors<G: Neighbors + ?Sized>(g: &G, v: NodeId) -> bool {
     let nbrs = g.neighbors(v);
     for (i, &x) in nbrs.iter().enumerate() {
         for &y in &nbrs[i + 1..] {
@@ -49,7 +54,7 @@ pub fn has_unconnected_neighbors(g: &Graph, v: NodeId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pacds_graph::{gen, mask_to_vec};
+    use pacds_graph::{gen, mask_to_vec, Graph};
 
     #[test]
     fn figure1_marks_v_and_w() {

@@ -3,108 +3,190 @@
 //! Every per-vertex decision in the simultaneous semantics reads only the
 //! input snapshot, so the sweeps are embarrassingly parallel. These
 //! variants (rayon `par_iter` over vertices) return bit-identical results
-//! to their sequential counterparts — property-tested. Whether they pay
-//! off depends on the machine: the per-vertex work is small, so on
-//! few-core hosts the fork-join overhead dominates even at thousands of
-//! hosts (see the `parallel` criterion group in `pacds-bench`, which
-//! measures exactly this). At the paper's N ≤ 100 the sequential passes
-//! are always faster; treat the parallel path as an opt-in for wide
-//! machines and very dense sweeps, and benchmark before switching.
+//! to their sequential counterparts — property-tested — and run on any
+//! [`Neighbors`] representation, CSR included. Rule 1 needs no scratch at
+//! all; Rule 2's per-vertex scratch (the candidate list and row-support
+//! buffer of a [`crate::RuleScratch`]) comes from per-thread scratch
+//! pools (`thread_local!` state that lives as long as the rayon worker),
+//! and
+//! [`compute_cds_par_with`] drains its masks into a caller-owned
+//! [`CdsWorkspace`] via `collect_into_vec`, so the steady state of a
+//! parallel sweep allocates nothing either. Whether parallelism pays off
+//! depends on the machine: the per-vertex work is small, so on few-core
+//! hosts the fork-join overhead dominates even at thousands of hosts (see
+//! the `parallel` criterion group in `pacds-bench`, which measures exactly
+//! this). At the paper's N ≤ 100 the sequential passes are always faster;
+//! treat the parallel path as an opt-in for wide machines and very dense
+//! sweeps, and benchmark before switching.
 //!
 //! The sequential in-place sweep ([`crate::Application::Sequential`]) has
 //! no parallel form: its loop carries a dependency.
 
 use crate::marking::has_unconnected_neighbors;
-use crate::priority::PriorityKey;
-use crate::rules::{rule2_decides_removal, Rule2Semantics};
-use pacds_graph::{Graph, NeighborBitmap, NodeId, VertexMask};
+use crate::priority::{EnergyLevel, PriorityKey};
+use crate::rules::{fill_rule2_candidates, rule2_decides_removal, Rule2Semantics, RuleScratch};
+use crate::workspace::CdsWorkspace;
+use crate::CdsConfig;
+use pacds_graph::{NeighborBitmap, Neighbors, NodeId, VertexMask};
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread rule scratch (candidate list + row-support buffer) for
+    /// the parallel Rule 2 pass. Rayon worker threads are long-lived, so
+    /// each pool warms up once and is reused by every vertex that thread
+    /// processes.
+    static RULE_SCRATCH: RefCell<RuleScratch> = RefCell::new(RuleScratch::new());
+}
 
 /// Parallel marking process; equals [`crate::marking`].
-pub fn marking_par(g: &Graph) -> VertexMask {
+pub fn marking_par<G: Neighbors + Sync + ?Sized>(g: &G) -> VertexMask {
+    let mut out = Vec::new();
+    marking_par_into(g, &mut out);
+    out
+}
+
+/// [`marking_par`] writing into a caller-provided mask (reused storage).
+pub fn marking_par_into<G: Neighbors + Sync + ?Sized>(g: &G, out: &mut VertexMask) {
     (0..g.n() as NodeId)
         .into_par_iter()
         .map(|v| has_unconnected_neighbors(g, v))
-        .collect()
+        .collect_into_vec(out);
 }
 
 /// Parallel simultaneous Rule 1 pass; equals [`crate::rule1_pass`] modulo
 /// the removal log.
-pub fn rule1_pass_par(
-    g: &Graph,
+pub fn rule1_pass_par<G: Neighbors + Sync + ?Sized>(
+    g: &G,
     bm: &NeighborBitmap,
     marked: &[bool],
     key: &PriorityKey,
 ) -> VertexMask {
-    (0..g.n() as NodeId)
-        .into_par_iter()
-        .map(|v| {
-            marked[v as usize]
-                && !g
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| marked[u as usize] && key.lt(v, u) && bm.closed_subset(v, u))
-        })
-        .collect()
+    let mut out = Vec::new();
+    rule1_pass_par_into(g, bm, marked, key, &mut out);
+    out
 }
 
-/// Parallel simultaneous Rule 2 pass; equals [`crate::rule2_pass`] modulo
-/// the removal log.
-pub fn rule2_pass_par(
-    g: &Graph,
+/// [`rule1_pass_par`] writing into a caller-provided mask.
+pub fn rule1_pass_par_into<G: Neighbors + Sync + ?Sized>(
+    g: &G,
     bm: &NeighborBitmap,
     marked: &[bool],
     key: &PriorityKey,
-    semantics: Rule2Semantics,
-) -> VertexMask {
+    out: &mut VertexMask,
+) {
     (0..g.n() as NodeId)
         .into_par_iter()
         .map(|v| {
             if !marked[v as usize] {
                 return false;
             }
-            let marked_nbrs: Vec<NodeId> = g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&u| marked[u as usize])
-                .collect();
-            if marked_nbrs.len() < 2 {
-                return true;
-            }
-            !rule2_decides_removal(bm, key, semantics, v, &marked_nbrs)
+            let dv = g.neighbors(v).len();
+            let witness = g.neighbors(v).iter().copied().min().unwrap_or(v);
+            !g.neighbors(v).iter().any(|&u| {
+                marked[u as usize]
+                    && g.neighbors(u).len() >= dv
+                    && key.lt(v, u)
+                    && (witness == u || bm.contains(witness, u))
+                    && bm.closed_subset(v, u)
+            })
         })
-        .collect()
+        .collect_into_vec(out);
+}
+
+/// Parallel simultaneous Rule 2 pass; equals [`crate::rule2_pass`] modulo
+/// the removal log.
+pub fn rule2_pass_par<G: Neighbors + Sync + ?Sized>(
+    g: &G,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    semantics: Rule2Semantics,
+) -> VertexMask {
+    let mut out = Vec::new();
+    rule2_pass_par_into(g, bm, marked, key, semantics, &mut out);
+    out
+}
+
+/// [`rule2_pass_par`] writing into a caller-provided mask. The
+/// marked-neighbour list each vertex needs comes from the thread-local
+/// scratch pool, not a fresh allocation per vertex.
+pub fn rule2_pass_par_into<G: Neighbors + Sync + ?Sized>(
+    g: &G,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    semantics: Rule2Semantics,
+    out: &mut VertexMask,
+) {
+    (0..g.n() as NodeId)
+        .into_par_iter()
+        .map(|v| {
+            if !marked[v as usize] {
+                return false;
+            }
+            RULE_SCRATCH.with(|cell| {
+                let scratch = &mut *cell.borrow_mut();
+                if !fill_rule2_candidates(g, marked, key, semantics, v, &mut scratch.nbrs) {
+                    return true;
+                }
+                !rule2_decides_removal(bm, key, semantics, v, scratch)
+            })
+        })
+        .collect_into_vec(out);
 }
 
 /// End-to-end parallel pipeline (marking → Rule 1 → Rule 2), equal to
 /// [`crate::compute_cds`] for simultaneous single-pass configurations.
-pub fn compute_cds_par(
-    g: &Graph,
-    energy: Option<&[crate::EnergyLevel]>,
-    cfg: &crate::CdsConfig,
+pub fn compute_cds_par<G: Neighbors + Sync + ?Sized>(
+    g: &G,
+    energy: Option<&[EnergyLevel]>,
+    cfg: &CdsConfig,
 ) -> VertexMask {
+    let mut ws = CdsWorkspace::new();
+    compute_cds_par_with(g, energy, cfg, &mut ws);
+    std::mem::take(&mut ws.after2)
+}
+
+/// [`compute_cds_par`] against a caller-owned [`CdsWorkspace`]: the bitmap,
+/// priority table, and all masks come from (and stay in) the workspace, so
+/// repeated parallel sweeps at a fixed size allocate nothing. The result is
+/// also readable via [`CdsWorkspace::gateways`] afterwards.
+///
+/// # Panics
+/// Panics unless `cfg` uses simultaneous application with the single-pass
+/// schedule (the only configuration with a data-parallel form).
+pub fn compute_cds_par_with<'ws, G: Neighbors + Sync + ?Sized>(
+    g: &G,
+    energy: Option<&[EnergyLevel]>,
+    cfg: &CdsConfig,
+    ws: &'ws mut CdsWorkspace,
+) -> &'ws VertexMask {
     assert_eq!(cfg.application, crate::Application::Simultaneous);
     assert_eq!(cfg.schedule, crate::PruneSchedule::SinglePass);
-    let marked = marking_par(g);
+    marking_par_into(g, &mut ws.marked);
+    ws.removed1.clear();
+    ws.removed2.clear();
+    ws.rounds = 0;
     if !cfg.policy.prunes() {
-        return marked;
+        ws.after1.clone_from(&ws.marked);
+        ws.after2.clone_from(&ws.marked);
+        return &ws.after2;
     }
-    let bm = NeighborBitmap::build(g);
-    let key = PriorityKey::build(cfg.policy, g, energy);
-    let semantics = match cfg.policy {
-        crate::Policy::Id => Rule2Semantics::MinOfThree,
-        _ => cfg.rule2,
-    };
-    let after1 = rule1_pass_par(g, &bm, &marked, &key);
-    rule2_pass_par(g, &bm, &after1, &key, semantics)
+    ws.bm.rebuild_into(g);
+    ws.key.rebuild(cfg.policy, g, energy);
+    let semantics = cfg.rule2_semantics();
+    rule1_pass_par_into(g, &ws.bm, &ws.marked, &ws.key, &mut ws.after1);
+    rule2_pass_par_into(g, &ws.bm, &ws.after1, &ws.key, semantics, &mut ws.after2);
+    ws.rounds = 1;
+    &ws.after2
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{compute_cds, CdsConfig, CdsInput, Policy};
-    use pacds_graph::gen;
+    use pacds_graph::{gen, CsrGraph};
     use rand::SeedableRng;
 
     #[test]
@@ -145,6 +227,21 @@ mod tests {
             compute_cds(&CdsInput::with_energy(&g, &energy), &cfg),
             compute_cds_par(&g, Some(&energy), &cfg)
         );
+    }
+
+    #[test]
+    fn workspace_variant_reuses_buffers_and_matches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut ws = CdsWorkspace::new();
+        for n in [30usize, 120, 60] {
+            let g = gen::gnp(&mut rng, n, 0.1);
+            let csr = CsrGraph::from(&g);
+            let cfg = CdsConfig::policy(Policy::Degree);
+            let seq = compute_cds(&CdsInput::new(&g), &cfg);
+            let par = compute_cds_par_with(&csr, None, &cfg, &mut ws).clone();
+            assert_eq!(seq, par, "n={n}");
+            assert_eq!(ws.gateways(), &seq);
+        }
     }
 
     #[test]

@@ -1,11 +1,8 @@
 //! End-to-end CDS computation: marking followed by the selected rule pair.
 
-use crate::marking::marking;
-use crate::priority::{EnergyLevel, Policy, PriorityKey};
-use crate::rules::{
-    rule1_pass, rule1_pass_sequential, rule2_pass, rule2_pass_sequential, Rule2Semantics,
-};
-use pacds_graph::{Graph, NeighborBitmap, NodeId, VertexMask};
+use crate::priority::{EnergyLevel, Policy};
+use crate::rules::Rule2Semantics;
+use pacds_graph::{Graph, NodeId, VertexMask};
 use serde::{Deserialize, Serialize};
 
 /// Inputs to a CDS computation.
@@ -127,7 +124,10 @@ impl CdsConfig {
         }
     }
 
-    fn rule2_semantics(&self) -> Rule2Semantics {
+    /// The Rule 2 semantics this configuration actually runs: for
+    /// [`Policy::Id`] the original Rule 2 is already the min-of-three form,
+    /// so the `rule2` field is overridden.
+    pub fn rule2_semantics(&self) -> Rule2Semantics {
         match self.policy {
             // The original Rule 2 is already the min-of-three form.
             Policy::Id => Rule2Semantics::MinOfThree,
@@ -173,62 +173,18 @@ pub fn compute_cds(input: &CdsInput<'_>, cfg: &CdsConfig) -> VertexMask {
 }
 
 /// Computes the gateway set, returning every intermediate state.
+///
+/// This is the convenient allocating entry point: it runs a fresh
+/// [`CdsWorkspace`](crate::CdsWorkspace) — the single canonical
+/// implementation of the marking + pruning pipeline, which builds the
+/// priority key exactly once per call regardless of how many Fixpoint
+/// rounds run — and moves its buffers out as the trace. Hot loops that
+/// recompute on every update interval should hold a workspace themselves
+/// and call [`CdsWorkspace::compute`](crate::CdsWorkspace::compute).
 pub fn compute_cds_trace(input: &CdsInput<'_>, cfg: &CdsConfig) -> CdsTrace {
-    let g = input.graph;
-    let marked = marking(g);
-    if !cfg.policy.prunes() {
-        return CdsTrace {
-            after_rule1: marked.clone(),
-            after_rule2: marked.clone(),
-            marked,
-            removed_by_rule1: Vec::new(),
-            removed_by_rule2: Vec::new(),
-            rounds: 0,
-        };
-    }
-
-    let bm = NeighborBitmap::build(g);
-    let key = PriorityKey::build(cfg.policy, g, input.energy);
-    let semantics = cfg.rule2_semantics();
-
-    let r1 = |m: &[bool], rem: Option<&mut Vec<NodeId>>| match cfg.application {
-        Application::Simultaneous => rule1_pass(g, &bm, m, &key, rem),
-        Application::Sequential => rule1_pass_sequential(g, &bm, m, &key, rem),
-    };
-    let r2 = |m: &[bool], rem: Option<&mut Vec<NodeId>>| match cfg.application {
-        Application::Simultaneous => rule2_pass(g, &bm, m, &key, semantics, rem),
-        Application::Sequential => rule2_pass_sequential(g, &bm, m, &key, semantics, rem),
-    };
-
-    let mut removed1 = Vec::new();
-    let mut removed2 = Vec::new();
-    let mut after_rule1 = r1(&marked, Some(&mut removed1));
-    let mut after_rule2 = r2(&after_rule1, Some(&mut removed2));
-    let mut rounds = 1;
-
-    if cfg.schedule == PruneSchedule::Fixpoint {
-        loop {
-            let next1 = r1(&after_rule2, None);
-            let next2 = r2(&next1, None);
-            let changed = next2 != after_rule2;
-            after_rule1 = next1;
-            let prev = std::mem::replace(&mut after_rule2, next2);
-            rounds += 1;
-            if !changed {
-                after_rule2 = prev; // identical; keep the earlier allocation
-                break;
-            }
-        }
-    }
-
-    CdsTrace {
-        marked,
-        after_rule1,
-        after_rule2,
-        removed_by_rule1: removed1,
-        removed_by_rule2: removed2,
-        rounds,
-    }
+    let mut ws = crate::workspace::CdsWorkspace::new();
+    ws.compute(input.graph, input.energy, cfg);
+    ws.into_trace()
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 //! order; this is what makes simultaneous rule application safe (exactly
 //! one node of a coverage-equivalent pair removes itself).
 
-use pacds_graph::{Graph, NodeId};
+use pacds_graph::{Neighbors, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Discrete energy level, as the rules compare it.
@@ -79,12 +79,17 @@ impl std::fmt::Display for Policy {
 
 /// A materialised priority table: `key(v)` compares lexicographically, and
 /// smaller keys are removed first.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PriorityKey {
     keys: Vec<[u64; 3]>,
 }
 
 impl PriorityKey {
+    /// An empty table; a reusable slot for [`PriorityKey::rebuild`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Builds the key table for `policy` over graph `g`.
     ///
     /// `energy[v]` must be provided (same length as `g.n()`) for the
@@ -93,26 +98,41 @@ impl PriorityKey {
     /// # Panics
     /// Panics if `policy.needs_energy()` and `energy` is `None` or of the
     /// wrong length.
-    pub fn build(policy: Policy, g: &Graph, energy: Option<&[EnergyLevel]>) -> Self {
+    pub fn build<G: Neighbors + ?Sized>(
+        policy: Policy,
+        g: &G,
+        energy: Option<&[EnergyLevel]>,
+    ) -> Self {
+        let mut key = Self::new();
+        key.rebuild(policy, g, energy);
+        key
+    }
+
+    /// Recomputes the table in place, reusing the key storage (allocation
+    /// free once warm). Same contract as [`PriorityKey::build`].
+    pub fn rebuild<G: Neighbors + ?Sized>(
+        &mut self,
+        policy: Policy,
+        g: &G,
+        energy: Option<&[EnergyLevel]>,
+    ) {
         let n = g.n();
         if policy.needs_energy() {
             let e = energy.expect("energy-aware policy requires energy levels");
             assert_eq!(e.len(), n, "energy table length must equal n");
         }
-        let keys = (0..n as NodeId)
-            .map(|v| {
-                let id = v as u64;
-                let nd = g.degree(v) as u64;
-                let el = energy.map_or(0, |e| e[v as usize]);
-                match policy {
-                    Policy::NoPruning | Policy::Id => [id, 0, 0],
-                    Policy::Degree => [nd, id, 0],
-                    Policy::Energy => [el, id, 0],
-                    Policy::EnergyDegree => [el, nd, id],
-                }
-            })
-            .collect();
-        Self { keys }
+        self.keys.clear();
+        self.keys.extend((0..n as NodeId).map(|v| {
+            let id = v as u64;
+            let nd = g.degree(v) as u64;
+            let el = energy.map_or(0, |e| e[v as usize]);
+            match policy {
+                Policy::NoPruning | Policy::Id => [id, 0, 0],
+                Policy::Degree => [nd, id, 0],
+                Policy::Energy => [el, id, 0],
+                Policy::EnergyDegree => [el, nd, id],
+            }
+        }));
     }
 
     /// The lexicographic key of `v`.

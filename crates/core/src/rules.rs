@@ -9,7 +9,7 @@
 //! determined).
 
 use crate::priority::PriorityKey;
-use pacds_graph::{Graph, NeighborBitmap, NodeId, VertexMask};
+use pacds_graph::{NeighborBitmap, Neighbors, NodeId, VertexMask};
 
 /// How Rule 2 combines the coverage tests with the priority order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -45,6 +45,33 @@ pub enum Rule2Semantics {
     CaseAnalysis,
 }
 
+/// Reusable scratch for the rule passes: the candidate-neighbour list plus
+/// the row-support word buffer that keeps the coverage predicates O(degree)
+/// instead of O(n/64) per check (see
+/// [`NeighborBitmap::row_support_into`]).
+///
+/// One instance serves any sequence of passes; every buffer is cleared and
+/// refilled per vertex, so hot loops perform no allocation once the scratch
+/// has grown to the topology's high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScratch {
+    pub(crate) nbrs: Vec<NodeId>,
+    pub(crate) support: Vec<(u32, u64)>,
+}
+
+impl RuleScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes every buffer for graphs of `n` vertices.
+    pub fn reserve(&mut self, n: usize) {
+        self.nbrs.reserve(n);
+        self.support.reserve(n.div_ceil(64));
+    }
+}
+
 /// One simultaneous Rule 1 pass.
 ///
 /// A marked `v` unmarks itself when some marked `u` has `N[v] ⊆ N[u]` and
@@ -53,20 +80,48 @@ pub enum Rule2Semantics {
 ///
 /// Returns the new marked mask; `removed` (if provided) collects the
 /// unmarked vertices.
-pub fn rule1_pass(
-    g: &Graph,
+pub fn rule1_pass<G: Neighbors + ?Sized>(
+    g: &G,
     bm: &NeighborBitmap,
     marked: &[bool],
     key: &PriorityKey,
-    mut removed: Option<&mut Vec<NodeId>>,
+    removed: Option<&mut Vec<NodeId>>,
 ) -> VertexMask {
-    let mut next = marked.to_vec();
+    let mut next = Vec::new();
+    rule1_pass_into(g, bm, marked, key, &mut next, removed);
+    next
+}
+
+/// [`rule1_pass`] writing the result into a caller-provided mask (cleared
+/// and refilled), so hot loops allocate nothing.
+pub fn rule1_pass_into<G: Neighbors + ?Sized>(
+    g: &G,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    next: &mut VertexMask,
+    mut removed: Option<&mut Vec<NodeId>>,
+) {
+    next.clear();
+    next.extend_from_slice(marked);
     for v in g.vertices() {
         if !marked[v as usize] {
             continue;
         }
+        // Two exact pre-filters keep the word scan off the common path:
+        // `N[v] ⊆ N[u]` forces `deg(v) ≤ deg(u)`, and it forces `u` to
+        // contain v's lowest-id neighbour (the witness) — a single bit
+        // probe that rejects almost every surviving candidate.
+        let dv = g.neighbors(v).len();
+        let witness = g.neighbors(v).iter().copied().min().unwrap_or(v);
         for &u in g.neighbors(v) {
-            if marked[u as usize] && key.lt(v, u) && bm.closed_subset(v, u) {
+            if !(marked[u as usize] && g.neighbors(u).len() >= dv && key.lt(v, u)) {
+                continue;
+            }
+            if !(witness == u || bm.contains(witness, u)) {
+                continue;
+            }
+            if bm.closed_subset(v, u) {
                 next[v as usize] = false;
                 if let Some(r) = removed.as_deref_mut() {
                     r.push(v);
@@ -75,7 +130,6 @@ pub fn rule1_pass(
             }
         }
     }
-    next
 }
 
 /// One simultaneous Rule 2 pass.
@@ -85,38 +139,49 @@ pub fn rule1_pass(
 /// coverage condition implies `u` and `w` are adjacent (every neighbour of
 /// `v`, in particular `u`, lies in `N(u) ∪ N(w)`; `u ∉ N(u)`, so `u ∈ N(w)`),
 /// so the surviving pair keeps the pruned set connected.
-pub fn rule2_pass(
-    g: &Graph,
+pub fn rule2_pass<G: Neighbors + ?Sized>(
+    g: &G,
     bm: &NeighborBitmap,
     marked: &[bool],
     key: &PriorityKey,
     semantics: Rule2Semantics,
-    mut removed: Option<&mut Vec<NodeId>>,
+    removed: Option<&mut Vec<NodeId>>,
 ) -> VertexMask {
-    let mut next = marked.to_vec();
-    let mut marked_nbrs: Vec<NodeId> = Vec::new();
+    let mut next = Vec::new();
+    rule2_pass_into(g, bm, marked, key, semantics, &mut RuleScratch::new(), &mut next, removed);
+    next
+}
+
+/// [`rule2_pass`] writing into caller-provided buffers: `scratch` holds the
+/// marked-neighbour list and coverage word buffers, `next` receives the
+/// result (cleared and refilled).
+#[allow(clippy::too_many_arguments)]
+pub fn rule2_pass_into<G: Neighbors + ?Sized>(
+    g: &G,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    semantics: Rule2Semantics,
+    scratch: &mut RuleScratch,
+    next: &mut VertexMask,
+    mut removed: Option<&mut Vec<NodeId>>,
+) {
+    next.clear();
+    next.extend_from_slice(marked);
     for v in g.vertices() {
         if !marked[v as usize] {
             continue;
         }
-        marked_nbrs.clear();
-        marked_nbrs.extend(
-            g.neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&u| marked[u as usize]),
-        );
-        if marked_nbrs.len() < 2 {
+        if !fill_rule2_candidates(g, marked, key, semantics, v, &mut scratch.nbrs) {
             continue;
         }
-        if rule2_decides_removal(bm, key, semantics, v, &marked_nbrs) {
+        if rule2_decides_removal(bm, key, semantics, v, scratch) {
             next[v as usize] = false;
             if let Some(r) = removed.as_deref_mut() {
                 r.push(v);
             }
         }
     }
-    next
 }
 
 /// Sequential (in-place) Rule 1 sweep: vertices are visited in ascending
@@ -128,22 +193,42 @@ pub fn rule2_pass(
 /// any priority order — this is the natural way a sequential simulation
 /// loop implements the rules, and the variant whose behaviour best matches
 /// the paper's reported Figure 10 set sizes (see EXPERIMENTS.md).
-pub fn rule1_pass_sequential(
-    g: &Graph,
+pub fn rule1_pass_sequential<G: Neighbors + ?Sized>(
+    g: &G,
     bm: &NeighborBitmap,
     marked: &[bool],
     key: &PriorityKey,
-    mut removed: Option<&mut Vec<NodeId>>,
+    removed: Option<&mut Vec<NodeId>>,
 ) -> VertexMask {
-    let mut cur = marked.to_vec();
+    let mut cur = Vec::new();
+    rule1_pass_sequential_into(g, bm, marked, key, &mut cur, removed);
+    cur
+}
+
+/// [`rule1_pass_sequential`] writing into a caller-provided mask.
+pub fn rule1_pass_sequential_into<G: Neighbors + ?Sized>(
+    g: &G,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    cur: &mut VertexMask,
+    mut removed: Option<&mut Vec<NodeId>>,
+) {
+    cur.clear();
+    cur.extend_from_slice(marked);
     for v in g.vertices() {
         if !cur[v as usize] {
             continue;
         }
-        let kill = g
-            .neighbors(v)
-            .iter()
-            .any(|&u| cur[u as usize] && key.lt(v, u) && bm.closed_subset(v, u));
+        let dv = g.neighbors(v).len();
+        let witness = g.neighbors(v).iter().copied().min().unwrap_or(v);
+        let kill = g.neighbors(v).iter().any(|&u| {
+            cur[u as usize]
+                && g.neighbors(u).len() >= dv
+                && key.lt(v, u)
+                && (witness == u || bm.contains(witness, u))
+                && bm.closed_subset(v, u)
+        });
         if kill {
             cur[v as usize] = false;
             if let Some(r) = removed.as_deref_mut() {
@@ -151,76 +236,151 @@ pub fn rule1_pass_sequential(
             }
         }
     }
-    cur
 }
 
 /// Sequential (in-place) Rule 2 sweep; see [`rule1_pass_sequential`].
-pub fn rule2_pass_sequential(
-    g: &Graph,
+pub fn rule2_pass_sequential<G: Neighbors + ?Sized>(
+    g: &G,
     bm: &NeighborBitmap,
     marked: &[bool],
     key: &PriorityKey,
     semantics: Rule2Semantics,
-    mut removed: Option<&mut Vec<NodeId>>,
+    removed: Option<&mut Vec<NodeId>>,
 ) -> VertexMask {
-    let mut cur = marked.to_vec();
-    let mut marked_nbrs: Vec<NodeId> = Vec::new();
+    let mut cur = Vec::new();
+    rule2_pass_sequential_into(
+        g,
+        bm,
+        marked,
+        key,
+        semantics,
+        &mut RuleScratch::new(),
+        &mut cur,
+        removed,
+    );
+    cur
+}
+
+/// [`rule2_pass_sequential`] writing into caller-provided buffers; see
+/// [`rule2_pass_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn rule2_pass_sequential_into<G: Neighbors + ?Sized>(
+    g: &G,
+    bm: &NeighborBitmap,
+    marked: &[bool],
+    key: &PriorityKey,
+    semantics: Rule2Semantics,
+    scratch: &mut RuleScratch,
+    cur: &mut VertexMask,
+    mut removed: Option<&mut Vec<NodeId>>,
+) {
+    cur.clear();
+    cur.extend_from_slice(marked);
     for v in g.vertices() {
         if !cur[v as usize] {
             continue;
         }
-        marked_nbrs.clear();
-        marked_nbrs.extend(
-            g.neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&u| cur[u as usize]),
-        );
-        if marked_nbrs.len() < 2 {
+        if !fill_rule2_candidates(g, cur, key, semantics, v, &mut scratch.nbrs) {
             continue;
         }
-        if rule2_decides_removal(bm, key, semantics, v, &marked_nbrs) {
+        if rule2_decides_removal(bm, key, semantics, v, scratch) {
             cur[v as usize] = false;
             if let Some(r) = removed.as_deref_mut() {
                 r.push(v);
             }
         }
     }
-    cur
 }
 
-/// Whether some pair of marked neighbours justifies unmarking `v`.
+/// Fills `scratch.nbrs` with the neighbours of `v` that can participate in
+/// a Rule 2 pair under `semantics`: every marked neighbour for the
+/// case-analysis form, but only the *higher-priority* marked neighbours for
+/// min-of-three — there, coverage and priority are a pure conjunction, so a
+/// lower-priority neighbour can never be half of a removing pair. Returns
+/// `false` when fewer than two remain (no pair is possible).
+pub(crate) fn fill_rule2_candidates<G: Neighbors + ?Sized>(
+    g: &G,
+    marked: &[bool],
+    key: &PriorityKey,
+    semantics: Rule2Semantics,
+    v: NodeId,
+    nbrs: &mut Vec<NodeId>,
+) -> bool {
+    nbrs.clear();
+    let eligible = g.neighbors(v).iter().copied().filter(|&u| marked[u as usize]);
+    match semantics {
+        Rule2Semantics::MinOfThree => nbrs.extend(eligible.filter(|&u| key.lt(v, u))),
+        Rule2Semantics::CaseAnalysis => nbrs.extend(eligible),
+    }
+    nbrs.len() >= 2
+}
+
+/// Whether some pair of the neighbours in `scratch.nbrs` justifies
+/// unmarking `v` (the caller fills `scratch.nbrs` via
+/// [`fill_rule2_candidates`]; the word buffers are internal).
+///
+/// Coverage is decided per candidate `u` on the residual `N(v) \ N(u)`: its
+/// lowest vertex is a *witness* every viable partner `w` must contain, so
+/// most pairs die on a single [`NeighborBitmap::contains`] probe, and the
+/// residual word list is only materialised once some `w` survives the
+/// witness test. Bit-identical to testing
+/// [`NeighborBitmap::open_subset_pair`] on every pair, at a fraction of the
+/// word traffic. The removal outcome is an OR over pairs, so the evaluation
+/// order cannot change the result.
 pub(crate) fn rule2_decides_removal(
     bm: &NeighborBitmap,
     key: &PriorityKey,
     semantics: Rule2Semantics,
     v: NodeId,
-    marked_nbrs: &[NodeId],
+    scratch: &mut RuleScratch,
 ) -> bool {
-    for (i, &u) in marked_nbrs.iter().enumerate() {
-        for &w in &marked_nbrs[i + 1..] {
-            if !bm.open_subset_pair(v, u, w) {
-                continue;
+    let RuleScratch { nbrs, support } = scratch;
+    bm.row_support_into(v, support);
+    match semantics {
+        Rule2Semantics::MinOfThree => {
+            // `nbrs` holds only higher-priority neighbours, so coverage
+            // alone decides.
+            for (i, &u) in nbrs.iter().enumerate() {
+                match bm.first_residual_bit(support, u) {
+                    // N(v) ⊆ N(u): the pair (u, w) covers for *any* other
+                    // candidate w, and the caller guarantees one exists.
+                    None => return true,
+                    Some(b) => {
+                        for &w in &nbrs[i + 1..] {
+                            if bm.contains(w, b) && bm.open_subset_pair_with(support, u, w) {
+                                return true;
+                            }
+                        }
+                    }
+                }
             }
-            let ok = match semantics {
-                Rule2Semantics::MinOfThree => key.lt(v, u) && key.lt(v, w),
-                Rule2Semantics::CaseAnalysis => {
+            false
+        }
+        Rule2Semantics::CaseAnalysis => {
+            for (i, &u) in nbrs.iter().enumerate() {
+                let witness = bm.first_residual_bit(support, u);
+                for &w in &nbrs[i + 1..] {
+                    if let Some(b) = witness {
+                        if !(bm.contains(w, b) && bm.open_subset_pair_with(support, u, w)) {
+                            continue;
+                        }
+                    }
                     let cu = bm.open_subset_pair(u, v, w);
                     let cw = bm.open_subset_pair(w, v, u);
-                    match (cu, cw) {
+                    let ok = match (cu, cw) {
                         (false, false) => true,
                         (true, false) => key.lt(v, u),
                         (false, true) => key.lt(v, w),
                         (true, true) => key.lt(v, u) && key.lt(v, w),
+                    };
+                    if ok {
+                        return true;
                     }
                 }
-            };
-            if ok {
-                return true;
             }
+            false
         }
     }
-    false
 }
 
 #[cfg(test)]
@@ -228,7 +388,7 @@ mod tests {
     use super::*;
     use crate::marking::marking;
     use crate::priority::Policy;
-    use pacds_graph::mask_to_vec;
+    use pacds_graph::{mask_to_vec, Graph};
 
     fn prio(policy: Policy, g: &Graph, energy: Option<&[u64]>) -> PriorityKey {
         PriorityKey::build(policy, g, energy)

@@ -1,6 +1,7 @@
 //! Verification of the CDS properties the paper proves.
 
-use pacds_graph::{algo, Graph, NodeId};
+use pacds_graph::{algo, Graph, Neighbors, NodeId};
+use std::collections::VecDeque;
 
 /// Why a vertex set fails to be a connected dominating set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,12 +27,12 @@ impl std::fmt::Display for CdsViolation {
 }
 
 /// Whether `mask` is a dominating set of `g`.
-pub fn is_dominating_set(g: &Graph, mask: &[bool]) -> bool {
+pub fn is_dominating_set<G: Neighbors + ?Sized>(g: &G, mask: &[bool]) -> bool {
     dominating_witness(g, mask).is_none()
 }
 
 /// A vertex not dominated by `mask`, if any.
-fn dominating_witness(g: &Graph, mask: &[bool]) -> Option<NodeId> {
+fn dominating_witness<G: Neighbors + ?Sized>(g: &G, mask: &[bool]) -> Option<NodeId> {
     for v in g.vertices() {
         if mask[v as usize] {
             continue;
@@ -44,7 +45,7 @@ fn dominating_witness(g: &Graph, mask: &[bool]) -> Option<NodeId> {
 }
 
 /// Whether `mask` is a *connected* dominating set of `g`.
-pub fn is_connected_dominating_set(g: &Graph, mask: &[bool]) -> bool {
+pub fn is_connected_dominating_set<G: Neighbors + ?Sized>(g: &G, mask: &[bool]) -> bool {
     verify_cds(g, mask).is_ok()
 }
 
@@ -53,7 +54,19 @@ pub fn is_connected_dominating_set(g: &Graph, mask: &[bool]) -> bool {
 /// The complete graph is special-cased to match the paper: the marking
 /// process marks nothing on `K_n`, and routing needs no gateways there, so
 /// an empty set on a complete graph verifies.
-pub fn verify_cds(g: &Graph, mask: &[bool]) -> Result<(), CdsViolation> {
+pub fn verify_cds<G: Neighbors + ?Sized>(g: &G, mask: &[bool]) -> Result<(), CdsViolation> {
+    verify_cds_scratch(g, mask, &mut Vec::new(), &mut VecDeque::new())
+}
+
+/// [`verify_cds`] with caller-provided BFS scratch (visited flags + queue),
+/// so the steady-state interval loop can verify every computed set without
+/// heap allocation. Buffer contents on entry are ignored.
+pub fn verify_cds_scratch<G: Neighbors + ?Sized>(
+    g: &G,
+    mask: &[bool],
+    seen: &mut Vec<bool>,
+    queue: &mut VecDeque<NodeId>,
+) -> Result<(), CdsViolation> {
     assert_eq!(mask.len(), g.n());
     if mask.iter().all(|&b| !b) {
         return if g.is_complete() {
@@ -65,7 +78,7 @@ pub fn verify_cds(g: &Graph, mask: &[bool]) -> Result<(), CdsViolation> {
     if let Some(witness) = dominating_witness(g, mask) {
         return Err(CdsViolation::NotDominating { witness });
     }
-    if !algo::is_connected_within(g, mask) {
+    if !algo::is_connected_within_scratch(g, mask, seen, queue) {
         return Err(CdsViolation::NotConnected);
     }
     Ok(())

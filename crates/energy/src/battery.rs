@@ -99,10 +99,20 @@ impl Fleet {
 
     /// Discrete energy levels of every host, as the rules consume them.
     pub fn levels(&self) -> Vec<u64> {
-        self.batteries
-            .iter()
-            .map(|b| self.config.level_of(b.energy()))
-            .collect()
+        let mut out = Vec::new();
+        self.levels_into(&mut out);
+        out
+    }
+
+    /// [`Fleet::levels`] writing into a caller-provided buffer (cleared and
+    /// refilled), so per-interval quantisation reuses one allocation.
+    pub fn levels_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(
+            self.batteries
+                .iter()
+                .map(|b| self.config.level_of(b.energy())),
+        );
     }
 
     /// Applies one update interval's drain: hosts with `gateway[v] = true`

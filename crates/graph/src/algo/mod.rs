@@ -7,7 +7,8 @@ pub mod structure;
 
 pub use bfs::{bfs_distances, bfs_parents, eccentricity};
 pub use components::{
-    connected_components, is_connected, is_connected_within, largest_component, num_components,
+    connected_components, is_connected, is_connected_within, is_connected_within_scratch,
+    largest_component, num_components,
 };
 pub use paths::{diameter, restricted_shortest_path, shortest_path, PathError};
 pub use structure::{articulation_points, bridges};

@@ -5,7 +5,7 @@
 //! representation both reduce to a few word-wise `AND`/`OR` passes, turning
 //! the rule engine's inner loop from set scans into O(n/64) word operations.
 
-use crate::{Graph, NodeId};
+use crate::{Neighbors, NodeId};
 
 const WORD_BITS: usize = 64;
 
@@ -15,7 +15,7 @@ fn words_for(n: usize) -> usize {
 }
 
 /// A matrix of bitsets: row `v` holds the open neighbourhood `N(v)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct NeighborBitmap {
     n: usize,
     words: usize,
@@ -23,18 +23,68 @@ pub struct NeighborBitmap {
 }
 
 impl NeighborBitmap {
+    /// An empty bitmap (zero vertices); a reusable slot for
+    /// [`NeighborBitmap::rebuild_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Builds the neighbourhood bitmap of `g`.
-    pub fn build(g: &Graph) -> Self {
+    pub fn build<G: Neighbors + ?Sized>(g: &G) -> Self {
+        let mut bm = Self::new();
+        bm.rebuild_into(g);
+        bm
+    }
+
+    /// Rebuilds the bitmap for `g` in place, reusing the row storage.
+    ///
+    /// After warm-up (once the row buffer has reached its high-water size)
+    /// this performs no heap allocation, which is what keeps the
+    /// Monte-Carlo interval loop allocation-free. Rows are filled through a
+    /// single mutable chunk borrow per vertex ([`slice::chunks_exact_mut`]),
+    /// not by re-slicing `rows[v * words..]` inside the neighbour loop.
+    pub fn rebuild_into<G: Neighbors + ?Sized>(&mut self, g: &G) {
         let n = g.n();
         let words = words_for(n);
-        let mut rows = vec![0u64; n * words];
-        for v in 0..n {
-            let row = &mut rows[v * words..(v + 1) * words];
+        self.n = n;
+        self.words = words;
+        self.rows.clear();
+        self.rows.resize(n * words, 0);
+        if words == 0 {
+            return;
+        }
+        for (v, row) in self.rows.chunks_exact_mut(words).enumerate() {
             for &u in g.neighbors(v as NodeId) {
                 row[u as usize / WORD_BITS] |= 1 << (u as usize % WORD_BITS);
             }
         }
-        Self { n, words, rows }
+    }
+
+    /// Clears every row (all neighbourhoods become empty) without touching
+    /// the vertex count or releasing storage. Pair with
+    /// [`NeighborBitmap::set_edge`] to assemble a topology edge by edge.
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+    }
+
+    /// Records the undirected edge `{u, v}` in both rows.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints; self-loops are ignored (open
+    /// neighbourhoods never contain the vertex itself).
+    pub fn set_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            return;
+        }
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        self.rows[u as usize * self.words + v as usize / WORD_BITS] |=
+            1 << (v as usize % WORD_BITS);
+        self.rows[v as usize * self.words + u as usize / WORD_BITS] |=
+            1 << (u as usize % WORD_BITS);
     }
 
     /// Number of vertices.
@@ -112,12 +162,61 @@ impl NeighborBitmap {
         self.row(v).iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Collects the nonzero words of row `v` as `(word index, word)` pairs
+    /// into `out` (cleared first).
+    ///
+    /// At bounded degree a row has at most `deg(v)` nonzero words however
+    /// large `n` grows, so coverage predicates restricted to this support
+    /// run in O(deg) instead of O(n/64) — the difference between the rule
+    /// passes scaling linearly and quadratically with network size.
+    pub fn row_support_into(&self, v: NodeId, out: &mut Vec<(u32, u64)>) {
+        out.clear();
+        for (i, &w) in self.row(v).iter().enumerate() {
+            if w != 0 {
+                out.push((i as u32, w));
+            }
+        }
+    }
+
+    /// The lowest-index vertex of `N(v) \ N(u)`, where `support` holds the
+    /// nonzero words of `N(v)` ([`NeighborBitmap::row_support_into`]);
+    /// `None` when `N(v) ⊆ N(u)`. Any set covering `N(v)` together with
+    /// `N(u)` must contain this vertex, which makes it a one-word witness
+    /// test that rejects most candidate partners before any full coverage
+    /// scan.
+    pub fn first_residual_bit(&self, support: &[(u32, u64)], u: NodeId) -> Option<NodeId> {
+        let ru = self.row(u);
+        for &(i, w) in support {
+            let rest = w & !ru[i as usize];
+            if rest != 0 {
+                return Some(i * WORD_BITS as u32 + rest.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// [`NeighborBitmap::open_subset_pair`] with the support of row `v`
+    /// precomputed by [`NeighborBitmap::row_support_into`]: decides
+    /// `N(v) ⊆ N(u) ∪ N(w)` touching only the nonzero words of `N(v)`,
+    /// with the usual early exit on the first uncovered word.
+    pub fn open_subset_pair_with(&self, support: &[(u32, u64)], u: NodeId, w: NodeId) -> bool {
+        let ru = self.row(u);
+        let rw = self.row(w);
+        support
+            .iter()
+            .all(|&(i, word)| word & !(ru[i as usize] | rw[i as usize]) == 0)
+    }
+
     /// Rebuilds the rows of `verts` from `g` (after a local topology
     /// change); all other rows must still be valid for `g`.
     ///
     /// # Panics
     /// Panics if `g` has a different vertex count than the bitmap.
-    pub fn refresh_rows(&mut self, g: &Graph, verts: impl IntoIterator<Item = NodeId>) {
+    pub fn refresh_rows<G: Neighbors + ?Sized>(
+        &mut self,
+        g: &G,
+        verts: impl IntoIterator<Item = NodeId>,
+    ) {
         assert_eq!(g.n(), self.n, "vertex count is fixed");
         for v in verts {
             let row = &mut self.rows[v as usize * self.words..(v as usize + 1) * self.words];
@@ -149,7 +248,7 @@ impl NeighborBitmap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen;
+    use crate::{gen, CsrGraph, Graph};
     use rand::SeedableRng;
 
     fn naive_closed_subset(g: &Graph, v: NodeId, u: NodeId) -> bool {
@@ -276,5 +375,69 @@ mod tests {
         // N[63]={63,64,65} ⊆ N[64]={63,64,65,129}
         assert!(bm.closed_subset(63, 64));
         assert!(!bm.closed_subset(64, 63));
+    }
+
+    #[test]
+    fn build_from_csr_matches_build_from_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        for n in [0usize, 1, 9, 70, 130] {
+            let g = gen::gnp(&mut rng, n, 0.2);
+            let csr = CsrGraph::from(&g);
+            let a = NeighborBitmap::build(&g);
+            let b = NeighborBitmap::build(&csr);
+            for v in 0..n as NodeId {
+                for u in 0..n as NodeId {
+                    assert_eq!(a.contains(v, u), b.contains(v, u), "n={n} {v},{u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_into_reuses_capacity_and_matches_fresh_build() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let mut bm = NeighborBitmap::new();
+        // Shrinking n must not leave stale bits behind, and growing back must
+        // not read garbage.
+        for n in [130usize, 40, 130, 7, 0, 90] {
+            let g = gen::gnp(&mut rng, n, 0.15);
+            bm.rebuild_into(&g);
+            let fresh = NeighborBitmap::build(&g);
+            assert_eq!(bm.n(), fresh.n());
+            for v in 0..n as NodeId {
+                for u in 0..n as NodeId {
+                    assert_eq!(bm.contains(v, u), fresh.contains(v, u), "n={n} {v},{u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_and_set_edge_assemble_a_topology() {
+        let g = Graph::from_edges(70, &[(0, 69), (1, 64), (63, 64), (2, 3)]);
+        let mut bm = NeighborBitmap::build(&gen::complete(70));
+        bm.clear();
+        for v in 0..70u32 {
+            for u in 0..70u32 {
+                assert!(!bm.contains(v, u), "clear left {v},{u} set");
+            }
+        }
+        for (u, v) in [(0u32, 69u32), (1, 64), (63, 64), (2, 3)] {
+            bm.set_edge(u, v);
+        }
+        bm.set_edge(5, 5); // self-loop: ignored
+        let fresh = NeighborBitmap::build(&g);
+        for v in 0..70u32 {
+            for u in 0..70u32 {
+                assert_eq!(bm.contains(v, u), fresh.contains(v, u), "{v},{u}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_edge_rejects_out_of_range() {
+        let mut bm = NeighborBitmap::build(&Graph::new(4));
+        bm.set_edge(0, 4);
     }
 }

@@ -5,16 +5,36 @@
 //! all adjacency in two flat arrays, eliminating per-node Vec headers and
 //! improving locality, and is trivially shareable across threads.
 
-use crate::{Graph, NodeId};
+use crate::{Graph, Neighbors, NodeId};
 
-/// An immutable undirected graph in CSR form.
+/// An undirected graph in CSR form.
+///
+/// Structurally immutable between rebuilds; the hot path reconstructs it
+/// in place each update interval via [`CsrGraph::rebuild_from`] /
+/// [`crate::gen::unit_disk_csr`], reusing the two flat arrays so the
+/// steady-state interval loop never touches the heap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<u32>,
     targets: Vec<NodeId>,
 }
 
+impl Default for CsrGraph {
+    fn default() -> Self {
+        Self {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+}
+
 impl CsrGraph {
+    /// An empty graph (zero vertices); a reusable slot for
+    /// [`CsrGraph::rebuild_from`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -57,6 +77,56 @@ impl CsrGraph {
     /// Iterator over all vertices.
     pub fn vertices(&self) -> std::ops::Range<NodeId> {
         0..self.n() as NodeId
+    }
+
+    /// Rebuilds this graph in place as a copy of `src`, reusing the offset
+    /// and target storage (allocation-free once warm).
+    pub fn rebuild_from<G: Neighbors + ?Sized>(&mut self, src: &G) {
+        let n = src.n();
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(n + 1);
+        self.offsets.push(0);
+        for v in 0..n as NodeId {
+            self.targets.extend_from_slice(src.neighbors(v));
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+
+    /// Rebuilds this graph in place as a copy of `src` with every vertex in
+    /// `dropped` isolated (its edges removed, vertex count preserved).
+    ///
+    /// This is the survivor-topology step of the extended-lifetime loop:
+    /// depleted hosts leave the network but keep their slot so masks and
+    /// energy vectors stay index-aligned.
+    ///
+    /// # Panics
+    /// Panics if `dropped.len() != src.n()`.
+    pub fn rebuild_from_masked<G: Neighbors + ?Sized>(&mut self, src: &G, dropped: &[bool]) {
+        let n = src.n();
+        assert_eq!(dropped.len(), n, "mask length must equal vertex count");
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(n + 1);
+        self.offsets.push(0);
+        for v in 0..n as NodeId {
+            if !dropped[v as usize] {
+                self.targets.extend(
+                    src.neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&u| !dropped[u as usize]),
+                );
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+
+    /// Direct access to the raw arrays for in-crate builders
+    /// ([`crate::gen::unit_disk_csr`] writes edges straight into them).
+    #[inline]
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<u32>, &mut Vec<NodeId>) {
+        (&mut self.offsets, &mut self.targets)
     }
 }
 
@@ -107,5 +177,64 @@ mod tests {
         assert_eq!(c.n(), 3);
         assert_eq!(c.degree(2), 0);
         assert!(c.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let c = CsrGraph::new();
+        assert_eq!(c.n(), 0);
+        assert_eq!(c.m(), 0);
+    }
+
+    #[test]
+    fn rebuild_from_matches_conversion_across_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut c = CsrGraph::new();
+        for n in [60usize, 10, 80, 0, 25] {
+            let g = gen::gnp(&mut rng, n, 0.12);
+            c.rebuild_from(&g);
+            assert_eq!(c, CsrGraph::from(&g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_csr_source() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let g = gen::gnp(&mut rng, 40, 0.15);
+        let src = CsrGraph::from(&g);
+        let mut c = CsrGraph::new();
+        c.rebuild_from(&src);
+        assert_eq!(c, src);
+    }
+
+    #[test]
+    fn rebuild_from_masked_isolates_dropped_vertices() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let g = gen::gnp(&mut rng, 50, 0.2);
+        let mut dropped = vec![false; 50];
+        for i in [3usize, 17, 17, 44, 0] {
+            dropped[i] = true;
+        }
+        let mut c = CsrGraph::new();
+        c.rebuild_from_masked(&g, &dropped);
+        // Reference: clone + isolate.
+        let mut h = g.clone();
+        for (i, &d) in dropped.iter().enumerate() {
+            if d {
+                h.isolate(i as NodeId);
+            }
+        }
+        assert_eq!(c, CsrGraph::from(&h));
+        assert_eq!(c.n(), 50);
+        assert_eq!(c.degree(17), 0);
+    }
+
+    #[test]
+    fn rebuild_from_masked_none_dropped_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let g = gen::gnp(&mut rng, 30, 0.2);
+        let mut c = CsrGraph::new();
+        c.rebuild_from_masked(&g, &vec![false; 30]);
+        assert_eq!(c, CsrGraph::from(&g));
     }
 }

@@ -4,8 +4,8 @@
 //! transmission range are connected. The deterministic families exist for
 //! tests, and [`gnp`] provides a non-geometric random baseline.
 
-use crate::{Graph, NodeId};
-use pacds_geom::{Point2, Rect, SpatialGrid};
+use crate::{CsrGraph, Graph, NodeId};
+use pacds_geom::{Point2, Rect, SpatialGrid, EPS};
 use rand::Rng;
 
 /// Builds the unit-disk graph of `points` with transmission radius `radius`
@@ -32,6 +32,130 @@ pub fn unit_disk(bounds: Rect, radius: f64, points: &[Point2]) -> Graph {
         });
     }
     g
+}
+
+/// Reusable scratch buffers for [`unit_disk_csr`]: the counting-sort cell
+/// index (starts / cursor / item arrays). One instance amortises all grid
+/// allocations across the update intervals of a Monte-Carlo run.
+#[derive(Debug, Clone, Default)]
+pub struct UnitDiskScratch {
+    starts: Vec<u32>,
+    cursor: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl UnitDiskScratch {
+    /// Empty scratch; buffers grow to their high-water mark on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Builds the unit-disk graph of `points` straight into CSR form, skipping
+/// the intermediate adjacency-list [`Graph`] entirely.
+///
+/// Produces exactly the edge set of [`unit_disk`] (same clamped binning,
+/// same rim-inclusive `r² + EPS` test), written into `out` with rows sorted
+/// ascending. Vertices flagged in `off` (switched-off hosts) are isolated:
+/// they keep their slot but contribute no edges in either direction.
+///
+/// All storage is taken from `out` and `scratch`; once both have reached
+/// their high-water capacity, a call performs **zero heap allocations** —
+/// this is the interval-loop entry point of the zero-allocation hot path.
+///
+/// # Panics
+/// Panics if `radius <= 0` or `off` has the wrong length.
+pub fn unit_disk_csr(
+    bounds: Rect,
+    radius: f64,
+    points: &[Point2],
+    off: Option<&[bool]>,
+    out: &mut CsrGraph,
+    scratch: &mut UnitDiskScratch,
+) {
+    assert!(radius > 0.0, "transmission radius must be positive");
+    if let Some(off) = off {
+        assert_eq!(off.len(), points.len(), "off-mask length must equal point count");
+    }
+    let n = points.len();
+    let (offsets, targets) = out.parts_mut();
+    offsets.clear();
+    targets.clear();
+    offsets.reserve(n + 1);
+    offsets.push(0);
+    if n == 0 {
+        return;
+    }
+
+    // Counting-sort binning, replicating SpatialGrid::build semantics:
+    // cells of side `radius`, out-of-bounds points clamped for binning only.
+    let cell = radius;
+    let nx = (bounds.width() / cell).ceil().max(1.0) as usize;
+    let ny = (bounds.height() / cell).ceil().max(1.0) as usize;
+    let ncells = nx * ny;
+    let is_off = |i: usize| off.is_some_and(|o| o[i]);
+    let cell_of = |p: Point2| -> usize {
+        let q = bounds.clamp(p);
+        let cx = (((q.x - bounds.x0) / cell) as usize).min(nx - 1);
+        let cy = (((q.y - bounds.y0) / cell) as usize).min(ny - 1);
+        cy * nx + cx
+    };
+
+    let UnitDiskScratch {
+        starts,
+        cursor,
+        items,
+    } = scratch;
+    starts.clear();
+    starts.resize(ncells + 1, 0);
+    for (i, &p) in points.iter().enumerate() {
+        if !is_off(i) {
+            starts[cell_of(p) + 1] += 1;
+        }
+    }
+    for c in 0..ncells {
+        starts[c + 1] += starts[c];
+    }
+    cursor.clear();
+    cursor.extend_from_slice(starts);
+    items.clear();
+    items.resize(starts[ncells] as usize, 0);
+    for (i, &p) in points.iter().enumerate() {
+        if is_off(i) {
+            continue;
+        }
+        let c = cell_of(p);
+        items[cursor[c] as usize] = i as u32;
+        cursor[c] += 1;
+    }
+
+    // Fill pass: scan the 3x3 cell block around each live vertex, pushing
+    // hits into the shared target array, then sort that row in place
+    // (sort_unstable on a slice allocates nothing).
+    let r2 = radius * radius + EPS;
+    for (i, &p) in points.iter().enumerate() {
+        let row_start = targets.len();
+        if !is_off(i) {
+            let q = bounds.clamp(p);
+            let cx = (((q.x - bounds.x0) / cell) as usize).min(nx - 1);
+            let cy = (((q.y - bounds.y0) / cell) as usize).min(ny - 1);
+            // The up-to-three cells of each grid row are consecutive cell
+            // indices, so their binned items form one contiguous slice.
+            let (xlo, xhi) = (cx.saturating_sub(1), (cx + 1).min(nx - 1));
+            let (ylo, yhi) = (cy.saturating_sub(1), (cy + 1).min(ny - 1));
+            for y in ylo..=yhi {
+                let lo = starts[y * nx + xlo] as usize;
+                let hi = starts[y * nx + xhi + 1] as usize;
+                for &j in &items[lo..hi] {
+                    if j as usize != i && points[j as usize].distance2(p) <= r2 {
+                        targets.push(j);
+                    }
+                }
+            }
+            targets[row_start..].sort_unstable();
+        }
+        offsets.push(targets.len() as u32);
+    }
 }
 
 /// Brute-force unit-disk graph (O(n^2)); reference implementation for tests.
@@ -193,6 +317,73 @@ mod tests {
             let slow = unit_disk_naive(25.0, &pts);
             assert_eq!(fast, slow, "n={n}");
         }
+    }
+
+    #[test]
+    fn unit_disk_csr_matches_unit_disk() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(35);
+        let mut out = CsrGraph::new();
+        let mut scratch = UnitDiskScratch::new();
+        for n in [0usize, 1, 2, 30, 120, 300] {
+            let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
+            unit_disk_csr(Rect::paper_arena(), 25.0, &pts, None, &mut out, &mut scratch);
+            let reference = CsrGraph::from(&unit_disk(Rect::paper_arena(), 25.0, &pts));
+            assert_eq!(out, reference, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unit_disk_csr_off_mask_isolates_hosts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(36);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 90);
+        let mut off = vec![false; 90];
+        for i in [0usize, 13, 13, 44, 89] {
+            off[i] = true;
+        }
+        let mut out = CsrGraph::new();
+        let mut scratch = UnitDiskScratch::new();
+        unit_disk_csr(Rect::paper_arena(), 25.0, &pts, Some(&off), &mut out, &mut scratch);
+        let mut reference = unit_disk(Rect::paper_arena(), 25.0, &pts);
+        for (i, &o) in off.iter().enumerate() {
+            if o {
+                reference.isolate(i as NodeId);
+            }
+        }
+        assert_eq!(out, CsrGraph::from(&reference));
+        assert_eq!(out.degree(13), 0);
+    }
+
+    #[test]
+    fn unit_disk_csr_scratch_reuse_across_varied_sizes() {
+        // Alternating sizes must not leave stale cells/items behind.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let mut out = CsrGraph::new();
+        let mut scratch = UnitDiskScratch::new();
+        for n in [200usize, 10, 150, 1, 80] {
+            let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
+            unit_disk_csr(Rect::paper_arena(), 25.0, &pts, None, &mut out, &mut scratch);
+            assert_eq!(
+                out,
+                CsrGraph::from(&unit_disk(Rect::paper_arena(), 25.0, &pts)),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_disk_csr_out_of_bounds_points() {
+        // Clamped binning must still find true-coordinate neighbours.
+        let pts = vec![Point2::new(-5.0, 50.0), Point2::new(3.0, 50.0)];
+        let mut out = CsrGraph::new();
+        unit_disk_csr(
+            Rect::paper_arena(),
+            25.0,
+            &pts,
+            None,
+            &mut out,
+            &mut UnitDiskScratch::new(),
+        );
+        assert!(out.has_edge(0, 1));
     }
 
     #[test]

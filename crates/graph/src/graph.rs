@@ -236,6 +236,29 @@ impl Graph {
         }
         hist
     }
+
+    /// Rebuilds this graph in place as a copy of `src`, reusing each inner
+    /// adjacency Vec's capacity where the vertex count allows.
+    ///
+    /// Unlike clearing and replaying `add_edge` (a binary-search insert per
+    /// endpoint), this bulk-copies already-sorted neighbour slices, so it is
+    /// O(n + m) and allocation-free once the per-vertex capacities have
+    /// reached their high-water marks.
+    pub fn rebuild_from<G: crate::Neighbors + ?Sized>(&mut self, src: &G) {
+        let n = src.n();
+        self.adj.truncate(n);
+        for row in &mut self.adj {
+            row.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        let mut m = 0usize;
+        for (v, row) in self.adj.iter_mut().enumerate() {
+            let nbrs = src.neighbors(v as NodeId);
+            row.extend_from_slice(nbrs);
+            m += nbrs.len();
+        }
+        self.m = m / 2;
+    }
 }
 
 /// Is `a ⊆ b ∪ extra` for sorted `a`, `b` and a small unsorted `extra`?
@@ -393,5 +416,25 @@ mod tests {
     fn from_edges_ignores_duplicates() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
         assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn rebuild_from_copies_structure_across_sizes() {
+        let mut dst = Graph::new(0);
+        // Grow, shrink, grow again — stale rows must not leak through.
+        for src in [figure1(), Graph::from_edges(2, &[(0, 1)]), figure1(), Graph::new(0)] {
+            dst.rebuild_from(&src);
+            assert_eq!(dst, src);
+        }
+    }
+
+    #[test]
+    fn rebuild_from_csr_round_trips() {
+        let src = figure1();
+        let csr = crate::CsrGraph::from(&src);
+        let mut dst = Graph::new(3);
+        dst.add_edge(0, 1);
+        dst.rebuild_from(&csr);
+        assert_eq!(dst, src);
     }
 }

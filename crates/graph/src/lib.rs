@@ -22,10 +22,12 @@ pub mod csr;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod neighbors;
 
 pub use bitmap::NeighborBitmap;
 pub use csr::CsrGraph;
 pub use graph::{Graph, NodeId};
+pub use neighbors::Neighbors;
 
 /// A set of vertices represented as a boolean mask over `0..n`.
 ///

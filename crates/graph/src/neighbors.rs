@@ -1,0 +1,145 @@
+//! The [`Neighbors`] accessor trait: one neighbour-list interface over both
+//! graph representations.
+//!
+//! The rule engine in `pacds-core` only ever reads sorted neighbour slices,
+//! degrees, and edge membership. Abstracting those five reads behind a trait
+//! lets the same monomorphised passes run on the mutable adjacency-list
+//! [`Graph`] and on the flat [`CsrGraph`] hot-path layout with zero dynamic
+//! dispatch — and property tests pin the two to bit-identical outputs.
+
+use crate::{CsrGraph, Graph, NodeId};
+
+/// Read-only neighbour access shared by [`Graph`] and [`CsrGraph`].
+///
+/// Implementations must present each vertex's open neighbour set as a slice
+/// **sorted ascending** — the rule passes rely on deterministic iteration
+/// order for reproducibility, and the default [`Neighbors::has_edge`] binary
+/// search relies on sortedness for correctness.
+pub trait Neighbors {
+    /// Number of vertices.
+    fn n(&self) -> usize;
+
+    /// Number of undirected edges.
+    fn m(&self) -> usize;
+
+    /// Neighbours of `v`, sorted ascending.
+    fn neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// Degree of `v`.
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether edge `{u, v}` exists.
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    #[inline]
+    fn vertices(&self) -> std::ops::Range<NodeId> {
+        0..self.n() as NodeId
+    }
+
+    /// Whether the graph is complete (every pair adjacent).
+    #[inline]
+    fn is_complete(&self) -> bool {
+        let n = self.n();
+        n <= 1 || self.m() == n * (n - 1) / 2
+    }
+}
+
+impl Neighbors for Graph {
+    #[inline]
+    fn n(&self) -> usize {
+        Graph::n(self)
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        Graph::m(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+}
+
+impl Neighbors for CsrGraph {
+    #[inline]
+    fn n(&self) -> usize {
+        CsrGraph::n(self)
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        CsrGraph::m(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        CsrGraph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: NodeId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    fn check_agreement<G: Neighbors>(g: &G, reference: &Graph) {
+        assert_eq!(g.n(), reference.n());
+        assert_eq!(g.m(), reference.m());
+        assert_eq!(g.is_complete(), reference.is_complete());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), reference.neighbors(v));
+            assert_eq!(g.degree(v), reference.degree(v));
+            for u in g.vertices() {
+                assert_eq!(g.has_edge(v, u), reference.has_edge(v, u), "{v},{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_impls_agree_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for n in [0usize, 1, 2, 9, 40] {
+            let g = gen::gnp(&mut rng, n, 0.2);
+            let csr = CsrGraph::from(&g);
+            check_agreement(&g, &g.clone());
+            check_agreement(&csr, &g);
+        }
+    }
+
+    #[test]
+    fn complete_graph_is_detected_via_trait() {
+        let g = gen::complete(5);
+        let csr = CsrGraph::from(&g);
+        assert!(Neighbors::is_complete(&csr));
+        assert!(!Neighbors::is_complete(&CsrGraph::from(&gen::path(5))));
+    }
+}

@@ -171,17 +171,18 @@ pub fn locality_experiment(sweep: &SweepConfig) -> Vec<Series> {
                         |_, rng| {
                             let mut state = NetworkState::init(cfg, rng);
                             let mut prev = state.compute_gateways();
+                            let mut cur = pacds_graph::VertexMask::new();
                             let mut changed = 0usize;
                             let intervals = 30u32;
                             for _ in 0..intervals {
                                 state.advance_topology(rng);
-                                let cur = state.compute_gateways();
+                                state.compute_gateways_into(&mut cur);
                                 changed += prev
                                     .iter()
                                     .zip(&cur)
                                     .filter(|(a, b)| a != b)
                                     .count();
-                                prev = cur;
+                                std::mem::swap(&mut prev, &mut cur);
                             }
                             changed as f64 / (f64::from(intervals) * n as f64)
                         },

@@ -1,23 +1,37 @@
 //! The live network state: host positions, topology, batteries.
 
 use crate::config::{ConnectivityMode, SimConfig};
-use pacds_core::{compute_cds, CdsInput, IncrementalCds};
+use pacds_core::{CdsWorkspace, IncrementalCds};
 use pacds_energy::Fleet;
 use pacds_geom::Point2;
-use pacds_graph::{algo, gen, Graph, VertexMask};
+use pacds_graph::{algo, gen, CsrGraph, Graph, VertexMask};
 use pacds_mobility::{MobilityModel, PaperWalk};
 use rand::Rng;
 
 /// Mutable state of the simulated network.
+///
+/// Owns the whole zero-allocation hot path: the topology lives in a
+/// [`CsrGraph`] rebuilt in place each interval straight from the host
+/// positions ([`gen::unit_disk_csr`]), the CDS is recomputed through one
+/// retained [`CdsWorkspace`], and the energy quantisation reuses one level
+/// buffer. The per-interval CDS work —
+/// [`NetworkState::compute_gateways_in_place`] / `_into`, verification and
+/// drain — performs no heap allocation once warm (pinned by
+/// `tests/zero_alloc.rs`); the topology rebuild is amortised-free, only
+/// allocating when a buffer first reaches a new high-water mark.
 #[derive(Debug, Clone)]
 pub struct NetworkState {
     cfg: SimConfig,
     positions: Vec<Point2>,
     graph: Graph,
+    csr: CsrGraph,
     fleet: Fleet,
     walk: PaperWalk,
     incremental: Option<IncrementalCds>,
     off: Vec<bool>,
+    ws: CdsWorkspace,
+    udg_scratch: gen::UnitDiskScratch,
+    levels: Vec<u64>,
 }
 
 impl NetworkState {
@@ -41,6 +55,7 @@ impl NetworkState {
             }
         };
         let graph = gen::unit_disk(cfg.bounds, cfg.radius, &positions);
+        let csr = CsrGraph::from(&graph);
         let fleet = Fleet::new(cfg.n, cfg.energy);
         let walk = cfg.walk;
         let incremental = cfg.incremental.then(|| {
@@ -48,9 +63,13 @@ impl NetworkState {
         });
         Self {
             off: vec![false; cfg.n],
+            ws: CdsWorkspace::with_capacity(cfg.n),
+            udg_scratch: gen::UnitDiskScratch::new(),
+            levels: Vec::with_capacity(cfg.n),
             cfg,
             positions,
             graph,
+            csr,
             fleet,
             walk,
             incremental,
@@ -72,20 +91,51 @@ impl NetworkState {
         &self.graph
     }
 
+    /// Current unit-disk topology in CSR form (identical edge set to
+    /// [`NetworkState::graph`]; this is the copy the hot path computes on).
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
     /// Current batteries.
     pub fn fleet(&self) -> &Fleet {
         &self.fleet
     }
 
     /// Computes the gateway set for the current topology and energy levels
-    /// under the configured policy. Uses the localized incremental
-    /// maintainer when `cfg.incremental` is set (identical output).
+    /// under the configured policy, returning a fresh mask. Prefer
+    /// [`NetworkState::compute_gateways_in_place`] (or `_into`) inside
+    /// interval loops — this wrapper clones the result.
     pub fn compute_gateways(&mut self) -> VertexMask {
-        let levels = self.fleet.levels();
+        self.compute_gateways_in_place().clone()
+    }
+
+    /// Computes the gateway set without allocating: energy levels are
+    /// quantised into a retained buffer and the CDS runs in the owned
+    /// [`CdsWorkspace`] over the CSR topology. Uses the localized
+    /// incremental maintainer when `cfg.incremental` is set (identical
+    /// output). The returned reference stays valid until the next
+    /// computation.
+    pub fn compute_gateways_in_place(&mut self) -> &VertexMask {
+        self.fleet.levels_into(&mut self.levels);
         match self.incremental.as_mut() {
-            Some(inc) => inc.update(self.graph.clone(), levels).clone(),
-            None => compute_cds(&CdsInput::with_energy(&self.graph, &levels), &self.cfg.cds),
+            Some(inc) => inc.update(self.graph.clone(), self.levels.clone()),
+            None => self.ws.compute(&self.csr, Some(&self.levels), &self.cfg.cds),
         }
+    }
+
+    /// [`NetworkState::compute_gateways_in_place`], copied into a
+    /// caller-provided mask (cleared and refilled — no allocation once
+    /// `out` has capacity `n`).
+    pub fn compute_gateways_into(&mut self, out: &mut VertexMask) {
+        let gw = self.compute_gateways_in_place();
+        out.clone_from(gw);
+    }
+
+    /// Verifies a gateway mask against the current topology using the
+    /// workspace's BFS scratch (allocation-free once warm).
+    pub fn verify_gateways(&mut self, mask: &[bool]) -> Result<(), pacds_core::CdsViolation> {
+        self.ws.verify(&self.csr, mask)
     }
 
     /// Vertices the incremental maintainer touched in the last update
@@ -121,22 +171,33 @@ impl NetworkState {
     }
 
     /// Moves hosts one interval, resamples on/off states, and rebuilds the
-    /// topology (off hosts are isolated for the interval).
+    /// topology in place (off hosts are isolated for the interval).
+    ///
+    /// The unit-disk graph is written straight into the retained CSR arrays
+    /// (no intermediate adjacency-list build), and the mutable [`Graph`]
+    /// view is refreshed from it reusing its per-vertex capacity. The step
+    /// is amortised allocation-free: buffers grow monotonically, so it only
+    /// allocates when mobility pushes an edge count or a vertex degree past
+    /// its previous high-water mark.
     pub fn advance_topology<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.walk.step(rng, self.cfg.bounds, &mut self.positions);
-        if self.cfg.off_probability > 0.0 {
+        let off = if self.cfg.off_probability > 0.0 {
             for o in self.off.iter_mut() {
                 *o = rng.random_range(0.0..1.0) < self.cfg.off_probability;
             }
-        }
-        self.graph = gen::unit_disk(self.cfg.bounds, self.cfg.radius, &self.positions);
-        if self.cfg.off_probability > 0.0 {
-            for v in 0..self.cfg.n {
-                if self.off[v] {
-                    self.graph.isolate(v as u32);
-                }
-            }
-        }
+            Some(&self.off[..])
+        } else {
+            None
+        };
+        gen::unit_disk_csr(
+            self.cfg.bounds,
+            self.cfg.radius,
+            &self.positions,
+            off,
+            &mut self.csr,
+            &mut self.udg_scratch,
+        );
+        self.graph.rebuild_from(&self.csr);
     }
 }
 

@@ -2,9 +2,11 @@
 
 use crate::config::SimConfig;
 use crate::network::NetworkState;
-use pacds_core::verify_cds;
+use pacds_core::CdsWorkspace;
+use pacds_graph::{algo, CsrGraph, VertexMask};
 use rand::Rng;
 use serde::Serialize;
+use std::collections::VecDeque;
 
 /// Result of one lifetime run.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -60,15 +62,18 @@ impl Simulation {
         let mut disconnected = 0u32;
         let mut intervals = 0u32;
         let mut died = false;
+        // One retained gateway mask for the whole run; each interval's CDS
+        // is computed in the network's workspace and copied into it.
+        let mut gateways = VertexMask::new();
 
         while intervals < cap {
-            let connected = pacds_graph::algo::is_connected(self.state.graph());
+            let connected = algo::is_connected(self.state.graph());
             if !connected {
                 disconnected += 1;
             }
-            let gateways = self.state.compute_gateways();
+            self.state.compute_gateways_into(&mut gateways);
             total_gateways += gateways.iter().filter(|&&b| b).count() as u64;
-            if self.verify && connected && verify_cds(self.state.graph(), &gateways).is_err() {
+            if self.verify && connected && self.state.verify_gateways(&gateways).is_err() {
                 violations += 1;
             }
 
@@ -124,6 +129,16 @@ pub fn run_extended_lifetime<R: Rng + ?Sized>(
     let n = cfg.n;
     let mut dead = vec![false; n];
     let mut dead_count = 0usize;
+    // Persistent survivor-topology buffers: each interval re-masks the CSR
+    // in place (no graph clone), recomputes the CDS in one retained
+    // workspace, and reuses the level/alive/BFS scratch — the loop body is
+    // allocation-free once warm.
+    let mut survivors = CsrGraph::new();
+    let mut ws = CdsWorkspace::with_capacity(n);
+    let mut levels = Vec::with_capacity(n);
+    let mut alive = Vec::with_capacity(n);
+    let mut seen = Vec::with_capacity(n);
+    let mut queue = VecDeque::with_capacity(n);
     let mut out = ExtendedOutcome {
         first_death: 0,
         quarter_dead: 0,
@@ -133,24 +148,17 @@ pub fn run_extended_lifetime<R: Rng + ?Sized>(
     let mut intervals = 0u32;
     while intervals < cfg.max_intervals {
         // Survivor topology: isolate the dead.
-        let mut graph = state.graph().clone();
-        for (v, &d) in dead.iter().enumerate() {
-            if d {
-                graph.isolate(v as u32);
-            }
-        }
+        survivors.rebuild_from_masked(state.graph(), &dead);
         // Partition check among survivors only.
         if out.first_partition == 0 && dead_count > 0 {
-            let alive_mask: Vec<bool> = dead.iter().map(|&d| !d).collect();
-            if !pacds_graph::algo::is_connected_within(&graph, &alive_mask) {
+            alive.clear();
+            alive.extend(dead.iter().map(|&d| !d));
+            if !algo::is_connected_within_scratch(&survivors, &alive, &mut seen, &mut queue) {
                 out.first_partition = intervals + 1;
             }
         }
-        let levels = state.fleet().levels();
-        let gateways = pacds_core::compute_cds(
-            &pacds_core::CdsInput::with_energy(&graph, &levels),
-            &cfg.cds,
-        );
+        state.fleet().levels_into(&mut levels);
+        let gateways = ws.compute(&survivors, Some(&levels), &cfg.cds);
         // Dead hosts pay nothing; the rest follow gateway/non-gateway roles.
         let g_count = gateways.iter().filter(|&&b| b).count();
         let d_gw = cfg

@@ -1,0 +1,115 @@
+//! Pins the tentpole zero-allocation claim with a counting allocator.
+//!
+//! After warm-up, one simulation interval's CDS work — quantise energy,
+//! recompute the gateway set through the retained [`CdsWorkspace`], copy it
+//! into the caller's mask, verify it, and apply battery drain — performs
+//! **zero** heap allocations, every interval, at paper scale (n = 1000).
+//!
+//! The topology rebuild (`advance_topology`) is deliberately outside the
+//! measured region: it is allocation-free only once the retained CSR /
+//! adjacency buffers have grown to the mobility pattern's high-water mark,
+//! which no fixed warm-up count can guarantee (buffers grow monotonically,
+//! so it is amortised-free, not strictly free). The CDS path has no such
+//! caveat, and this test fails if anyone reintroduces a per-interval
+//! allocation there.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs() -> usize {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use pacds::core::Policy;
+use pacds::energy::DrainModel;
+use pacds::graph::VertexMask;
+use pacds::sim::{NetworkState, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 1000;
+const WARMUP: usize = 25;
+const MEASURED: usize = 10;
+
+#[test]
+fn cds_interval_work_is_allocation_free_after_warmup() {
+    // EnergyDegree exercises the full path: energy quantisation, priority
+    // key construction, and both pruning rules.
+    let cfg = SimConfig::paper(N, Policy::EnergyDegree, DrainModel::LinearInN);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut st = NetworkState::init(cfg, &mut rng);
+    let mut gateways = VertexMask::new();
+
+    for _ in 0..WARMUP {
+        st.advance_topology(&mut rng);
+        st.compute_gateways_into(&mut gateways);
+        st.verify_gateways(&gateways).expect("warm-up CDS must verify");
+        st.drain(&gateways);
+    }
+
+    for interval in 0..MEASURED {
+        // Topology rebuild outside the measured region (see module docs).
+        st.advance_topology(&mut rng);
+
+        let before = allocs();
+        st.compute_gateways_into(&mut gateways);
+        st.verify_gateways(&gateways).expect("steady-state CDS must verify");
+        let died = st.drain(&gateways);
+        let grew = allocs() - before;
+
+        assert!(died.is_empty(), "paper energy budget outlasts this test");
+        assert_eq!(
+            grew, 0,
+            "interval {interval}: CDS compute/verify/drain performed {grew} heap allocations"
+        );
+    }
+}
+
+#[test]
+fn workspace_recompute_on_static_topology_is_allocation_free() {
+    // With the topology frozen, the *entire* recompute cycle must be free
+    // after a single priming call — this isolates the workspace-reuse
+    // property from mobility-driven buffer growth.
+    let cfg = SimConfig::paper(N, Policy::EnergyDegree, DrainModel::LinearInN);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut st = NetworkState::init(cfg, &mut rng);
+    let mut gateways = VertexMask::new();
+    st.compute_gateways_into(&mut gateways);
+    st.verify_gateways(&gateways).expect("initial CDS must verify");
+
+    let before = allocs();
+    for _ in 0..MEASURED {
+        st.compute_gateways_into(&mut gateways);
+        st.verify_gateways(&gateways).expect("repeat CDS must verify");
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "repeated workspace recomputation on a static topology allocated"
+    );
+}
