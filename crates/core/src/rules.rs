@@ -12,7 +12,7 @@ use crate::priority::PriorityKey;
 use pacds_graph::{NeighborBitmap, Neighbors, NodeId, VertexMask};
 
 /// How Rule 2 combines the coverage tests with the priority order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Rule2Semantics {
     /// The original Rule 2, generalised to any priority order: `v` unmarks
     /// iff `N(v) ⊆ N(u) ∪ N(w)` and `v` has the minimum priority among the

@@ -1,0 +1,110 @@
+//! Edge cases for incremental maintenance under node deaths: deaths that
+//! disconnect the network, deaths of current gateways, and back-to-back
+//! deaths — each checked bit-for-bit against a full recompute.
+
+use pacds_core::{compute_cds, CdsConfig, CdsInput, IncrementalCds, Policy};
+use pacds_graph::{gen, mask_to_vec, Graph};
+
+fn full(g: &Graph, energy: &[u64], cfg: &CdsConfig) -> Vec<bool> {
+    compute_cds(&CdsInput::with_energy(g, energy), cfg)
+}
+
+/// Two K_4s joined through a cut vertex 3 (member of the left clique,
+/// bridged to 4 in the right one): killing 3 disconnects the network.
+fn bridged() -> Graph {
+    let mut g = Graph::new(8);
+    for base in [0u32, 4] {
+        for i in base..base + 4 {
+            for j in i + 1..base + 4 {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g.add_edge(3, 4);
+    g
+}
+
+#[test]
+fn death_that_disconnects_the_network_matches_full_recompute() {
+    let g0 = bridged();
+    let energy: Vec<u64> = (0..8).map(|v| v * 7 % 13).collect();
+    for policy in Policy::ALL {
+        let cfg = CdsConfig::policy(policy);
+        let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+        let mut g = g0.clone();
+        g.isolate(3); // severs the only inter-clique link
+        let got = inc.update(g.clone(), energy.clone()).clone();
+        assert_eq!(got, full(&g, &energy, &cfg), "{policy:?}");
+    }
+}
+
+#[test]
+fn death_of_a_current_gateway_matches_full_recompute() {
+    // Path 0-1-2-3-4: the gateways are exactly the interior vertices.
+    let g0 = gen::path(5);
+    let energy = vec![9u64, 1, 5, 3, 7];
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let before = mask_to_vec(inc.gateways());
+    assert_eq!(before, vec![1, 2, 3]);
+    // Kill gateway 2 — the path splits and both halves must re-settle.
+    let mut g = g0.clone();
+    g.isolate(2);
+    let got = inc.update(g.clone(), energy.clone()).clone();
+    assert_eq!(got, full(&g, &energy, &cfg));
+}
+
+#[test]
+fn back_to_back_deaths_in_one_update_match_full_recompute() {
+    // A 4x4 grid; kill two adjacent interior hosts in a single update so
+    // their dirty balls overlap, then two far-apart hosts so they don't.
+    let g0 = gen::grid(4, 4);
+    let energy: Vec<u64> = (0..16).map(|v| (v * 11 + 3) % 17).collect();
+    for policy in [Policy::Id, Policy::Degree, Policy::EnergyDegree] {
+        let cfg = CdsConfig::policy(policy);
+        let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+
+        let mut g = g0.clone();
+        g.isolate(5);
+        g.isolate(6); // adjacent interior vertices, overlapping dirty balls
+        let got = inc.update(g.clone(), energy.clone()).clone();
+        assert_eq!(got, full(&g, &energy, &cfg), "{policy:?} adjacent pair");
+
+        g.isolate(0);
+        g.isolate(15); // opposite corners, disjoint dirty balls
+        let got = inc.update(g.clone(), energy.clone()).clone();
+        assert_eq!(got, full(&g, &energy, &cfg), "{policy:?} far pair");
+    }
+}
+
+#[test]
+fn cascading_deaths_down_to_an_empty_network_match_full_recompute() {
+    let g0 = gen::grid(3, 3);
+    let energy: Vec<u64> = (0..9).map(|v| v + 1).collect();
+    let cfg = CdsConfig::policy(Policy::Degree);
+    let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let mut g = g0.clone();
+    for v in 0..9u32 {
+        g.isolate(v);
+        let got = inc.update(g.clone(), energy.clone()).clone();
+        assert_eq!(got, full(&g, &energy, &cfg), "after killing 0..={v}");
+    }
+    assert!(inc.gateways().iter().all(|&b| !b));
+}
+
+#[test]
+fn death_then_revival_returns_to_the_original_gateways() {
+    // The host set is fixed, so a "revived" host is modelled by restoring
+    // its links; the maintained mask must equal the original computation.
+    let g0 = bridged();
+    let energy: Vec<u64> = (0..8).map(|v| (v * 5 + 2) % 11).collect();
+    let cfg = CdsConfig::policy(Policy::Energy);
+    let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let original = inc.gateways().clone();
+    let mut g = g0.clone();
+    g.isolate(3);
+    inc.update(g, energy.clone());
+    let got = inc.update(g0.clone(), energy.clone()).clone();
+    assert_eq!(got, original);
+    assert_eq!(got, full(&g0, &energy, &cfg));
+}

@@ -43,15 +43,25 @@ impl NetworkState {
                 pacds_geom::placement::uniform_points(rng, cfg.bounds, cfg.n)
             }
             ConnectivityMode::ResampleInitial => {
-                let mut last = Vec::new();
+                // Uniform placement rarely connects at sparse densities (at
+                // the paper's n=10 fewer than 1% of draws do), so a bounded
+                // retry loop alone cannot promise a connected start. After
+                // the cap, fall back to the anchored placement whose
+                // construction guarantees a spanning tree within radius.
+                let mut placed = None;
                 for _ in 0..cfg.placement_retries.max(1) {
-                    last = pacds_geom::placement::uniform_points(rng, cfg.bounds, cfg.n);
-                    let g = gen::unit_disk(cfg.bounds, cfg.radius, &last);
+                    let pts = pacds_geom::placement::uniform_points(rng, cfg.bounds, cfg.n);
+                    let g = gen::unit_disk(cfg.bounds, cfg.radius, &pts);
                     if algo::is_connected(&g) {
+                        placed = Some(pts);
                         break;
                     }
                 }
-                last
+                placed.unwrap_or_else(|| {
+                    pacds_geom::placement::connected_uniform_points(
+                        rng, cfg.bounds, cfg.radius, cfg.n,
+                    )
+                })
             }
         };
         let graph = gen::unit_disk(cfg.bounds, cfg.radius, &positions);

@@ -1,0 +1,92 @@
+//! Time-bounded randomized conformance smoke.
+//!
+//! Generates random topologies (unit-disk at the paper's density, plus
+//! G(n, p) as a non-geometric control), walks the configuration matrix,
+//! and differentially checks every applicable implementation against the
+//! oracle until the time budget runs out. Exit code 1 on any mismatch,
+//! after shrinking and emitting a replayable case file.
+//!
+//! Environment:
+//! * `PACDS_FUZZ_SECS` — time budget in seconds (default 60).
+//! * `PACDS_FUZZ_SEED` — base seed (default 0xC0FFEE).
+//! * `PACDS_TESTKIT_CASE_DIR` — where failure case files go.
+
+use pacds_geom::{placement, Rect};
+use pacds_graph::gen;
+use pacds_testkit::casefile::{emit_case, shrink_case, CaseFile};
+use pacds_testkit::harness::{full_config_matrix, run_impl, ImplKind};
+use pacds_testkit::oracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let budget = Duration::from_secs(env_u64("PACDS_FUZZ_SECS", 60));
+    let seed = env_u64("PACDS_FUZZ_SEED", 0xC0FFEE);
+    let matrix = full_config_matrix();
+    let start = Instant::now();
+
+    let mut iterations = 0u64;
+    let mut checks = 0u64;
+    let mut failures = Vec::new();
+
+    while start.elapsed() < budget {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(iterations));
+        let n = rng.random_range(3..=100usize);
+        let g = if iterations % 2 == 0 {
+            let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
+            gen::unit_disk(Rect::paper_arena(), 25.0, &pts)
+        } else {
+            let p = rng.random_range(0.02..0.4);
+            gen::gnp(&mut rng, n, p)
+        };
+        let energy: Vec<u64> = (0..n).map(|_| rng.random_range(0..8u64)).collect();
+        let cfg = matrix[(iterations % matrix.len() as u64) as usize];
+        let expected = oracle::compute_cds_oracle(&g, Some(&energy), &cfg);
+
+        for kind in ImplKind::ALL {
+            if !kind.applicable(&cfg) {
+                continue;
+            }
+            // One OS thread per host is too heavy to spawn on every
+            // iteration at n=100; sample the threaded engine sparsely.
+            if kind == ImplKind::DistributedThreaded && (n > 60 || iterations % 5 != 0) {
+                continue;
+            }
+            checks += 1;
+            let got = run_impl(kind, &g, Some(&energy), &cfg);
+            if got != expected {
+                let name = format!("fuzz-{iterations}");
+                let file = CaseFile::capture(&name, kind, &g, &energy, &cfg, &expected, &got);
+                let shrunk = shrink_case(file, |g2, e2| {
+                    run_impl(kind, g2, Some(e2), &cfg)
+                        != oracle::compute_cds_oracle(g2, Some(e2), &cfg)
+                });
+                let path = emit_case(&shrunk);
+                eprintln!(
+                    "MISMATCH: {} vs oracle under {cfg:?} (iteration {iterations}); shrunk case: {}",
+                    kind.name(),
+                    path.display()
+                );
+                failures.push(path);
+            }
+        }
+        iterations += 1;
+    }
+
+    println!(
+        "fuzz smoke: {iterations} topologies, {checks} differential checks, {} mismatch(es) in {:.1}s",
+        failures.len(),
+        start.elapsed().as_secs_f64()
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,309 @@
+//! The differential conformance harness.
+//!
+//! [`run_impl`] drives any production implementation on a `(graph,
+//! energy, config)` triple; [`ConformanceReport::check_case`] runs every
+//! applicable implementation against [`crate::oracle::compute_cds_oracle`],
+//! asserts bit-identity, cross-checks the production verifier against the
+//! independent oracle verifier, and — on mismatch — shrinks the topology
+//! and emits a replayable JSON case file instead of panicking on the
+//! full-size instance.
+//!
+//! Bit-identity is asserted *per configuration*: different configurations
+//! (e.g. simultaneous vs sequential application) intentionally produce
+//! different masks — that non-equivalence is covered by
+//! [`ConformanceReport::check_cross_application`], which requires both
+//! results to be valid connected dominating sets rather than equal.
+
+use crate::casefile::{emit_case, shrink_case, CaseFile};
+use crate::corpus::TopoCase;
+use crate::oracle;
+use pacds_core::{
+    compute_cds, compute_cds_par, verify_cds, Application, CdsConfig, CdsInput, CdsWorkspace,
+    IncrementalCds, Policy, PruneSchedule, Rule2Semantics,
+};
+use pacds_distributed::{run_distributed, run_distributed_sequential};
+use pacds_graph::{CsrGraph, Graph, VertexMask};
+use std::path::PathBuf;
+
+/// Every production implementation the harness can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplKind {
+    /// The frozen v0 pipeline (`pacds_bench::seed_baseline`).
+    SeedBaseline,
+    /// The allocating pipeline (`pacds_core::compute_cds`).
+    Pipeline,
+    /// [`CdsWorkspace`] over the adjacency-list [`Graph`].
+    WorkspaceAdj,
+    /// [`CdsWorkspace`] over the flat [`CsrGraph`].
+    WorkspaceCsr,
+    /// The rayon data-parallel passes (`pacds_core::compute_cds_par`).
+    Parallel,
+    /// [`IncrementalCds`] initial computation (update sequences are
+    /// exercised separately — see `tests/incremental_seq.rs`).
+    Incremental,
+    /// `pacds_distributed::run_distributed_sequential` (round-robin).
+    DistributedSeq,
+    /// `pacds_distributed::run_distributed` (one OS thread per host).
+    DistributedThreaded,
+}
+
+impl ImplKind {
+    /// Every implementation, cheapest first.
+    pub const ALL: [ImplKind; 8] = [
+        ImplKind::SeedBaseline,
+        ImplKind::Pipeline,
+        ImplKind::WorkspaceAdj,
+        ImplKind::WorkspaceCsr,
+        ImplKind::Parallel,
+        ImplKind::Incremental,
+        ImplKind::DistributedSeq,
+        ImplKind::DistributedThreaded,
+    ];
+
+    /// Stable name (used in case files and failure messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ImplKind::SeedBaseline => "seed_baseline",
+            ImplKind::Pipeline => "pipeline",
+            ImplKind::WorkspaceAdj => "workspace_adj",
+            ImplKind::WorkspaceCsr => "workspace_csr",
+            ImplKind::Parallel => "parallel",
+            ImplKind::Incremental => "incremental",
+            ImplKind::DistributedSeq => "distributed_seq",
+            ImplKind::DistributedThreaded => "distributed_threaded",
+        }
+    }
+
+    /// Whether this implementation supports `cfg`. The seed baseline, the
+    /// parallel passes, the incremental maintainer, and both distributed
+    /// engines implement only the paper's simultaneous single-pass
+    /// procedure (they panic otherwise, by contract).
+    pub fn applicable(&self, cfg: &CdsConfig) -> bool {
+        match self {
+            ImplKind::Pipeline | ImplKind::WorkspaceAdj | ImplKind::WorkspaceCsr => true,
+            ImplKind::SeedBaseline
+            | ImplKind::Parallel
+            | ImplKind::Incremental
+            | ImplKind::DistributedSeq
+            | ImplKind::DistributedThreaded => {
+                cfg.application == Application::Simultaneous
+                    && cfg.schedule == PruneSchedule::SinglePass
+            }
+        }
+    }
+}
+
+/// Runs one production implementation on one instance.
+pub fn run_impl(
+    kind: ImplKind,
+    g: &Graph,
+    energy: Option<&[u64]>,
+    cfg: &CdsConfig,
+) -> VertexMask {
+    match kind {
+        ImplKind::SeedBaseline => pacds_bench::seed_baseline::compute_cds_seed(g, energy, cfg),
+        ImplKind::Pipeline => {
+            let input = match energy {
+                Some(e) => CdsInput::with_energy(g, e),
+                None => CdsInput::new(g),
+            };
+            compute_cds(&input, cfg)
+        }
+        ImplKind::WorkspaceAdj => {
+            let mut ws = CdsWorkspace::new();
+            ws.compute(g, energy, cfg).clone()
+        }
+        ImplKind::WorkspaceCsr => {
+            let csr = CsrGraph::from(g);
+            let mut ws = CdsWorkspace::new();
+            ws.compute(&csr, energy, cfg).clone()
+        }
+        ImplKind::Parallel => compute_cds_par(g, energy, cfg),
+        ImplKind::Incremental => {
+            let e = energy.map_or_else(|| vec![0; g.n()], <[u64]>::to_vec);
+            IncrementalCds::new(g.clone(), e, *cfg).gateways().clone()
+        }
+        ImplKind::DistributedSeq => run_distributed_sequential(g, energy, cfg),
+        ImplKind::DistributedThreaded => run_distributed(g, energy, cfg),
+    }
+}
+
+/// Accumulates conformance failures; panics with the case-file paths at
+/// [`ConformanceReport::finish`] so one run reports *all* mismatches.
+#[derive(Debug, Default)]
+pub struct ConformanceReport {
+    /// Paths of emitted shrunk case files.
+    pub failures: Vec<PathBuf>,
+    /// Instances checked (for the final summary line).
+    pub checked: usize,
+}
+
+impl ConformanceReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `impls` (those applicable to `cfg`) on `case` and asserts
+    /// bit-identity with the oracle; on mismatch, shrinks and emits a case
+    /// file. Also cross-checks the production verifier against the oracle
+    /// verifier on the oracle mask, and — for safe configurations on
+    /// connected topologies — asserts the result is a valid CDS.
+    pub fn check_case(&mut self, case: &TopoCase, cfg: &CdsConfig, impls: &[ImplKind]) {
+        let g = &case.graph;
+        let energy = Some(case.energy.as_slice());
+        let expected = oracle::compute_cds_oracle(g, energy, cfg);
+
+        // The two verifiers must agree on the verdict for this mask,
+        // whatever it is (CaseAnalysis+Simultaneous may legitimately
+        // produce an invalid set — the documented unsoundness).
+        let oracle_verdict = oracle::verify_oracle(g, &expected);
+        let prod_verdict = verify_cds(g, &expected);
+        assert_eq!(
+            oracle_verdict.is_ok(),
+            prod_verdict.is_ok(),
+            "verifiers disagree on {} under {cfg:?}: oracle={oracle_verdict:?} production={prod_verdict:?}",
+            case.name
+        );
+
+        let safe = cfg.rule2_semantics() == Rule2Semantics::MinOfThree
+            || cfg.application == Application::Sequential
+            || !cfg.policy.prunes();
+        if safe && case.connected {
+            assert_eq!(
+                oracle_verdict,
+                Ok(()),
+                "safe config {cfg:?} produced an invalid CDS on {}",
+                case.name
+            );
+        }
+
+        for &kind in impls {
+            if !kind.applicable(cfg) {
+                continue;
+            }
+            self.checked += 1;
+            let got = run_impl(kind, g, energy, cfg);
+            if got != expected {
+                let file = CaseFile::capture(&case.name, kind, g, &case.energy, cfg, &expected, &got);
+                let shrunk = shrink_case(file, |g2, e2| {
+                    run_impl(kind, g2, Some(e2), cfg)
+                        != oracle::compute_cds_oracle(g2, Some(e2), cfg)
+                });
+                self.failures.push(emit_case(&shrunk));
+            }
+        }
+    }
+
+    /// The documented simultaneous-vs-sequential non-equivalence: the two
+    /// applications may return different masks, but under safe semantics
+    /// on a connected topology *both* must be valid connected dominating
+    /// sets. Returns whether the masks differed (so callers can assert the
+    /// divergence is actually exercised by the corpus).
+    pub fn check_cross_application(&mut self, case: &TopoCase, policy: Policy) -> bool {
+        if !case.connected {
+            return false;
+        }
+        let energy = Some(case.energy.as_slice());
+        let sim = CdsConfig::policy(policy);
+        let seq = CdsConfig {
+            application: Application::Sequential,
+            ..sim
+        };
+        let a = oracle::compute_cds_oracle(&case.graph, energy, &sim);
+        let b = oracle::compute_cds_oracle(&case.graph, energy, &seq);
+        for (label, mask) in [("simultaneous", &a), ("sequential", &b)] {
+            assert_eq!(
+                oracle::verify_oracle(&case.graph, mask),
+                Ok(()),
+                "{label} application invalid on {} under {policy:?}",
+                case.name
+            );
+        }
+        self.checked += 2;
+        a != b
+    }
+
+    /// Panics if any mismatch was recorded, listing every emitted case
+    /// file path.
+    pub fn finish(self) {
+        assert!(
+            self.failures.is_empty(),
+            "{} conformance mismatch(es); shrunk replayable case files:\n{}",
+            self.failures.len(),
+            self.failures
+                .iter()
+                .map(|p| format!("  {}", p.display()))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+/// The full configuration matrix: every policy × Rule 2 semantics ×
+/// application × schedule (40 configurations; `Id` rows collapse the
+/// semantics axis by contract).
+pub fn full_config_matrix() -> Vec<CdsConfig> {
+    let mut cfgs = Vec::new();
+    for policy in Policy::ALL {
+        for schedule in [PruneSchedule::SinglePass, PruneSchedule::Fixpoint] {
+            for rule2 in [Rule2Semantics::MinOfThree, Rule2Semantics::CaseAnalysis] {
+                for application in [Application::Simultaneous, Application::Sequential] {
+                    cfgs.push(CdsConfig {
+                        policy,
+                        schedule,
+                        rule2,
+                        application,
+                    });
+                }
+            }
+        }
+    }
+    cfgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_graph::gen;
+
+    #[test]
+    fn applicability_matches_the_panics() {
+        let seq = CdsConfig::sequential(Policy::Id);
+        let fix = CdsConfig::fixpoint(Policy::Id);
+        let single = CdsConfig::policy(Policy::Id);
+        for kind in ImplKind::ALL {
+            assert!(kind.applicable(&single), "{kind:?}");
+        }
+        for kind in [
+            ImplKind::SeedBaseline,
+            ImplKind::Parallel,
+            ImplKind::Incremental,
+            ImplKind::DistributedSeq,
+            ImplKind::DistributedThreaded,
+        ] {
+            assert!(!kind.applicable(&seq));
+            assert!(!kind.applicable(&fix));
+        }
+    }
+
+    #[test]
+    fn run_impl_smoke_on_figure_1() {
+        let g = pacds_graph::Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 4), (2, 3)]);
+        let cfg = CdsConfig::policy(Policy::Id);
+        let expected = oracle::compute_cds_oracle(&g, None, &cfg);
+        assert_eq!(pacds_graph::mask_to_vec(&expected), vec![1, 2]);
+        for kind in ImplKind::ALL {
+            assert_eq!(run_impl(kind, &g, None, &cfg), expected, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_covers_every_axis() {
+        let m = full_config_matrix();
+        assert_eq!(m.len(), 40);
+        assert!(m.iter().any(|c| c.schedule == PruneSchedule::Fixpoint));
+        assert!(m.iter().any(|c| c.application == Application::Sequential));
+        let _ = gen::path(2);
+    }
+}

@@ -1,0 +1,371 @@
+//! Brute-force reference implementations ("oracles").
+//!
+//! Everything here is written straight from the paper's prose with no
+//! shared machinery from the production crates: priorities are recomputed
+//! per comparison instead of materialised in a [`pacds_core::PriorityKey`]
+//! table, coverage is decided by sorted-slice scans instead of
+//! [`pacds_graph::NeighborBitmap`] word operations, connectivity uses
+//! union-find instead of BFS, and the unit-disk constructor is the O(n²)
+//! pairwise loop with its own distance arithmetic. Slow on purpose: if a
+//! production optimisation and an oracle ever disagree, the oracle is the
+//! spec.
+
+use pacds_core::{Application, CdsConfig, CdsViolation, Policy, PruneSchedule, Rule2Semantics};
+use pacds_geom::Point2;
+use pacds_graph::{Graph, NodeId, VertexMask};
+
+/// The lexicographic priority of `v` under `policy`, recomputed from the
+/// graph on every call (Rules 1/2 = id; 1a/2a = (degree, id); 1b/2b =
+/// (energy, id); 1b'/2b' = (energy, degree, id)). Lower sorts first and is
+/// pruned first.
+pub fn priority_of(policy: Policy, g: &Graph, energy: Option<&[u64]>, v: NodeId) -> Vec<u64> {
+    let id = v as u64;
+    let deg = g.degree(v) as u64;
+    let el = || {
+        energy.expect("energy-aware policy requires energy levels")[v as usize]
+    };
+    match policy {
+        Policy::NoPruning | Policy::Id => vec![id],
+        Policy::Degree => vec![deg, id],
+        Policy::Energy => vec![el(), id],
+        Policy::EnergyDegree => vec![el(), deg, id],
+    }
+}
+
+/// Whether `a` has strictly lower priority than `b` under `policy`.
+pub fn priority_lt(policy: Policy, g: &Graph, energy: Option<&[u64]>, a: NodeId, b: NodeId) -> bool {
+    priority_of(policy, g, energy, a) < priority_of(policy, g, energy, b)
+}
+
+/// The marking process, literally: `v` is marked iff it has two neighbours
+/// that are not connected to each other. Scans every neighbour pair with
+/// no early exit — O(n·Δ²).
+pub fn marking_oracle(g: &Graph) -> VertexMask {
+    let mut out = vec![false; g.n()];
+    for v in g.vertices() {
+        let nv = g.neighbors(v);
+        let mut unconnected_pair = false;
+        for (i, &u) in nv.iter().enumerate() {
+            for &w in &nv[i + 1..] {
+                if !g.has_edge(u, w) {
+                    unconnected_pair = true;
+                }
+            }
+        }
+        out[v as usize] = unconnected_pair;
+    }
+    out
+}
+
+/// `N[v] ⊆ N[u]` by sorted-slice scan (Rule 1's coverage condition).
+fn closed_covered(g: &Graph, v: NodeId, u: NodeId) -> bool {
+    let in_closed_u =
+        |x: NodeId| x == u || g.neighbors(u).binary_search(&x).is_ok();
+    in_closed_u(v) && g.neighbors(v).iter().all(|&x| in_closed_u(x))
+}
+
+/// `N(v) ⊆ N(u) ∪ N(w)` by sorted-slice scan (Rule 2's coverage
+/// condition, open neighbourhoods, no special cases).
+fn open_covered_pair(g: &Graph, v: NodeId, u: NodeId, w: NodeId) -> bool {
+    g.neighbors(v).iter().all(|&x| {
+        g.neighbors(u).binary_search(&x).is_ok() || g.neighbors(w).binary_search(&x).is_ok()
+    })
+}
+
+/// Whether Rule 1 unmarks `v` against the `marked` snapshot: some marked
+/// `u ≠ v` with `N[v] ⊆ N[u]` and lower priority for `v`. Scans *all*
+/// vertices, not just neighbours (coverage forces `u ∈ N(v)` anyway).
+fn rule1_unmarks(
+    g: &Graph,
+    marked: &[bool],
+    policy: Policy,
+    energy: Option<&[u64]>,
+    v: NodeId,
+) -> bool {
+    g.vertices().any(|u| {
+        u != v
+            && marked[u as usize]
+            && closed_covered(g, v, u)
+            && priority_lt(policy, g, energy, v, u)
+    })
+}
+
+/// Whether Rule 2 unmarks `v` against the `marked` snapshot under
+/// `semantics`: some pair of distinct marked neighbours `u, w` with
+/// `N(v) ⊆ N(u) ∪ N(w)` whose priority case approves.
+fn rule2_unmarks(
+    g: &Graph,
+    marked: &[bool],
+    policy: Policy,
+    energy: Option<&[u64]>,
+    semantics: Rule2Semantics,
+    v: NodeId,
+) -> bool {
+    let lt = |a: NodeId, b: NodeId| priority_lt(policy, g, energy, a, b);
+    let nv = g.neighbors(v);
+    for (i, &u) in nv.iter().enumerate() {
+        if !marked[u as usize] {
+            continue;
+        }
+        for &w in &nv[i + 1..] {
+            if !marked[w as usize] || !open_covered_pair(g, v, u, w) {
+                continue;
+            }
+            let approves = match semantics {
+                Rule2Semantics::MinOfThree => lt(v, u) && lt(v, w),
+                Rule2Semantics::CaseAnalysis => {
+                    let cu = open_covered_pair(g, u, v, w);
+                    let cw = open_covered_pair(g, w, v, u);
+                    match (cu, cw) {
+                        (false, false) => true,
+                        (true, false) => lt(v, u),
+                        (false, true) => lt(v, w),
+                        (true, true) => lt(v, u) && lt(v, w),
+                    }
+                }
+            };
+            if approves {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One Rule 1 pass under `application` (snapshot or in-place sweep).
+pub fn rule1_oracle(
+    g: &Graph,
+    marked: &[bool],
+    policy: Policy,
+    energy: Option<&[u64]>,
+    application: Application,
+) -> VertexMask {
+    let mut cur = marked.to_vec();
+    for v in g.vertices() {
+        let unmark = match application {
+            Application::Simultaneous => {
+                marked[v as usize] && rule1_unmarks(g, marked, policy, energy, v)
+            }
+            Application::Sequential => {
+                cur[v as usize] && rule1_unmarks(g, &cur, policy, energy, v)
+            }
+        };
+        if unmark {
+            cur[v as usize] = false;
+        }
+    }
+    cur
+}
+
+/// One Rule 2 pass under `application`.
+pub fn rule2_oracle(
+    g: &Graph,
+    marked: &[bool],
+    policy: Policy,
+    energy: Option<&[u64]>,
+    semantics: Rule2Semantics,
+    application: Application,
+) -> VertexMask {
+    let mut cur = marked.to_vec();
+    for v in g.vertices() {
+        let unmark = match application {
+            Application::Simultaneous => {
+                marked[v as usize] && rule2_unmarks(g, marked, policy, energy, semantics, v)
+            }
+            Application::Sequential => {
+                cur[v as usize] && rule2_unmarks(g, &cur, policy, energy, semantics, v)
+            }
+        };
+        if unmark {
+            cur[v as usize] = false;
+        }
+    }
+    cur
+}
+
+/// The full reference pipeline for any [`CdsConfig`]: marking, then the
+/// rule pair under the configured application and schedule, with the same
+/// `Id`-forces-min-of-three override as the production
+/// [`CdsConfig::rule2_semantics`].
+pub fn compute_cds_oracle(g: &Graph, energy: Option<&[u64]>, cfg: &CdsConfig) -> VertexMask {
+    let marked = marking_oracle(g);
+    if !cfg.policy.prunes() {
+        return marked;
+    }
+    if cfg.policy.needs_energy() {
+        let e = energy.expect("energy-aware policy requires energy levels");
+        assert_eq!(e.len(), g.n(), "energy table length must equal n");
+    }
+    let semantics = cfg.rule2_semantics();
+    let round = |m: &[bool]| {
+        let after1 = rule1_oracle(g, m, cfg.policy, energy, cfg.application);
+        rule2_oracle(g, &after1, cfg.policy, energy, semantics, cfg.application)
+    };
+    let mut cur = round(&marked);
+    if cfg.schedule == PruneSchedule::Fixpoint {
+        loop {
+            let next = round(&cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+    }
+    cur
+}
+
+/// Independent CDS verifier: domination by direct scan, connectivity of
+/// the induced subgraph by union-find (no shared code with
+/// [`pacds_core::verify_cds`], but the identical contract, including the
+/// empty-set-on-complete-graph special case). Returns the same
+/// [`CdsViolation`] type so verdicts can be compared directly.
+pub fn verify_oracle(g: &Graph, mask: &[bool]) -> Result<(), CdsViolation> {
+    assert_eq!(mask.len(), g.n());
+    if mask.iter().all(|&b| !b) {
+        let n = g.n();
+        return if n <= 1 || g.m() == n * (n - 1) / 2 {
+            Ok(())
+        } else {
+            Err(CdsViolation::Empty)
+        };
+    }
+    for v in g.vertices() {
+        if !mask[v as usize] && !g.neighbors(v).iter().any(|&u| mask[u as usize]) {
+            return Err(CdsViolation::NotDominating { witness: v });
+        }
+    }
+    // Union-find over edges internal to the set.
+    let mut parent: Vec<usize> = (0..g.n()).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for (u, v) in g.edges() {
+        if mask[u as usize] && mask[v as usize] {
+            let (a, b) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+            parent[a] = b;
+        }
+    }
+    let mut root = None;
+    for v in 0..g.n() {
+        if mask[v] {
+            let r = find(&mut parent, v);
+            if *root.get_or_insert(r) != r {
+                return Err(CdsViolation::NotConnected);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// O(n²) pairwise unit-disk construction with its own distance arithmetic
+/// (`dx² + dy² ≤ r² + EPS`, rim-inclusive like the production builders).
+pub fn unit_disk_oracle(radius: f64, points: &[Point2]) -> Graph {
+    let mut g = Graph::new(points.len());
+    let r2 = radius * radius + pacds_geom::EPS;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            let dx = points[i].x - points[j].x;
+            let dy = points[i].y - points[j].y;
+            if dx * dx + dy * dy <= r2 {
+                g.add_edge(i as NodeId, j as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// Exhaustive minimum connected dominating set: enumerates all 2ⁿ vertex
+/// subsets and returns the size and one witness of the smallest set
+/// accepted by [`verify_oracle`]. `None` when no subset verifies (a
+/// disconnected graph). On complete graphs this returns size 0 (the empty
+/// set verifies there by contract).
+///
+/// # Panics
+/// Panics for `n > 20` — the enumeration is the point, not the scale.
+pub fn min_cds_exhaustive(g: &Graph) -> Option<(usize, VertexMask)> {
+    let n = g.n();
+    assert!(n <= 20, "exhaustive search is for n <= 20 (got {n})");
+    let mut best: Option<(usize, VertexMask)> = None;
+    for bits in 0u32..(1u32 << n) {
+        let size = bits.count_ones() as usize;
+        if best.as_ref().is_some_and(|(b, _)| size >= *b) {
+            continue;
+        }
+        let mask: VertexMask = (0..n).map(|v| bits >> v & 1 == 1).collect();
+        if verify_oracle(g, &mask).is_ok() {
+            best = Some((size, mask));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_graph::{gen, mask_to_vec};
+
+    #[test]
+    fn marking_oracle_on_figure_1() {
+        // u=0, v=1, w=2, x=3, y=4 from the paper's Figure 1.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 4), (2, 3)]);
+        assert_eq!(mask_to_vec(&marking_oracle(&g)), vec![1, 2]);
+    }
+
+    #[test]
+    fn priorities_are_strict_total_orders() {
+        let g = gen::cycle(6);
+        let energy = [3u64, 3, 1, 4, 1, 5];
+        for policy in Policy::ALL {
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    let ab = priority_lt(policy, &g, Some(&energy), a, b);
+                    let ba = priority_lt(policy, &g, Some(&energy), b, a);
+                    if a == b {
+                        assert!(!ab && !ba);
+                    } else {
+                        assert!(ab ^ ba, "{policy:?} {a} {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_oracle_contract_matches_production() {
+        let path = gen::path(5);
+        assert_eq!(
+            verify_oracle(&path, &[false, true, false, true, false]),
+            Err(CdsViolation::NotConnected)
+        );
+        assert_eq!(
+            verify_oracle(&path, &[true, false, false, false, true]),
+            Err(CdsViolation::NotDominating { witness: 2 })
+        );
+        assert_eq!(verify_oracle(&path, &[false, true, true, true, false]), Ok(()));
+        assert_eq!(verify_oracle(&path, &[false; 5]), Err(CdsViolation::Empty));
+        assert_eq!(verify_oracle(&gen::complete(4), &[false; 4]), Ok(()));
+    }
+
+    #[test]
+    fn min_cds_on_known_families() {
+        assert_eq!(min_cds_exhaustive(&gen::path(7)).unwrap().0, 5);
+        assert_eq!(min_cds_exhaustive(&gen::star(6)).unwrap().0, 1);
+        assert_eq!(min_cds_exhaustive(&gen::cycle(6)).unwrap().0, 4);
+        // Complete graphs verify the empty set by contract.
+        assert_eq!(min_cds_exhaustive(&gen::complete(5)).unwrap().0, 0);
+        // Disconnected: nothing verifies.
+        assert_eq!(min_cds_exhaustive(&Graph::new(3)), None);
+    }
+
+    #[test]
+    fn unit_disk_oracle_rim_is_inclusive() {
+        let pts = [Point2::new(0.0, 0.0), Point2::new(25.0, 0.0), Point2::new(51.0, 0.0)];
+        let g = unit_disk_oracle(25.0, &pts);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 2));
+    }
+}

@@ -1,0 +1,204 @@
+//! The differential conformance suite: every production implementation
+//! against the oracles, over the named adversarial families and the
+//! seeded random unit-disk corpus, across the full configuration matrix.
+
+use pacds_core::{Application, CdsConfig, Policy, Rule2Semantics};
+use pacds_testkit::harness::{full_config_matrix, ConformanceReport, ImplKind};
+use pacds_testkit::{named_families, oracle, random_unit_disk_cases};
+use std::collections::HashSet;
+
+/// How many random unit-disk cases the suite runs. ≥ 200 by acceptance
+/// criteria; CI bumps it via the environment.
+fn random_case_count() -> usize {
+    std::env::var("PACDS_TESTKIT_RANDOM_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+        .max(200)
+}
+
+#[test]
+fn corpus_meets_the_acceptance_floor() {
+    let named = named_families();
+    let families: HashSet<&str> = named.iter().map(|c| c.family).collect();
+    assert!(
+        families.len() >= 12,
+        "need >= 12 named families, have {}: {families:?}",
+        families.len()
+    );
+    assert!(random_case_count() >= 200);
+    // All rule variants are covered by the matrix: every policy (1/2,
+    // 1a/2a, 1b/2b, 1b'/2b') under both Rule 2 semantics.
+    let matrix = full_config_matrix();
+    let mut covered: HashSet<(Policy, Rule2Semantics)> = HashSet::new();
+    for cfg in &matrix {
+        covered.insert((cfg.policy, cfg.rule2));
+    }
+    for policy in Policy::ALL {
+        for sem in [Rule2Semantics::MinOfThree, Rule2Semantics::CaseAnalysis] {
+            assert!(covered.contains(&(policy, sem)), "{policy:?}/{sem:?} uncovered");
+        }
+    }
+}
+
+#[test]
+fn named_families_conform_across_the_full_matrix() {
+    let cases = named_families();
+    let matrix = full_config_matrix();
+    let mut report = ConformanceReport::new();
+    for case in &cases {
+        for cfg in &matrix {
+            // The threaded distributed engine spawns one OS thread per
+            // host; named families are small, so it runs everywhere here.
+            report.check_case(case, cfg, &ImplKind::ALL);
+        }
+    }
+    assert!(report.checked > 0);
+    report.finish();
+}
+
+#[test]
+fn random_unit_disk_corpus_conforms() {
+    let cases = random_unit_disk_cases(2001, random_case_count());
+    assert!(cases.len() >= 200);
+    let matrix = full_config_matrix();
+    let mut report = ConformanceReport::new();
+    for (i, case) in cases.iter().enumerate() {
+        // Every case runs the full implementation set on one safe and one
+        // paper-literal configuration; the rest of the 40-entry matrix
+        // rotates across cases so the whole matrix is exercised every 40
+        // cases without making the naive O(n·Δ⁴) oracle the bottleneck.
+        let policy = Policy::ALL[i % Policy::ALL.len()];
+        let rotating = matrix[i % matrix.len()];
+        let impls: &[ImplKind] = if case.graph.n() <= 40 && i % 10 == 0 {
+            &ImplKind::ALL
+        } else {
+            // The threaded engine is sampled above; everything else always.
+            &[
+                ImplKind::SeedBaseline,
+                ImplKind::Pipeline,
+                ImplKind::WorkspaceAdj,
+                ImplKind::WorkspaceCsr,
+                ImplKind::Parallel,
+                ImplKind::Incremental,
+                ImplKind::DistributedSeq,
+            ]
+        };
+        report.check_case(case, &CdsConfig::policy(policy), impls);
+        report.check_case(case, &CdsConfig::paper(policy), impls);
+        report.check_case(case, &rotating, impls);
+    }
+    assert!(report.checked >= 3 * 200);
+    report.finish();
+}
+
+#[test]
+fn production_unit_disk_builders_match_the_pairwise_oracle() {
+    use pacds_graph::{gen, CsrGraph};
+    let mut cases = named_families();
+    cases.extend(random_unit_disk_cases(77, 40));
+    let mut geometric = 0;
+    for case in &cases {
+        let Some((bounds, radius, pts)) = &case.positions else {
+            continue;
+        };
+        geometric += 1;
+        let reference = oracle::unit_disk_oracle(*radius, pts);
+        assert_eq!(gen::unit_disk(*bounds, *radius, pts), reference, "{}", case.name);
+        assert_eq!(gen::unit_disk_naive(*radius, pts), reference, "{}", case.name);
+        let mut csr = CsrGraph::new();
+        let mut scratch = gen::UnitDiskScratch::new();
+        gen::unit_disk_csr(*bounds, *radius, pts, None, &mut csr, &mut scratch);
+        assert_eq!(csr, CsrGraph::from(&reference), "{} (csr)", case.name);
+    }
+    assert!(geometric >= 40, "only {geometric} geometric cases");
+}
+
+#[test]
+fn simultaneous_vs_sequential_divergence_is_cds_invariant() {
+    // The documented intentional non-equivalence: the applications may
+    // produce different masks, but both must verify. The corpus must
+    // actually exhibit the divergence (otherwise the assertion is vacuous).
+    let mut cases = named_families();
+    cases.extend(random_unit_disk_cases(501, 60));
+    let mut report = ConformanceReport::new();
+    let mut diverged = 0;
+    for case in &cases {
+        for policy in [Policy::Id, Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            if report.check_cross_application(case, policy) {
+                diverged += 1;
+            }
+        }
+    }
+    assert!(
+        diverged > 0,
+        "corpus never exercised the simultaneous/sequential divergence"
+    );
+    report.finish();
+}
+
+#[test]
+fn paper_literal_semantics_unsoundness_is_visible_and_agreed_on() {
+    // CaseAnalysis + Simultaneous is the documented-unsound configuration:
+    // the corpus must contain at least one connected topology where it
+    // loses domination or connectivity, and on every such instance the
+    // production verifier and the oracle verifier must agree (that verdict
+    // agreement is asserted per-case inside check_case; here we pin that
+    // the phenomenon itself is represented).
+    let mut cases = named_families();
+    cases.extend(random_unit_disk_cases(9009, 120));
+    let mut invalid = 0;
+    for case in cases.iter().filter(|c| c.connected) {
+        for policy in [Policy::Degree, Policy::Energy, Policy::EnergyDegree] {
+            let cfg = CdsConfig::paper(policy);
+            let mask = oracle::compute_cds_oracle(&case.graph, Some(&case.energy), &cfg);
+            let o = oracle::verify_oracle(&case.graph, &mask);
+            let p = pacds_core::verify_cds(&case.graph, &mask);
+            assert_eq!(o.is_ok(), p.is_ok(), "{} {policy:?}", case.name);
+            if o.is_err() {
+                invalid += 1;
+            }
+        }
+    }
+    assert!(
+        invalid > 0,
+        "corpus never triggered the paper-literal Rule 2 unsoundness; \
+         add the counterexample topology"
+    );
+}
+
+#[test]
+fn counterexample_topology_is_in_reach_of_the_harness() {
+    // The 7-node counterexample from pacds-core's rule tests, run through
+    // the full harness machinery end to end.
+    let g = pacds_graph::Graph::from_edges(
+        7,
+        &[
+            (0, 3), (0, 5), (0, 6), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6),
+            (2, 6), (3, 4), (4, 5), (4, 6), (5, 6),
+        ],
+    );
+    let energy = vec![5u64, 1, 8, 4, 9, 7, 2];
+    let cfg = CdsConfig {
+        policy: Policy::Energy,
+        rule2: Rule2Semantics::CaseAnalysis,
+        application: Application::Simultaneous,
+        ..CdsConfig::policy(Policy::Energy)
+    };
+    let mask = oracle::compute_cds_oracle(&g, Some(&energy), &cfg);
+    assert!(oracle::verify_oracle(&g, &mask).is_err(), "unsoundness must reproduce");
+    // Every implementation still agrees bit-for-bit on the invalid mask.
+    for kind in ImplKind::ALL {
+        if kind.applicable(&cfg) {
+            assert_eq!(
+                pacds_testkit::run_impl(kind, &g, Some(&energy), &cfg),
+                mask,
+                "{kind:?}"
+            );
+        }
+    }
+    // And the safe semantics fixes it.
+    let safe = CdsConfig::policy(Policy::Energy);
+    let safe_mask = oracle::compute_cds_oracle(&g, Some(&energy), &safe);
+    assert_eq!(oracle::verify_oracle(&g, &safe_mask), Ok(()));
+}

@@ -1,0 +1,78 @@
+//! Parallel-vs-sequential determinism (satellite: thread-count sweep).
+//!
+//! `compute_cds_par` must be bit-identical to the sequential pipeline
+//! regardless of rayon pool width. The parallel passes are written as
+//! pure per-vertex maps over an immutable snapshot, so the result must
+//! not depend on scheduling; this suite pins that at 1, 2, and 8 threads
+//! across policies and corpus samples.
+
+use pacds_core::{compute_cds_par, CdsConfig, Policy};
+use pacds_testkit::{named_families, random_unit_disk_cases, run_impl, ImplKind};
+use pacds_graph::VertexMask;
+
+fn par_at(threads: usize, f: impl FnOnce() -> VertexMask + Send) -> VertexMask {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("build rayon pool")
+        .install(f)
+}
+
+#[test]
+fn parallel_is_bit_identical_across_1_2_8_threads() {
+    let mut cases = named_families();
+    cases.extend(random_unit_disk_cases(31337, 30));
+    let mut compared = 0;
+    for case in &cases {
+        for policy in Policy::ALL {
+            let cfg = CdsConfig::policy(policy);
+            let sequential = run_impl(ImplKind::Pipeline, &case.graph, Some(&case.energy), &cfg);
+            for threads in [1usize, 2, 8] {
+                let par = par_at(threads, || {
+                    compute_cds_par(&case.graph, Some(&case.energy), &cfg)
+                });
+                assert_eq!(
+                    par, sequential,
+                    "compute_cds_par diverged from sequential on {} under {policy:?} at {threads} thread(s)",
+                    case.name
+                );
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared >= 3 * 5 * 30);
+}
+
+#[test]
+fn parallel_matches_the_oracle_under_paper_semantics() {
+    use pacds_testkit::oracle;
+    let cases = random_unit_disk_cases(424242, 20);
+    for case in &cases {
+        for policy in [Policy::Degree, Policy::EnergyDegree] {
+            let cfg = CdsConfig::paper(policy);
+            let expected =
+                oracle::compute_cds_oracle(&case.graph, Some(&case.energy), &cfg);
+            for threads in [2usize, 8] {
+                let par = par_at(threads, || {
+                    compute_cds_par(&case.graph, Some(&case.energy), &cfg)
+                });
+                assert_eq!(par, expected, "{} {policy:?} @{threads}", case.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_on_one_pool_are_stable() {
+    let case = &random_unit_disk_cases(9, 8)[7];
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .expect("build rayon pool");
+    let first = pool.install(|| compute_cds_par(&case.graph, Some(&case.energy), &cfg));
+    for _ in 0..10 {
+        let again = pool.install(|| compute_cds_par(&case.graph, Some(&case.energy), &cfg));
+        assert_eq!(again, first);
+    }
+}

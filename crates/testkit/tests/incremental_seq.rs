@@ -1,0 +1,111 @@
+//! Incremental maintenance under edit sequences, differentially checked
+//! against a full recompute after every step.
+//!
+//! The corpus cases seed the initial topology; each step then applies one
+//! random edit — an edge flip, an energy drain, or a node death
+//! (`Graph::isolate`) — and the maintained gateway mask must be
+//! bit-identical to `compute_cds` on the edited instance.
+
+use pacds_core::{compute_cds, CdsConfig, CdsInput, IncrementalCds, Policy};
+use pacds_graph::Graph;
+use pacds_testkit::{named_families, random_unit_disk_cases};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn full(g: &Graph, energy: &[u64], cfg: &CdsConfig) -> Vec<bool> {
+    compute_cds(&CdsInput::with_energy(g, energy), cfg)
+}
+
+fn drive_sequence(
+    name: &str,
+    g0: &Graph,
+    e0: &[u64],
+    cfg: &CdsConfig,
+    steps: usize,
+    rng: &mut StdRng,
+) {
+    let mut g = g0.clone();
+    let mut energy = e0.to_vec();
+    let mut inc = IncrementalCds::new(g.clone(), energy.clone(), *cfg);
+    assert_eq!(inc.gateways(), &full(&g, &energy, cfg), "{name}: initial");
+    let n = g.n();
+    for step in 0..steps {
+        match rng.random_range(0..4u32) {
+            // Edge flip: toggle a uniformly random pair.
+            0 | 1 => {
+                let u = rng.random_range(0..n as u32);
+                let mut v = rng.random_range(0..n as u32);
+                if u == v {
+                    v = (v + 1) % n as u32;
+                }
+                if g.has_edge(u, v) {
+                    g.remove_edge(u, v);
+                } else {
+                    g.add_edge(u, v);
+                }
+            }
+            // Energy drain on one host (relevant to EL policies).
+            2 => {
+                let v = rng.random_range(0..n);
+                energy[v] = energy[v].saturating_sub(rng.random_range(1..4u64));
+            }
+            // Node death: the host keeps its slot but loses every link.
+            _ => {
+                let v = rng.random_range(0..n as u32);
+                g.isolate(v);
+            }
+        }
+        let got = inc.update(g.clone(), energy.clone()).clone();
+        assert_eq!(
+            got,
+            full(&g, &energy, cfg),
+            "{name}: diverged at step {step} (recomputed {} hosts)",
+            inc.last_recomputed()
+        );
+    }
+}
+
+#[test]
+fn incremental_tracks_full_recompute_over_named_families() {
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    for case in named_families().iter().filter(|c| c.graph.n() >= 2) {
+        let mut rng = StdRng::seed_from_u64(0xABCD ^ case.graph.n() as u64);
+        drive_sequence(&case.name, &case.graph, &case.energy, &cfg, 12, &mut rng);
+    }
+}
+
+#[test]
+fn incremental_tracks_full_recompute_over_random_cases_and_policies() {
+    let cases = random_unit_disk_cases(606, 12);
+    for (i, case) in cases.iter().enumerate() {
+        if case.graph.n() > 60 {
+            continue;
+        }
+        let policy = Policy::ALL[i % Policy::ALL.len()];
+        let cfg = CdsConfig::policy(policy);
+        let mut rng = StdRng::seed_from_u64(7_000 + i as u64);
+        drive_sequence(&case.name, &case.graph, &case.energy, &cfg, 20, &mut rng);
+    }
+}
+
+#[test]
+fn incremental_survives_adversarial_burst_edits() {
+    // Many edits between updates is not supported (update() is called per
+    // step here), but bursts of *deaths* in one region stress the k-ball
+    // dirty-set logic: kill an entire neighbourhood one host per update.
+    let case = &random_unit_disk_cases(11, 4)[3];
+    let g0 = &case.graph;
+    let cfg = CdsConfig::policy(Policy::Degree);
+    let mut g = g0.clone();
+    let energy = case.energy.clone();
+    let mut inc = IncrementalCds::new(g.clone(), energy.clone(), cfg);
+    // Kill host 0 and then each of its (former) neighbours in turn.
+    let victims: Vec<u32> = std::iter::once(0)
+        .chain(g0.neighbors(0).to_vec())
+        .collect();
+    for v in victims {
+        g.isolate(v);
+        let got = inc.update(g.clone(), energy.clone()).clone();
+        assert_eq!(got, full(&g, &energy, &cfg), "after killing {v}");
+    }
+}
