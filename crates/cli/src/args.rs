@@ -6,6 +6,10 @@
 
 use std::collections::BTreeMap;
 
+/// Options valid on every subcommand, consumed by `main` before dispatch;
+/// [`Args::check_known`] always accepts them.
+pub const GLOBAL_OPTS: &[&str] = &["log-level"];
+
 /// Parsed arguments: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
@@ -85,10 +89,11 @@ impl Args {
             .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'")))
     }
 
-    /// Rejects options/flags outside `allowed` (catches typos).
+    /// Rejects options/flags outside `allowed` (catches typos). The
+    /// [`GLOBAL_OPTS`] are accepted everywhere.
     pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
         for k in self.options.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str)) {
-            if !allowed.contains(&k) {
+            if !allowed.contains(&k) && !GLOBAL_OPTS.contains(&k) {
                 return Err(ArgError(format!(
                     "unknown option --{k} (expected one of: {})",
                     allowed
@@ -157,6 +162,13 @@ mod tests {
         let a = parse("x --good 1 --bad 2").unwrap();
         assert!(a.check_known(&["good"]).is_err());
         assert!(a.check_known(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn global_options_are_always_known() {
+        let a = parse("x --log-level debug --n 3").unwrap();
+        assert!(a.check_known(&["n"]).is_ok());
+        assert_eq!(a.get("log-level"), Some("debug"));
     }
 
     #[test]

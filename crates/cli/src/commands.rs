@@ -10,7 +10,7 @@ use pacds_sim::{SimConfig, Simulation};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+pub type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 /// Top-level usage text.
 pub const HELP: &str = "\
@@ -47,7 +47,19 @@ COMMANDS:
               --scenario <file.json>
   scenario-template
             Print an editable scenario JSON to stdout.
+  obs-report
+            Run an instrumented lifetime simulation and print the phase
+            timer / rule-counter breakdown (build with --features obs for
+            populated numbers).
+              --n <int=50> --policy <..=el1> --model <..=2> --seed <int=1>
+              --intervals <int=50> --semantics <..=safe>
+              --format <table|jsonl|prometheus =table>
   help      Show this message.
+
+GLOBAL OPTIONS (all commands):
+  --log-level <off|error|warn|info|debug|trace>
+            Diagnostic logging on stderr; the PACDS_LOG environment
+            variable sets the default.
 ";
 
 fn policy_of(name: &str) -> Result<Policy, String> {
@@ -395,6 +407,82 @@ pub fn run_scenario(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `pacds obs-report`
+pub fn obs_report(args: &Args) -> CliResult {
+    args.check_known(&[
+        "n", "policy", "model", "seed", "intervals", "semantics", "format",
+    ])?;
+    let n: usize = args.get_or("n", 50)?;
+    let policy = policy_of(args.get("policy").unwrap_or("el1"))?;
+    let model = model_of(args.get("model").unwrap_or("2"))?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let intervals: u32 = args.get_or("intervals", 50)?;
+    let mut cfg = SimConfig::paper(n, policy, model);
+    if let Some(sem) = args.get("semantics") {
+        cfg.cds = cds_config_of(policy, sem)?;
+    }
+    cfg.max_intervals = intervals;
+
+    if !pacds_obs::enabled() {
+        eprintln!(
+            "note: metrics are compiled out in this build; rebuild with \
+             `--features obs` for a populated report"
+        );
+    }
+    pacds_obs::reset();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let outcome = Simulation::new(cfg, &mut rng).run_lifetime(&mut rng);
+    let snap = pacds_obs::Snapshot::capture();
+
+    match args.get("format").unwrap_or("table") {
+        "table" => {
+            println!(
+                "obs-report: n={n} policy={} model={} seed={seed} — \
+                 {} intervals simulated, {:.1} mean gateways",
+                policy.label(),
+                model.label(),
+                outcome.intervals,
+                outcome.mean_gateways,
+            );
+            if snap.phases.is_empty() && snap.counters.is_empty() {
+                println!("(no instrumentation data: metrics are compiled out)");
+                return Ok(());
+            }
+            println!();
+            println!(
+                "{:>16} {:>10} {:>14} {:>12}",
+                "phase", "count", "total ms", "mean µs"
+            );
+            for p in &snap.phases {
+                println!(
+                    "{:>16} {:>10} {:>14.3} {:>12.2}",
+                    p.name,
+                    p.count,
+                    p.total_ns as f64 / 1e6,
+                    p.mean_ns() / 1e3
+                );
+            }
+            println!();
+            println!("{:>28} {:>14}", "counter", "value");
+            for c in &snap.counters {
+                println!("{:>28} {:>14}", c.name, c.value);
+            }
+        }
+        "jsonl" => println!("{}", snap.to_json_line()),
+        "prometheus" => {
+            let mut out = Vec::new();
+            pacds_obs::write_prometheus(&snap, &mut out)?;
+            print!("{}", String::from_utf8(out)?);
+        }
+        other => {
+            return Err(
+                format!("unknown format '{other}' (table|jsonl|prometheus)").into(),
+            )
+        }
+    }
+    Ok(())
+}
+
 /// `pacds scenario-template`
 pub fn scenario_template(args: &Args) -> CliResult {
     args.check_known(&[])?;
@@ -502,6 +590,25 @@ mod tests {
         std::fs::write(&path, serde_json::to_string(&sc).unwrap()).unwrap();
         run_scenario(&args(&format!("run --scenario {}", path.display()))).unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn obs_report_runs_in_all_formats() {
+        // One test fn for every invocation: obs_report resets the global
+        // counters, so concurrent calls from separate tests would race.
+        obs_report(&args("obs-report --n 12 --intervals 3")).unwrap();
+        obs_report(&args("obs-report --n 12 --intervals 3 --format jsonl")).unwrap();
+        obs_report(&args("obs-report --n 12 --intervals 3 --format prometheus")).unwrap();
+        assert!(obs_report(&args("obs-report --n 12 --intervals 3 --format bogus")).is_err());
+        assert!(obs_report(&args("obs-report --bogus 1")).is_err());
+        #[cfg(feature = "obs")]
+        {
+            // The instrumented build must produce a non-empty breakdown for
+            // the paper-default scenario.
+            let snap = pacds_obs::Snapshot::capture();
+            assert!(!snap.phases.is_empty(), "obs build must report phases");
+            assert!(snap.counter("sim.intervals") >= 1);
+        }
     }
 
     #[test]

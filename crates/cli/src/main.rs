@@ -1,20 +1,33 @@
 //! `pacds` — command-line interface to the PACDS workspace.
 //!
 //! ```text
-//! pacds gen       generate a unit-disk topology (edge list / DOT / JSON)
-//! pacds cds       compute the gateway set of a topology under a policy
-//! pacds route     route a packet with the 3-step procedure
-//! pacds simulate  run a network-lifetime simulation
-//! pacds compare   compare all policies on one network
+//! pacds gen        generate a unit-disk topology (edge list / DOT / JSON)
+//! pacds cds        compute the gateway set of a topology under a policy
+//! pacds route      route a packet with the 3-step procedure
+//! pacds simulate   run a network-lifetime simulation
+//! pacds compare    compare all policies on one network
+//! pacds obs-report run instrumented and print the phase/counter breakdown
 //! ```
 //!
-//! Run `pacds help [command]` for options.
+//! Run `pacds help [command]` for options. Every command accepts
+//! `--log-level <off|error|warn|info|debug|trace>` (or the `PACDS_LOG`
+//! environment variable) for diagnostic logging on stderr.
 
 mod args;
 mod commands;
 
 use args::Args;
 use std::process::ExitCode;
+
+/// Runs one subcommand under a log span so `--log-level debug` reports
+/// entry, exit, and wall time for every entry point.
+fn dispatch(
+    name: &'static str,
+    f: impl FnOnce() -> commands::CliResult,
+) -> commands::CliResult {
+    let _span = pacds_obs::log::span(name);
+    f()
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -24,19 +37,36 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Environment first, then the flag, so `--log-level` wins.
+    pacds_obs::log::init_from_env();
+    if let Some(raw) = args.get("log-level") {
+        match pacds_obs::log::parse_level(raw) {
+            Some(l) => pacds_obs::log::set_level(l),
+            None => {
+                eprintln!(
+                    "error: --log-level: unknown level '{raw}' \
+                     (off|error|warn|info|debug|trace)"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let command = args.command.clone().unwrap_or_else(|| "help".to_string());
     let result = match command.as_str() {
-        "gen" => commands::gen(&args),
-        "cds" => commands::cds(&args),
-        "route" => commands::route(&args),
-        "simulate" => commands::simulate(&args),
-        "compare" => commands::compare(&args),
-        "trace" => commands::trace(&args),
-        "watch" => commands::watch(&args),
-        "robustness" => commands::robustness(&args),
-        "explain" => commands::explain(&args),
-        "run" => commands::run_scenario(&args),
-        "scenario-template" => commands::scenario_template(&args),
+        "gen" => dispatch("cli.gen", || commands::gen(&args)),
+        "cds" => dispatch("cli.cds", || commands::cds(&args)),
+        "route" => dispatch("cli.route", || commands::route(&args)),
+        "simulate" => dispatch("cli.simulate", || commands::simulate(&args)),
+        "compare" => dispatch("cli.compare", || commands::compare(&args)),
+        "trace" => dispatch("cli.trace", || commands::trace(&args)),
+        "watch" => dispatch("cli.watch", || commands::watch(&args)),
+        "robustness" => dispatch("cli.robustness", || commands::robustness(&args)),
+        "explain" => dispatch("cli.explain", || commands::explain(&args)),
+        "run" => dispatch("cli.run", || commands::run_scenario(&args)),
+        "scenario-template" => {
+            dispatch("cli.scenario-template", || commands::scenario_template(&args))
+        }
+        "obs-report" => dispatch("cli.obs-report", || commands::obs_report(&args)),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

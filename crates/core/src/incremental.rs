@@ -248,7 +248,10 @@ fn rule2_unmarks(
     if !crate::rules::fill_rule2_candidates(g, after1, key, semantics, v, &mut scratch.nbrs) {
         return false;
     }
-    crate::rules::rule2_decides_removal(bm, key, semantics, v, &mut scratch)
+    let mut tally = crate::rules::Rule2Tally::default();
+    let decided = crate::rules::rule2_decides_removal(bm, key, semantics, v, &mut scratch, &mut tally);
+    tally.flush();
+    decided
 }
 
 /// Multi-source BFS distances capped at `cap`, over the union of the old

@@ -30,8 +30,14 @@ pub fn marking<G: Neighbors + ?Sized>(g: &G) -> VertexMask {
 /// [`marking`] writing into a caller-provided mask (cleared and refilled),
 /// so the hot path can reuse the allocation across update intervals.
 pub fn marking_into<G: Neighbors + ?Sized>(g: &G, marked: &mut VertexMask) {
+    let _t = pacds_obs::phase_timer(pacds_obs::Phase::Marking);
     marked.clear();
     marked.extend(g.vertices().map(|v| has_unconnected_neighbors(g, v)));
+    if pacds_obs::enabled() {
+        pacds_obs::add(pacds_obs::Counter::MarkingScanned, marked.len() as u64);
+        let hits = marked.iter().filter(|&&m| m).count() as u64;
+        pacds_obs::add(pacds_obs::Counter::MarkingMarked, hits);
+    }
 }
 
 /// Whether `v` has two neighbours that are not adjacent to each other.

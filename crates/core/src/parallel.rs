@@ -24,7 +24,9 @@
 
 use crate::marking::has_unconnected_neighbors;
 use crate::priority::{EnergyLevel, PriorityKey};
-use crate::rules::{fill_rule2_candidates, rule2_decides_removal, Rule2Semantics, RuleScratch};
+use crate::rules::{
+    fill_rule2_candidates, rule2_decides_removal, Rule2Semantics, Rule2Tally, RuleScratch,
+};
 use crate::workspace::CdsWorkspace;
 use crate::CdsConfig;
 use pacds_graph::{NeighborBitmap, Neighbors, NodeId, VertexMask};
@@ -50,7 +52,10 @@ pub fn marking_par<G: Neighbors + Sync + ?Sized>(g: &G) -> VertexMask {
 pub fn marking_par_into<G: Neighbors + Sync + ?Sized>(g: &G, out: &mut VertexMask) {
     (0..g.n() as NodeId)
         .into_par_iter()
-        .map(|v| has_unconnected_neighbors(g, v))
+        .map(|v| {
+            pacds_obs::par_tick(1);
+            has_unconnected_neighbors(g, v)
+        })
         .collect_into_vec(out);
 }
 
@@ -78,6 +83,7 @@ pub fn rule1_pass_par_into<G: Neighbors + Sync + ?Sized>(
     (0..g.n() as NodeId)
         .into_par_iter()
         .map(|v| {
+            pacds_obs::par_tick(1);
             if !marked[v as usize] {
                 return false;
             }
@@ -122,6 +128,7 @@ pub fn rule2_pass_par_into<G: Neighbors + Sync + ?Sized>(
     (0..g.n() as NodeId)
         .into_par_iter()
         .map(|v| {
+            pacds_obs::par_tick(1);
             if !marked[v as usize] {
                 return false;
             }
@@ -130,7 +137,10 @@ pub fn rule2_pass_par_into<G: Neighbors + Sync + ?Sized>(
                 if !fill_rule2_candidates(g, marked, key, semantics, v, &mut scratch.nbrs) {
                     return true;
                 }
-                !rule2_decides_removal(bm, key, semantics, v, scratch)
+                let mut tally = Rule2Tally::default();
+                let keep = !rule2_decides_removal(bm, key, semantics, v, scratch, &mut tally);
+                tally.flush();
+                keep
             })
         })
         .collect_into_vec(out);

@@ -10,6 +10,7 @@
 
 use crate::priority::PriorityKey;
 use pacds_graph::{NeighborBitmap, Neighbors, NodeId, VertexMask};
+use pacds_obs::{Counter, Phase, Tally};
 
 /// How Rule 2 combines the coverage tests with the priority order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -59,6 +60,52 @@ pub struct RuleScratch {
     pub(crate) support: Vec<(u32, u64)>,
 }
 
+/// Stack-local counters for one Rule 1 sweep (zero-sized when the `obs`
+/// feature is off). Hot loops bump these plain `u64`s and flush into the
+/// global atomics once per pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Rule1Tally {
+    pub(crate) candidates: Tally,
+    pub(crate) prefilter_rejects: Tally,
+    pub(crate) witness_probes: Tally,
+    pub(crate) witness_rejects: Tally,
+    pub(crate) subset_scans: Tally,
+    pub(crate) unmarked: Tally,
+}
+
+impl Rule1Tally {
+    pub(crate) fn flush(&mut self) {
+        self.candidates.flush(Counter::Rule1Candidates);
+        self.prefilter_rejects.flush(Counter::Rule1PrefilterRejects);
+        self.witness_probes.flush(Counter::Rule1WitnessProbes);
+        self.witness_rejects.flush(Counter::Rule1WitnessRejects);
+        self.subset_scans.flush(Counter::Rule1SubsetScans);
+        self.unmarked.flush(Counter::Rule1Unmarked);
+    }
+}
+
+/// Stack-local counters for one Rule 2 sweep; see [`Rule1Tally`].
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct Rule2Tally {
+    pub(crate) vertices: Tally,
+    pub(crate) candidates: Tally,
+    pub(crate) pairs: Tally,
+    pub(crate) witness_rejects: Tally,
+    pub(crate) coverage_scans: Tally,
+    pub(crate) unmarked: Tally,
+}
+
+impl Rule2Tally {
+    pub(crate) fn flush(&mut self) {
+        self.vertices.flush(Counter::Rule2Vertices);
+        self.candidates.flush(Counter::Rule2Candidates);
+        self.pairs.flush(Counter::Rule2PairsProbed);
+        self.witness_rejects.flush(Counter::Rule2WitnessRejects);
+        self.coverage_scans.flush(Counter::Rule2CoverageScans);
+        self.unmarked.flush(Counter::Rule2Unmarked);
+    }
+}
+
 impl RuleScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
@@ -102,6 +149,8 @@ pub fn rule1_pass_into<G: Neighbors + ?Sized>(
     next: &mut VertexMask,
     mut removed: Option<&mut Vec<NodeId>>,
 ) {
+    let _t = pacds_obs::phase_timer(Phase::Rule1);
+    let mut tally = Rule1Tally::default();
     next.clear();
     next.extend_from_slice(marked);
     for v in g.vertices() {
@@ -115,13 +164,19 @@ pub fn rule1_pass_into<G: Neighbors + ?Sized>(
         let dv = g.neighbors(v).len();
         let witness = g.neighbors(v).iter().copied().min().unwrap_or(v);
         for &u in g.neighbors(v) {
+            tally.candidates.bump();
             if !(marked[u as usize] && g.neighbors(u).len() >= dv && key.lt(v, u)) {
+                tally.prefilter_rejects.bump();
                 continue;
             }
+            tally.witness_probes.bump();
             if !(witness == u || bm.contains(witness, u)) {
+                tally.witness_rejects.bump();
                 continue;
             }
+            tally.subset_scans.bump();
             if bm.closed_subset(v, u) {
+                tally.unmarked.bump();
                 next[v as usize] = false;
                 if let Some(r) = removed.as_deref_mut() {
                     r.push(v);
@@ -130,6 +185,7 @@ pub fn rule1_pass_into<G: Neighbors + ?Sized>(
             }
         }
     }
+    tally.flush();
 }
 
 /// One simultaneous Rule 2 pass.
@@ -166,22 +222,28 @@ pub fn rule2_pass_into<G: Neighbors + ?Sized>(
     next: &mut VertexMask,
     mut removed: Option<&mut Vec<NodeId>>,
 ) {
+    let _t = pacds_obs::phase_timer(Phase::Rule2);
+    let mut tally = Rule2Tally::default();
     next.clear();
     next.extend_from_slice(marked);
     for v in g.vertices() {
         if !marked[v as usize] {
             continue;
         }
+        tally.vertices.bump();
         if !fill_rule2_candidates(g, marked, key, semantics, v, &mut scratch.nbrs) {
             continue;
         }
-        if rule2_decides_removal(bm, key, semantics, v, scratch) {
+        tally.candidates.add(scratch.nbrs.len() as u64);
+        if rule2_decides_removal(bm, key, semantics, v, scratch, &mut tally) {
+            tally.unmarked.bump();
             next[v as usize] = false;
             if let Some(r) = removed.as_deref_mut() {
                 r.push(v);
             }
         }
     }
+    tally.flush();
 }
 
 /// Sequential (in-place) Rule 1 sweep: vertices are visited in ascending
@@ -214,6 +276,8 @@ pub fn rule1_pass_sequential_into<G: Neighbors + ?Sized>(
     cur: &mut VertexMask,
     mut removed: Option<&mut Vec<NodeId>>,
 ) {
+    let _t = pacds_obs::phase_timer(Phase::Rule1);
+    let mut tally = Rule1Tally::default();
     cur.clear();
     cur.extend_from_slice(marked);
     for v in g.vertices() {
@@ -222,20 +286,33 @@ pub fn rule1_pass_sequential_into<G: Neighbors + ?Sized>(
         }
         let dv = g.neighbors(v).len();
         let witness = g.neighbors(v).iter().copied().min().unwrap_or(v);
-        let kill = g.neighbors(v).iter().any(|&u| {
-            cur[u as usize]
-                && g.neighbors(u).len() >= dv
-                && key.lt(v, u)
-                && (witness == u || bm.contains(witness, u))
-                && bm.closed_subset(v, u)
-        });
+        let mut kill = false;
+        for &u in g.neighbors(v) {
+            tally.candidates.bump();
+            if !(cur[u as usize] && g.neighbors(u).len() >= dv && key.lt(v, u)) {
+                tally.prefilter_rejects.bump();
+                continue;
+            }
+            tally.witness_probes.bump();
+            if !(witness == u || bm.contains(witness, u)) {
+                tally.witness_rejects.bump();
+                continue;
+            }
+            tally.subset_scans.bump();
+            if bm.closed_subset(v, u) {
+                kill = true;
+                break;
+            }
+        }
         if kill {
+            tally.unmarked.bump();
             cur[v as usize] = false;
             if let Some(r) = removed.as_deref_mut() {
                 r.push(v);
             }
         }
     }
+    tally.flush();
 }
 
 /// Sequential (in-place) Rule 2 sweep; see [`rule1_pass_sequential`].
@@ -274,22 +351,28 @@ pub fn rule2_pass_sequential_into<G: Neighbors + ?Sized>(
     cur: &mut VertexMask,
     mut removed: Option<&mut Vec<NodeId>>,
 ) {
+    let _t = pacds_obs::phase_timer(Phase::Rule2);
+    let mut tally = Rule2Tally::default();
     cur.clear();
     cur.extend_from_slice(marked);
     for v in g.vertices() {
         if !cur[v as usize] {
             continue;
         }
+        tally.vertices.bump();
         if !fill_rule2_candidates(g, cur, key, semantics, v, &mut scratch.nbrs) {
             continue;
         }
-        if rule2_decides_removal(bm, key, semantics, v, scratch) {
+        tally.candidates.add(scratch.nbrs.len() as u64);
+        if rule2_decides_removal(bm, key, semantics, v, scratch, &mut tally) {
+            tally.unmarked.bump();
             cur[v as usize] = false;
             if let Some(r) = removed.as_deref_mut() {
                 r.push(v);
             }
         }
     }
+    tally.flush();
 }
 
 /// Fills `scratch.nbrs` with the neighbours of `v` that can participate in
@@ -333,6 +416,7 @@ pub(crate) fn rule2_decides_removal(
     semantics: Rule2Semantics,
     v: NodeId,
     scratch: &mut RuleScratch,
+    tally: &mut Rule2Tally,
 ) -> bool {
     let RuleScratch { nbrs, support } = scratch;
     bm.row_support_into(v, support);
@@ -340,31 +424,63 @@ pub(crate) fn rule2_decides_removal(
         Rule2Semantics::MinOfThree => {
             // `nbrs` holds only higher-priority neighbours, so coverage
             // alone decides.
+            //
+            // The pair loop is the hottest loop in the pipeline, so the
+            // tallies stay in registers: pairs-probed comes from index
+            // arithmetic at each loop exit, and every probed pair either
+            // fails the witness test or reaches a coverage scan, so the
+            // reject count is the difference of the two.
+            fn settle(t: &mut Rule2Tally, pairs: Tally, cov: Tally) {
+                t.pairs.add(pairs.get());
+                t.coverage_scans.add(cov.get());
+                t.witness_rejects.add(pairs.get() - cov.get());
+            }
+            let mut pairs = Tally::new();
+            let mut cov = Tally::new();
             for (i, &u) in nbrs.iter().enumerate() {
                 match bm.first_residual_bit(support, u) {
                     // N(v) ⊆ N(u): the pair (u, w) covers for *any* other
                     // candidate w, and the caller guarantees one exists.
-                    None => return true,
+                    None => {
+                        settle(tally, pairs, cov);
+                        return true;
+                    }
                     Some(b) => {
-                        for &w in &nbrs[i + 1..] {
-                            if bm.contains(w, b) && bm.open_subset_pair_with(support, u, w) {
+                        let rest = &nbrs[i + 1..];
+                        for (j, &w) in rest.iter().enumerate() {
+                            if !bm.contains(w, b) {
+                                continue;
+                            }
+                            cov.bump();
+                            if bm.open_subset_pair_with(support, u, w) {
+                                pairs.add(j as u64 + 1);
+                                settle(tally, pairs, cov);
                                 return true;
                             }
                         }
+                        pairs.add(rest.len() as u64);
                     }
                 }
             }
+            settle(tally, pairs, cov);
             false
         }
         Rule2Semantics::CaseAnalysis => {
             for (i, &u) in nbrs.iter().enumerate() {
                 let witness = bm.first_residual_bit(support, u);
                 for &w in &nbrs[i + 1..] {
+                    tally.pairs.bump();
                     if let Some(b) = witness {
-                        if !(bm.contains(w, b) && bm.open_subset_pair_with(support, u, w)) {
+                        if !bm.contains(w, b) {
+                            tally.witness_rejects.bump();
+                            continue;
+                        }
+                        tally.coverage_scans.bump();
+                        if !bm.open_subset_pair_with(support, u, w) {
                             continue;
                         }
                     }
+                    tally.coverage_scans.add(2);
                     let cu = bm.open_subset_pair(u, v, w);
                     let cw = bm.open_subset_pair(w, v, u);
                     let ok = match (cu, cw) {

@@ -67,6 +67,21 @@ pub fn verify_cds_scratch<G: Neighbors + ?Sized>(
     seen: &mut Vec<bool>,
     queue: &mut VecDeque<NodeId>,
 ) -> Result<(), CdsViolation> {
+    let _t = pacds_obs::phase_timer(pacds_obs::Phase::Verify);
+    pacds_obs::inc(pacds_obs::Counter::VerifyRuns);
+    let result = verify_cds_scratch_inner(g, mask, seen, queue);
+    if result.is_err() {
+        pacds_obs::inc(pacds_obs::Counter::VerifyFailures);
+    }
+    result
+}
+
+fn verify_cds_scratch_inner<G: Neighbors + ?Sized>(
+    g: &G,
+    mask: &[bool],
+    seen: &mut Vec<bool>,
+    queue: &mut VecDeque<NodeId>,
+) -> Result<(), CdsViolation> {
     assert_eq!(mask.len(), g.n());
     if mask.iter().all(|&b| !b) {
         return if g.is_complete() {

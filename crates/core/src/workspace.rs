@@ -92,6 +92,7 @@ impl CdsWorkspace {
         energy: Option<&[EnergyLevel]>,
         cfg: &CdsConfig,
     ) -> &VertexMask {
+        pacds_obs::inc(pacds_obs::Counter::WorkspaceComputes);
         crate::marking::marking_into(g, &mut self.marked);
         self.removed1.clear();
         self.removed2.clear();
@@ -102,8 +103,16 @@ impl CdsWorkspace {
             return &self.after2;
         }
 
-        self.bm.rebuild_into(g);
-        self.key.rebuild(cfg.policy, g, energy);
+        {
+            let _t = pacds_obs::phase_timer(pacds_obs::Phase::BitmapRebuild);
+            self.bm.rebuild_into(g);
+            pacds_obs::inc(pacds_obs::Counter::WorkspaceBitmapRebuilds);
+        }
+        {
+            let _t = pacds_obs::phase_timer(pacds_obs::Phase::KeyRebuild);
+            self.key.rebuild(cfg.policy, g, energy);
+            pacds_obs::inc(pacds_obs::Counter::WorkspaceKeyRebuilds);
+        }
         let semantics = cfg.rule2_semantics();
 
         match cfg.application {
@@ -204,6 +213,7 @@ impl CdsWorkspace {
             }
         }
 
+        pacds_obs::add(pacds_obs::Counter::WorkspaceRounds, self.rounds as u64);
         &self.after2
     }
 

@@ -72,6 +72,7 @@ pub fn run_distributed_counted(
     cfg: &CdsConfig,
 ) -> (VertexMask, u64) {
     let n = g.n();
+    pacds_obs::inc(pacds_obs::Counter::DistRuns);
     if n == 0 {
         return (Vec::new(), 0);
     }
@@ -141,6 +142,7 @@ fn host_main(
         neighbors: neighbors.clone(),
         energy,
     });
+    pacds_obs::add(pacds_obs::Counter::DistHelloMessages, deg as u64);
     // Early markers from fast neighbours (who finished their hello round
     // before we did) are stashed until their round is processed.
     let mut stash: Vec<Message> = Vec::new();
@@ -175,6 +177,7 @@ fn host_main(
         round: 2,
         marked: state.marked,
     });
+    pacds_obs::add(pacds_obs::Counter::DistMarkerMessages, deg as u64);
     receive_markers(&inbox, deg, 2, &mut stash, &mut state);
 
     if !cfg.policy.prunes() {
@@ -191,6 +194,7 @@ fn host_main(
         round: 3,
         marked: state.marked,
     });
+    pacds_obs::add(pacds_obs::Counter::DistMarkerMessages, deg as u64);
     receive_markers(&inbox, deg, 3, &mut stash, &mut state);
 
     // Round 4: Rule 2 on the post-Rule-1 markers. No further exchange is

@@ -19,9 +19,23 @@ pub struct ProtocolStats {
     /// Total node-id entries carried inside hello payloads
     /// (`Σ_v deg(v)²`): the bandwidth-dominating term.
     pub hello_payload_entries: u64,
+    /// `hello_messages + marker_messages`, materialised so serialized
+    /// stats carry the headline number; [`ProtocolStats::new`] keeps it
+    /// consistent.
+    pub total_messages: u64,
 }
 
 impl ProtocolStats {
+    /// Builds stats from the per-round counts, deriving `total_messages`.
+    pub fn new(hello_messages: u64, marker_messages: u64, hello_payload_entries: u64) -> Self {
+        ProtocolStats {
+            hello_messages,
+            marker_messages,
+            hello_payload_entries,
+            total_messages: hello_messages + marker_messages,
+        }
+    }
+
     /// Total messages.
     pub fn total_messages(&self) -> u64 {
         self.hello_messages + self.marker_messages
@@ -54,11 +68,7 @@ pub fn protocol_stats(g: &Graph, cfg: &CdsConfig) -> ProtocolStats {
             d * d
         })
         .sum();
-    ProtocolStats {
-        hello_messages: directed_edges,
-        marker_messages: directed_edges * marker_rounds,
-        hello_payload_entries: payload,
-    }
+    ProtocolStats::new(directed_edges, directed_edges * marker_rounds, payload)
 }
 
 #[cfg(test)]
@@ -111,6 +121,18 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn serialization_includes_total_messages() {
+        let g = gen::path(5);
+        let s = protocol_stats(&g, &CdsConfig::policy(Policy::Id));
+        assert_eq!(s.total_messages, s.total_messages());
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(
+            json.contains("\"total_messages\":24"),
+            "serialized stats must carry the headline count: {json}"
+        );
     }
 
     #[test]

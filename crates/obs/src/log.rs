@@ -1,0 +1,214 @@
+//! Dependency-free leveled logging with `tracing`-style spans.
+//!
+//! The workspace cannot vendor `tracing`/`tracing-subscriber`, so this
+//! module provides the slice of that surface the CLI needs: a global
+//! runtime level (default **off** — one relaxed atomic load per call
+//! site), `error!`/`warn!`/`info!`/`debug!`/`trace!`-shaped macros, and
+//! [`span`] guards that log entry on creation and exit-with-elapsed-time
+//! on drop. Output goes to stderr so it never corrupts machine-readable
+//! stdout (JSONL traces, Prometheus dumps).
+//!
+//! Unlike the metrics recorder this is *not* feature-gated: logging is
+//! off-by-default at runtime, and a single relaxed load is cheap enough
+//! for the cold call sites (CLI entry points, interval boundaries) where
+//! it is used. Hot loops must use the recorder, never the logger.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Log verbosity, ordered: `Off < Error < Warn < Info < Debug < Trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No output (the default).
+    Off = 0,
+    /// Unrecoverable problems.
+    Error = 1,
+    /// Suspicious but tolerated conditions.
+    Warn = 2,
+    /// High-level progress (command entry, run summaries).
+    Info = 3,
+    /// Span enter/exit and per-phase detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Short uppercase tag used in log lines.
+    pub const fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// Parses a level name (case-insensitive). Accepts the `tracing` spellings
+/// plus `off`/`none` and `0`–`5`.
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(Level::Off),
+        "error" | "1" => Some(Level::Error),
+        "warn" | "warning" | "2" => Some(Level::Warn),
+        "info" | "3" => Some(Level::Info),
+        "debug" | "4" => Some(Level::Debug),
+        "trace" | "5" => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Sets the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        5 => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// True when a message at `l` would be emitted.
+#[inline]
+pub fn level_enabled(l: Level) -> bool {
+    l as u8 <= LEVEL.load(Ordering::Relaxed) && l != Level::Off
+}
+
+/// Initialises the level from the `PACDS_LOG` environment variable.
+/// Returns the level that ended up active. Unparseable values are
+/// ignored (the level is left unchanged) — a CLI flag should win over
+/// the environment, so call this *before* applying `--log-level`.
+pub fn init_from_env() -> Level {
+    if let Ok(v) = std::env::var("PACDS_LOG") {
+        if let Some(l) = parse_level(&v) {
+            set_level(l);
+        }
+    }
+    level()
+}
+
+/// Emits one log line to stderr if `l` is enabled. Prefer the macros.
+pub fn log_at(l: Level, target: &str, msg: std::fmt::Arguments<'_>) {
+    if level_enabled(l) {
+        eprintln!("[pacds {:5} {target}] {msg}", l.tag());
+    }
+}
+
+/// A `tracing`-style span: logs `enter` at creation and `exit` with the
+/// elapsed time on drop, both at [`Level::Debug`]. Cheap when logging is
+/// off (`Instant::now` is only taken when the span will be reported).
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Opens a [`Span`] named `name`.
+pub fn span(name: &'static str) -> Span {
+    let start = if level_enabled(Level::Debug) {
+        log_at(Level::Debug, name, format_args!("enter"));
+        Some(Instant::now())
+    } else {
+        None
+    };
+    Span { name, start }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            log_at(
+                Level::Debug,
+                self.name,
+                format_args!("exit ({:.3?})", start.elapsed()),
+            );
+        }
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::log_at($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Tests that touch the global level run serially.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parse_accepts_tracing_spellings() {
+        assert_eq!(parse_level("info"), Some(Level::Info));
+        assert_eq!(parse_level("WARN"), Some(Level::Warn));
+        assert_eq!(parse_level(" trace "), Some(Level::Trace));
+        assert_eq!(parse_level("off"), Some(Level::Off));
+        assert_eq!(parse_level("3"), Some(Level::Info));
+        assert_eq!(parse_level("verbose"), None);
+    }
+
+    #[test]
+    fn level_ordering_gates_messages() {
+        let _g = serial();
+        set_level(Level::Warn);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Warn));
+        assert!(!level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Off));
+        set_level(Level::Off);
+        assert!(!level_enabled(Level::Error));
+    }
+
+    #[test]
+    fn span_is_silent_when_off() {
+        let _g = serial();
+        set_level(Level::Off);
+        let s = span("test.span");
+        assert!(s.start.is_none());
+        drop(s);
+    }
+}

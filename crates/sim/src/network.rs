@@ -127,6 +127,7 @@ impl NetworkState {
     /// output). The returned reference stays valid until the next
     /// computation.
     pub fn compute_gateways_in_place(&mut self) -> &VertexMask {
+        let _t = pacds_obs::phase_timer(pacds_obs::Phase::SimCds);
         self.fleet.levels_into(&mut self.levels);
         match self.incremental.as_mut() {
             Some(inc) => inc.update(self.graph.clone(), self.levels.clone()),
@@ -162,11 +163,14 @@ impl NetworkState {
     /// Applies one interval's battery drain given the gateway roles.
     /// Returns the hosts that died. Off hosts pay nothing.
     pub fn drain(&mut self, gateways: &[bool]) -> Vec<usize> {
-        if self.off.iter().any(|&o| o) {
+        let _t = pacds_obs::phase_timer(pacds_obs::Phase::SimDrain);
+        let died = if self.off.iter().any(|&o| o) {
             self.fleet.drain_interval_with_off(gateways, &self.off)
         } else {
             self.fleet.drain_interval(gateways)
-        }
+        };
+        pacds_obs::add(pacds_obs::Counter::SimDeaths, died.len() as u64);
+        died
     }
 
     /// Applies an arbitrary per-host drain (used by the load-aware
@@ -190,15 +194,17 @@ impl NetworkState {
     /// allocates when mobility pushes an edge count or a vertex degree past
     /// its previous high-water mark.
     pub fn advance_topology<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        self.walk.step(rng, self.cfg.bounds, &mut self.positions);
-        let off = if self.cfg.off_probability > 0.0 {
-            for o in self.off.iter_mut() {
-                *o = rng.random_range(0.0..1.0) < self.cfg.off_probability;
+        {
+            let _t = pacds_obs::phase_timer(pacds_obs::Phase::SimPlacement);
+            self.walk.step(rng, self.cfg.bounds, &mut self.positions);
+            if self.cfg.off_probability > 0.0 {
+                for o in self.off.iter_mut() {
+                    *o = rng.random_range(0.0..1.0) < self.cfg.off_probability;
+                }
             }
-            Some(&self.off[..])
-        } else {
-            None
-        };
+        }
+        let off = (self.cfg.off_probability > 0.0).then_some(&self.off[..]);
+        let _t = pacds_obs::phase_timer(pacds_obs::Phase::SimCsrRebuild);
         gen::unit_disk_csr(
             self.cfg.bounds,
             self.cfg.radius,
@@ -208,6 +214,7 @@ impl NetworkState {
             &mut self.udg_scratch,
         );
         self.graph.rebuild_from(&self.csr);
+        pacds_obs::inc(pacds_obs::Counter::SimTopologyRebuilds);
     }
 }
 

@@ -65,6 +65,9 @@ impl Simulation {
         // One retained gateway mask for the whole run; each interval's CDS
         // is computed in the network's workspace and copied into it.
         let mut gateways = VertexMask::new();
+        // Previous interval's roles, retained only when metrics are on, to
+        // report gateway churn (hosts whose role flipped between intervals).
+        let mut prev_gateways = VertexMask::new();
 
         while intervals < cap {
             let connected = algo::is_connected(self.state.graph());
@@ -72,6 +75,18 @@ impl Simulation {
                 disconnected += 1;
             }
             self.state.compute_gateways_into(&mut gateways);
+            if pacds_obs::enabled() {
+                pacds_obs::inc(pacds_obs::Counter::SimIntervals);
+                if intervals > 0 {
+                    let churn = gateways
+                        .iter()
+                        .zip(prev_gateways.iter())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    pacds_obs::add(pacds_obs::Counter::SimGatewayChurn, churn as u64);
+                }
+                prev_gateways.clone_from(&gateways);
+            }
             total_gateways += gateways.iter().filter(|&&b| b).count() as u64;
             if self.verify && connected && self.state.verify_gateways(&gateways).is_err() {
                 violations += 1;
@@ -157,6 +172,7 @@ pub fn run_extended_lifetime<R: Rng + ?Sized>(
                 out.first_partition = intervals + 1;
             }
         }
+        pacds_obs::inc(pacds_obs::Counter::SimIntervals);
         state.fleet().levels_into(&mut levels);
         let gateways = ws.compute(&survivors, Some(&levels), &cfg.cds);
         // Dead hosts pay nothing; the rest follow gateway/non-gateway roles.

@@ -9,10 +9,11 @@
 use crate::config::SimConfig;
 use crate::network::NetworkState;
 use rand::Rng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
 
 /// One interval's snapshot.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceRecord {
     /// Interval index (0-based).
     pub interval: u32,
@@ -43,46 +44,30 @@ impl TraceRecorder {
     /// Stops at the first death or after `max` intervals, whichever is
     /// first.
     pub fn record<R: Rng + ?Sized>(cfg: SimConfig, max: u32, rng: &mut R) -> Self {
-        let mut state = NetworkState::init(cfg, rng);
         let mut records = Vec::new();
-        for interval in 0..max {
-            let gateways = state.compute_gateways();
-            let connected = pacds_graph::algo::is_connected(state.graph());
-            let links = state.graph().m();
-            let positions = state
-                .positions()
-                .iter()
-                .map(|p| (p.x, p.y))
-                .collect();
-            let energy = (0..cfg.n).map(|v| state.fleet().energy(v)).collect();
-            let off = state
-                .off()
-                .iter()
-                .enumerate()
-                .filter_map(|(v, &o)| o.then_some(v as u32))
-                .collect();
-            let deaths: Vec<u32> = state
-                .drain(&gateways)
-                .into_iter()
-                .map(|v| v as u32)
-                .collect();
-            let done = !deaths.is_empty();
-            records.push(TraceRecord {
-                interval,
-                positions,
-                gateways: pacds_graph::mask_to_vec(&gateways),
-                energy,
-                off,
-                links,
-                connected,
-                deaths,
-            });
-            if done {
-                break;
-            }
-            state.advance_topology(rng);
-        }
+        run_recording(cfg, max, rng, |r| {
+            records.push(r.clone());
+            Ok(())
+        })
+        .expect("in-memory sink cannot fail");
         Self { records }
+    }
+
+    /// Runs the same loop as [`TraceRecorder::record`] but streams each
+    /// record straight into `w` as one JSON line, holding only a single
+    /// interval in memory — the sink for long runs where buffering every
+    /// snapshot would grow without bound. Returns the number of intervals
+    /// written.
+    pub fn record_jsonl<R: Rng + ?Sized, W: Write>(
+        cfg: SimConfig,
+        max: u32,
+        rng: &mut R,
+        w: &mut W,
+    ) -> io::Result<u32> {
+        run_recording(cfg, max, rng, |r| {
+            w.write_all(r.to_json_line().as_bytes())?;
+            w.write_all(b"\n")
+        })
     }
 
     /// The captured records.
@@ -94,11 +79,80 @@ impl TraceRecorder {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&serde_json::to_string(r).expect("trace records serialise"));
+            out.push_str(&r.to_json_line());
             out.push('\n');
         }
         out
     }
+
+    /// Writes the buffered trace to `w` as JSON lines (same bytes as
+    /// [`TraceRecorder::to_jsonl`]).
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for r in &self.records {
+            w.write_all(r.to_json_line().as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+impl TraceRecord {
+    /// Serialises to a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("trace records serialise")
+    }
+}
+
+/// The shared interval loop: computes, snapshots, hands each record to
+/// `sink`, and stops at the first death (or `max`). Returns the number of
+/// recorded intervals, or the sink's first error.
+fn run_recording<R: Rng + ?Sized, F>(
+    cfg: SimConfig,
+    max: u32,
+    rng: &mut R,
+    mut sink: F,
+) -> io::Result<u32>
+where
+    F: FnMut(&TraceRecord) -> io::Result<()>,
+{
+    let mut state = NetworkState::init(cfg, rng);
+    let mut recorded = 0u32;
+    for interval in 0..max {
+        let gateways = state.compute_gateways();
+        let connected = pacds_graph::algo::is_connected(state.graph());
+        let links = state.graph().m();
+        let positions = state.positions().iter().map(|p| (p.x, p.y)).collect();
+        let energy = (0..cfg.n).map(|v| state.fleet().energy(v)).collect();
+        let off = state
+            .off()
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &o)| o.then_some(v as u32))
+            .collect();
+        let deaths: Vec<u32> = state
+            .drain(&gateways)
+            .into_iter()
+            .map(|v| v as u32)
+            .collect();
+        let done = !deaths.is_empty();
+        let record = TraceRecord {
+            interval,
+            positions,
+            gateways: pacds_graph::mask_to_vec(&gateways),
+            energy,
+            off,
+            links,
+            connected,
+            deaths,
+        };
+        sink(&record)?;
+        recorded += 1;
+        if done {
+            break;
+        }
+        state.advance_topology(rng);
+    }
+    Ok(recorded)
 }
 
 #[cfg(test)]
@@ -145,6 +199,48 @@ mod tests {
                     assert!(r.energy[v] <= prev.energy[v] + 1e-9);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn streaming_sink_matches_in_memory_trace() {
+        let in_memory = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            TraceRecorder::record(cfg(), 20, &mut rng).to_jsonl()
+        };
+        let streamed = {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut buf = Vec::new();
+            let n = TraceRecorder::record_jsonl(cfg(), 20, &mut rng, &mut buf).unwrap();
+            assert_eq!(n as usize, in_memory.lines().count());
+            String::from_utf8(buf).unwrap()
+        };
+        assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn write_jsonl_matches_to_jsonl() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let t = TraceRecorder::record(cfg(), 5, &mut rng);
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), t.to_jsonl());
+    }
+
+    #[test]
+    fn records_round_trip_through_deserialize() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let t = TraceRecorder::record(cfg(), 5, &mut rng);
+        for (line, original) in t.to_jsonl().lines().zip(t.records()) {
+            let back: TraceRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(back.interval, original.interval);
+            assert_eq!(back.positions, original.positions);
+            assert_eq!(back.gateways, original.gateways);
+            assert_eq!(back.energy, original.energy);
+            assert_eq!(back.off, original.off);
+            assert_eq!(back.links, original.links);
+            assert_eq!(back.connected, original.connected);
+            assert_eq!(back.deaths, original.deaths);
         }
     }
 

@@ -13,6 +13,9 @@
 //! * [`sim`](pacds_sim) — the ad hoc network simulator and experiments.
 //! * [`routing`](pacds_routing) — dominating-set-based routing.
 //! * [`distributed`](pacds_distributed) — message-passing protocol.
+//! * [`obs`](pacds_obs) — instrumentation layer (phase timers, rule-pass
+//!   counters, JSONL/Prometheus export); compiled to no-ops unless the
+//!   `obs` feature is on.
 //! * [`baselines`](pacds_baselines), [`energy`](pacds_energy),
 //!   [`mobility`](pacds_mobility), [`geom`](pacds_geom) — supporting
 //!   substrates.
@@ -24,5 +27,6 @@ pub use pacds_energy as energy;
 pub use pacds_geom as geom;
 pub use pacds_graph as graph;
 pub use pacds_mobility as mobility;
+pub use pacds_obs as obs;
 pub use pacds_routing as routing;
 pub use pacds_sim as sim;
