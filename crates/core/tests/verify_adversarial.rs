@@ -39,17 +39,17 @@ fn witness_is_the_first_undominated_vertex() {
 #[test]
 fn empty_set_is_rejected_exactly_when_the_graph_is_incomplete() {
     assert_eq!(
-        verify_cds(&gen::path(3), &vec![false; 3]),
+        verify_cds(&gen::path(3), &[false; 3]),
         Err(CdsViolation::Empty)
     );
-    assert_eq!(verify_cds(&gen::complete(4), &vec![false; 4]), Ok(()));
-    assert_eq!(verify_cds(&Graph::new(1), &vec![false; 1]), Ok(()));
+    assert_eq!(verify_cds(&gen::complete(4), &[false; 4]), Ok(()));
+    assert_eq!(verify_cds(&Graph::new(1), &[false; 1]), Ok(()));
     assert_eq!(verify_cds(&Graph::new(0), &Vec::new()), Ok(()));
     // Two isolated vertices: empty set rejected (not complete), and no
     // non-empty set helps either.
     let iso = Graph::new(2);
-    assert_eq!(verify_cds(&iso, &vec![false; 2]), Err(CdsViolation::Empty));
-    assert!(verify_cds(&iso, &vec![true, false]).is_err());
+    assert_eq!(verify_cds(&iso, &[false; 2]), Err(CdsViolation::Empty));
+    assert!(verify_cds(&iso, &[true, false]).is_err());
 }
 
 #[test]
@@ -95,10 +95,10 @@ fn scratch_variant_is_immune_to_dirty_buffers() {
 
 #[test]
 fn full_vertex_set_is_valid_exactly_when_the_graph_is_connected() {
-    assert_eq!(verify_cds(&gen::path(6), &vec![true; 6]), Ok(()));
+    assert_eq!(verify_cds(&gen::path(6), &[true; 6]), Ok(()));
     let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]);
     assert_eq!(
-        verify_cds(&disconnected, &vec![true; 4]),
+        verify_cds(&disconnected, &[true; 4]),
         Err(CdsViolation::NotConnected)
     );
 }

@@ -78,10 +78,10 @@ proptest! {
         let mut fleet = Fleet::new(n, cfg);
         let amounts: Vec<f64> = (0..n).map(|i| amounts[i % amounts.len()]).collect();
         let died = fleet.drain_each(|v| amounts[v]);
-        for v in 0..n {
-            let expect = (100.0 - amounts[v]).max(0.0);
+        for (v, &amount) in amounts.iter().enumerate() {
+            let expect = (100.0 - amount).max(0.0);
             prop_assert!((fleet.energy(v) - expect).abs() < 1e-9);
-            prop_assert_eq!(died.contains(&v), amounts[v] >= 100.0);
+            prop_assert_eq!(died.contains(&v), amount >= 100.0);
         }
     }
 }

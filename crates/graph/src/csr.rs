@@ -234,7 +234,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let g = gen::gnp(&mut rng, 30, 0.2);
         let mut c = CsrGraph::new();
-        c.rebuild_from_masked(&g, &vec![false; 30]);
+        c.rebuild_from_masked(&g, &[false; 30]);
         assert_eq!(c, CsrGraph::from(&g));
     }
 }

@@ -40,7 +40,7 @@ fn main() {
     while start.elapsed() < budget {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(iterations));
         let n = rng.random_range(3..=100usize);
-        let g = if iterations % 2 == 0 {
+        let g = if iterations.is_multiple_of(2) {
             let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
             gen::unit_disk(Rect::paper_arena(), 25.0, &pts)
         } else {
@@ -57,7 +57,7 @@ fn main() {
             }
             // One OS thread per host is too heavy to spawn on every
             // iteration at n=100; sample the threaded engine sparsely.
-            if kind == ImplKind::DistributedThreaded && (n > 60 || iterations % 5 != 0) {
+            if kind == ImplKind::DistributedThreaded && (n > 60 || !iterations.is_multiple_of(5)) {
                 continue;
             }
             checks += 1;

@@ -250,8 +250,8 @@ pub fn verify_oracle(g: &Graph, mask: &[bool]) -> Result<(), CdsViolation> {
         }
     }
     let mut root = None;
-    for v in 0..g.n() {
-        if mask[v] {
+    for (v, &in_set) in mask.iter().enumerate().take(g.n()) {
+        if in_set {
             let r = find(&mut parent, v);
             if *root.get_or_insert(r) != r {
                 return Err(CdsViolation::NotConnected);

@@ -93,7 +93,7 @@ fn replay_reproduces_a_recorded_real_mismatch() {
         &energy,
         &cfg,
         &expected,
-        &vec![false; 6], // stale lie
+        &[false; 6], // stale lie
     );
     let path = emit_case(&file);
     let rep = replay(&path).expect("replay runs");

@@ -1,0 +1,119 @@
+//! Offline stub of `criterion`: each benchmark closure runs a handful of
+//! iterations and reports wall-clock per iteration — enough to smoke-test
+//! that benches compile and run, with none of criterion's statistics.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` smoke mode runs each body once.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { iters: if test_mode { 1 } else { 10 } }
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per = start.elapsed().as_secs_f64() / self.iters as f64;
+        println!("    {:>12.3} us/iter ({} iters)", per * 1e6, self.iters);
+    }
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(group: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{group}/{param}"))
+    }
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    c: &'a mut Criterion,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), c: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        println!("bench {id}");
+        f(&mut Bencher { iters: self.iters });
+        self
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        println!("bench {}/{id}", self.name);
+        f(&mut Bencher { iters: self.c.iters });
+        self
+    }
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{id}", self.name);
+        f(&mut Bencher { iters: self.c.iters }, input);
+        self
+    }
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

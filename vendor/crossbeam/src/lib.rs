@@ -1,0 +1,90 @@
+//! Offline stub of `crossbeam`: mpmc-ish channels over a shared
+//! Mutex<VecDeque> + Condvar (the workspace only needs clonable senders,
+//! one receiver per channel, `send`/`recv`/`try_recv`).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<(VecDeque<T>, usize)>, // (messages, live sender count)
+        cv: Condvar,
+    }
+
+    pub struct Sender<T>(Arc<Chan<T>>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().1 += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.0.queue.lock().unwrap().1 -= 1;
+            self.0.cv.notify_all();
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.queue.lock().unwrap().0.push_back(t);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut guard = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(t) = guard.0.pop_front() {
+                    return Ok(t);
+                }
+                if guard.1 == 0 {
+                    return Err(RecvError);
+                }
+                guard = self.0.cv.wait(guard).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut guard = self.0.queue.lock().unwrap();
+            match guard.0.pop_front() {
+                Some(t) => Ok(t),
+                None if guard.1 == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new((VecDeque::new(), 1)),
+            cv: Condvar::new(),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline stub of `rayon`: the parallel-iterator entry points used by
+//! this workspace, executed sequentially. Results are identical (the
+//! workspace's uses are order-preserving maps); only wall-clock differs.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+pub struct Par<I>(I);
+
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Par<Self::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: Iterator;
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+    pub fn collect_into_vec(self, out: &mut Vec<I::Item>) {
+        out.clear();
+        out.extend(self.0);
+    }
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+}
+
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Stub of `rayon::ThreadPoolBuilder`: configuration is recorded but the
+/// "pool" executes everything on the calling thread.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (stub)")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 { 1 } else { self.num_threads },
+        })
+    }
+}
+
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stub of `serde` built around a concrete JSON value tree
+//! (`Json`). `Serialize`/`Deserialize` convert to/from `Json`; the
+//! companion `serde_derive` stub generates field-by-field impls and the
+//! `serde_json` stub renders/parses text. Externally-tagged enum encoding
+//! matches real serde's default, so round-trips through this stub are
+//! self-consistent (but no serde data-model guarantees beyond that).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The value tree every stub (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (`serde_json::Value::get`).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, pretty, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, pretty: bool, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, depth + 1);
+                    }
+                    v.render_into(out, pretty, depth + 1);
+                }
+                if pretty && !items.is_empty() {
+                    newline_indent(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, depth + 1);
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.render_into(out, pretty, depth + 1);
+                }
+                if pretty && !fields.is_empty() {
+                    newline_indent(out, depth);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn from_json(v: &Json) -> Result<Self, Error>;
+}
+
+// ---------- primitive impls ----------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::U64(n) => <$t>::try_from(*n).map_err(|_| Error::msg("uint out of range")),
+                    Json::I64(n) => <$t>::try_from(*n).map_err(|_| Error::msg("uint out of range")),
+                    Json::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I64(*self as i64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::I64(n) => <$t>::try_from(*n).map_err(|_| Error::msg("int out of range")),
+                    Json::U64(n) => <$t>::try_from(*n).map_err(|_| Error::msg("int out of range")),
+                    Json::F64(x) if x.fract() == 0.0 => Ok(*x as $t),
+                    _ => Err(Error::msg(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::F64(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::F64(x) => Ok(*x as $t),
+                    Json::U64(n) => Ok(*n as $t),
+                    Json::I64(n) => Ok(*n as $t),
+                    Json::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::msg("expected number")),
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::msg("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(t) => t.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: std::fmt::Display,
+{
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::Array(items) => Ok(($(
+                        $t::from_json(items.get($n).ok_or_else(|| Error::msg("tuple too short"))?)?,
+                    )+)),
+                    _ => Err(Error::msg("expected tuple array")),
+                }
+            }
+        }
+    )*};
+}
+ser_tuple!(
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+impl<'de> Deserialize<'de> for Json {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Minimal `serde::de` shim: `DeserializeOwned` alias used in bounds.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

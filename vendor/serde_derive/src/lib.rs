@@ -1,0 +1,371 @@
+//! Offline stub of `serde_derive`: hand-rolled TokenStream parsing (no
+//! syn/quote available) generating `Serialize`/`Deserialize` impls against
+//! the stub serde's `Json` tree. Supports non-generic named structs, unit
+//! structs, tuple structs, and enums with unit / tuple / struct variants —
+//! the shapes this workspace actually derives. `#[serde(...)]` attributes
+//! are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    generate(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    generate(input, false)
+}
+
+enum Shape {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn generate(input: TokenStream, ser: bool) -> TokenStream {
+    let (name, shape) = parse(input);
+    let code = match (&shape, ser) {
+        (Shape::UnitStruct, true) => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_json(&self) -> ::serde::Json {{ ::serde::Json::Null }}
+            }}"
+        ),
+        (Shape::UnitStruct, false) => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                fn from_json(_v: &::serde::Json) -> Result<Self, ::serde::Error> {{ Ok({name}) }}
+            }}"
+        ),
+        (Shape::NamedStruct(fields), true) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!(
+                    "(String::from(\"{f}\"), ::serde::Serialize::to_json(&self.{f})),"
+                ))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_json(&self) -> ::serde::Json {{
+                        ::serde::Json::Object(vec![{pushes}])
+                    }}
+                }}"
+            )
+        }
+        (Shape::NamedStruct(fields), false) => {
+            let reads: String = fields
+                .iter()
+                .map(|f| format!(
+                    "{f}: ::serde::Deserialize::from_json(
+                        v.get(\"{f}\").unwrap_or(&::serde::Json::Null))?,"
+                ))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                    fn from_json(v: &::serde::Json) -> Result<Self, ::serde::Error> {{
+                        Ok({name} {{ {reads} }})
+                    }}
+                }}"
+            )
+        }
+        (Shape::TupleStruct(n), true) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i}),"))
+                .collect();
+            let body = if *n == 1 {
+                "::serde::Serialize::to_json(&self.0)".to_string()
+            } else {
+                format!("::serde::Json::Array(vec![{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_json(&self) -> ::serde::Json {{ {body} }}
+                }}"
+            )
+        }
+        (Shape::TupleStruct(n), false) => {
+            let body = if *n == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_json(v)?))")
+            } else {
+                let reads: String = (0..*n)
+                    .map(|i| format!(
+                        "::serde::Deserialize::from_json(
+                            items.get({i}).unwrap_or(&::serde::Json::Null))?,"
+                    ))
+                    .collect();
+                format!(
+                    "match v {{
+                        ::serde::Json::Array(items) => Ok({name}({reads})),
+                        _ => Err(::serde::Error::msg(\"expected array\")),
+                    }}"
+                )
+            };
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                    fn from_json(v: &::serde::Json) -> Result<Self, ::serde::Error> {{ {body} }}
+                }}"
+            )
+        }
+        (Shape::Enum(variants), true) => {
+            let arms: String = variants.iter().map(|var| {
+                let v = &var.name;
+                match &var.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Json::Str(String::from(\"{v}\")),"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: String = (0..*n).map(|i| format!("__f{i},")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json(__f0)".to_string()
+                        } else {
+                            let items: String = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_json(__f{i}),"))
+                                .collect();
+                            format!("::serde::Json::Array(vec![{items}])")
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Json::Object(vec![
+                                (String::from(\"{v}\"), {payload})]),"
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: String = fields.iter().map(|f| format!("{f},")).collect();
+                        let items: String = fields
+                            .iter()
+                            .map(|f| format!(
+                                "(String::from(\"{f}\"), ::serde::Serialize::to_json({f})),"
+                            ))
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Json::Object(vec![
+                                (String::from(\"{v}\"), ::serde::Json::Object(vec![{items}]))]),"
+                        )
+                    }
+                }
+            }).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_json(&self) -> ::serde::Json {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+        (Shape::Enum(variants), false) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: String = variants.iter().map(|var| {
+                let v = &var.name;
+                match &var.kind {
+                    VariantKind::Unit => String::new(),
+                    VariantKind::Tuple(n) => {
+                        let body = if *n == 1 {
+                            format!("Ok({name}::{v}(::serde::Deserialize::from_json(payload)?))")
+                        } else {
+                            let reads: String = (0..*n)
+                                .map(|i| format!(
+                                    "::serde::Deserialize::from_json(
+                                        items.get({i}).unwrap_or(&::serde::Json::Null))?,"
+                                ))
+                                .collect();
+                            format!(
+                                "match payload {{
+                                    ::serde::Json::Array(items) => Ok({name}::{v}({reads})),
+                                    _ => Err(::serde::Error::msg(\"expected array payload\")),
+                                }}"
+                            )
+                        };
+                        format!("\"{v}\" => {{ {body} }}")
+                    }
+                    VariantKind::Struct(fields) => {
+                        let reads: String = fields
+                            .iter()
+                            .map(|f| format!(
+                                "{f}: ::serde::Deserialize::from_json(
+                                    payload.get(\"{f}\").unwrap_or(&::serde::Json::Null))?,"
+                            ))
+                            .collect();
+                        format!("\"{v}\" => Ok({name}::{v} {{ {reads} }}),")
+                    }
+                }
+            }).collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                    fn from_json(v: &::serde::Json) -> Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::Json::Str(s) => match s.as_str() {{
+                                {unit_arms}
+                                _ => Err(::serde::Error::msg(\"unknown variant\")),
+                            }},
+                            ::serde::Json::Object(m) if m.len() == 1 => {{
+                                let (tag, payload) = &m[0];
+                                match tag.as_str() {{
+                                    {tagged_arms}
+                                    _ => Err(::serde::Error::msg(\"unknown variant\")),
+                                }}
+                            }}
+                            _ => Err(::serde::Error::msg(\"expected enum encoding\")),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stub generated invalid Rust")
+}
+
+// ---------- parsing ----------
+
+fn parse(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[...]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate)
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let k = id.to_string();
+                i += 1;
+                break k;
+            }
+            _ => i += 1,
+        }
+    };
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported ({name})");
+        }
+    }
+    // Unit struct: `struct Name;`
+    if kind == "struct" {
+        match tokens.get(i) {
+            None => return (name, Shape::UnitStruct),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return (name, Shape::UnitStruct)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = split_top_level(g.stream()).len();
+                return (name, Shape::TupleStruct(n));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level(g.stream())
+                    .iter()
+                    .map(|chunk| field_name(chunk))
+                    .collect();
+                return (name, Shape::NamedStruct(fields));
+            }
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        }
+    }
+    // Enum body.
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let variants = split_top_level(g.stream())
+                .iter()
+                .map(|chunk| parse_variant(chunk))
+                .collect();
+            (name, Shape::Enum(variants))
+        }
+        other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+    }
+}
+
+/// Splits a brace/paren body on top-level commas (tracking `<...>` depth,
+/// which arrives as loose punctuation).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if !cur.is_empty() {
+                    chunks.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Skips attributes/visibility, returns the leading identifier.
+fn leading_ident(chunk: &[TokenTree]) -> (String, usize) {
+    let mut i = 0;
+    loop {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return (id.to_string(), i + 1),
+            other => panic!("serde_derive stub: expected identifier, got {other}"),
+        }
+    }
+}
+
+fn field_name(chunk: &[TokenTree]) -> String {
+    let (name, next) = leading_ident(chunk);
+    match chunk.get(next) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ':' => name,
+        other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let (name, next) = leading_ident(chunk);
+    let kind = match chunk.get(next) {
+        None => VariantKind::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => VariantKind::Struct(
+            split_top_level(g.stream())
+                .iter()
+                .map(|c| field_name(c))
+                .collect(),
+        ),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+        other => panic!("serde_derive stub: unexpected variant body {other:?}"),
+    };
+    Variant { name, kind }
+}

@@ -1,0 +1,218 @@
+//! Offline stub of `serde_json` over the stub serde's `Json` tree:
+//! `to_string`, `to_string_pretty`, `from_str`, and `Value`.
+
+pub type Value = serde::Json;
+pub type Error = serde::Error;
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json().render(false))
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json().render(true))
+}
+
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json())
+}
+
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T> {
+    let v = Parser { b: s.as_bytes(), i: 0 }.parse_document()?;
+    T::from_json(&v)
+}
+
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(v: Value) -> Result<T> {
+    T::from_json(&v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Value> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.i != self.b.len() {
+            return Err(Error::msg("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied().ok_or_else(|| Error::msg("unexpected end of input"))
+    }
+
+    fn eat(&mut self, c: u8) -> Result<()> {
+        if self.peek()? == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek()? {
+            b'n' => self.keyword("null", Value::Null),
+            b't' => self.keyword("true", Value::Bool(true)),
+            b'f' => self.keyword("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::msg("expected `,` or `]`")),
+                    }
+                }
+            }
+            b'{' => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.i += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.eat(b':')?;
+                    let val = self.parse_value()?;
+                    fields.push((key, val));
+                    match self.peek()? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(Error::msg("expected `,` or `}`")),
+                    }
+                }
+            }
+            c if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            c => Err(Error::msg(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, v: Value) -> Result<Value> {
+        self.skip_ws();
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(Error::msg(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .b
+                .get(self.i)
+                .ok_or_else(|| Error::msg("unterminated string"))?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| Error::msg("bad escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| Error::msg("bad hex"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad hex"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error::msg("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.b.len() && (self.b[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..end])
+                            .map_err(|_| Error::msg("invalid utf-8"))?,
+                    );
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.i;
+        if self.b[self.i] == b'-' {
+            self.i += 1;
+        }
+        let mut float = false;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::msg("bad number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::msg("bad number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::msg("bad number"))
+        }
+    }
+}
