@@ -54,6 +54,22 @@ COMMANDS:
               --n <int=50> --policy <..=el1> --model <..=2> --seed <int=1>
               --intervals <int=50> --semantics <..=safe>
               --format <table|jsonl|prometheus =table>
+  serve     Run the CDS query service (length-prefixed binary protocol
+            over TCP, sharded result cache, bounded worker pool).
+              --addr <host:port =127.0.0.1:7311> --workers <int=cores>
+              --queue <int=4*workers> --cache-mb <int=64>
+              --duration <secs; 0 = run until killed>
+  loadgen   Drive closed- or open-loop load at a running server and
+            report throughput and p50/p99/p999 latency.
+              --addr <host:port =127.0.0.1:7311> --duration <secs=10>
+              --concurrency <int=8> --mode <closed|open =closed>
+              --rate <req/s; open mode> --n <int=200> --radius <f=15>
+              --side <f=100> --seed <int=1> --policy <..=nd>
+              --semantics <..=safe> --no-cache --deadline-ms <int=0>
+              --json <file> (write the report as one JSON object)
+              --fail-on-errors (exit non-zero on any protocol/io error)
+              --self-host (spin up an in-process server on an ephemeral
+              port and aim the load at it; --workers/--cache-mb apply)
   help      Show this message.
 
 GLOBAL OPTIONS (all commands):
@@ -483,6 +499,120 @@ pub fn obs_report(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Server shape shared by `serve` and `loadgen --self-host`.
+fn server_config_of(args: &Args) -> Result<pacds_serve::ServerConfig, Box<dyn std::error::Error>> {
+    let mut cfg = pacds_serve::ServerConfig::default();
+    if args.get("workers").is_some() {
+        cfg.workers = args.require("workers")?;
+    }
+    cfg.queue = args.get_or("queue", 0)?;
+    let cache_mb: usize = args.get_or("cache-mb", 64)?;
+    cfg.cache_bytes = cache_mb << 20;
+    Ok(cfg)
+}
+
+/// `pacds serve`
+pub fn serve(args: &Args) -> CliResult {
+    args.check_known(&["addr", "workers", "queue", "cache-mb", "duration"])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7311");
+    let cfg = server_config_of(args)?;
+    let duration: u64 = args.get_or("duration", 0)?;
+    let workers = cfg.workers.max(1);
+    let mut handle = pacds_serve::serve(addr, cfg)?;
+    println!(
+        "pacds-serve listening on {} ({} workers); protocol v{}",
+        handle.addr(),
+        workers,
+        pacds_serve::PROTOCOL_VERSION,
+    );
+    if duration > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration));
+        handle.shutdown();
+        let entries = handle.state().stats.entries(&handle.state().cache);
+        for (name, value) in entries {
+            println!("{name:<20} {value}");
+        }
+    } else {
+        // Run until the process is killed; workers own the listener.
+        loop {
+            std::thread::park();
+        }
+    }
+    Ok(())
+}
+
+/// `pacds loadgen`
+pub fn loadgen(args: &Args) -> CliResult {
+    args.check_known(&[
+        "addr", "duration", "concurrency", "mode", "rate", "n", "radius", "side", "seed",
+        "policy", "semantics", "no-cache", "deadline-ms", "json", "fail-on-errors",
+        "self-host", "workers", "queue", "cache-mb",
+    ])?;
+    // Optionally host the target server in-process (CI smoke runs).
+    let hosted = if args.flag("self-host") {
+        Some(pacds_serve::serve("127.0.0.1:0", server_config_of(args)?)?)
+    } else {
+        None
+    };
+    let addr = match &hosted {
+        Some(h) => h.addr().to_string(),
+        None => args.get("addr").unwrap_or("127.0.0.1:7311").to_string(),
+    };
+    let policy = policy_of(args.get("policy").unwrap_or("nd"))?;
+    let mode = match args.get("mode").unwrap_or("closed") {
+        "closed" => pacds_serve::Mode::Closed,
+        "open" => pacds_serve::Mode::Open {
+            rate: args.require("rate")?,
+        },
+        other => return Err(format!("unknown mode '{other}' (closed|open)").into()),
+    };
+    let cfg = pacds_serve::LoadgenConfig {
+        addr,
+        concurrency: args.get_or("concurrency", 8)?,
+        duration: std::time::Duration::from_secs_f64(args.get_or("duration", 10.0)?),
+        mode,
+        cds: cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?,
+        n: args.get_or("n", 200)?,
+        radius: args.get_or("radius", 15.0)?,
+        side: args.get_or("side", 100.0)?,
+        seed: args.get_or("seed", 1)?,
+        no_cache: args.flag("no-cache"),
+        deadline_ms: args.get_or("deadline-ms", 0)?,
+    };
+    let report = pacds_serve::loadgen::run(&cfg)?;
+    println!(
+        "loadgen: {} mode, {} conns, {:.1}s — {} requests, {:.0} req/s \
+         ({} cache hits, {} rejected, {} deadline, {} protocol err, {} io err)",
+        report.mode,
+        report.concurrency,
+        report.duration_s,
+        report.requests,
+        report.throughput_rps,
+        report.cache_hits,
+        report.rejected,
+        report.deadline_exceeded,
+        report.protocol_errors,
+        report.io_errors,
+    );
+    println!(
+        "latency µs: p50={:.1} p99={:.1} p999={:.1} mean={:.1} max={:.1}",
+        report.p50_us, report.p99_us, report.p999_us, report.mean_us, report.max_us,
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json() + "\n")?;
+        println!("report written to {path}");
+    }
+    drop(hosted);
+    if args.flag("fail-on-errors") && report.protocol_errors + report.io_errors > 0 {
+        return Err(format!(
+            "loadgen saw {} protocol and {} io errors",
+            report.protocol_errors, report.io_errors
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// `pacds scenario-template`
 pub fn scenario_template(args: &Args) -> CliResult {
     args.check_known(&[])?;
@@ -620,5 +750,39 @@ mod tests {
     #[test]
     fn bad_route_endpoints_error() {
         assert!(route(&args("route --n 10 --seed 3 --from 0 --to 999")).is_err());
+    }
+
+    #[test]
+    fn server_config_parses_flags() {
+        let cfg = server_config_of(&args("serve --workers 3 --queue 7 --cache-mb 2")).unwrap();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue, 7);
+        assert_eq!(cfg.cache_bytes, 2 << 20);
+        assert!(server_config_of(&args("serve --workers zero")).is_err());
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_modes_and_options() {
+        assert!(loadgen(&args("loadgen --mode sideways")).is_err());
+        // Open mode requires --rate.
+        assert!(loadgen(&args("loadgen --mode open")).is_err());
+        assert!(loadgen(&args("loadgen --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn self_hosted_loadgen_round_trips() {
+        // End-to-end smoke: in-process server on an ephemeral port, a short
+        // closed-loop burst, JSON report on disk, zero protocol errors.
+        let path = std::env::temp_dir().join("pacds_cli_loadgen.json");
+        loadgen(&args(&format!(
+            "loadgen --self-host --workers 2 --cache-mb 8 --n 30 --radius 30 \
+             --duration 0.3 --concurrency 2 --fail-on-errors --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(report.contains("\"bench\":\"serve_loadgen\""));
+        assert!(report.contains("\"protocol_errors\":0"));
     }
 }

@@ -7,6 +7,8 @@
 //! pacds simulate   run a network-lifetime simulation
 //! pacds compare    compare all policies on one network
 //! pacds obs-report run instrumented and print the phase/counter breakdown
+//! pacds serve      run the TCP query service (binary protocol + cache)
+//! pacds loadgen    drive load at a server; throughput + latency report
 //! ```
 //!
 //! Run `pacds help [command]` for options. Every command accepts
@@ -67,6 +69,8 @@ fn main() -> ExitCode {
             dispatch("cli.scenario-template", || commands::scenario_template(&args))
         }
         "obs-report" => dispatch("cli.obs-report", || commands::obs_report(&args)),
+        "serve" => dispatch("cli.serve", || commands::serve(&args)),
+        "loadgen" => dispatch("cli.loadgen", || commands::loadgen(&args)),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

@@ -15,16 +15,20 @@
 //! * [`gen`] — unit-disk graphs from host positions (grid-accelerated),
 //!   G(n, p), and deterministic families (path, cycle, star, complete, grid).
 //! * [`io`] — DOT and edge-list import/export.
+//! * [`digest`] — canonical, insertion-order-independent FNV-1a graph
+//!   digests (the serving layer's cache key).
 
 pub mod algo;
 pub mod bitmap;
 pub mod csr;
+pub mod digest;
 pub mod gen;
 pub mod graph;
 pub mod io;
 pub mod neighbors;
 
 pub use bitmap::NeighborBitmap;
+pub use digest::{canonicalize_edges, graph_digest};
 pub use csr::CsrGraph;
 pub use graph::{Graph, NodeId};
 pub use neighbors::Neighbors;

@@ -186,6 +186,13 @@ const ALL_COUNTERS: [Counter; NUM_COUNTERS] = {
         DistMarkerMessages,
         DistRuns,
         ParVertices,
+        ServeRequests,
+        ServeCacheHits,
+        ServeCacheMisses,
+        ServeCacheEvictions,
+        ServeRejected,
+        ServeProtocolErrors,
+        ServeDeadlineExceeded,
     ]
 };
 

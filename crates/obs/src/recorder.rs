@@ -108,6 +108,20 @@ metric_enum! {
         DistRuns => "dist.runs",
         /// Vertices processed by data-parallel sweeps (all threads).
         ParVertices => "par.vertices",
+        /// Serve: requests fully read and dispatched to a handler.
+        ServeRequests => "serve.requests",
+        /// Serve: result-cache hits.
+        ServeCacheHits => "serve.cache_hits",
+        /// Serve: result-cache misses (request computed fresh).
+        ServeCacheMisses => "serve.cache_misses",
+        /// Serve: result-cache entries evicted to make room.
+        ServeCacheEvictions => "serve.cache_evictions",
+        /// Serve: connections rejected by backpressure (queue full).
+        ServeRejected => "serve.rejected",
+        /// Serve: protocol errors (bad version/kind/frame/body).
+        ServeProtocolErrors => "serve.protocol_errors",
+        /// Serve: requests that blew their deadline before a reply.
+        ServeDeadlineExceeded => "serve.deadline_exceeded",
     }
 }
 
@@ -135,6 +149,12 @@ metric_enum! {
         SimCds => "sim.cds",
         /// Simulator: battery drain + death collection.
         SimDrain => "sim.drain",
+        /// Serve: request frame decode + cache keying.
+        ServeDecode => "serve.decode",
+        /// Serve: CDS computation on a cache miss.
+        ServeCompute => "serve.compute",
+        /// Serve: response encoding (including cached-bytes copy).
+        ServeEncode => "serve.encode",
     }
 }
 

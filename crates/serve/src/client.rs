@@ -1,0 +1,162 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection and reuses its request/response
+//! buffers, so a tight request loop (the load generator, the conformance
+//! harness) allocates only on mask materialisation. All methods send one
+//! frame and block for one response frame; server-side typed errors come
+//! back as [`ClientError::Wire`].
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use pacds_core::CdsConfig;
+
+use crate::protocol::{
+    self, decode_cds_result, decode_error, decode_stats_result, CdsResult, DecodeError,
+    GenComputeRequest, ResponseKind, StatsFormat, StatsResult, WireError, DEFAULT_MAX_FRAME_LEN,
+    LEN_PREFIX, PROTOCOL_VERSION,
+};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes the server dropping a connection
+    /// after a fatal protocol error, and backpressure REJECTED closes).
+    Io(io::Error),
+    /// The server's response bytes failed to parse.
+    Decode(DecodeError),
+    /// The server answered with a typed error frame.
+    Wire(WireError),
+    /// The server answered with an unexpected (but valid) response kind.
+    Unexpected(u8),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Decode(e) => write!(f, "bad response: {e}"),
+            ClientError::Wire(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected(k) => write!(f, "unexpected response kind {k:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking protocol client over one connection.
+#[derive(Debug)]
+pub struct Client {
+    conn: TcpStream,
+    req: Vec<u8>,
+    resp: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        Ok(Self {
+            conn,
+            req: Vec::new(),
+            resp: Vec::new(),
+        })
+    }
+
+    /// Sets (or clears) the socket read timeout, e.g. for liveness tests.
+    pub fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(dur)
+    }
+
+    /// Computes the gateway set of an explicit topology.
+    pub fn compute_cds(
+        &mut self,
+        cfg: &CdsConfig,
+        n: u32,
+        edges: &[(u32, u32)],
+        energy: Option<&[u64]>,
+        flags: u8,
+        deadline_ms: u32,
+    ) -> Result<CdsResult, ClientError> {
+        protocol::encode_compute_cds(&mut self.req, flags, deadline_ms, cfg, n, edges, energy);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::CdsResult)?;
+        Ok(decode_cds_result(&payload[2..])?)
+    }
+
+    /// Asks the server to generate a topology and compute on it.
+    pub fn gen_compute(&mut self, req: &GenComputeRequest) -> Result<CdsResult, ClientError> {
+        req.encode(&mut self.req);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::CdsResult)?;
+        Ok(decode_cds_result(&payload[2..])?)
+    }
+
+    /// Fetches server statistics.
+    pub fn stats(&mut self, format: StatsFormat) -> Result<StatsResult, ClientError> {
+        protocol::encode_stats_request(&mut self.req, format);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::StatsResult)?;
+        Ok(decode_stats_result(&payload[2..])?)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        protocol::encode_ping(&mut self.req);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::Pong)?;
+        Ok(())
+    }
+
+    /// Sends `self.req` (a complete frame) and reads one response frame,
+    /// returning its payload. Reused buffers; no allocation at steady
+    /// state once the buffers reach their high-water marks.
+    fn round_trip(&mut self) -> Result<&[u8], ClientError> {
+        self.conn.write_all(&self.req)?;
+        let mut prefix = [0u8; LEN_PREFIX];
+        self.conn.read_exact(&mut prefix)?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len < 2 || len > DEFAULT_MAX_FRAME_LEN as usize {
+            return Err(ClientError::Decode(DecodeError::Bad("response length")));
+        }
+        self.resp.clear();
+        self.resp.resize(len, 0);
+        self.conn.read_exact(&mut self.resp)?;
+        if self.resp[0] != PROTOCOL_VERSION {
+            return Err(ClientError::Decode(DecodeError::Bad("response version")));
+        }
+        Ok(&self.resp)
+    }
+
+    /// Sends raw pre-encoded bytes (tests exercising malformed frames) and
+    /// reads one response payload.
+    pub fn send_raw(&mut self, frame: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.req.clear();
+        self.req.extend_from_slice(frame);
+        Ok(self.round_trip()?.to_vec())
+    }
+}
+
+/// Maps an Error payload to [`ClientError::Wire`], otherwise checks the
+/// kind byte.
+fn expect(payload: &[u8], want: ResponseKind) -> Result<(), ClientError> {
+    match ResponseKind::from_wire(payload[1]) {
+        Some(ResponseKind::Error) => Err(ClientError::Wire(decode_error(&payload[2..])?)),
+        Some(kind) if kind == want => Ok(()),
+        _ => Err(ClientError::Unexpected(payload[1])),
+    }
+}

@@ -1,0 +1,734 @@
+//! Request handling: one payload in, one response frame out.
+//!
+//! [`handle_payload`] is deliberately a pure function over byte buffers —
+//! no sockets, no threads — so the server's worker loop, the conformance
+//! harness, and the workspace-level zero-allocation test all drive the
+//! exact same code. A worker owns one [`WorkerScratch`] for its lifetime;
+//! on the cache-warm compute path every buffer the handler touches is
+//! retained there, so steady-state serving performs **zero allocations**
+//! (pinned by `tests/zero_alloc.rs` at the workspace root).
+//!
+//! ## Cache keying
+//!
+//! Results are keyed by a 128-bit FNV-1a digest over a domain tag, the
+//! 4-byte config encoding, the energy assignment, and the **canonical**
+//! edge list (`pacds_graph::digest::canonicalize_edges` — flipped to
+//! `u < v`, sorted, deduplicated, in place). Two requests describing the
+//! same topology in different wire orders therefore share a cache entry.
+//! Generated topologies are keyed by their generation parameters instead,
+//! which is cheaper and equally canonical (the generator is deterministic).
+//!
+//! The cache stores complete response frames with the `cache_hit` byte
+//! zeroed; a hit copies the frame into the caller's buffer and patches
+//! that single byte ([`protocol::CACHE_FLAG_PAYLOAD_OFFSET`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pacds_core::{CdsConfig, CdsWorkspace};
+use pacds_geom::{Point2, Rect};
+use pacds_graph::digest::{fold_edges, DigestSink, Fnv1a128};
+use pacds_graph::{algo, gen, Graph, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::cache::ShardedCache;
+use crate::protocol::{
+    self, begin_frame, encode_error, end_frame, ComputeCdsRequest, DecodeError, ErrorCode,
+    GenComputeRequest, RequestKind, ResponseKind, StatsFormat, WireWrite, CACHE_FLAG_PAYLOAD_OFFSET,
+    FLAG_NO_CACHE, LEN_PREFIX, PROTOCOL_VERSION,
+};
+
+/// Domain tags separating the two cache-key spaces (and both from raw
+/// graph digests).
+const KEY_TAG_COMPUTE: &[u8] = b"pacds.serve.compute.v1";
+const KEY_TAG_GEN: &[u8] = b"pacds.serve.gen.v1";
+
+/// Bounded resample attempts for `connected` topology generation (matches
+/// the CLI's behaviour).
+const CONNECT_ATTEMPTS: usize = 200;
+
+/// Always-on server counters (independent of the `obs` feature); these are
+/// what the Stats request reports alongside the cache statistics.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests accepted into a worker (any kind).
+    pub requests: AtomicU64,
+    /// Compute-CDS requests.
+    pub compute: AtomicU64,
+    /// Generate-and-compute requests.
+    pub gen_compute: AtomicU64,
+    /// Stats probes.
+    pub stats_probes: AtomicU64,
+    /// Pings.
+    pub pings: AtomicU64,
+    /// Connections refused with `Rejected` under backpressure.
+    pub rejected: AtomicU64,
+    /// Frame/parse failures answered with a typed error.
+    pub protocol_errors: AtomicU64,
+    /// Requests answered with `BadInput`.
+    pub bad_input: AtomicU64,
+    /// Requests answered with `DeadlineExceeded`.
+    pub deadline_exceeded: AtomicU64,
+}
+
+impl ServerStats {
+    /// The counters as stable `(name, value)` pairs, in wire order.
+    pub fn entries(&self, cache: &ShardedCache) -> [(&'static str, u64); 15] {
+        let c = cache.stats();
+        let v = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        [
+            ("requests", v(&self.requests)),
+            ("compute", v(&self.compute)),
+            ("gen_compute", v(&self.gen_compute)),
+            ("stats_probes", v(&self.stats_probes)),
+            ("pings", v(&self.pings)),
+            ("rejected", v(&self.rejected)),
+            ("protocol_errors", v(&self.protocol_errors)),
+            ("bad_input", v(&self.bad_input)),
+            ("deadline_exceeded", v(&self.deadline_exceeded)),
+            ("cache_hits", c.hits),
+            ("cache_misses", c.misses),
+            ("cache_evictions", c.evictions),
+            ("cache_uncacheable", c.uncacheable),
+            ("cache_entries", c.entries),
+            ("cache_bytes", c.bytes),
+        ]
+    }
+}
+
+/// Shared (immutable / atomic) server state, one per server instance.
+#[derive(Debug)]
+pub struct ServeState {
+    /// The sharded LRU result cache.
+    pub cache: ShardedCache,
+    /// Always-on counters.
+    pub stats: ServerStats,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: u32,
+}
+
+impl ServeState {
+    /// State with a cache budget of `cache_bytes`.
+    pub fn new(cache_bytes: usize) -> Self {
+        Self {
+            cache: ShardedCache::new(cache_bytes),
+            stats: ServerStats::default(),
+            max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Per-worker retained buffers. Everything the warm path touches lives
+/// here and is reused request to request; nothing in this struct is
+/// allocated after the buffers reach their steady-state high-water marks.
+#[derive(Debug, Default)]
+pub struct WorkerScratch {
+    /// The retained CDS workspace (itself allocation-free on recompute).
+    pub ws: CdsWorkspace,
+    /// Canonicalised edge buffer.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Energy buffer.
+    energy: Vec<u64>,
+    /// Rebuilt topology (cold path only).
+    graph: Graph,
+    /// Generated placements (gen path only).
+    points: Vec<Point2>,
+}
+
+impl WorkerScratch {
+    /// A fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// What the connection loop should do after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandleOutcome {
+    /// Response written; keep the connection.
+    KeepOpen,
+    /// Response written; framing is unreliable, close after sending.
+    Close,
+}
+
+/// Handles one request payload (`version, kind, body` — the bytes after
+/// the length prefix), writing exactly one complete response frame
+/// (length prefix included) into `resp`. `received` is when the frame
+/// arrived; deadlines are measured from it. Never panics on untrusted
+/// bytes; every failure becomes a typed error frame.
+pub fn handle_payload(
+    state: &ServeState,
+    scratch: &mut WorkerScratch,
+    payload: &[u8],
+    resp: &mut Vec<u8>,
+    received: Instant,
+) -> HandleOutcome {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    pacds_obs::inc(pacds_obs::Counter::ServeRequests);
+    if payload.len() < 2 {
+        return protocol_error(state, resp, ErrorCode::Malformed, "payload shorter than header");
+    }
+    if payload[0] != PROTOCOL_VERSION {
+        return protocol_error(state, resp, ErrorCode::UnsupportedVersion, "unsupported version");
+    }
+    let Some(kind) = RequestKind::from_wire(payload[1]) else {
+        return protocol_error(state, resp, ErrorCode::UnknownKind, "unknown request kind");
+    };
+    let body = &payload[2..];
+    match kind {
+        RequestKind::ComputeCds => handle_compute(state, scratch, body, resp, received),
+        RequestKind::GenCompute => handle_gen(state, scratch, body, resp, received),
+        RequestKind::Stats => handle_stats(state, body, resp),
+        RequestKind::Ping => {
+            state.stats.pings.fetch_add(1, Ordering::Relaxed);
+            begin_frame(resp, ResponseKind::Pong as u8);
+            end_frame(resp);
+            HandleOutcome::KeepOpen
+        }
+    }
+}
+
+fn protocol_error(
+    state: &ServeState,
+    resp: &mut Vec<u8>,
+    code: ErrorCode,
+    msg: &str,
+) -> HandleOutcome {
+    state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    pacds_obs::inc(pacds_obs::Counter::ServeProtocolErrors);
+    encode_error(resp, code, msg);
+    if code.is_connection_fatal() {
+        HandleOutcome::Close
+    } else {
+        HandleOutcome::KeepOpen
+    }
+}
+
+fn bad_input(state: &ServeState, resp: &mut Vec<u8>, msg: &str) -> HandleOutcome {
+    state.stats.bad_input.fetch_add(1, Ordering::Relaxed);
+    encode_error(resp, ErrorCode::BadInput, msg);
+    HandleOutcome::KeepOpen
+}
+
+fn decode_failed(state: &ServeState, resp: &mut Vec<u8>, err: &DecodeError) -> HandleOutcome {
+    match err {
+        // The frame boundary was consistent but a field was out of range:
+        // framing survives, the connection stays usable.
+        DecodeError::Bad(what) => bad_input(state, resp, what),
+        DecodeError::Truncated => protocol_error(state, resp, ErrorCode::Malformed, "truncated body"),
+        DecodeError::Trailing => {
+            protocol_error(state, resp, ErrorCode::Malformed, "trailing bytes after body")
+        }
+    }
+}
+
+/// `Some(deadline)` for a non-zero deadline field.
+fn deadline_of(received: Instant, deadline_ms: u32) -> Option<Instant> {
+    (deadline_ms > 0).then(|| received + Duration::from_millis(u64::from(deadline_ms)))
+}
+
+fn deadline_hit(state: &ServeState, resp: &mut Vec<u8>, deadline: Option<Instant>) -> bool {
+    if deadline.is_some_and(|d| Instant::now() > d) {
+        state.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        pacds_obs::inc(pacds_obs::Counter::ServeDeadlineExceeded);
+        encode_error(resp, ErrorCode::DeadlineExceeded, "deadline elapsed");
+        true
+    } else {
+        false
+    }
+}
+
+fn handle_compute(
+    state: &ServeState,
+    scratch: &mut WorkerScratch,
+    body: &[u8],
+    resp: &mut Vec<u8>,
+    received: Instant,
+) -> HandleOutcome {
+    state.stats.compute.fetch_add(1, Ordering::Relaxed);
+    let decode_timer = pacds_obs::phase_timer(pacds_obs::Phase::ServeDecode);
+    let req = match ComputeCdsRequest::decode(body) {
+        Ok(req) => req,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    // Validate + copy edges into the retained buffer in one streaming pass.
+    let n = req.n;
+    scratch.edges.clear();
+    for (u, v) in req.edges() {
+        if u >= n || v >= n {
+            return bad_input(state, resp, "edge endpoint out of range");
+        }
+        if u == v {
+            return bad_input(state, resp, "self-loop");
+        }
+        scratch.edges.push((u, v));
+    }
+    pacds_graph::canonicalize_edges(&mut scratch.edges);
+    drop(decode_timer);
+
+    let deadline = deadline_of(received, req.deadline_ms);
+    let key = (req.flags & FLAG_NO_CACHE == 0).then(|| {
+        let mut d = Fnv1a128::new();
+        d.write(KEY_TAG_COMPUTE);
+        put_config_key(&mut d, &req.cfg);
+        match req.energy_raw {
+            None => d.write(&[0]),
+            Some(raw) => {
+                d.write(&[1]);
+                d.write(raw);
+            }
+        }
+        fold_edges(&mut d, n as usize, &scratch.edges);
+        d.finish()
+    });
+    if let Some(key) = key {
+        if state.cache.get_into(key, resp) {
+            if deadline_hit(state, resp, deadline) {
+                return HandleOutcome::KeepOpen;
+            }
+            resp[LEN_PREFIX + CACHE_FLAG_PAYLOAD_OFFSET] = 1;
+            return HandleOutcome::KeepOpen;
+        }
+    }
+    if deadline_hit(state, resp, deadline) {
+        return HandleOutcome::KeepOpen;
+    }
+
+    // Cache miss: rebuild the topology and run the pipeline (cold path,
+    // allocation is fine here).
+    scratch.graph = Graph::from_edges(n as usize, &scratch.edges);
+    scratch.energy.clear();
+    if let Some(levels) = req.energies() {
+        scratch.energy.extend(levels);
+    }
+    let energy = req.energy_raw.is_some().then_some(scratch.energy.as_slice());
+    compute_and_encode(state, scratch, &req.cfg, energy.is_some(), resp, deadline, key)
+}
+
+fn handle_gen(
+    state: &ServeState,
+    scratch: &mut WorkerScratch,
+    body: &[u8],
+    resp: &mut Vec<u8>,
+    received: Instant,
+) -> HandleOutcome {
+    state.stats.gen_compute.fetch_add(1, Ordering::Relaxed);
+    let req = match GenComputeRequest::decode(body) {
+        Ok(req) => req,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    let deadline = deadline_of(received, req.deadline_ms);
+    let key = (req.flags & FLAG_NO_CACHE == 0).then(|| {
+        let mut d = Fnv1a128::new();
+        d.write(KEY_TAG_GEN);
+        put_config_key(&mut d, &req.cfg);
+        d.write_u32(req.n);
+        d.write_u64(req.seed);
+        d.write_u64(req.radius.to_bits());
+        d.write_u64(req.side.to_bits());
+        d.write(&[req.connected as u8]);
+        match req.energy_seed {
+            None => d.write(&[0]),
+            Some(s) => {
+                d.write(&[1]);
+                d.write_u64(s);
+            }
+        }
+        d.finish()
+    });
+    if let Some(key) = key {
+        if state.cache.get_into(key, resp) {
+            if deadline_hit(state, resp, deadline) {
+                return HandleOutcome::KeepOpen;
+            }
+            resp[LEN_PREFIX + CACHE_FLAG_PAYLOAD_OFFSET] = 1;
+            return HandleOutcome::KeepOpen;
+        }
+    }
+    if deadline_hit(state, resp, deadline) {
+        return HandleOutcome::KeepOpen;
+    }
+
+    // Deterministic server-side generation, mirroring the CLI: resample
+    // until connected (bounded), then assign energies.
+    let bounds = Rect::square(req.side);
+    let mut rng = ChaCha8Rng::seed_from_u64(req.seed);
+    let n = req.n as usize;
+    for _ in 0..CONNECT_ATTEMPTS {
+        scratch.points.clear();
+        scratch
+            .points
+            .extend(pacds_geom::placement::uniform_points(&mut rng, bounds, n));
+        scratch.graph = gen::unit_disk(bounds, req.radius, &scratch.points);
+        if !req.connected || algo::is_connected(&scratch.graph) {
+            break;
+        }
+    }
+    scratch.energy.clear();
+    match req.energy_seed {
+        None => scratch.energy.extend(std::iter::repeat_n(10u64, n)),
+        Some(seed) => {
+            let mut erng = ChaCha8Rng::seed_from_u64(seed);
+            scratch.energy.extend((0..n).map(|_| erng.random_range(0..=10u64)));
+        }
+    }
+    compute_and_encode(state, scratch, &req.cfg, true, resp, deadline, key)
+}
+
+/// Runs the pipeline on `scratch.graph`, encodes the `CdsResult` frame,
+/// inserts it into the cache (flag zeroed), and patches nothing: a fresh
+/// computation reports `cache_hit = 0`.
+fn compute_and_encode(
+    state: &ServeState,
+    scratch: &mut WorkerScratch,
+    cfg: &CdsConfig,
+    with_energy: bool,
+    resp: &mut Vec<u8>,
+    deadline: Option<Instant>,
+    key: Option<u128>,
+) -> HandleOutcome {
+    {
+        let _t = pacds_obs::phase_timer(pacds_obs::Phase::ServeCompute);
+        let energy = with_energy.then_some(scratch.energy.as_slice());
+        scratch.ws.compute(&scratch.graph, energy, cfg);
+    }
+    let _t = pacds_obs::phase_timer(pacds_obs::Phase::ServeEncode);
+    let count = |mask: &[bool]| mask.iter().filter(|&&b| b).count() as u32;
+    begin_frame(resp, ResponseKind::CdsResult as u8);
+    resp.put_u8(0); // cache_hit
+    resp.put_u32(scratch.graph.n() as u32);
+    resp.put_u32(count(scratch.ws.marked()));
+    resp.put_u32(count(scratch.ws.after_rule1()));
+    resp.put_u32(scratch.ws.gateway_count() as u32);
+    resp.put_u32(scratch.ws.rounds() as u32);
+    let mask = scratch.ws.gateways();
+    let mut byte = 0u8;
+    for (v, &g) in mask.iter().enumerate() {
+        if g {
+            byte |= 1 << (v % 8);
+        }
+        if v % 8 == 7 {
+            resp.put_u8(byte);
+            byte = 0;
+        }
+    }
+    if !mask.len().is_multiple_of(8) {
+        resp.put_u8(byte);
+    }
+    end_frame(resp);
+    if let Some(key) = key {
+        state.cache.insert(key, resp);
+    }
+    // The computation is already done and cached; if the client's deadline
+    // passed while we worked, tell it so (the result stays cached for a
+    // retry).
+    if deadline_hit(state, resp, deadline) {
+        return HandleOutcome::KeepOpen;
+    }
+    HandleOutcome::KeepOpen
+}
+
+fn handle_stats(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+    state.stats.stats_probes.fetch_add(1, Ordering::Relaxed);
+    let mut r = protocol::Reader::new(body);
+    let format = match r.u8().map(StatsFormat::from_wire) {
+        Ok(Some(f)) => f,
+        Ok(None) => return bad_input(state, resp, "stats format"),
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    if let Err(e) = r.finish() {
+        return decode_failed(state, resp, &e);
+    }
+    let entries = state.stats.entries(&state.cache);
+    let snap = pacds_obs::Snapshot::capture();
+    let mut text = Vec::new();
+    match format {
+        StatsFormat::Table => {
+            for (name, value) in &entries {
+                text.extend_from_slice(format!("{name:<20} {value}\n").as_bytes());
+            }
+            for c in &snap.counters {
+                text.extend_from_slice(format!("{:<20} {}\n", c.name, c.value).as_bytes());
+            }
+            for p in &snap.phases {
+                text.extend_from_slice(
+                    format!("{:<20} {} calls, {} ns\n", p.name, p.count, p.total_ns).as_bytes(),
+                );
+            }
+        }
+        StatsFormat::Jsonl => {
+            let _ = pacds_obs::write_jsonl(&snap, &mut text);
+        }
+        StatsFormat::Prometheus => {
+            let _ = pacds_obs::write_prometheus(&snap, &mut text);
+        }
+    }
+    begin_frame(resp, ResponseKind::StatsResult as u8);
+    resp.put_u32(entries.len() as u32);
+    for (name, value) in entries {
+        resp.put_u16(name.len() as u16);
+        resp.put(name.as_bytes());
+        resp.put_u64(value);
+    }
+    resp.put_u32(text.len() as u32);
+    resp.put(&text);
+    end_frame(resp);
+    HandleOutcome::KeepOpen
+}
+
+/// Folds the 4-byte config encoding into a digest (the exact
+/// [`protocol::config_bytes`] the wire carries — no allocation).
+fn put_config_key<D: DigestSink>(d: &mut D, cfg: &CdsConfig) {
+    d.write(&protocol::config_bytes(cfg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::Policy;
+    use pacds_graph::mask_to_vec;
+
+    fn compute_via_handler(
+        state: &ServeState,
+        scratch: &mut WorkerScratch,
+        cfg: &CdsConfig,
+        n: u32,
+        edges: &[(u32, u32)],
+        energy: Option<&[u64]>,
+        flags: u8,
+    ) -> (Vec<u8>, HandleOutcome) {
+        let mut frame = Vec::new();
+        protocol::encode_compute_cds(&mut frame, flags, 0, cfg, n, edges, energy);
+        let mut resp = Vec::new();
+        let outcome = handle_payload(state, scratch, &frame[LEN_PREFIX..], &mut resp, Instant::now());
+        (resp, outcome)
+    }
+
+    fn resp_payload(resp: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(resp[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, resp.len() - LEN_PREFIX);
+        &resp[LEN_PREFIX..]
+    }
+
+    #[test]
+    fn compute_matches_direct_pipeline() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let edges = [(0u32, 1), (1, 2), (2, 3), (3, 4), (1, 3)];
+        let cfg = CdsConfig::sequential(Policy::Degree);
+        let (resp, outcome) =
+            compute_via_handler(&state, &mut scratch, &cfg, 5, &edges, None, 0);
+        assert_eq!(outcome, HandleOutcome::KeepOpen);
+        let p = resp_payload(&resp);
+        assert_eq!(ResponseKind::from_wire(p[1]), Some(ResponseKind::CdsResult));
+        let result = protocol::decode_cds_result(&p[2..]).unwrap();
+        assert!(!result.cache_hit);
+
+        let g = Graph::from_edges(5, &edges);
+        let mut ws = CdsWorkspace::new();
+        let direct = ws.compute(&g, None, &cfg).clone();
+        assert_eq!(result.mask, direct);
+        assert_eq!(result.gateways as usize, ws.gateway_count());
+        assert_eq!(result.rounds as usize, ws.rounds());
+    }
+
+    #[test]
+    fn cache_hit_on_permuted_edges() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let cfg = CdsConfig::policy(Policy::Id);
+        let edges = [(0u32, 1), (1, 2), (2, 3)];
+        let permuted = [(3u32, 2), (1, 0), (2, 1)];
+        let (first, _) = compute_via_handler(&state, &mut scratch, &cfg, 4, &edges, None, 0);
+        let (second, _) = compute_via_handler(&state, &mut scratch, &cfg, 4, &permuted, None, 0);
+        let a = protocol::decode_cds_result(&resp_payload(&first)[2..]).unwrap();
+        let b = protocol::decode_cds_result(&resp_payload(&second)[2..]).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit, "permuted wire order must share the cache entry");
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(state.cache.stats().hits, 1);
+        // Identical except the cache flag byte.
+        let mut patched = first.clone();
+        patched[LEN_PREFIX + CACHE_FLAG_PAYLOAD_OFFSET] = 1;
+        assert_eq!(patched, second, "cached bytes identical modulo the hit flag");
+    }
+
+    #[test]
+    fn no_cache_flag_bypasses_the_cache() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let edges = [(0u32, 1), (1, 2)];
+        for _ in 0..2 {
+            let (resp, _) = compute_via_handler(
+                &state,
+                &mut scratch,
+                &cfg,
+                3,
+                &edges,
+                None,
+                FLAG_NO_CACHE,
+            );
+            let r = protocol::decode_cds_result(&resp_payload(&resp)[2..]).unwrap();
+            assert!(!r.cache_hit);
+        }
+        let s = state.cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn different_config_different_cache_entry() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let edges = [(0u32, 1), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let (_, _) = compute_via_handler(
+            &state,
+            &mut scratch,
+            &CdsConfig::policy(Policy::Id),
+            4,
+            &edges,
+            None,
+            0,
+        );
+        let (resp, _) = compute_via_handler(
+            &state,
+            &mut scratch,
+            &CdsConfig::sequential(Policy::Id),
+            4,
+            &edges,
+            None,
+            0,
+        );
+        let r = protocol::decode_cds_result(&resp_payload(&resp)[2..]).unwrap();
+        assert!(!r.cache_hit, "different schedule must not share an entry");
+        assert_eq!(state.cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn bad_edges_yield_typed_errors_not_panics() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let cfg = CdsConfig::policy(Policy::Id);
+        for (edges, what) in [
+            (&[(0u32, 9u32)][..], "out of range"),
+            (&[(1, 1)][..], "self-loop"),
+        ] {
+            let (resp, outcome) =
+                compute_via_handler(&state, &mut scratch, &cfg, 3, edges, None, 0);
+            assert_eq!(outcome, HandleOutcome::KeepOpen, "{what}: BadInput keeps the connection");
+            let p = resp_payload(&resp);
+            assert_eq!(ResponseKind::from_wire(p[1]), Some(ResponseKind::Error));
+            let e = protocol::decode_error(&p[2..]).unwrap();
+            assert_eq!(e.code, ErrorCode::BadInput, "{what}");
+        }
+        assert_eq!(state.stats.bad_input.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn version_and_kind_failures_close_the_connection() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let mut resp = Vec::new();
+        for payload in [&[99u8, 1][..], &[PROTOCOL_VERSION, 0x7E][..], &[1u8][..]] {
+            let outcome =
+                handle_payload(&state, &mut scratch, payload, &mut resp, Instant::now());
+            assert_eq!(outcome, HandleOutcome::Close);
+            let p = resp_payload(&resp);
+            let e = protocol::decode_error(&p[2..]).unwrap();
+            assert!(e.code.is_connection_fatal());
+        }
+        assert_eq!(state.stats.protocol_errors.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn gen_compute_is_deterministic_and_cached() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let req = GenComputeRequest {
+            flags: 0,
+            deadline_ms: 0,
+            cfg: CdsConfig::sequential(Policy::EnergyDegree),
+            n: 30,
+            seed: 11,
+            radius: 30.0,
+            side: 100.0,
+            connected: true,
+            energy_seed: Some(7),
+        };
+        let mut frame = Vec::new();
+        req.encode(&mut frame);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut first, Instant::now());
+        handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut second, Instant::now());
+        let a = protocol::decode_cds_result(&resp_payload(&first)[2..]).unwrap();
+        let b = protocol::decode_cds_result(&resp_payload(&second)[2..]).unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        assert_eq!(a.mask, b.mask);
+        assert!(a.gateways > 0, "a connected 30-host topology has gateways");
+        assert!(mask_to_vec(&a.mask).len() == a.gateways as usize);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let cfg = CdsConfig::policy(Policy::Id);
+        let mut frame = Vec::new();
+        protocol::encode_compute_cds(&mut frame, 0, 1, &cfg, 3, &[(0, 1), (1, 2)], None);
+        let stale = Instant::now() - Duration::from_millis(50);
+        let mut resp = Vec::new();
+        let outcome = handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut resp, stale);
+        assert_eq!(outcome, HandleOutcome::KeepOpen);
+        let e = protocol::decode_error(&resp_payload(&resp)[2..]).unwrap();
+        assert_eq!(e.code, ErrorCode::DeadlineExceeded);
+        assert_eq!(state.stats.deadline_exceeded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ping_and_stats_respond() {
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let mut frame = Vec::new();
+        protocol::encode_ping(&mut frame);
+        let mut resp = Vec::new();
+        handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut resp, Instant::now());
+        assert_eq!(resp_payload(&resp)[1], ResponseKind::Pong as u8);
+
+        // One compute so the counters are non-trivial.
+        let cfg = CdsConfig::policy(Policy::Degree);
+        compute_via_handler(&state, &mut scratch, &cfg, 3, &[(0, 1), (1, 2)], None, 0);
+        for format in [StatsFormat::Table, StatsFormat::Jsonl, StatsFormat::Prometheus] {
+            protocol::encode_stats_request(&mut frame, format);
+            handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut resp, Instant::now());
+            let p = resp_payload(&resp);
+            assert_eq!(ResponseKind::from_wire(p[1]), Some(ResponseKind::StatsResult));
+            let s = protocol::decode_stats_result(&p[2..]).unwrap();
+            assert_eq!(s.counter("compute"), Some(1));
+            assert_eq!(s.counter("cache_misses"), Some(1));
+            assert!(s.counter("requests").unwrap() >= 2);
+        }
+    }
+
+    #[test]
+    fn warm_path_reuses_buffers() {
+        // Not the allocator-level pin (that lives in tests/zero_alloc.rs);
+        // this checks the observable proxy: response pointer stability.
+        let state = ServeState::new(1 << 20);
+        let mut scratch = WorkerScratch::new();
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let edges = [(0u32, 1), (1, 2), (2, 3), (3, 4)];
+        let mut frame = Vec::new();
+        protocol::encode_compute_cds(&mut frame, 0, 0, &cfg, 5, &edges, None);
+        let mut resp = Vec::with_capacity(4096);
+        handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut resp, Instant::now());
+        let ptr = resp.as_ptr();
+        for _ in 0..10 {
+            handle_payload(&state, &mut scratch, &frame[LEN_PREFIX..], &mut resp, Instant::now());
+            assert_eq!(resp.as_ptr(), ptr, "warm hit must reuse the response buffer");
+        }
+        assert_eq!(state.cache.stats().hits, 10);
+    }
+}

@@ -1,0 +1,365 @@
+//! Closed- and open-loop load generation against a running server.
+//!
+//! * **Closed loop** — `concurrency` connections, each firing its next
+//!   request the moment the previous response lands. Measures the server's
+//!   sustainable throughput at a fixed concurrency level.
+//! * **Open loop** — requests are *scheduled* at a fixed aggregate rate
+//!   (split across the connections) and latency is measured **from the
+//!   scheduled send time**, not the actual one. A server that stalls
+//!   therefore accrues queueing delay in the recorded tail instead of
+//!   silently slowing the generator down (the classic coordinated-omission
+//!   correction).
+//!
+//! Every worker replays the same request — a seeded unit-disk topology
+//! generated client-side once — so a run with caching enabled measures the
+//! cache-warm hot path, and `no_cache` measures full recomputes. The
+//! report lands in [`LoadReport`], which renders itself as the JSON object
+//! CI stores as `BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pacds_core::{CdsConfig, Policy};
+use pacds_geom::Rect;
+use pacds_graph::gen;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::client::{Client, ClientError};
+use crate::protocol::{ErrorCode, FLAG_NO_CACHE};
+
+/// Arrival discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Fire-on-response at fixed concurrency.
+    Closed,
+    /// Fixed aggregate arrival rate (requests/second).
+    Open {
+        /// Target request rate across all connections.
+        rate: f64,
+    },
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections.
+    pub concurrency: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Arrival discipline.
+    pub mode: Mode,
+    /// CDS configuration each request carries.
+    pub cds: CdsConfig,
+    /// Topology size.
+    pub n: usize,
+    /// Unit-disk radius.
+    pub radius: f64,
+    /// Arena side.
+    pub side: f64,
+    /// Placement seed.
+    pub seed: u64,
+    /// Send [`FLAG_NO_CACHE`] (measure full recomputes).
+    pub no_cache: bool,
+    /// Per-request deadline in ms (0 = none).
+    pub deadline_ms: u32,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7311".into(),
+            concurrency: 8,
+            duration: Duration::from_secs(10),
+            mode: Mode::Closed,
+            cds: CdsConfig::paper(Policy::Degree),
+            n: 200,
+            radius: 15.0,
+            side: 100.0,
+            seed: 1,
+            no_cache: false,
+            deadline_ms: 0,
+        }
+    }
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Completed requests (successful CDS responses).
+    pub requests: u64,
+    /// Cache hits among them (server-reported flag).
+    pub cache_hits: u64,
+    /// Typed `Rejected` responses (backpressure).
+    pub rejected: u64,
+    /// Typed `DeadlineExceeded` responses.
+    pub deadline_exceeded: u64,
+    /// Other typed wire errors + decode failures — protocol errors.
+    pub protocol_errors: u64,
+    /// Socket-level failures (reconnects).
+    pub io_errors: u64,
+    /// Wall-clock measurement window in seconds.
+    pub duration_s: f64,
+    /// Successful requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles over successful requests, microseconds.
+    pub p50_us: f64,
+    /// 99th percentile latency (µs).
+    pub p99_us: f64,
+    /// 99.9th percentile latency (µs).
+    pub p999_us: f64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Maximum observed latency (µs).
+    pub max_us: f64,
+    /// Echo of the run shape for the JSON artifact.
+    pub concurrency: usize,
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Topology size requested.
+    pub n: usize,
+    /// Whether the cache was bypassed.
+    pub no_cache: bool,
+}
+
+impl LoadReport {
+    /// Renders the report as a single JSON object (the `BENCH_serve.json`
+    /// schema). Hand-rolled: every field is a number/bool/short string.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"serve_loadgen\",\"mode\":\"{}\",\"concurrency\":{},",
+                "\"n\":{},\"no_cache\":{},\"duration_s\":{:.3},\"requests\":{},",
+                "\"throughput_rps\":{:.1},\"cache_hits\":{},\"rejected\":{},",
+                "\"deadline_exceeded\":{},\"protocol_errors\":{},\"io_errors\":{},",
+                "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},",
+                "\"mean_us\":{:.1},\"max_us\":{:.1}}}"
+            ),
+            self.mode,
+            self.concurrency,
+            self.n,
+            self.no_cache,
+            self.duration_s,
+            self.requests,
+            self.throughput_rps,
+            self.cache_hits,
+            self.rejected,
+            self.deadline_exceeded,
+            self.protocol_errors,
+            self.io_errors,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.mean_us,
+            self.max_us,
+        )
+    }
+}
+
+#[derive(Default)]
+struct WorkerTotals {
+    requests: u64,
+    cache_hits: u64,
+    rejected: u64,
+    deadline_exceeded: u64,
+    protocol_errors: u64,
+    io_errors: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Runs the load and aggregates the report. Blocks for `cfg.duration`
+/// plus connection teardown.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
+    // Generate the request topology once, client-side, deterministically.
+    let bounds = Rect::square(cfg.side);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, cfg.n);
+    let g = gen::unit_disk(bounds, cfg.radius, &pts);
+    let edges: Arc<Vec<(u32, u32)>> = Arc::new(g.edges().collect());
+    let n = g.n() as u32;
+    let flags = if cfg.no_cache { FLAG_NO_CACHE } else { 0 };
+
+    // Fail fast (and warm the cache) with one synchronous request.
+    let mut probe = Client::connect(&cfg.addr)?;
+    probe.compute_cds(&cfg.cds, n, &edges, None, flags, 0)?;
+    drop(probe);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicU64::new(0)); // workers that finished connecting
+    let workers = cfg.concurrency.max(1);
+    let per_conn_interval = match cfg.mode {
+        Mode::Closed => None,
+        Mode::Open { rate } => {
+            let per = rate / workers as f64;
+            Some(Duration::from_secs_f64(1.0 / per.max(1e-9)))
+        }
+    };
+
+    let mut handles = Vec::with_capacity(workers);
+    for w in 0..workers {
+        let addr = cfg.addr.clone();
+        let cds = cfg.cds;
+        let edges = Arc::clone(&edges);
+        let stop = Arc::clone(&stop);
+        let started = Arc::clone(&started);
+        let deadline_ms = cfg.deadline_ms;
+        handles.push(std::thread::spawn(move || {
+            let mut totals = WorkerTotals::default();
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => Some(c),
+                Err(_) => {
+                    totals.io_errors += 1;
+                    None
+                }
+            };
+            started.fetch_add(1, Ordering::SeqCst);
+            // Spread open-loop ticks across workers.
+            let mut next_tick = per_conn_interval
+                .map(|iv| Instant::now() + iv.mul_f64(w as f64 / workers as f64));
+            while !stop.load(Ordering::Relaxed) {
+                let scheduled = match next_tick {
+                    None => Instant::now(),
+                    Some(tick) => {
+                        let now = Instant::now();
+                        if tick > now {
+                            std::thread::sleep(tick - now);
+                        }
+                        next_tick = Some(tick + per_conn_interval.unwrap());
+                        tick
+                    }
+                };
+                let Some(c) = client.as_mut() else {
+                    // Lost the connection; try to re-establish.
+                    match Client::connect(&addr) {
+                        Ok(c) => client = Some(c),
+                        Err(_) => {
+                            totals.io_errors += 1;
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                    continue;
+                };
+                match c.compute_cds(&cds, n, &edges, None, flags, deadline_ms) {
+                    Ok(result) => {
+                        totals.requests += 1;
+                        totals.cache_hits += u64::from(result.cache_hit);
+                        totals
+                            .latencies_ns
+                            .push(scheduled.elapsed().as_nanos() as u64);
+                    }
+                    Err(ClientError::Wire(e)) => match e.code {
+                        ErrorCode::Rejected => totals.rejected += 1,
+                        ErrorCode::DeadlineExceeded => totals.deadline_exceeded += 1,
+                        _ => totals.protocol_errors += 1,
+                    },
+                    Err(ClientError::Io(_)) => {
+                        totals.io_errors += 1;
+                        client = None;
+                    }
+                    Err(_) => totals.protocol_errors += 1,
+                }
+            }
+            totals
+        }));
+    }
+
+    // Start timing once every worker is connected (or has failed once).
+    while (started.load(Ordering::SeqCst) as usize) < workers {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(cfg.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = t0.elapsed();
+
+    let mut all = WorkerTotals::default();
+    for h in handles {
+        let t = h.join().expect("loadgen worker panicked");
+        all.requests += t.requests;
+        all.cache_hits += t.cache_hits;
+        all.rejected += t.rejected;
+        all.deadline_exceeded += t.deadline_exceeded;
+        all.protocol_errors += t.protocol_errors;
+        all.io_errors += t.io_errors;
+        all.latencies_ns.extend(t.latencies_ns);
+    }
+    all.latencies_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if all.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((all.latencies_ns.len() as f64 - 1.0) * q).round() as usize;
+        all.latencies_ns[idx] as f64 / 1_000.0
+    };
+    let mean_us = if all.latencies_ns.is_empty() {
+        0.0
+    } else {
+        all.latencies_ns.iter().sum::<u64>() as f64 / all.latencies_ns.len() as f64 / 1_000.0
+    };
+    let duration_s = elapsed.as_secs_f64();
+    Ok(LoadReport {
+        requests: all.requests,
+        cache_hits: all.cache_hits,
+        rejected: all.rejected,
+        deadline_exceeded: all.deadline_exceeded,
+        protocol_errors: all.protocol_errors,
+        io_errors: all.io_errors,
+        duration_s,
+        throughput_rps: all.requests as f64 / duration_s.max(1e-9),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        mean_us,
+        max_us: all.latencies_ns.last().map_or(0.0, |&v| v as f64 / 1_000.0),
+        concurrency: workers,
+        mode: match cfg.mode {
+            Mode::Closed => "closed",
+            Mode::Open { .. } => "open",
+        },
+        n: cfg.n,
+        no_cache: cfg.no_cache,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let r = LoadReport {
+            requests: 1000,
+            cache_hits: 990,
+            rejected: 3,
+            deadline_exceeded: 0,
+            protocol_errors: 0,
+            io_errors: 0,
+            duration_s: 2.0,
+            throughput_rps: 500.0,
+            p50_us: 80.0,
+            p99_us: 200.0,
+            p999_us: 450.0,
+            mean_us: 95.5,
+            max_us: 900.0,
+            concurrency: 8,
+            mode: "closed",
+            n: 200,
+            no_cache: false,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"bench\":\"serve_loadgen\"",
+            "\"throughput_rps\":500.0",
+            "\"p99_us\":200.0",
+            "\"p999_us\":450.0",
+            "\"requests\":1000",
+            "\"mode\":\"closed\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

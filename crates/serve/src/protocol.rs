@@ -1,0 +1,928 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! ┌────────────┬───────────┬────────┬──────────────┐
+//! │ len: u32LE │ ver: u8   │ kind:u8│ body (len-2) │
+//! └────────────┴───────────┴────────┴──────────────┘
+//! ```
+//!
+//! `len` counts everything after the prefix (version byte + kind byte +
+//! body). All integers are little-endian; floats are IEEE-754 bit patterns.
+//! The *payload* of a frame is the `len` bytes after the prefix.
+//!
+//! Request bodies:
+//!
+//! * [`RequestKind::ComputeCds`] — `flags u8, deadline_ms u32, policy u8,
+//!   schedule u8, rule2 u8, application u8, has_energy u8, n u32, m u32,
+//!   edges m×(u32,u32), energy n×u64 (iff has_energy)`. Edge order on the
+//!   wire is arbitrary; the server canonicalises before cache keying.
+//! * [`RequestKind::GenCompute`] — `flags u8, deadline_ms u32, policy u8,
+//!   schedule u8, rule2 u8, application u8, n u32, seed u64, radius f64,
+//!   side f64, connected u8, has_energy_seed u8, energy_seed u64`.
+//! * [`RequestKind::Stats`] — `format u8` (0 table, 1 jsonl, 2 prometheus).
+//! * [`RequestKind::Ping`] — empty body.
+//!
+//! Response bodies:
+//!
+//! * [`ResponseKind::CdsResult`] — `cache_hit u8, n u32, marked u32,
+//!   after_rule1 u32, gateways u32, rounds u32, mask ⌈n/8⌉ bytes` (bit `v`
+//!   of the mask = host `v` is a gateway; LSB-first within each byte).
+//! * [`ResponseKind::StatsResult`] — `k u32, k × (name_len u16, name,
+//!   value u64), text_len u32, text` (the rendered `pacds-obs` snapshot).
+//! * [`ResponseKind::Pong`] — empty body.
+//! * [`ResponseKind::Error`] — `code u8, msg_len u32, msg` (UTF-8).
+//!
+//! Decoding is strict: truncated or trailing bytes, out-of-range enum
+//! discriminants, self-loop or out-of-range edges all produce a typed
+//! [`DecodeError`] that the server answers with an [`ErrorCode`] frame —
+//! never a panic, never a hang.
+
+use pacds_core::{Application, CdsConfig, Policy, PruneSchedule, Rule2Semantics};
+use pacds_graph::VertexMask;
+
+/// Current protocol version, first payload byte of every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Bytes of the frame length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Default maximum frame length (payload bytes) either side accepts.
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Maximum vertex count a server will process (a tiny frame must not be
+/// able to demand gigabyte-sized masks).
+pub const MAX_NODES: u32 = 2_000_000;
+
+/// Offset of the `cache_hit` byte inside a [`ResponseKind::CdsResult`]
+/// payload (version, kind, then the flag) — the cache stores responses with
+/// the flag zeroed and patches this byte on a hit.
+pub const CACHE_FLAG_PAYLOAD_OFFSET: usize = 2;
+
+/// Request flag: bypass the result cache entirely (no lookup, no insert).
+pub const FLAG_NO_CACHE: u8 = 0b0000_0001;
+
+/// Request kinds (client → server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RequestKind {
+    /// Compute the gateway set of an explicit topology.
+    ComputeCds = 0x01,
+    /// Generate a seeded unit-disk topology server-side, then compute.
+    GenCompute = 0x02,
+    /// Server + obs statistics probe.
+    Stats = 0x03,
+    /// Liveness probe.
+    Ping = 0x04,
+}
+
+impl RequestKind {
+    /// Decodes a wire discriminant.
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0x01 => Self::ComputeCds,
+            0x02 => Self::GenCompute,
+            0x03 => Self::Stats,
+            0x04 => Self::Ping,
+            _ => return None,
+        })
+    }
+}
+
+/// Response kinds (server → client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ResponseKind {
+    /// Gateway-set result.
+    CdsResult = 0x81,
+    /// Statistics snapshot.
+    StatsResult = 0x83,
+    /// Liveness reply.
+    Pong = 0x84,
+    /// Typed failure.
+    Error = 0x7F,
+}
+
+impl ResponseKind {
+    /// Decodes a wire discriminant.
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0x81 => Self::CdsResult,
+            0x83 => Self::StatsResult,
+            0x84 => Self::Pong,
+            0x7F => Self::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed error codes carried by [`ResponseKind::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame's version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion = 1,
+    /// Unknown request kind.
+    UnknownKind = 2,
+    /// Frame or body fails to parse (truncated, trailing, bad enum).
+    Malformed = 3,
+    /// Declared frame length exceeds the server's maximum.
+    Oversized = 4,
+    /// Backpressure: the bounded accept queue is full; retry later.
+    Rejected = 5,
+    /// The request's deadline elapsed before a reply could be sent.
+    DeadlineExceeded = 6,
+    /// The frame parses but the content is unusable (edge out of range,
+    /// self-loop, missing energy for an energy policy, n over the cap).
+    BadInput = 7,
+    /// Server-side failure unrelated to the request bytes.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decodes a wire discriminant.
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => Self::UnsupportedVersion,
+            2 => Self::UnknownKind,
+            3 => Self::Malformed,
+            4 => Self::Oversized,
+            5 => Self::Rejected,
+            6 => Self::DeadlineExceeded,
+            7 => Self::BadInput,
+            8 => Self::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether the connection is left in an unusable state (framing lost)
+    /// and the server closes it after sending this error.
+    pub fn is_connection_fatal(self) -> bool {
+        matches!(
+            self,
+            Self::UnsupportedVersion | Self::UnknownKind | Self::Malformed | Self::Oversized
+        )
+    }
+}
+
+/// Stats output format selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatsFormat {
+    /// Human-readable table.
+    Table = 0,
+    /// One JSON object (the obs snapshot JSONL line).
+    Jsonl = 1,
+    /// Prometheus text exposition.
+    Prometheus = 2,
+}
+
+impl StatsFormat {
+    /// Decodes a wire discriminant.
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => Self::Table,
+            1 => Self::Jsonl,
+            2 => Self::Prometheus,
+            _ => return None,
+        })
+    }
+}
+
+/// A decode failure; the server maps it onto an [`ErrorCode`] reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before the field being read.
+    Truncated,
+    /// Bytes remained after the body's last field.
+    Trailing,
+    /// A field held an out-of-range or inconsistent value.
+    Bad(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("truncated payload"),
+            DecodeError::Trailing => f.write_str("trailing bytes after body"),
+            DecodeError::Bad(what) => write!(f, "bad field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Bounds-checked little-endian reader over one payload.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Next little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Next IEEE-754 `f64` (little-endian bit pattern).
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Asserts the body is fully consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::Trailing)
+        }
+    }
+}
+
+/// Appends little-endian scalars to a frame under construction.
+pub trait WireWrite {
+    /// Appends raw bytes.
+    fn put(&mut self, bytes: &[u8]);
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put(&[v]);
+    }
+    /// Appends a little-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+    /// Appends an `f64` bit pattern.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl WireWrite for Vec<u8> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+/// Starts a frame in `out` (clears it, reserves the length prefix, writes
+/// version + kind). Finish with [`end_frame`].
+pub fn begin_frame(out: &mut Vec<u8>, kind: u8) {
+    out.clear();
+    out.extend_from_slice(&[0; LEN_PREFIX]);
+    out.put_u8(PROTOCOL_VERSION);
+    out.put_u8(kind);
+}
+
+/// Patches the length prefix of a frame begun with [`begin_frame`].
+pub fn end_frame(out: &mut [u8]) {
+    let len = (out.len() - LEN_PREFIX) as u32;
+    out[..LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Wire encoding of a [`CdsConfig`] as a stack array (4 bytes) — also the
+/// bytes folded into cache keys, so it must stay stable.
+pub fn config_bytes(cfg: &CdsConfig) -> [u8; 4] {
+    [
+        match cfg.policy {
+            Policy::NoPruning => 0,
+            Policy::Id => 1,
+            Policy::Degree => 2,
+            Policy::Energy => 3,
+            Policy::EnergyDegree => 4,
+        },
+        match cfg.schedule {
+            PruneSchedule::SinglePass => 0,
+            PruneSchedule::Fixpoint => 1,
+        },
+        match cfg.rule2 {
+            Rule2Semantics::MinOfThree => 0,
+            Rule2Semantics::CaseAnalysis => 1,
+        },
+        match cfg.application {
+            Application::Simultaneous => 0,
+            Application::Sequential => 1,
+        },
+    ]
+}
+
+/// Appends the 4-byte [`CdsConfig`] encoding to a frame.
+pub fn put_config(out: &mut Vec<u8>, cfg: &CdsConfig) {
+    out.put(&config_bytes(cfg));
+}
+
+/// Decodes the 4-byte [`CdsConfig`] encoding.
+pub fn read_config(r: &mut Reader<'_>) -> Result<CdsConfig, DecodeError> {
+    let policy = match r.u8()? {
+        0 => Policy::NoPruning,
+        1 => Policy::Id,
+        2 => Policy::Degree,
+        3 => Policy::Energy,
+        4 => Policy::EnergyDegree,
+        _ => return Err(DecodeError::Bad("policy")),
+    };
+    let schedule = match r.u8()? {
+        0 => PruneSchedule::SinglePass,
+        1 => PruneSchedule::Fixpoint,
+        _ => return Err(DecodeError::Bad("schedule")),
+    };
+    let rule2 = match r.u8()? {
+        0 => Rule2Semantics::MinOfThree,
+        1 => Rule2Semantics::CaseAnalysis,
+        _ => return Err(DecodeError::Bad("rule2 semantics")),
+    };
+    let application = match r.u8()? {
+        0 => Application::Simultaneous,
+        1 => Application::Sequential,
+        _ => return Err(DecodeError::Bad("application")),
+    };
+    Ok(CdsConfig {
+        policy,
+        schedule,
+        rule2,
+        application,
+    })
+}
+
+/// A decoded compute-CDS request. Edge and energy payloads stay as raw
+/// borrowed bytes so the hot path can stream them without allocating.
+#[derive(Debug, Clone)]
+pub struct ComputeCdsRequest<'a> {
+    /// Request flags ([`FLAG_NO_CACHE`]).
+    pub flags: u8,
+    /// Per-request deadline in milliseconds from frame receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// CDS configuration to run.
+    pub cfg: CdsConfig,
+    /// Vertex count.
+    pub n: u32,
+    /// Edge count as declared (pre-dedup).
+    pub m: u32,
+    /// `m × 8` raw bytes: each edge as two little-endian `u32`s.
+    pub edges_raw: &'a [u8],
+    /// `n × 8` raw bytes of little-endian `u64` energies, if present.
+    pub energy_raw: Option<&'a [u8]>,
+}
+
+impl<'a> ComputeCdsRequest<'a> {
+    /// Decodes a `ComputeCds` body (the payload after version + kind).
+    pub fn decode(body: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(body);
+        let flags = r.u8()?;
+        let deadline_ms = r.u32()?;
+        let cfg = read_config(&mut r)?;
+        let has_energy = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError::Bad("has_energy")),
+        };
+        let n = r.u32()?;
+        if n > MAX_NODES {
+            return Err(DecodeError::Bad("n exceeds MAX_NODES"));
+        }
+        let m = r.u32()?;
+        let edge_bytes = (m as usize)
+            .checked_mul(8)
+            .ok_or(DecodeError::Bad("edge count overflow"))?;
+        let edges_raw = r.bytes(edge_bytes)?;
+        let energy_raw = if has_energy {
+            Some(r.bytes(n as usize * 8)?)
+        } else {
+            None
+        };
+        r.finish()?;
+        if cfg.policy.needs_energy() && energy_raw.is_none() {
+            return Err(DecodeError::Bad("energy required by policy"));
+        }
+        Ok(Self {
+            flags,
+            deadline_ms,
+            cfg,
+            n,
+            m,
+            edges_raw,
+            energy_raw,
+        })
+    }
+
+    /// Iterates the raw edges in wire order (no validation).
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + 'a {
+        self.edges_raw.chunks_exact(8).map(|c| {
+            (
+                u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                u32::from_le_bytes(c[4..8].try_into().unwrap()),
+            )
+        })
+    }
+
+    /// Iterates the raw energies in host order, if present.
+    pub fn energies(&self) -> Option<impl Iterator<Item = u64> + 'a> {
+        self.energy_raw
+            .map(|raw| raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())))
+    }
+}
+
+/// A decoded generate-and-compute request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenComputeRequest {
+    /// Request flags ([`FLAG_NO_CACHE`]).
+    pub flags: u8,
+    /// Per-request deadline in milliseconds from frame receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// CDS configuration to run.
+    pub cfg: CdsConfig,
+    /// Host count.
+    pub n: u32,
+    /// Placement RNG seed.
+    pub seed: u64,
+    /// Transmission radius.
+    pub radius: f64,
+    /// Arena side length (square arena).
+    pub side: f64,
+    /// Resample placements until connected (up to a bounded retry count).
+    pub connected: bool,
+    /// Seed for random per-host energies; `None` = uniform full energy.
+    pub energy_seed: Option<u64>,
+}
+
+impl GenComputeRequest {
+    /// Decodes a `GenCompute` body.
+    pub fn decode(body: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(body);
+        let flags = r.u8()?;
+        let deadline_ms = r.u32()?;
+        let cfg = read_config(&mut r)?;
+        let n = r.u32()?;
+        if n > MAX_NODES {
+            return Err(DecodeError::Bad("n exceeds MAX_NODES"));
+        }
+        let seed = r.u64()?;
+        let radius = r.f64()?;
+        let side = r.f64()?;
+        if !radius.is_finite() || radius <= 0.0 || !side.is_finite() || side <= 0.0 {
+            return Err(DecodeError::Bad("radius/side must be finite and positive"));
+        }
+        let connected = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError::Bad("connected")),
+        };
+        let energy_seed = match r.u8()? {
+            0 => {
+                let _ = r.u64()?; // reserved slot, must still be present
+                None
+            }
+            1 => Some(r.u64()?),
+            _ => return Err(DecodeError::Bad("has_energy_seed")),
+        };
+        r.finish()?;
+        Ok(Self {
+            flags,
+            deadline_ms,
+            cfg,
+            n,
+            seed,
+            radius,
+            side,
+            connected,
+            energy_seed,
+        })
+    }
+
+    /// Encodes this request as a complete frame into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        begin_frame(out, RequestKind::GenCompute as u8);
+        out.put_u8(self.flags);
+        out.put_u32(self.deadline_ms);
+        put_config(out, &self.cfg);
+        out.put_u32(self.n);
+        out.put_u64(self.seed);
+        out.put_f64(self.radius);
+        out.put_f64(self.side);
+        out.put_u8(self.connected as u8);
+        match self.energy_seed {
+            None => {
+                out.put_u8(0);
+                out.put_u64(0);
+            }
+            Some(s) => {
+                out.put_u8(1);
+                out.put_u64(s);
+            }
+        }
+        end_frame(out);
+    }
+}
+
+/// Encodes a complete `ComputeCds` request frame from edge/energy slices.
+pub fn encode_compute_cds(
+    out: &mut Vec<u8>,
+    flags: u8,
+    deadline_ms: u32,
+    cfg: &CdsConfig,
+    n: u32,
+    edges: &[(u32, u32)],
+    energy: Option<&[u64]>,
+) {
+    begin_frame(out, RequestKind::ComputeCds as u8);
+    out.put_u8(flags);
+    out.put_u32(deadline_ms);
+    put_config(out, cfg);
+    out.put_u8(energy.is_some() as u8);
+    out.put_u32(n);
+    out.put_u32(edges.len() as u32);
+    for &(u, v) in edges {
+        out.put_u32(u);
+        out.put_u32(v);
+    }
+    if let Some(levels) = energy {
+        debug_assert_eq!(levels.len(), n as usize);
+        for &e in levels {
+            out.put_u64(e);
+        }
+    }
+    end_frame(out);
+}
+
+/// Encodes a complete `Stats` request frame.
+pub fn encode_stats_request(out: &mut Vec<u8>, format: StatsFormat) {
+    begin_frame(out, RequestKind::Stats as u8);
+    out.put_u8(format as u8);
+    end_frame(out);
+}
+
+/// Encodes a complete `Ping` request frame.
+pub fn encode_ping(out: &mut Vec<u8>) {
+    begin_frame(out, RequestKind::Ping as u8);
+    end_frame(out);
+}
+
+/// Encodes a complete `Error` response frame.
+pub fn encode_error(out: &mut Vec<u8>, code: ErrorCode, msg: &str) {
+    begin_frame(out, ResponseKind::Error as u8);
+    out.put_u8(code as u8);
+    out.put_u32(msg.len() as u32);
+    out.put(msg.as_bytes());
+    end_frame(out);
+}
+
+/// A decoded CDS result (client side; owns the mask).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CdsResult {
+    /// Whether the server answered from its result cache.
+    pub cache_hit: bool,
+    /// Marked-set size (after the marking process).
+    pub marked: u32,
+    /// Set size after Rule 1.
+    pub after_rule1: u32,
+    /// Final gateway count.
+    pub gateways: u32,
+    /// (Rule 1; Rule 2) rounds executed.
+    pub rounds: u32,
+    /// The gateway mask, length `n`.
+    pub mask: VertexMask,
+}
+
+/// Decodes a `CdsResult` body.
+pub fn decode_cds_result(body: &[u8]) -> Result<CdsResult, DecodeError> {
+    let mut r = Reader::new(body);
+    let cache_hit = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::Bad("cache_hit")),
+    };
+    let n = r.u32()?;
+    let marked = r.u32()?;
+    let after_rule1 = r.u32()?;
+    let gateways = r.u32()?;
+    let rounds = r.u32()?;
+    let mask_bytes = r.bytes(n.div_ceil(8) as usize)?;
+    r.finish()?;
+    let mut mask = vec![false; n as usize];
+    let mut count = 0u32;
+    for (v, slot) in mask.iter_mut().enumerate() {
+        if mask_bytes[v / 8] >> (v % 8) & 1 == 1 {
+            *slot = true;
+            count += 1;
+        }
+    }
+    if count != gateways {
+        return Err(DecodeError::Bad("gateway count / mask mismatch"));
+    }
+    Ok(CdsResult {
+        cache_hit,
+        marked,
+        after_rule1,
+        gateways,
+        rounds,
+        mask,
+    })
+}
+
+/// One decoded server statistic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatEntry {
+    /// Stable counter name (e.g. `"cache_hits"`).
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// A decoded stats response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsResult {
+    /// The server's always-on counters.
+    pub counters: Vec<StatEntry>,
+    /// Rendered `pacds-obs` snapshot in the requested format (empty body
+    /// when the server was built without `--features obs`).
+    pub text: String,
+}
+
+impl StatsResult {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+}
+
+/// Decodes a `StatsResult` body.
+pub fn decode_stats_result(body: &[u8]) -> Result<StatsResult, DecodeError> {
+    let mut r = Reader::new(body);
+    let k = r.u32()?;
+    let mut counters = Vec::with_capacity(k.min(1024) as usize);
+    for _ in 0..k {
+        let name_len = r.u16()? as usize;
+        let name = std::str::from_utf8(r.bytes(name_len)?)
+            .map_err(|_| DecodeError::Bad("counter name utf-8"))?
+            .to_string();
+        let value = r.u64()?;
+        counters.push(StatEntry { name, value });
+    }
+    let text_len = r.u32()? as usize;
+    let text = std::str::from_utf8(r.bytes(text_len)?)
+        .map_err(|_| DecodeError::Bad("stats text utf-8"))?
+        .to_string();
+    r.finish()?;
+    Ok(StatsResult { counters, text })
+}
+
+/// A decoded error response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The typed code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decodes an `Error` body.
+pub fn decode_error(body: &[u8]) -> Result<WireError, DecodeError> {
+    let mut r = Reader::new(body);
+    let code = ErrorCode::from_wire(r.u8()?).ok_or(DecodeError::Bad("error code"))?;
+    let msg_len = r.u32()? as usize;
+    let message = std::str::from_utf8(r.bytes(msg_len)?)
+        .map_err(|_| DecodeError::Bad("error message utf-8"))?
+        .to_string();
+    r.finish()?;
+    Ok(WireError { code, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(frame: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - LEN_PREFIX, "length prefix consistent");
+        &frame[LEN_PREFIX..]
+    }
+
+    #[test]
+    fn compute_cds_round_trip() {
+        let cfg = CdsConfig::sequential(Policy::EnergyDegree);
+        let edges = [(0u32, 1u32), (3, 1), (2, 0)];
+        let energy = [5u64, 0, 9, 7];
+        let mut out = Vec::new();
+        encode_compute_cds(&mut out, FLAG_NO_CACHE, 250, &cfg, 4, &edges, Some(&energy));
+        let p = payload(&out);
+        assert_eq!(p[0], PROTOCOL_VERSION);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::ComputeCds));
+        let req = ComputeCdsRequest::decode(&p[2..]).unwrap();
+        assert_eq!(req.flags, FLAG_NO_CACHE);
+        assert_eq!(req.deadline_ms, 250);
+        assert_eq!(req.cfg, cfg);
+        assert_eq!(req.n, 4);
+        assert_eq!(req.edges().collect::<Vec<_>>(), edges);
+        assert_eq!(req.energies().unwrap().collect::<Vec<_>>(), energy);
+    }
+
+    #[test]
+    fn gen_compute_round_trip() {
+        let req = GenComputeRequest {
+            flags: 0,
+            deadline_ms: 0,
+            cfg: CdsConfig::policy(Policy::Degree),
+            n: 77,
+            seed: 0xDEAD_BEEF,
+            radius: 25.0,
+            side: 100.0,
+            connected: true,
+            energy_seed: Some(42),
+        };
+        let mut out = Vec::new();
+        req.encode(&mut out);
+        let p = payload(&out);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::GenCompute));
+        assert_eq!(GenComputeRequest::decode(&p[2..]).unwrap(), req);
+    }
+
+    #[test]
+    fn error_round_trip() {
+        let mut out = Vec::new();
+        encode_error(&mut out, ErrorCode::Rejected, "queue full");
+        let p = payload(&out);
+        assert_eq!(ResponseKind::from_wire(p[1]), Some(ResponseKind::Error));
+        let e = decode_error(&p[2..]).unwrap();
+        assert_eq!(e.code, ErrorCode::Rejected);
+        assert_eq!(e.message, "queue full");
+    }
+
+    #[test]
+    fn truncated_and_trailing_bodies_are_rejected() {
+        let cfg = CdsConfig::policy(Policy::Id);
+        let mut out = Vec::new();
+        encode_compute_cds(&mut out, 0, 0, &cfg, 3, &[(0, 1), (1, 2)], None);
+        let body = &payload(&out)[2..];
+        // Every strict prefix fails as Truncated; whole body + junk fails
+        // as Trailing.
+        for cut in 0..body.len() {
+            assert_eq!(
+                ComputeCdsRequest::decode(&body[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut={cut}"
+            );
+        }
+        let mut extended = body.to_vec();
+        extended.push(0);
+        assert_eq!(
+            ComputeCdsRequest::decode(&extended).unwrap_err(),
+            DecodeError::Trailing
+        );
+    }
+
+    #[test]
+    fn bad_discriminants_are_typed_errors() {
+        let cfg = CdsConfig::policy(Policy::Energy);
+        let mut out = Vec::new();
+        encode_compute_cds(&mut out, 0, 0, &cfg, 2, &[(0, 1)], Some(&[1, 2]));
+        let body_start = LEN_PREFIX + 2;
+        // policy byte out of range
+        let mut bad = out.clone();
+        bad[body_start + 5] = 9;
+        assert!(matches!(
+            ComputeCdsRequest::decode(&bad[body_start..]).unwrap_err(),
+            DecodeError::Bad("policy")
+        ));
+        // energy-needing policy without energy
+        let mut no_energy = Vec::new();
+        encode_compute_cds(&mut no_energy, 0, 0, &cfg, 2, &[(0, 1)], None);
+        assert!(matches!(
+            ComputeCdsRequest::decode(&no_energy[body_start..]).unwrap_err(),
+            DecodeError::Bad("energy required by policy")
+        ));
+    }
+
+    #[test]
+    fn oversized_node_count_is_rejected_at_decode() {
+        let cfg = CdsConfig::policy(Policy::Id);
+        let mut out = Vec::new();
+        encode_compute_cds(&mut out, 0, 0, &cfg, MAX_NODES + 1, &[], None);
+        assert!(matches!(
+            ComputeCdsRequest::decode(&payload(&out)[2..]).unwrap_err(),
+            DecodeError::Bad("n exceeds MAX_NODES")
+        ));
+    }
+
+    #[test]
+    fn cds_result_round_trip_via_manual_encode() {
+        // Mirror the server's encoder (handler.rs) for a 10-host mask.
+        let mask: Vec<bool> = (0..10).map(|v| v % 3 == 0).collect();
+        let mut out = Vec::new();
+        begin_frame(&mut out, ResponseKind::CdsResult as u8);
+        out.put_u8(0);
+        out.put_u32(10);
+        out.put_u32(8);
+        out.put_u32(6);
+        out.put_u32(4);
+        out.put_u32(1);
+        let mut byte = 0u8;
+        for (v, &g) in mask.iter().enumerate() {
+            if g {
+                byte |= 1 << (v % 8);
+            }
+            if v % 8 == 7 {
+                out.put_u8(byte);
+                byte = 0;
+            }
+        }
+        out.put_u8(byte);
+        end_frame(&mut out);
+        let r = decode_cds_result(&payload(&out)[2..]).unwrap();
+        assert!(!r.cache_hit);
+        assert_eq!(r.mask, mask);
+        assert_eq!(r.gateways, 4);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn stats_result_round_trip() {
+        let mut out = Vec::new();
+        begin_frame(&mut out, ResponseKind::StatsResult as u8);
+        out.put_u32(2);
+        for (name, value) in [("requests", 17u64), ("cache_hits", 9)] {
+            out.put_u16(name.len() as u16);
+            out.put(name.as_bytes());
+            out.put_u64(value);
+        }
+        let text = "# HELP pacds nothing\n";
+        out.put_u32(text.len() as u32);
+        out.put(text.as_bytes());
+        end_frame(&mut out);
+        let s = decode_stats_result(&payload(&out)[2..]).unwrap();
+        assert_eq!(s.counter("requests"), Some(17));
+        assert_eq!(s.counter("cache_hits"), Some(9));
+        assert_eq!(s.counter("absent"), None);
+        assert_eq!(s.text, text);
+    }
+
+    #[test]
+    fn connection_fatal_codes() {
+        for code in [
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::UnknownKind,
+            ErrorCode::Malformed,
+            ErrorCode::Oversized,
+        ] {
+            assert!(code.is_connection_fatal(), "{code:?}");
+        }
+        for code in [
+            ErrorCode::Rejected,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::BadInput,
+            ErrorCode::Internal,
+        ] {
+            assert!(!code.is_connection_fatal(), "{code:?}");
+        }
+    }
+}

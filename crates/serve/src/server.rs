@@ -1,0 +1,290 @@
+//! The TCP server: bounded accept queue, worker pool, graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One acceptor thread pulls connections off the listener and pushes them
+//! into a **bounded** [`std::sync::mpsc::sync_channel`]. Each of the
+//! `workers` threads owns a long-lived [`WorkerScratch`] (workspace +
+//! retained buffers — the zero-allocation steady state) and pulls whole
+//! connections from the queue, serving every frame on a connection before
+//! taking the next. Connection-per-worker keeps each client's requests
+//! ordered and lets a worker's scratch stay hot across a client's burst.
+//!
+//! ## Backpressure
+//!
+//! When the queue is full, `try_send` fails immediately and the acceptor
+//! answers with a pre-encoded `Rejected` error frame, then drops the
+//! connection — a fast, typed "try later" instead of an unbounded queue
+//! or a silent stall. Queue depth is `queue` (default: `4 × workers`).
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips an atomic flag and nudges the acceptor
+//! awake with a loopback connection. The acceptor stops accepting and
+//! drops the channel sender; workers then **drain**: every connection
+//! already queued is still served to completion, in-flight frames finish,
+//! and only then do workers observe the closed channel and exit. Worker
+//! connection loops poll the flag between frames (via a read timeout), so
+//! an idle keep-alive connection cannot hold the server open.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::handler::{handle_payload, HandleOutcome, ServeState, WorkerScratch};
+use crate::protocol::{encode_error, ErrorCode, ErrorCode::Rejected, LEN_PREFIX};
+
+/// How often a blocked worker re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker thread count (minimum 1).
+    pub workers: usize,
+    /// Bounded connection-queue depth; 0 = `4 × workers`.
+    pub queue: usize,
+    /// Result-cache budget in bytes.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(4, |p| p.get()),
+            queue: 0,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`shutdown`]) stops it.
+///
+/// [`shutdown`]: ServerHandle::shutdown
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared server state (stats, cache).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Stops accepting, drains queued and in-flight work, joins all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Nudge the blocking accept() awake; it will observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+/// accepting. Returns once the listener is live.
+pub fn serve(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let queue = if cfg.queue == 0 { workers * 4 } else { cfg.queue };
+    let state = Arc::new(ServeState::new(cfg.cache_bytes));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = sync_channel::<TcpStream>(queue);
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("pacds-serve-{i}"))
+                .spawn(move || worker_loop(&rx, &state, &stop))?,
+        );
+    }
+
+    // Pre-encode the backpressure reply once; the acceptor only copies it.
+    let mut rejected_frame = Vec::new();
+    encode_error(&mut rejected_frame, Rejected, "server queue full; retry later");
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("pacds-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    match tx.try_send(conn) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut conn)) => {
+                            state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            pacds_obs::inc(pacds_obs::Counter::ServeRejected);
+                            let _ = conn.write_all(&rejected_frame);
+                            let _ = conn.flush();
+                            // Dropped: the client got a typed REJECTED.
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // Sender drops here: workers drain the queue, then exit.
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        stop,
+        acceptor: Some(acceptor),
+        workers: worker_handles,
+    })
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServeState, stop: &AtomicBool) {
+    let mut scratch = WorkerScratch::new();
+    let mut payload = Vec::new();
+    let mut resp = Vec::new();
+    loop {
+        // Hold the receiver lock only long enough to take one connection.
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match conn {
+            Ok(conn) => serve_connection(conn, state, &mut scratch, &mut payload, &mut resp, stop),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle tick; during shutdown the sender is dropped, so the
+                // next recv on the drained queue returns Disconnected.
+                continue;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves frames on one connection until the client closes, a fatal
+/// protocol error occurs, or shutdown is requested while idle.
+fn serve_connection(
+    mut conn: TcpStream,
+    state: &ServeState,
+    scratch: &mut WorkerScratch,
+    payload: &mut Vec<u8>,
+    resp: &mut Vec<u8>,
+    stop: &AtomicBool,
+) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        match read_frame(&mut conn, state, payload, stop) {
+            FrameRead::Frame => {}
+            FrameRead::Closed => return,
+            FrameRead::TooLarge => {
+                // The declared length is unreadable garbage or an attack;
+                // answer typed, then drop (framing cannot be recovered).
+                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                pacds_obs::inc(pacds_obs::Counter::ServeProtocolErrors);
+                encode_error(resp, ErrorCode::Oversized, "frame exceeds maximum length");
+                let _ = conn.write_all(resp);
+                return;
+            }
+        }
+        let received = Instant::now();
+        let outcome = handle_payload(state, scratch, payload, resp, received);
+        if conn.write_all(resp).is_err() {
+            return;
+        }
+        if outcome == HandleOutcome::Close {
+            return;
+        }
+    }
+}
+
+enum FrameRead {
+    /// `payload` holds one complete frame payload.
+    Frame,
+    /// Clean close, client error, or shutdown while idle between frames.
+    Closed,
+    /// Declared length exceeds the configured maximum.
+    TooLarge,
+}
+
+/// Reads one length-prefixed frame, polling the shutdown flag while idle.
+/// A shutdown observed **between** frames closes the connection; once a
+/// prefix byte has arrived the frame (and its response) completes first —
+/// that is the drain guarantee.
+fn read_frame(
+    conn: &mut TcpStream,
+    state: &ServeState,
+    payload: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> FrameRead {
+    let mut prefix = [0u8; LEN_PREFIX];
+    let mut got = 0usize;
+    while got < LEN_PREFIX {
+        match conn.read(&mut prefix[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) => {
+                if got == 0 && stop.load(Ordering::SeqCst) {
+                    return FrameRead::Closed; // idle at shutdown
+                }
+            }
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > state.max_frame_len as usize {
+        return FrameRead::TooLarge;
+    }
+    payload.clear();
+    payload.resize(len, 0);
+    let mut got = 0usize;
+    while got < len {
+        match conn.read(&mut payload[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(k) => got += k,
+            // Mid-frame timeouts keep waiting even during shutdown: the
+            // frame has begun, so it drains.
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    FrameRead::Frame
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}

@@ -1,0 +1,327 @@
+//! Live-socket integration tests: real `TcpListener`, real worker pool.
+//!
+//! Covers the failure-handling contract end to end — malformed, truncated
+//! and oversized frames produce typed errors (never a panic, never a
+//! hang), backpressure answers with a fast `REJECTED`, graceful shutdown
+//! drains queued work — plus concurrent clients hammering one cache.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pacds_core::{CdsConfig, Policy};
+use pacds_serve::protocol::{
+    self, decode_error, encode_ping, ErrorCode, ResponseKind, LEN_PREFIX, PROTOCOL_VERSION,
+};
+use pacds_serve::{serve, Client, ClientError, ServerConfig, StatsFormat};
+
+fn tiny_server(workers: usize, queue: usize) -> pacds_serve::ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue,
+            cache_bytes: 4 << 20,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Reads one `[len][payload]` frame with a timeout already set on `conn`.
+fn read_frame(conn: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    conn.read_exact(&mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    let mut payload = vec![0u8; len];
+    conn.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn raw_conn(addr: std::net::SocketAddr) -> TcpStream {
+    let conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    conn
+}
+
+#[test]
+fn ping_compute_and_stats_round_trip() {
+    let server = tiny_server(2, 4);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    let cfg = CdsConfig::sequential(Policy::Degree);
+    let edges = [(0u32, 1), (1, 2), (2, 3), (1, 3)];
+    let a = client.compute_cds(&cfg, 4, &edges, None, 0, 0).unwrap();
+    assert!(!a.cache_hit);
+    let b = client.compute_cds(&cfg, 4, &edges, None, 0, 0).unwrap();
+    assert!(b.cache_hit, "second identical request served from cache");
+    assert_eq!(a.mask, b.mask);
+    let stats = client.stats(StatsFormat::Table).unwrap();
+    assert_eq!(stats.counter("compute"), Some(2));
+    assert_eq!(stats.counter("cache_hits"), Some(1));
+    assert_eq!(stats.counter("pings"), Some(1));
+}
+
+#[test]
+fn malformed_truncated_and_oversized_frames_get_typed_errors() {
+    let server = tiny_server(2, 4);
+
+    // Unsupported version: typed error, then the server closes.
+    let mut conn = raw_conn(server.addr());
+    conn.write_all(&[2, 0, 0, 0, 99, 0x01]).unwrap();
+    let payload = read_frame(&mut conn).unwrap();
+    assert_eq!(ResponseKind::from_wire(payload[1]), Some(ResponseKind::Error));
+    let e = decode_error(&payload[2..]).unwrap();
+    assert_eq!(e.code, ErrorCode::UnsupportedVersion);
+    assert_eq!(conn.read(&mut [0u8; 1]).unwrap(), 0, "connection closed");
+
+    // Unknown request kind.
+    let mut conn = raw_conn(server.addr());
+    conn.write_all(&[2, 0, 0, 0, PROTOCOL_VERSION, 0x6E]).unwrap();
+    let e = decode_error(&read_frame(&mut conn).unwrap()[2..]).unwrap();
+    assert_eq!(e.code, ErrorCode::UnknownKind);
+
+    // Truncated body: a ComputeCds header whose body stops mid-field.
+    let mut conn = raw_conn(server.addr());
+    conn.write_all(&[5, 0, 0, 0, PROTOCOL_VERSION, 0x01, 1, 2, 3]).unwrap();
+    let e = decode_error(&read_frame(&mut conn).unwrap()[2..]).unwrap();
+    assert_eq!(e.code, ErrorCode::Malformed);
+
+    // Oversized declared length: typed error before reading the payload.
+    let mut conn = raw_conn(server.addr());
+    let huge = (protocol::DEFAULT_MAX_FRAME_LEN + 1).to_le_bytes();
+    conn.write_all(&huge).unwrap();
+    let e = decode_error(&read_frame(&mut conn).unwrap()[2..]).unwrap();
+    assert_eq!(e.code, ErrorCode::Oversized);
+    assert_eq!(conn.read(&mut [0u8; 1]).unwrap(), 0, "connection closed");
+
+    // A half-written frame followed by a client hangup must not wedge a
+    // worker: the server stays fully responsive afterwards.
+    let mut conn = raw_conn(server.addr());
+    conn.write_all(&[9, 0]).unwrap();
+    drop(conn);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+
+    let stats = Client::connect(server.addr())
+        .unwrap()
+        .stats(StatsFormat::Table)
+        .unwrap();
+    assert_eq!(stats.counter("protocol_errors"), Some(4));
+}
+
+#[test]
+fn bad_input_keeps_the_connection_usable() {
+    let server = tiny_server(1, 4);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cfg = CdsConfig::policy(Policy::Id);
+    let err = client
+        .compute_cds(&cfg, 3, &[(0, 7)], None, 0, 0)
+        .unwrap_err();
+    match err {
+        ClientError::Wire(e) => assert_eq!(e.code, ErrorCode::BadInput),
+        other => panic!("expected BadInput, got {other}"),
+    }
+    // Same connection still serves valid requests.
+    let ok = client.compute_cds(&cfg, 3, &[(0, 1), (1, 2)], None, 0, 0).unwrap();
+    assert_eq!(ok.mask.len(), 3);
+}
+
+#[test]
+fn backpressure_rejects_with_a_typed_frame() {
+    // One worker, queue depth one. The worker is pinned by connection A;
+    // B fills the queue; C must be REJECTED immediately.
+    let server = tiny_server(1, 1);
+    let mut a = Client::connect(server.addr()).unwrap();
+    a.ping().unwrap(); // guarantees the worker owns connection A
+
+    let b = raw_conn(server.addr());
+    std::thread::sleep(Duration::from_millis(200)); // let B enter the queue
+
+    let mut c = raw_conn(server.addr());
+    let payload = read_frame(&mut c).expect("REJECTED arrives without any request");
+    assert_eq!(ResponseKind::from_wire(payload[1]), Some(ResponseKind::Error));
+    let e = decode_error(&payload[2..]).unwrap();
+    assert_eq!(e.code, ErrorCode::Rejected);
+    assert!(!e.code.is_connection_fatal(), "REJECTED is retryable");
+    assert_eq!(c.read(&mut [0u8; 1]).unwrap(), 0, "rejected conn closed");
+
+    // Releasing A lets the worker drain B: the queued connection is
+    // served, not dropped.
+    drop(a);
+    let mut b = b;
+    encode_frame_ping(&mut b);
+    let payload = read_frame(&mut b).unwrap();
+    assert_eq!(ResponseKind::from_wire(payload[1]), Some(ResponseKind::Pong));
+
+    assert_eq!(
+        server.state().stats.rejected.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+fn encode_frame_ping(conn: &mut TcpStream) {
+    let mut frame = Vec::new();
+    encode_ping(&mut frame);
+    conn.write_all(&frame).unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_work() {
+    let mut server = tiny_server(1, 2);
+    let addr = server.addr();
+
+    // Pin the worker with connection A, queue B with a request already
+    // written, then shut down. B's request must still be answered.
+    let mut a = Client::connect(addr).unwrap();
+    a.ping().unwrap();
+    let mut b = raw_conn(addr);
+    encode_frame_ping(&mut b);
+    std::thread::sleep(Duration::from_millis(200)); // B reaches the queue
+
+    let closer = std::thread::spawn(move || {
+        server.shutdown();
+        server
+    });
+    // The idle connection A is released by the shutdown poll; the worker
+    // then drains B.
+    let payload = read_frame(&mut b).expect("queued request served during drain");
+    assert_eq!(ResponseKind::from_wire(payload[1]), Some(ResponseKind::Pong));
+    let server = closer.join().unwrap();
+
+    // Fully stopped: new connections are refused (or reset immediately).
+    assert!(
+        TcpStream::connect(addr).is_err()
+            || TcpStream::connect(addr)
+                .and_then(|mut c| {
+                    c.set_read_timeout(Some(Duration::from_secs(2)))?;
+                    let mut frame = Vec::new();
+                    encode_ping(&mut frame);
+                    c.write_all(&frame)?;
+                    match c.read(&mut [0u8; 8])? {
+                        0 => Ok(()),
+                        _ => Err(std::io::Error::other("served after shutdown")),
+                    }
+                })
+                .is_ok(),
+        "no service after shutdown"
+    );
+    drop(server);
+}
+
+#[test]
+fn shutdown_with_idle_workers_is_prompt_and_idempotent() {
+    let mut server = tiny_server(4, 8);
+    let t0 = std::time::Instant::now();
+    server.shutdown();
+    server.shutdown(); // second call is a no-op
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "idle shutdown must not hang"
+    );
+}
+
+#[test]
+fn concurrent_clients_share_the_cache_consistently() {
+    // Eight client threads, two distinct topologies, a cache big enough
+    // for both: every response for a topology must be bit-identical, and
+    // hits + misses must equal total compute requests.
+    let server = tiny_server(4, 16);
+    let addr = server.addr();
+    let cfg = CdsConfig::sequential(Policy::Degree);
+    let topo_a: Vec<(u32, u32)> = (0..41u32).map(|i| (i, (i + 1) % 41)).collect(); // cycle
+    let topo_b: Vec<(u32, u32)> = (0..40u32).map(|i| (i, i + 1)).collect(); // path
+
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let topo = if t % 2 == 0 { topo_a.clone() } else { topo_b.clone() };
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut first_mask = None;
+            for _ in 0..50 {
+                let r = client.compute_cds(&cfg, 41, &topo, None, 0, 0).unwrap();
+                match &first_mask {
+                    None => first_mask = Some(r.mask.clone()),
+                    Some(m) => assert_eq!(&r.mask, m, "cached result must be bit-identical"),
+                }
+            }
+            first_mask.unwrap()
+        }));
+    }
+    let masks: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Same topology → same mask across threads.
+    assert_eq!(masks[0], masks[2]);
+    assert_eq!(masks[1], masks[3]);
+
+    let cache = server.state().cache.stats();
+    assert_eq!(cache.hits + cache.misses, 400, "every request hit the cache path");
+    assert!(cache.hits >= 398, "at most one miss per distinct topology");
+    assert_eq!(cache.entries, 2);
+}
+
+#[test]
+fn eviction_races_stay_consistent_on_a_live_server() {
+    // A cache too small for the working set: concurrent hits, misses and
+    // evictions must still produce correct (recomputable) results.
+    let server = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            queue: 16,
+            // Roughly two result frames' worth per shard: constant churn.
+            cache_bytes: 16 * 400,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let cfg = CdsConfig::policy(Policy::Degree);
+    let mut handles = Vec::new();
+    for t in 0..4u32 {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for round in 0..40u32 {
+                // 64 distinct topologies across ~16 shards: more keys per
+                // shard than the byte budget holds, so eviction is certain.
+                let k = (t * 31 + round * 7) % 64;
+                // Path graphs of varying length: distinct digests.
+                let n = 10 + k;
+                let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+                let r = client.compute_cds(&cfg, n, &edges, None, 0, 0).unwrap();
+                // A path's pruned backbone is its interior: n - 2 hosts
+                // for NR-free policies — independently checkable.
+                assert_eq!(r.mask.len(), n as usize);
+                assert!(r.gateways > 0);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.state().cache.stats();
+    assert!(stats.evictions > 0, "undersized cache must evict under load");
+    assert_eq!(
+        server
+            .state()
+            .stats
+            .protocol_errors
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+}
+
+#[test]
+fn deadline_exceeded_over_the_wire() {
+    let server = tiny_server(1, 4);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cfg = CdsConfig::policy(Policy::Degree);
+    // A 1 ms deadline with a cold large-ish topology: the deadline check
+    // after compute fires (and on very fast machines the request may
+    // still make it — accept either, but a typed error must be Deadline).
+    let edges: Vec<(u32, u32)> = (0..1999u32).map(|i| (i, i + 1)).collect();
+    match client.compute_cds(&cfg, 2000, &edges, None, protocol::FLAG_NO_CACHE, 1) {
+        Ok(r) => assert_eq!(r.mask.len(), 2000),
+        Err(ClientError::Wire(e)) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+    // The connection survives a deadline miss.
+    client.ping().unwrap();
+}

@@ -45,9 +45,25 @@ impl CaseFile {
         expected: &[bool],
         got: &[bool],
     ) -> Self {
+        Self::capture_named(case, kind.name(), g, energy, cfg, expected, got)
+    }
+
+    /// [`capture`](Self::capture) for implementations outside [`ImplKind`]
+    /// (e.g. the serving layer's wire round-trip), identified by a free
+    /// label. [`replay`] cannot re-execute such cases, but the shrunk
+    /// instance is still a complete repro recipe.
+    pub fn capture_named(
+        case: &str,
+        implementation: &str,
+        g: &Graph,
+        energy: &[u64],
+        cfg: &CdsConfig,
+        expected: &[bool],
+        got: &[bool],
+    ) -> Self {
         Self {
             case: case.to_string(),
-            implementation: kind.name().to_string(),
+            implementation: implementation.to_string(),
             cfg: *cfg,
             n: g.n(),
             edges: g.edges().collect(),

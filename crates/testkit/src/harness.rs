@@ -195,6 +195,31 @@ impl ConformanceReport {
         }
     }
 
+    /// Differential check for an implementation the harness cannot name —
+    /// anything that can be called as a function from `(graph, energy,
+    /// config)` to a gateway mask, such as the serving layer's full wire
+    /// round-trip. Asserts bit-identity with the oracle; on mismatch the
+    /// topology is shrunk (re-running the same closure) and a case file is
+    /// emitted under `label`.
+    pub fn check_external<F>(&mut self, case: &TopoCase, cfg: &CdsConfig, label: &str, mut f: F)
+    where
+        F: FnMut(&Graph, &[u64], &CdsConfig) -> VertexMask,
+    {
+        let g = &case.graph;
+        let energy = case.energy.as_slice();
+        let expected = oracle::compute_cds_oracle(g, Some(energy), cfg);
+        self.checked += 1;
+        let got = f(g, energy, cfg);
+        if got != expected {
+            let file =
+                CaseFile::capture_named(&case.name, label, g, energy, cfg, &expected, &got);
+            let shrunk = shrink_case(file, |g2, e2| {
+                f(g2, e2, cfg) != oracle::compute_cds_oracle(g2, Some(e2), cfg)
+            });
+            self.failures.push(emit_case(&shrunk));
+        }
+    }
+
     /// The documented simultaneous-vs-sequential non-equivalence: the two
     /// applications may return different masks, but under safe semantics
     /// on a connected topology *both* must be valid connected dominating

@@ -16,6 +16,8 @@
 //! * [`obs`](pacds_obs) — instrumentation layer (phase timers, rule-pass
 //!   counters, JSONL/Prometheus export); compiled to no-ops unless the
 //!   `obs` feature is on.
+//! * [`serve`](pacds_serve) — the CDS query service: TCP server with a
+//!   binary protocol, sharded result cache, worker pool, load generator.
 //! * [`baselines`](pacds_baselines), [`energy`](pacds_energy),
 //!   [`mobility`](pacds_mobility), [`geom`](pacds_geom) — supporting
 //!   substrates.
@@ -29,4 +31,5 @@ pub use pacds_graph as graph;
 pub use pacds_mobility as mobility;
 pub use pacds_obs as obs;
 pub use pacds_routing as routing;
+pub use pacds_serve as serve;
 pub use pacds_sim as sim;

@@ -45,12 +45,15 @@ fn allocs() -> usize {
     ALLOCS.load(Ordering::Relaxed)
 }
 
-use pacds::core::Policy;
+use pacds::core::{CdsConfig, Policy};
 use pacds::energy::DrainModel;
 use pacds::graph::VertexMask;
+use pacds::serve::handler::{handle_payload, ServeState, WorkerScratch};
+use pacds::serve::protocol;
 use pacds::sim::{NetworkState, SimConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
 
 const N: usize = 1000;
 const WARMUP: usize = 25;
@@ -112,4 +115,53 @@ fn workspace_recompute_on_static_topology_is_allocation_free() {
         0,
         "repeated workspace recomputation on a static topology allocated"
     );
+}
+
+#[test]
+fn serve_cache_warm_request_handling_is_allocation_free() {
+    // The serving layer's hot path: decode a compute-CDS frame, validate
+    // and canonicalise the edges into retained scratch, derive the cache
+    // key, and copy the cached response frame into the retained reply
+    // buffer. After the first (cold, cache-filling) request, the whole
+    // round performs zero heap allocations — the ≥10k req/s claim in
+    // BENCH_serve.json rests on this.
+    let cfg = SimConfig::paper(200, Policy::EnergyDegree, DrainModel::LinearInN);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let st = NetworkState::init(cfg, &mut rng);
+    let edges: Vec<(u32, u32)> = st.graph().edges().collect();
+    let energy: Vec<u64> = vec![9; st.graph().n()];
+
+    let state = ServeState::new(8 << 20);
+    let mut scratch = WorkerScratch::new();
+    let serve_cfg = CdsConfig::sequential(Policy::EnergyDegree);
+    let mut frame = Vec::new();
+    protocol::encode_compute_cds(
+        &mut frame,
+        0,
+        0,
+        &serve_cfg,
+        st.graph().n() as u32,
+        &edges,
+        Some(&energy),
+    );
+    let payload = &frame[protocol::LEN_PREFIX..];
+    let mut resp = Vec::new();
+
+    // Cold request computes and populates the cache; a few extra rounds
+    // let every retained buffer reach its high-water mark.
+    for _ in 0..WARMUP {
+        handle_payload(&state, &mut scratch, payload, &mut resp, Instant::now());
+    }
+    assert!(resp[protocol::LEN_PREFIX + protocol::CACHE_FLAG_PAYLOAD_OFFSET] == 1);
+
+    for round in 0..MEASURED {
+        let before = allocs();
+        handle_payload(&state, &mut scratch, payload, &mut resp, Instant::now());
+        let grew = allocs() - before;
+        assert_eq!(
+            grew, 0,
+            "round {round}: cache-warm request handling performed {grew} heap allocations"
+        );
+    }
+    assert_eq!(state.cache.stats().hits as usize, WARMUP - 1 + MEASURED);
 }
