@@ -31,7 +31,14 @@ use std::time::Instant;
 
 const RADIUS: f64 = 25.0;
 const SIZES: [usize; 3] = [100, 1000, 10000];
-const REPS: usize = 5;
+/// Sizes for the sharded-engine hot path (`pacds-shard`), gated the same
+/// way: the shard phase timers and counters must also be ≤ 3% overhead.
+const SHARD_SIZES: [usize; 2] = [1000, 10000];
+/// Many *short* repetitions, minimum taken: on a small shared machine,
+/// contention arrives in multi-second bursts, so a 75–125 ms measurement
+/// window that can dodge the burst beats a long window that averages it
+/// in. The window length is set by `iters` in [`measure`].
+const REPS: usize = 20;
 
 fn arena(n: usize) -> Rect {
     Rect::square((100.0 * (n as f64 / 100.0).sqrt()).max(1.0))
@@ -70,19 +77,45 @@ fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
 /// Minimum over [`REPS`] repetitions of the reuse hot path at size `n`.
 fn measure(n: usize) -> f64 {
     let cfg = CdsConfig::policy(Policy::EnergyDegree);
-    let iters = (200_000 / n).clamp(8, 400);
+    let iters = (50_000 / n).clamp(4, 400);
     let mut best = f64::INFINITY;
     for rep in 0..REPS {
         let mut iv = Interval::new(n, 42 + rep as u64);
         let mut csr = CsrGraph::new();
         let mut scratch = gen::UnitDiskScratch::new();
         let mut ws = CdsWorkspace::with_capacity(n);
-        let ns = time_ns(5, iters, || {
+        let ns = time_ns(2, iters, || {
             iv.walk.step(&mut iv.rng, iv.bounds, &mut iv.positions);
             gen::unit_disk_csr(iv.bounds, RADIUS, &iv.positions, None, &mut csr, &mut scratch);
             ws.compute(&csr, Some(&iv.energy), &cfg);
             let _ = black_box(ws.verify_last(&csr));
             black_box(ws.gateway_count());
+        });
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Minimum over [`REPS`] repetitions of the sharded hot path at size `n`:
+/// mobility step + `ShardedCds::compute_unit_disk` on a retained engine
+/// (inline single thread, shard count scaled with `n`).
+fn measure_shard(n: usize) -> f64 {
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let iters = (50_000 / n).clamp(4, 400);
+    let mut best = f64::INFINITY;
+    for rep in 0..REPS {
+        let mut iv = Interval::new(n, 42 + rep as u64);
+        let mut engine = pacds_shard::ShardedCds::new(pacds_shard::ShardSpec {
+            threads: 1,
+            ..pacds_shard::ShardSpec::auto()
+        })
+        .expect("default halo is legal");
+        let ns = time_ns(2, iters, || {
+            iv.walk.step(&mut iv.rng, iv.bounds, &mut iv.positions);
+            engine
+                .compute_unit_disk(iv.bounds, RADIUS, &iv.positions, Some(&iv.energy), &cfg)
+                .expect("benchmark config is shardable");
+            black_box(engine.gateway_count());
         });
         best = best.min(ns);
     }
@@ -115,9 +148,19 @@ fn run_baseline() -> ExitCode {
             format!("    {{ \"n\": {n}, \"ns_per_interval\": {ns:.0} }}")
         })
         .collect();
+    let shard_rows: Vec<String> = SHARD_SIZES
+        .iter()
+        .map(|&n| {
+            let ns = measure_shard(n);
+            println!("n={n:>6}  baseline {ns:>12.0} ns/interval (sharded)");
+            format!("    {{ \"shard_n\": {n}, \"shard_ns_per_interval\": {ns:.0} }}")
+        })
+        .collect();
     let json = format!(
-        "{{\n  \"mode\": \"baseline\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"mode\": \"baseline\",\n  \"results\": [\n{}\n  ],\n  \
+         \"shard_results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        shard_rows.join(",\n")
     );
     let out = std::env::var("PACDS_OBS_BASELINE")
         .unwrap_or_else(|_| "BENCH_obs_baseline.json".into());
@@ -148,10 +191,24 @@ fn run_instrumented() -> ExitCode {
     };
     let base_ns = extract_numbers(&text, "ns_per_interval");
     let base_n: Vec<f64> = extract_numbers(&text, "n");
+    // "ns_per_interval" / "n" are prefixes of the shard keys only in the
+    // other direction, so plain extraction stays exact; the shard rows use
+    // distinct "shard_n" / "shard_ns_per_interval" keys.
     if base_ns.len() != SIZES.len()
         || base_n.iter().map(|&v| v as usize).ne(SIZES.iter().copied())
     {
         eprintln!("error: baseline {baseline_path} does not cover sizes {SIZES:?}");
+        return ExitCode::FAILURE;
+    }
+    let shard_base_ns = extract_numbers(&text, "shard_ns_per_interval");
+    let shard_base_n: Vec<f64> = extract_numbers(&text, "shard_n");
+    if shard_base_ns.len() != SHARD_SIZES.len()
+        || shard_base_n.iter().map(|&v| v as usize).ne(SHARD_SIZES.iter().copied())
+    {
+        eprintln!(
+            "error: baseline {baseline_path} does not cover shard sizes {SHARD_SIZES:?}; \
+             re-run the baseline binary (without --features obs)"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -161,40 +218,51 @@ fn run_instrumented() -> ExitCode {
         .unwrap_or(3.0);
 
     pacds_obs::reset();
-    let mut rows = Vec::new();
     let mut gate_failed = false;
-    for (&n, &base) in SIZES.iter().zip(&base_ns) {
-        let gated = n >= 1000;
-        // Scheduler noise is one-sided (it only ever adds time), so a
-        // minimum that trips the gate is re-measured and min-combined a
-        // couple of times before the failure is believed.
-        let mut ns = measure(n);
-        for _ in 0..2 {
-            if !(gated && 100.0 * (ns - base) / base > max_pct) {
-                break;
+    // Scheduler noise is one-sided (it only ever adds time), so a
+    // minimum that trips the gate is re-measured and min-combined a
+    // couple of times before the failure is believed.
+    let mut gate = |sizes: &[usize],
+                    base_ns: &[f64],
+                    key: &str,
+                    label: &str,
+                    measure_fn: &dyn Fn(usize) -> f64|
+     -> Vec<String> {
+        let mut rows = Vec::new();
+        for (&n, &base) in sizes.iter().zip(base_ns) {
+            let gated = n >= 1000;
+            let mut ns = measure_fn(n);
+            for _ in 0..2 {
+                if !(gated && 100.0 * (ns - base) / base > max_pct) {
+                    break;
+                }
+                ns = ns.min(measure_fn(n));
             }
-            ns = ns.min(measure(n));
+            let overhead = 100.0 * (ns - base) / base;
+            if gated && overhead > max_pct {
+                gate_failed = true;
+            }
+            println!(
+                "n={n:>6}  baseline {base:>12.0}  instrumented {ns:>12.0}  \
+                 overhead {overhead:>+6.2}%{label}{}",
+                if gated { "  [gated]" } else { "" }
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\n",
+                    "      \"{}\": {},\n",
+                    "      \"baseline_ns_per_interval\": {:.0},\n",
+                    "      \"instrumented_ns_per_interval\": {:.0},\n",
+                    "      \"overhead_pct\": {:.2}\n",
+                    "    }}"
+                ),
+                key, n, base, ns, overhead
+            ));
         }
-        let overhead = 100.0 * (ns - base) / base;
-        if gated && overhead > max_pct {
-            gate_failed = true;
-        }
-        println!(
-            "n={n:>6}  baseline {base:>12.0}  instrumented {ns:>12.0}  overhead {overhead:>+6.2}%{}",
-            if gated { "  [gated]" } else { "" }
-        );
-        rows.push(format!(
-            concat!(
-                "    {{\n",
-                "      \"n\": {},\n",
-                "      \"baseline_ns_per_interval\": {:.0},\n",
-                "      \"instrumented_ns_per_interval\": {:.0},\n",
-                "      \"overhead_pct\": {:.2}\n",
-                "    }}"
-            ),
-            n, base, ns, overhead
-        ));
-    }
+        rows
+    };
+    let rows = gate(&SIZES, &base_ns, "n", "", &measure);
+    let shard_rows = gate(&SHARD_SIZES, &shard_base_ns, "shard_n", " (sharded)", &measure_shard);
 
     // Prove the instrumented run actually recorded something: a ≤ 3%
     // number for a build where the counters silently compiled out would
@@ -205,25 +273,35 @@ fn run_instrumented() -> ExitCode {
         eprintln!("error: instrumented build recorded no workspace.computes");
         return ExitCode::FAILURE;
     }
+    let shard_computes = snap.counter("shard.computes");
+    if shard_computes == 0 {
+        eprintln!("error: instrumented build recorded no shard.computes");
+        return ExitCode::FAILURE;
+    }
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"obs_overhead\",\n",
             "  \"description\": \"BENCH_workspace reuse hot path (mobility step + in-place ",
-            "CSR rebuild + CdsWorkspace CDS + verification), timed with pacds-obs compiled ",
+            "CSR rebuild + CdsWorkspace CDS + verification) and the sharded-engine hot path ",
+            "(mobility step + ShardedCds::compute_unit_disk), timed with pacds-obs compiled ",
             "out vs enabled; minimum of {} repetitions per size\",\n",
             "  \"unit\": \"ns/interval\",\n",
             "  \"max_overhead_pct_gate\": {},\n",
             "  \"gated_sizes\": \"n >= 1000\",\n",
             "  \"instrumented_workspace_computes\": {},\n",
-            "  \"results\": [\n{}\n  ]\n",
+            "  \"instrumented_shard_computes\": {},\n",
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"shard_results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         REPS,
         max_pct,
         computes,
-        rows.join(",\n")
+        shard_computes,
+        rows.join(",\n"),
+        shard_rows.join(",\n")
     );
     let out = std::env::var("PACDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
     match std::fs::write(&out, &json) {

@@ -1,0 +1,215 @@
+//! Scaling curve of the sharded CDS engine (`pacds-shard`).
+//!
+//! For each size in `PACDS_SHARD_SIZES` (default `10000,100000,1000000`)
+//! the binary places a constant-density unit-disk instance and times:
+//!
+//! * the **sharded** engine (`compute_unit_disk`, shards scaled with `n`,
+//!   inline single thread and all-cores work stealing) — the full
+//!   partition → halo build → per-tile solve → ownership merge path,
+//!   straight from the points: the whole-graph adjacency never
+//!   materialises;
+//! * the **whole-graph** `CdsWorkspace` on the same instance, where its
+//!   dense `O(n²)`-bit neighbour bitmap is feasible (`n ≤ 100000`; at
+//!   `n = 10⁶` it would need ~125 TB, which is the point of the crate).
+//!
+//! Every measured sharded run is asserted **bit-identical** to the
+//! whole-graph result whenever the baseline ran — the speedup column is
+//! only meaningful if both sides answer the same question.
+//!
+//! Writes `BENCH_shard.json` (override: `PACDS_BENCH_OUT`) with per-phase
+//! timings from [`pacds_shard::ShardStats`]. Exits non-zero on identity
+//! failure or a degenerate result.
+//!
+//! Hand-written JSON: the bench crate deliberately takes no serde
+//! dependency.
+
+use pacds_core::{CdsConfig, CdsWorkspace, Policy};
+use pacds_geom::Rect;
+use pacds_graph::gen;
+use pacds_shard::{ShardSpec, ShardStats, ShardedCds};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const RADIUS: f64 = 25.0;
+/// Whole-graph baseline ceiling: the dense bitmap is `n²` bits
+/// (1.25 GB at 10⁵); past this only the sharded engine runs.
+const BASELINE_LIMIT: usize = 100_000;
+
+fn arena(n: usize) -> Rect {
+    Rect::square((100.0 * (n as f64 / 100.0).sqrt()).max(1.0))
+}
+
+fn sizes() -> Vec<usize> {
+    match std::env::var("PACDS_SHARD_SIZES") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("PACDS_SHARD_SIZES: integers"))
+            .collect(),
+        Err(_) => vec![10_000, 100_000, 1_000_000],
+    }
+}
+
+/// Repetitions scale down with size; minima are reported.
+fn reps(n: usize) -> usize {
+    if n >= 1_000_000 {
+        1
+    } else if n >= 100_000 {
+        2
+    } else {
+        3
+    }
+}
+
+struct ShardRun {
+    ns: f64,
+    stats: ShardStats,
+}
+
+/// Times `engine.compute_unit_disk` on a retained engine (minimum over
+/// `reps`), returning the stats of the fastest run.
+fn run_sharded(
+    engine: &mut ShardedCds,
+    bounds: Rect,
+    points: &[pacds_geom::Point2],
+    energy: &[u64],
+    cfg: &CdsConfig,
+    reps: usize,
+) -> ShardRun {
+    let mut best = f64::INFINITY;
+    let mut stats = ShardStats::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        engine
+            .compute_unit_disk(bounds, RADIUS, points, Some(energy), cfg)
+            .expect("benchmark config is shardable");
+        let ns = t.elapsed().as_nanos() as f64;
+        black_box(engine.gateway_count());
+        if ns < best {
+            best = ns;
+            stats = engine.stats();
+        }
+    }
+    ShardRun { ns: best, stats }
+}
+
+fn main() -> ExitCode {
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let mut rows = Vec::new();
+    for n in sizes() {
+        let bounds = arena(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let points = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+        let energy: Vec<u64> = (0..n).map(|i| (i as u64 * 7919) % 100).collect();
+        let r = reps(n);
+
+        let mut inline = ShardedCds::new(ShardSpec {
+            threads: 1,
+            ..ShardSpec::auto()
+        })
+        .expect("default halo");
+        let single = run_sharded(&mut inline, bounds, &points, &energy, &cfg, r);
+        let gateways = inline.gateway_count();
+        if n > 0 && gateways == 0 {
+            eprintln!("error: n={n} produced an empty gateway set");
+            return ExitCode::FAILURE;
+        }
+
+        let mut stealing = ShardedCds::new(ShardSpec::auto()).expect("default halo");
+        let multi = run_sharded(&mut stealing, bounds, &points, &energy, &cfg, r);
+        if stealing.gateways() != inline.gateways() {
+            eprintln!("error: n={n}: threaded result diverged from inline");
+            return ExitCode::FAILURE;
+        }
+
+        // Whole-graph baseline + identity check where the bitmap fits.
+        let whole_ns = if n <= BASELINE_LIMIT {
+            let g = gen::unit_disk(bounds, RADIUS, &points);
+            let mut ws = CdsWorkspace::with_capacity(n);
+            let mut best = f64::INFINITY;
+            for _ in 0..r {
+                let t = Instant::now();
+                ws.compute(&g, Some(&energy), &cfg);
+                best = best.min(t.elapsed().as_nanos() as f64);
+                black_box(ws.gateway_count());
+            }
+            if ws.gateways() != inline.gateways()
+                || ws.marked() != inline.marked()
+                || ws.after_rule1() != inline.after_rule1()
+            {
+                eprintln!("error: n={n}: sharded result diverged from the whole graph");
+                return ExitCode::FAILURE;
+            }
+            Some(best)
+        } else {
+            None
+        };
+
+        let s = &single.stats;
+        let speedup = whole_ns.map(|w| w / single.ns);
+        println!(
+            "n={n:>8}  tiles={:>5}  sharded {:>12.0} ns (threads=1) / {:>12.0} ns (all cores)  \
+             whole-graph {}  speedup {}",
+            s.tiles,
+            single.ns,
+            multi.ns,
+            whole_ns.map_or("    skipped".into(), |w| format!("{w:>12.0} ns")),
+            speedup.map_or("-".into(), |x| format!("{x:.2}x")),
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"n\": {}, \"tiles\": {}, \"gateways\": {},\n",
+                "      \"owned_nodes\": {}, \"halo_nodes\": {}, \"cross_tile_edges\": {},\n",
+                "      \"sharded_ns\": {:.0}, \"sharded_all_cores_ns\": {:.0},\n",
+                "      \"partition_ns\": {}, \"halo_build_ns\": {}, ",
+                "\"solve_ns\": {}, \"merge_ns\": {},\n",
+                "      \"whole_graph_ns\": {}, \"speedup_vs_whole_graph\": {}\n",
+                "    }}"
+            ),
+            n,
+            s.tiles,
+            gateways,
+            s.owned_nodes,
+            s.halo_nodes,
+            s.cross_tile_edges,
+            single.ns,
+            multi.ns,
+            s.partition_ns,
+            s.halo_build_ns,
+            s.solve_ns,
+            s.merge_ns,
+            whole_ns.map_or("null".into(), |w| format!("{w:.0}")),
+            speedup.map_or("null".into(), |x| format!("{x:.3}")),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"shard_scaling\",\n",
+            "  \"description\": \"pacds-shard spatial engine on constant-density unit-disk ",
+            "instances (radius 25, ~19.6 expected neighbours), EnergyDegree policy, ",
+            "simultaneous single-pass min-of-three semantics; minimum over repetitions; ",
+            "whole-graph CdsWorkspace baseline where its dense n^2-bit bitmap fits ",
+            "(n <= {}), with asserted bit-identity\",\n",
+            "  \"unit\": \"ns/compute\",\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        BASELINE_LIMIT,
+        rows.join(",\n")
+    );
+    let out = std::env::var("PACDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_shard.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -54,11 +54,31 @@ COMMANDS:
               --n <int=50> --policy <..=el1> --model <..=2> --seed <int=1>
               --intervals <int=50> --semantics <..=safe>
               --format <table|jsonl|prometheus =table>
+              --workload <sim|shard =sim> (shard: one sharded unit-disk
+              compute at --n with --shards/--threads, reporting the
+              shard.* phases and counters instead of a simulation)
+  shard     Compute the gateway set of a large unit-disk instance on the
+            spatially-sharded engine (bit-identical to the whole-graph
+            pipeline; the full adjacency never materialises).
+              --n <int=50000> --radius <f=25> --seed <int=1>
+              --side <f; default scales with n for constant density>
+              --shards <int; 0 = scale with n> --halo <hops=2>
+              --threads <int; 0 = all cores> --policy <..=nd>
+              --semantics <safe|literal|seq =safe> --energy-seed <int>
+              --check (also run the whole-graph pipeline and assert
+              bit-identity; needs the O(n²)-bit bitmap, so moderate n)
+              --compare (like --check, plus report the speedup)
+              --json <file> (write stats as one JSON object)
+              --fail-on-errors (exit non-zero if a requested check could
+              not run, e.g. --check skipped because n is too large)
   serve     Run the CDS query service (length-prefixed binary protocol
             over TCP, sharded result cache, bounded worker pool).
               --addr <host:port =127.0.0.1:7311> --workers <int=cores>
               --queue <int=4*workers> --cache-mb <int=64>
               --duration <secs; 0 = run until killed>
+              --shard <auto|always|never =auto> (route compute requests
+              through the sharded engine; responses are bit-identical)
+              --shard-threshold <nodes=20000> --shards <int; 0 = auto>
   loadgen   Drive closed- or open-loop load at a running server and
             report throughput and p50/p99/p999 latency.
               --addr <host:port =127.0.0.1:7311> --duration <secs=10>
@@ -69,7 +89,8 @@ COMMANDS:
               --json <file> (write the report as one JSON object)
               --fail-on-errors (exit non-zero on any protocol/io error)
               --self-host (spin up an in-process server on an ephemeral
-              port and aim the load at it; --workers/--cache-mb apply)
+              port and aim the load at it; --workers/--cache-mb and the
+              --shard/--shard-threshold/--shards routing flags apply)
   help      Show this message.
 
 GLOBAL OPTIONS (all commands):
@@ -426,18 +447,11 @@ pub fn run_scenario(args: &Args) -> CliResult {
 /// `pacds obs-report`
 pub fn obs_report(args: &Args) -> CliResult {
     args.check_known(&[
-        "n", "policy", "model", "seed", "intervals", "semantics", "format",
+        "n", "policy", "model", "seed", "intervals", "semantics", "format", "workload",
+        "shards", "threads",
     ])?;
-    let n: usize = args.get_or("n", 50)?;
     let policy = policy_of(args.get("policy").unwrap_or("el1"))?;
-    let model = model_of(args.get("model").unwrap_or("2"))?;
     let seed: u64 = args.get_or("seed", 1)?;
-    let intervals: u32 = args.get_or("intervals", 50)?;
-    let mut cfg = SimConfig::paper(n, policy, model);
-    if let Some(sem) = args.get("semantics") {
-        cfg.cds = cds_config_of(policy, sem)?;
-    }
-    cfg.max_intervals = intervals;
 
     if !pacds_obs::enabled() {
         eprintln!(
@@ -446,20 +460,58 @@ pub fn obs_report(args: &Args) -> CliResult {
         );
     }
     pacds_obs::reset();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let outcome = Simulation::new(cfg, &mut rng).run_lifetime(&mut rng);
-    let snap = pacds_obs::Snapshot::capture();
-
-    match args.get("format").unwrap_or("table") {
-        "table" => {
-            println!(
+    let header = match args.get("workload").unwrap_or("sim") {
+        "sim" => {
+            let n: usize = args.get_or("n", 50)?;
+            let model = model_of(args.get("model").unwrap_or("2"))?;
+            let intervals: u32 = args.get_or("intervals", 50)?;
+            let mut cfg = SimConfig::paper(n, policy, model);
+            if let Some(sem) = args.get("semantics") {
+                cfg.cds = cds_config_of(policy, sem)?;
+            }
+            cfg.max_intervals = intervals;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let outcome = Simulation::new(cfg, &mut rng).run_lifetime(&mut rng);
+            format!(
                 "obs-report: n={n} policy={} model={} seed={seed} — \
                  {} intervals simulated, {:.1} mean gateways",
                 policy.label(),
                 model.label(),
                 outcome.intervals,
                 outcome.mean_gateways,
-            );
+            )
+        }
+        "shard" => {
+            let n: usize = args.get_or("n", 2000)?;
+            let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+            let side = density_side(n);
+            let bounds = Rect::square(side);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let points = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+            let energy = energy_levels(args, n)?;
+            let spec = pacds_shard::ShardSpec {
+                shards: args.get_or("shards", 0)?,
+                halo: pacds_shard::REQUIRED_HALO,
+                threads: args.get_or("threads", 0)?,
+            };
+            let mut engine = pacds_shard::ShardedCds::new(spec)?;
+            engine.compute_unit_disk(bounds, 25.0, &points, Some(&energy), &cfg)?;
+            let stats = engine.stats();
+            format!(
+                "obs-report: n={n} policy={} seed={seed} — sharded compute, \
+                 {} tiles, {} gateways",
+                policy.label(),
+                stats.tiles,
+                engine.gateway_count(),
+            )
+        }
+        other => return Err(format!("unknown workload '{other}' (sim|shard)").into()),
+    };
+    let snap = pacds_obs::Snapshot::capture();
+
+    match args.get("format").unwrap_or("table") {
+        "table" => {
+            println!("{header}");
             if snap.phases.is_empty() && snap.counters.is_empty() {
                 println!("(no instrumentation data: metrics are compiled out)");
                 return Ok(());
@@ -499,6 +551,139 @@ pub fn obs_report(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Arena side for a target density of ~19.6 expected neighbours at
+/// radius 25 (the paper's default density), scaled to `n`.
+fn density_side(n: usize) -> f64 {
+    (100.0 * (n as f64 / 100.0).sqrt()).max(1.0)
+}
+
+/// Whole-graph verification is bounded by the dense neighbour bitmap
+/// (`n²` bits); past this it would dominate memory, so `--check` refuses.
+const CHECK_LIMIT: usize = 150_000;
+
+/// `pacds shard`
+pub fn shard(args: &Args) -> CliResult {
+    args.check_known(&[
+        "n", "seed", "radius", "side", "shards", "halo", "threads", "policy", "semantics",
+        "energy-seed", "check", "compare", "json", "fail-on-errors",
+    ])?;
+    let n: usize = args.get_or("n", 50_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let radius: f64 = args.get_or("radius", 25.0)?;
+    let side: f64 = args.get_or("side", density_side(n))?;
+    let policy = policy_of(args.get("policy").unwrap_or("nd"))?;
+    let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+    let spec = pacds_shard::ShardSpec {
+        shards: args.get_or("shards", 0)?,
+        halo: args.get_or("halo", pacds_shard::REQUIRED_HALO)?,
+        threads: args.get_or("threads", 0)?,
+    };
+
+    let check_requested = args.flag("check") || args.flag("compare");
+    if check_requested && n > CHECK_LIMIT {
+        let msg = format!(
+            "--check needs the whole-graph bitmap (n² bits); n={n} exceeds the \
+             {CHECK_LIMIT} limit"
+        );
+        if args.flag("fail-on-errors") {
+            return Err(msg.into());
+        }
+        eprintln!("warning: {msg}; skipped");
+    }
+
+    let bounds = Rect::square(side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let points = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+    let energy = energy_levels(args, n)?;
+
+    let mut engine = pacds_shard::ShardedCds::new(spec)?;
+    let t0 = std::time::Instant::now();
+    engine.compute_unit_disk(bounds, radius, &points, Some(&energy), &cfg)?;
+    let sharded_s = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    println!(
+        "shard: n={n} radius={radius} side={side:.1} policy={} — \
+         {} tiles, {} halo nodes, {} cross-tile edges",
+        policy.label(),
+        stats.tiles,
+        stats.halo_nodes,
+        stats.cross_tile_edges,
+    );
+    println!(
+        "result: {} marked, {} after Rule 1, {} gateways, {} round(s)",
+        engine.marked().iter().filter(|&&b| b).count(),
+        engine.after_rule1().iter().filter(|&&b| b).count(),
+        engine.gateway_count(),
+        engine.rounds(),
+    );
+    println!(
+        "time: {:.3}s total (partition {:.3}s, halo build {:.3}s, solve {:.3}s, merge {:.3}s)",
+        sharded_s,
+        stats.partition_ns as f64 / 1e9,
+        stats.halo_build_ns as f64 / 1e9,
+        stats.solve_ns as f64 / 1e9,
+        stats.merge_ns as f64 / 1e9,
+    );
+
+    // --check / --compare run the whole-graph pipeline on the same
+    // instance; identity failure is always fatal (the over-sized skip was
+    // handled before computing).
+    let mut whole_s = f64::NAN;
+    if check_requested && n <= CHECK_LIMIT {
+        let g = gen::unit_disk(bounds, radius, &points);
+        let mut ws = pacds_core::CdsWorkspace::new();
+        let t1 = std::time::Instant::now();
+        ws.compute(&g, Some(&energy), &cfg);
+        whole_s = t1.elapsed().as_secs_f64();
+        if ws.gateways() != engine.gateways()
+            || ws.marked() != engine.marked()
+            || ws.after_rule1() != engine.after_rule1()
+        {
+            return Err("sharded result diverged from the whole-graph pipeline".into());
+        }
+        println!("check: bit-identical to the whole-graph pipeline");
+        if args.flag("compare") {
+            println!(
+                "compare: whole-graph {:.3}s, sharded {:.3}s — {:.2}x",
+                whole_s,
+                sharded_s,
+                whole_s / sharded_s,
+            );
+        }
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\"n\":{n},\"radius\":{radius},\"side\":{side},\"policy\":\"{}\",\
+             \"shards\":{},\"halo\":{},\"threads\":{},\"tiles\":{},\
+             \"owned_nodes\":{},\"halo_nodes\":{},\"cross_tile_edges\":{},\
+             \"marked\":{},\"after_rule1\":{},\"gateways\":{},\"rounds\":{},\
+             \"partition_ns\":{},\"halo_build_ns\":{},\"solve_ns\":{},\
+             \"merge_ns\":{},\"total_s\":{sharded_s},\"whole_graph_s\":{}}}",
+            policy.label(),
+            spec.shards,
+            spec.halo,
+            spec.threads,
+            stats.tiles,
+            stats.owned_nodes,
+            stats.halo_nodes,
+            stats.cross_tile_edges,
+            engine.marked().iter().filter(|&&b| b).count(),
+            engine.after_rule1().iter().filter(|&&b| b).count(),
+            engine.gateway_count(),
+            engine.rounds(),
+            stats.partition_ns,
+            stats.halo_build_ns,
+            stats.solve_ns,
+            stats.merge_ns,
+            if whole_s.is_nan() { "null".to_string() } else { whole_s.to_string() },
+        );
+        std::fs::write(path, json + "\n")?;
+        println!("stats written to {path}");
+    }
+    Ok(())
+}
+
 /// Server shape shared by `serve` and `loadgen --self-host`.
 fn server_config_of(args: &Args) -> Result<pacds_serve::ServerConfig, Box<dyn std::error::Error>> {
     let mut cfg = pacds_serve::ServerConfig::default();
@@ -508,12 +693,20 @@ fn server_config_of(args: &Args) -> Result<pacds_serve::ServerConfig, Box<dyn st
     cfg.queue = args.get_or("queue", 0)?;
     let cache_mb: usize = args.get_or("cache-mb", 64)?;
     cfg.cache_bytes = cache_mb << 20;
+    if let Some(mode) = args.get("shard") {
+        cfg.shard.mode = pacds_serve::ShardMode::parse(mode)
+            .ok_or_else(|| format!("unknown shard mode '{mode}' (auto|always|never)"))?;
+    }
+    cfg.shard.threshold = args.get_or("shard-threshold", cfg.shard.threshold)?;
+    cfg.shard.shards = args.get_or("shards", 0)?;
     Ok(cfg)
 }
 
 /// `pacds serve`
 pub fn serve(args: &Args) -> CliResult {
-    args.check_known(&["addr", "workers", "queue", "cache-mb", "duration"])?;
+    args.check_known(&[
+        "addr", "workers", "queue", "cache-mb", "duration", "shard", "shard-threshold", "shards",
+    ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7311");
     let cfg = server_config_of(args)?;
     let duration: u64 = args.get_or("duration", 0)?;
@@ -546,7 +739,7 @@ pub fn loadgen(args: &Args) -> CliResult {
     args.check_known(&[
         "addr", "duration", "concurrency", "mode", "rate", "n", "radius", "side", "seed",
         "policy", "semantics", "no-cache", "deadline-ms", "json", "fail-on-errors",
-        "self-host", "workers", "queue", "cache-mb",
+        "self-host", "workers", "queue", "cache-mb", "shard", "shard-threshold", "shards",
     ])?;
     // Optionally host the target server in-process (CI smoke runs).
     let hosted = if args.flag("self-host") {
@@ -758,7 +951,45 @@ mod tests {
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.queue, 7);
         assert_eq!(cfg.cache_bytes, 2 << 20);
+        assert_eq!(cfg.shard, pacds_serve::ShardPolicy::default());
         assert!(server_config_of(&args("serve --workers zero")).is_err());
+
+        let cfg = server_config_of(&args(
+            "serve --shard always --shard-threshold 500 --shards 8",
+        ))
+        .unwrap();
+        assert_eq!(cfg.shard.mode, pacds_serve::ShardMode::Always);
+        assert_eq!(cfg.shard.threshold, 500);
+        assert_eq!(cfg.shard.shards, 8);
+        assert!(server_config_of(&args("serve --shard sometimes")).is_err());
+    }
+
+    #[test]
+    fn shard_command_checks_identity_and_writes_json() {
+        let path = std::env::temp_dir().join("pacds_cli_shard.json");
+        shard(&args(&format!(
+            "shard --n 400 --seed 7 --shards 4 --threads 1 --policy el2 \
+             --energy-seed 3 --check --compare --fail-on-errors --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let stats = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(stats.contains("\"n\":400"));
+        assert!(stats.contains("\"tiles\":4"));
+        assert!(stats.contains("\"solve_ns\":"));
+        assert!(!stats.contains("\"whole_graph_s\":null"), "--compare ran");
+    }
+
+    #[test]
+    fn shard_command_rejects_bad_halo_and_unshardable_semantics() {
+        assert!(shard(&args("shard --n 50 --halo 1")).is_err(), "halo below minimum");
+        assert!(
+            shard(&args("shard --n 50 --semantics seq")).is_err(),
+            "sequential semantics are typed-rejected"
+        );
+        // Oversized --check is only fatal under --fail-on-errors.
+        assert!(shard(&args("shard --n 200000 --check --fail-on-errors")).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! pacds simulate   run a network-lifetime simulation
 //! pacds compare    compare all policies on one network
 //! pacds obs-report run instrumented and print the phase/counter breakdown
+//! pacds shard      compute a large unit-disk CDS on the sharded engine
 //! pacds serve      run the TCP query service (binary protocol + cache)
 //! pacds loadgen    drive load at a server; throughput + latency report
 //! ```
@@ -69,6 +70,7 @@ fn main() -> ExitCode {
             dispatch("cli.scenario-template", || commands::scenario_template(&args))
         }
         "obs-report" => dispatch("cli.obs-report", || commands::obs_report(&args)),
+        "shard" => dispatch("cli.shard", || commands::shard(&args)),
         "serve" => dispatch("cli.serve", || commands::serve(&args)),
         "loadgen" => dispatch("cli.loadgen", || commands::loadgen(&args)),
         "help" | "--help" | "-h" => {

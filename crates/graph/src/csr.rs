@@ -122,6 +122,54 @@ impl CsrGraph {
         }
     }
 
+    /// Rebuilds this graph in place as the subgraph of `src` induced by
+    /// `nodes`, relabelled so local vertex `i` stands for `nodes[i]`.
+    /// Because neighbour rows of `src` are ascending, passing `nodes` in
+    /// ascending order yields ascending local rows whose order agrees with
+    /// global id order — the invariant the sharded engine's priority
+    /// tie-breaks rely on.
+    ///
+    /// `g2l` is caller-retained scratch (global-to-local map). Every entry
+    /// must be `u32::MAX` on entry; the method restores that before
+    /// returning, touching only the `nodes` entries, so repeated calls are
+    /// `O(|nodes| + induced edges)` and allocation-free once `g2l` has
+    /// grown to `src.n()`.
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates (debug builds also check
+    /// ascending order).
+    pub fn rebuild_induced<G: Neighbors + ?Sized>(
+        &mut self,
+        src: &G,
+        nodes: &[NodeId],
+        g2l: &mut Vec<u32>,
+    ) {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must ascend");
+        if g2l.len() < src.n() {
+            g2l.resize(src.n(), u32::MAX);
+        }
+        for (li, &g) in nodes.iter().enumerate() {
+            assert_eq!(g2l[g as usize], u32::MAX, "duplicate node {g}");
+            g2l[g as usize] = li as u32;
+        }
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(nodes.len() + 1);
+        self.offsets.push(0);
+        for &g in nodes {
+            for &u in src.neighbors(g) {
+                let lu = g2l[u as usize];
+                if lu != u32::MAX {
+                    self.targets.push(lu);
+                }
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+        for &g in nodes {
+            g2l[g as usize] = u32::MAX;
+        }
+    }
+
     /// Direct access to the raw arrays for in-crate builders
     /// ([`crate::gen::unit_disk_csr`] writes edges straight into them).
     #[inline]
@@ -227,6 +275,36 @@ mod tests {
         assert_eq!(c, CsrGraph::from(&h));
         assert_eq!(c.n(), 50);
         assert_eq!(c.degree(17), 0);
+    }
+
+    #[test]
+    fn rebuild_induced_matches_manual_relabelling() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let g = gen::gnp(&mut rng, 70, 0.15);
+        let src = CsrGraph::from(&g);
+        let mut c = CsrGraph::new();
+        let mut g2l = Vec::new();
+        let subsets: Vec<Vec<NodeId>> = vec![
+            vec![],
+            vec![42],
+            (0..70u32).step_by(4).collect(),
+            (0..70u32).collect(),
+        ];
+        for nodes in &subsets {
+            c.rebuild_induced(&src, nodes, &mut g2l);
+            assert_eq!(c.n(), nodes.len());
+            for (li, &gi) in nodes.iter().enumerate() {
+                let expected: Vec<u32> = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &gj)| g.has_edge(gi, gj))
+                    .map(|(lj, _)| lj as u32)
+                    .collect();
+                assert_eq!(c.neighbors(li as NodeId), &expected[..]);
+            }
+            // The scratch map is restored, so back-to-back calls work.
+            assert!(g2l.iter().all(|&x| x == u32::MAX));
+        }
     }
 
     #[test]

@@ -158,6 +158,251 @@ pub fn unit_disk_csr(
     }
 }
 
+/// A retained grid partition of a point set into rectangular tiles — the
+/// ownership structure of the sharded CDS engine and the streaming
+/// large-`n` unit-disk construction path ([`unit_disk_csr_subset`] builds
+/// each tile's CSR directly, so the whole-graph adjacency never
+/// materialises).
+///
+/// The partition domain is the bounding box of `bounds` *and* every point,
+/// so out-of-bounds points (which [`unit_disk_csr`] bins by clamping) are
+/// owned by a real tile and the halo-gathering distance argument stays
+/// exact. Points are bucketed by counting sort in id order, so
+/// [`TilePartition::owned`] lists are always ascending.
+///
+/// All buffers are retained: once warm, [`TilePartition::build`] and
+/// [`TilePartition::gather_expanded`] perform zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct TilePartition {
+    tx: usize,
+    ty: usize,
+    x0: f64,
+    y0: f64,
+    w: f64,
+    h: f64,
+    starts: Vec<u32>,
+    cursor: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl TilePartition {
+    /// An empty partition; buffers grow to their high-water mark on use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tile index along one axis; saturating at the edges, whole axis when
+    /// the domain is degenerate.
+    #[inline]
+    fn axis_tile(c: f64, lo: f64, span: f64, k: usize) -> usize {
+        if span <= 0.0 {
+            return 0;
+        }
+        // Casting a negative f64 to usize saturates to 0.
+        (((c - lo) / span * k as f64) as usize).min(k - 1)
+    }
+
+    /// Partitions `points` into a `tx` x `ty` tile grid covering `bounds`
+    /// expanded to the points' bounding box.
+    ///
+    /// # Panics
+    /// Panics if `tx` or `ty` is zero.
+    pub fn build(&mut self, bounds: Rect, tx: usize, ty: usize, points: &[Point2]) {
+        assert!(tx >= 1 && ty >= 1, "tile grid must be at least 1x1");
+        let (mut x0, mut y0, mut x1, mut y1) = (bounds.x0, bounds.y0, bounds.x1, bounds.y1);
+        for p in points {
+            x0 = x0.min(p.x);
+            y0 = y0.min(p.y);
+            x1 = x1.max(p.x);
+            y1 = y1.max(p.y);
+        }
+        self.tx = tx;
+        self.ty = ty;
+        self.x0 = x0;
+        self.y0 = y0;
+        self.w = x1 - x0;
+        self.h = y1 - y0;
+        let (w, h) = (self.w, self.h);
+        let ncells = tx * ty;
+        let tile_of = |p: &Point2| -> usize {
+            Self::axis_tile(p.y, y0, h, ty) * tx + Self::axis_tile(p.x, x0, w, tx)
+        };
+        self.starts.clear();
+        self.starts.resize(ncells + 1, 0);
+        for p in points {
+            self.starts[tile_of(p) + 1] += 1;
+        }
+        for c in 0..ncells {
+            self.starts[c + 1] += self.starts[c];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts);
+        self.items.clear();
+        self.items.resize(points.len(), 0);
+        for (i, p) in points.iter().enumerate() {
+            let c = tile_of(p);
+            self.items[self.cursor[c] as usize] = i as u32;
+            self.cursor[c] += 1;
+        }
+    }
+
+    /// Number of tiles (`tx * ty`).
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.tx * self.ty
+    }
+
+    /// The point ids owned by tile `t`, ascending.
+    #[inline]
+    pub fn owned(&self, t: usize) -> &[u32] {
+        let lo = self.starts[t] as usize;
+        let hi = self.starts[t + 1] as usize;
+        &self.items[lo..hi]
+    }
+
+    /// Tile `t`'s rectangle as `(x0, y0, x1, y1)` (possibly degenerate).
+    fn tile_span(&self, t: usize) -> (f64, f64, f64, f64) {
+        let cx = (t % self.tx) as f64;
+        let cy = (t / self.tx) as f64;
+        let (tx, ty) = (self.tx as f64, self.ty as f64);
+        (
+            self.x0 + self.w * cx / tx,
+            self.y0 + self.h * cy / ty,
+            self.x0 + self.w * (cx + 1.0) / tx,
+            self.y0 + self.h * (cy + 1.0) / ty,
+        )
+    }
+
+    /// Collects into `out` (ascending) every point within distance `margin`
+    /// of tile `t`'s rectangle — a superset of the points reachable from
+    /// tile `t` in `h` hops when `margin >= h * sqrt(radius^2 + EPS)`. The
+    /// test is slightly inflated so binning round-off can only widen the
+    /// set (supersets are always safe halos).
+    pub fn gather_expanded(&self, t: usize, margin: f64, points: &[Point2], out: &mut Vec<u32>) {
+        out.clear();
+        let (rx0, ry0, rx1, ry1) = self.tile_span(t);
+        let m = margin * (1.0 + 1e-12) + 1e-9;
+        let m2 = m * m;
+        let cx_lo = Self::axis_tile(rx0 - m, self.x0, self.w, self.tx);
+        let cx_hi = Self::axis_tile(rx1 + m, self.x0, self.w, self.tx);
+        let cy_lo = Self::axis_tile(ry0 - m, self.y0, self.h, self.ty);
+        let cy_hi = Self::axis_tile(ry1 + m, self.y0, self.h, self.ty);
+        for cy in cy_lo..=cy_hi {
+            // Contiguous tile indices per grid row: one slice of items.
+            let lo = self.starts[cy * self.tx + cx_lo] as usize;
+            let hi = self.starts[cy * self.tx + cx_hi + 1] as usize;
+            for &i in &self.items[lo..hi] {
+                let p = points[i as usize];
+                let dx = (rx0 - p.x).max(p.x - rx1).max(0.0);
+                let dy = (ry0 - p.y).max(p.y - ry1).max(0.0);
+                if dx * dx + dy * dy <= m2 {
+                    out.push(i);
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+/// Builds the unit-disk graph **induced by `subset`** straight into CSR
+/// form, with local vertex `i` standing for point `subset[i]`.
+///
+/// Uses the same rim-inclusive `r² + EPS` test as [`unit_disk`] /
+/// [`unit_disk_csr`], binned over the subset's own bounding box, so the
+/// result is exactly the subgraph of the global unit-disk graph induced by
+/// `subset` (relabelled). Rows are sorted ascending in local ids; when
+/// `subset` is ascending, local order therefore agrees with global id
+/// order. This is the per-tile step of the streaming large-`n` build: the
+/// whole-graph adjacency is never materialised.
+///
+/// All storage comes from `out` and `scratch`; zero heap allocations once
+/// both are warm.
+///
+/// # Panics
+/// Panics if `radius <= 0` or `subset` indexes out of `points`.
+pub fn unit_disk_csr_subset(
+    radius: f64,
+    points: &[Point2],
+    subset: &[u32],
+    out: &mut CsrGraph,
+    scratch: &mut UnitDiskScratch,
+) {
+    assert!(radius > 0.0, "transmission radius must be positive");
+    let n = subset.len();
+    let (offsets, targets) = out.parts_mut();
+    offsets.clear();
+    targets.clear();
+    offsets.reserve(n + 1);
+    offsets.push(0);
+    if n == 0 {
+        return;
+    }
+
+    let (mut x0, mut y0, mut x1, mut y1) = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &i in subset {
+        let p = points[i as usize];
+        x0 = x0.min(p.x);
+        y0 = y0.min(p.y);
+        x1 = x1.max(p.x);
+        y1 = y1.max(p.y);
+    }
+    let cell = radius;
+    let nx = ((x1 - x0) / cell).ceil().max(1.0) as usize;
+    let ny = ((y1 - y0) / cell).ceil().max(1.0) as usize;
+    let ncells = nx * ny;
+    let cell_xy = |p: Point2| -> (usize, usize) {
+        (
+            (((p.x - x0) / cell) as usize).min(nx - 1),
+            (((p.y - y0) / cell) as usize).min(ny - 1),
+        )
+    };
+
+    let UnitDiskScratch {
+        starts,
+        cursor,
+        items,
+    } = scratch;
+    starts.clear();
+    starts.resize(ncells + 1, 0);
+    for &i in subset {
+        let (cx, cy) = cell_xy(points[i as usize]);
+        starts[cy * nx + cx + 1] += 1;
+    }
+    for c in 0..ncells {
+        starts[c + 1] += starts[c];
+    }
+    cursor.clear();
+    cursor.extend_from_slice(starts);
+    items.clear();
+    items.resize(n, 0);
+    for (li, &i) in subset.iter().enumerate() {
+        let (cx, cy) = cell_xy(points[i as usize]);
+        let c = cy * nx + cx;
+        items[cursor[c] as usize] = li as u32;
+        cursor[c] += 1;
+    }
+
+    let r2 = radius * radius + EPS;
+    for (li, &i) in subset.iter().enumerate() {
+        let row_start = targets.len();
+        let p = points[i as usize];
+        let (cx, cy) = cell_xy(p);
+        let (xlo, xhi) = (cx.saturating_sub(1), (cx + 1).min(nx - 1));
+        let (ylo, yhi) = (cy.saturating_sub(1), (cy + 1).min(ny - 1));
+        for y in ylo..=yhi {
+            let lo = starts[y * nx + xlo] as usize;
+            let hi = starts[y * nx + xhi + 1] as usize;
+            for &lj in &items[lo..hi] {
+                if lj as usize != li && points[subset[lj as usize] as usize].distance2(p) <= r2 {
+                    targets.push(lj);
+                }
+            }
+        }
+        targets[row_start..].sort_unstable();
+        offsets.push(targets.len() as u32);
+    }
+}
+
 /// Brute-force unit-disk graph (O(n^2)); reference implementation for tests.
 pub fn unit_disk_naive(radius: f64, points: &[Point2]) -> Graph {
     let mut g = Graph::new(points.len());
@@ -384,6 +629,138 @@ mod tests {
             &mut UnitDiskScratch::new(),
         );
         assert!(out.has_edge(0, 1));
+    }
+
+    #[test]
+    fn tile_partition_covers_every_point_once_and_ascending() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 250);
+        let mut part = TilePartition::new();
+        for (tx, ty) in [(1, 1), (2, 1), (2, 2), (4, 4), (5, 3)] {
+            part.build(Rect::paper_arena(), tx, ty, &pts);
+            assert_eq!(part.tiles(), tx * ty);
+            let mut seen = vec![false; pts.len()];
+            for t in 0..part.tiles() {
+                let owned = part.owned(t);
+                assert!(owned.windows(2).all(|w| w[0] < w[1]), "owned ascending");
+                for &i in owned {
+                    assert!(!seen[i as usize], "point {i} owned twice");
+                    seen[i as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "every point owned ({tx}x{ty})");
+        }
+    }
+
+    #[test]
+    fn tile_partition_handles_out_of_bounds_and_degenerate_points() {
+        // Points outside the bounds and all-identical points must still be
+        // partitioned (domain expands to the point bbox; degenerate spans
+        // collapse to tile 0 on that axis).
+        let pts = vec![
+            Point2::new(-40.0, 50.0),
+            Point2::new(150.0, 50.0),
+            Point2::new(50.0, 50.0),
+        ];
+        let mut part = TilePartition::new();
+        part.build(Rect::paper_arena(), 4, 4, &pts);
+        let total: usize = (0..part.tiles()).map(|t| part.owned(t).len()).sum();
+        assert_eq!(total, 3);
+        let same = vec![Point2::new(7.0, 7.0); 5];
+        part.build(Rect::new(6.9, 6.9, 7.1, 7.1), 3, 3, &same);
+        let total: usize = (0..part.tiles()).map(|t| part.owned(t).len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn gather_expanded_is_the_margin_neighbourhood() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 300);
+        let mut part = TilePartition::new();
+        part.build(Rect::paper_arena(), 3, 3, &pts);
+        let margin = 2.0 * 25.0;
+        let mut out = Vec::new();
+        for t in 0..part.tiles() {
+            part.gather_expanded(t, margin, &pts, &mut out);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "gathered ascending");
+            // Superset of the owned points.
+            for &i in part.owned(t) {
+                assert!(out.binary_search(&i).is_ok(), "tile {t} lost owned {i}");
+            }
+            // Everything within margin of an owned point is gathered
+            // (owned points sit inside the tile, so a point within margin
+            // of one is within margin of the tile rectangle).
+            for &i in part.owned(t) {
+                for (j, &q) in pts.iter().enumerate() {
+                    if pts[i as usize].distance(q) <= margin {
+                        assert!(
+                            out.binary_search(&(j as u32)).is_ok(),
+                            "tile {t}: {j} is within margin of owned {i} but not gathered"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_disk_csr_subset_is_the_induced_subgraph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 200);
+        let reference = unit_disk(Rect::paper_arena(), 25.0, &pts);
+        let mut out = CsrGraph::new();
+        let mut scratch = UnitDiskScratch::new();
+        // A few subsets: empty, singleton, every third point, everything.
+        let subsets: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![17],
+            (0..200u32).step_by(3).collect(),
+            (0..200u32).collect(),
+        ];
+        for subset in &subsets {
+            unit_disk_csr_subset(25.0, &pts, subset, &mut out, &mut scratch);
+            assert_eq!(out.n(), subset.len());
+            for (li, &gi) in subset.iter().enumerate() {
+                let expected: Vec<u32> = subset
+                    .iter()
+                    .enumerate()
+                    .filter(|&(lj, &gj)| lj != li && reference.has_edge(gi, gj))
+                    .map(|(lj, _)| lj as u32)
+                    .collect();
+                assert_eq!(out.neighbors(li as NodeId), &expected[..], "local {li}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_per_tile_csr_matches_whole_graph_rows() {
+        // The streaming large-n path: partition + per-tile induced CSR with
+        // a one-hop margin must reproduce every owned row of the reference
+        // whole-graph build — the whole adjacency is never materialised.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(54);
+        for n in [40usize, 300, 800] {
+            let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
+            let mut whole = CsrGraph::new();
+            let mut scratch = UnitDiskScratch::new();
+            unit_disk_csr(Rect::paper_arena(), 25.0, &pts, None, &mut whole, &mut scratch);
+            let mut part = TilePartition::new();
+            part.build(Rect::paper_arena(), 2, 2, &pts);
+            let margin = (25.0f64 * 25.0 + pacds_geom::EPS).sqrt();
+            let (mut locals, mut tile_csr) = (Vec::new(), CsrGraph::new());
+            for t in 0..part.tiles() {
+                part.gather_expanded(t, margin, &pts, &mut locals);
+                unit_disk_csr_subset(25.0, &pts, &locals, &mut tile_csr, &mut scratch);
+                for &g in part.owned(t) {
+                    let li = locals.binary_search(&g).unwrap();
+                    let row: Vec<u32> = tile_csr
+                        .neighbors(li as NodeId)
+                        .iter()
+                        .map(|&lj| locals[lj as usize])
+                        .collect();
+                    assert_eq!(row, whole.neighbors(g), "n={n} tile={t} node={g}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -193,6 +193,11 @@ const ALL_COUNTERS: [Counter; NUM_COUNTERS] = {
         ServeRejected,
         ServeProtocolErrors,
         ServeDeadlineExceeded,
+        ShardComputes,
+        ShardTiles,
+        ShardOwnedNodes,
+        ShardHaloNodes,
+        ShardCrossTileEdges,
     ]
 };
 

@@ -122,6 +122,16 @@ metric_enum! {
         ServeProtocolErrors => "serve.protocol_errors",
         /// Serve: requests that blew their deadline before a reply.
         ServeDeadlineExceeded => "serve.deadline_exceeded",
+        /// Shard: full sharded CDS computations.
+        ShardComputes => "shard.computes",
+        /// Shard: tiles solved, summed over computations.
+        ShardTiles => "shard.tiles",
+        /// Shard: owned nodes across all tiles (equals n per computation).
+        ShardOwnedNodes => "shard.owned_nodes",
+        /// Shard: halo (non-owned) nodes replicated into tiles.
+        ShardHaloNodes => "shard.halo_nodes",
+        /// Shard: undirected edges crossing a tile-ownership boundary.
+        ShardCrossTileEdges => "shard.cross_tile_edges",
     }
 }
 
@@ -155,6 +165,14 @@ metric_enum! {
         ServeCompute => "serve.compute",
         /// Serve: response encoding (including cached-bytes copy).
         ServeEncode => "serve.encode",
+        /// Shard: tile partition of the point set.
+        ShardPartition => "shard.partition",
+        /// Shard: halo gathering + per-tile subgraph extraction.
+        ShardHaloBuild => "shard.halo_build",
+        /// Shard: per-tile marking + rule passes (summed across workers).
+        ShardSolve => "shard.solve",
+        /// Shard: ownership-filtered merge into the output masks.
+        ShardMerge => "shard.merge",
     }
 }
 

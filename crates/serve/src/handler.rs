@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use pacds_core::{CdsConfig, CdsWorkspace};
 use pacds_geom::{Point2, Rect};
+use pacds_shard::{check_shardable, ShardSpec, ShardedCds};
 use pacds_graph::digest::{fold_edges, DigestSink, Fnv1a128};
 use pacds_graph::{algo, gen, Graph, NodeId};
 use rand::{Rng, SeedableRng};
@@ -97,6 +98,67 @@ impl ServerStats {
     }
 }
 
+/// When compute requests are routed through the sharded engine
+/// ([`pacds_shard::ShardedCds`]) instead of the whole-graph workspace.
+///
+/// Both paths are bit-identical for shardable configurations (pinned by
+/// the conformance suite), so the routing decision never changes response
+/// bytes — cache entries are shared across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Shard when the topology has at least [`ShardPolicy::threshold`]
+    /// nodes and the configuration is shardable.
+    #[default]
+    Auto,
+    /// Shard every shardable request regardless of size (unshardable
+    /// configurations silently fall back to the whole-graph workspace).
+    Always,
+    /// Never shard.
+    Never,
+}
+
+impl ShardMode {
+    /// Parses the CLI spelling (`auto` / `always` / `never`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(Self::Auto),
+            "always" => Some(Self::Always),
+            "never" => Some(Self::Never),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Always => "always",
+            Self::Never => "never",
+        }
+    }
+}
+
+/// Server-wide sharded-compute routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// When to route through the sharded engine.
+    pub mode: ShardMode,
+    /// Minimum node count for [`ShardMode::Auto`] to shard.
+    pub threshold: usize,
+    /// Shard count handed to the engine (`0` = scale with `n`).
+    pub shards: usize,
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        Self {
+            mode: ShardMode::Auto,
+            threshold: 20_000,
+            shards: 0,
+        }
+    }
+}
+
 /// Shared (immutable / atomic) server state, one per server instance.
 #[derive(Debug)]
 pub struct ServeState {
@@ -106,6 +168,8 @@ pub struct ServeState {
     pub stats: ServerStats,
     /// Maximum accepted frame payload length.
     pub max_frame_len: u32,
+    /// Sharded-compute routing.
+    pub shard: ShardPolicy,
 }
 
 impl ServeState {
@@ -115,6 +179,7 @@ impl ServeState {
             cache: ShardedCache::new(cache_bytes),
             stats: ServerStats::default(),
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
+            shard: ShardPolicy::default(),
         }
     }
 }
@@ -126,6 +191,9 @@ impl ServeState {
 pub struct WorkerScratch {
     /// The retained CDS workspace (itself allocation-free on recompute).
     pub ws: CdsWorkspace,
+    /// The retained sharded engine, used when [`ShardPolicy`] routes a
+    /// request to it (its verdicts are bit-identical to `ws`).
+    sharded: ShardedCds,
     /// Canonicalised edge buffer.
     edges: Vec<(NodeId, NodeId)>,
     /// Energy buffer.
@@ -388,21 +456,45 @@ fn compute_and_encode(
     deadline: Option<Instant>,
     key: Option<u128>,
 ) -> HandleOutcome {
+    let use_shard = match state.shard.mode {
+        ShardMode::Never => false,
+        ShardMode::Always => check_shardable(cfg).is_ok(),
+        ShardMode::Auto => {
+            scratch.graph.n() >= state.shard.threshold && check_shardable(cfg).is_ok()
+        }
+    };
     {
         let _t = pacds_obs::phase_timer(pacds_obs::Phase::ServeCompute);
         let energy = with_energy.then_some(scratch.energy.as_slice());
-        scratch.ws.compute(&scratch.graph, energy, cfg);
+        if use_shard {
+            if scratch.sharded.spec().shards != state.shard.shards {
+                scratch.sharded = ShardedCds::new(ShardSpec::new(state.shard.shards))
+                    .expect("default halo is legal");
+            }
+            scratch
+                .sharded
+                .compute_graph(&scratch.graph, energy, cfg)
+                .expect("shardability pre-checked");
+        } else {
+            scratch.ws.compute(&scratch.graph, energy, cfg);
+        }
     }
     let _t = pacds_obs::phase_timer(pacds_obs::Phase::ServeEncode);
     let count = |mask: &[bool]| mask.iter().filter(|&&b| b).count() as u32;
+    let (marked, after1, gateway_count, rounds, mask) = if use_shard {
+        let e = &scratch.sharded;
+        (count(e.marked()), count(e.after_rule1()), e.gateway_count(), e.rounds(), e.gateways())
+    } else {
+        let w = &scratch.ws;
+        (count(w.marked()), count(w.after_rule1()), w.gateway_count(), w.rounds(), w.gateways())
+    };
     begin_frame(resp, ResponseKind::CdsResult as u8);
     resp.put_u8(0); // cache_hit
     resp.put_u32(scratch.graph.n() as u32);
-    resp.put_u32(count(scratch.ws.marked()));
-    resp.put_u32(count(scratch.ws.after_rule1()));
-    resp.put_u32(scratch.ws.gateway_count() as u32);
-    resp.put_u32(scratch.ws.rounds() as u32);
-    let mask = scratch.ws.gateways();
+    resp.put_u32(marked);
+    resp.put_u32(after1);
+    resp.put_u32(gateway_count as u32);
+    resp.put_u32(rounds as u32);
     let mut byte = 0u8;
     for (v, &g) in mask.iter().enumerate() {
         if g {
@@ -710,6 +802,80 @@ mod tests {
             assert_eq!(s.counter("cache_misses"), Some(1));
             assert!(s.counter("requests").unwrap() >= 2);
         }
+    }
+
+    #[test]
+    fn sharded_and_whole_graph_paths_serve_identical_bytes() {
+        // A moderate unit-disk topology so the rules actually fire.
+        let bounds = Rect::square(100.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let points = pacds_geom::placement::uniform_points(&mut rng, bounds, 80);
+        let g = gen::unit_disk(bounds, 25.0, &points);
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let energy: Vec<u64> = (0..80).map(|i| (i * 37) % 100).collect();
+
+        let mut never = ServeState::new(1 << 20);
+        never.shard.mode = ShardMode::Never;
+        let mut always = ServeState::new(1 << 20);
+        always.shard.mode = ShardMode::Always;
+        always.shard.shards = 4;
+
+        for policy in [Policy::Id, Policy::Degree, Policy::EnergyDegree] {
+            let cfg = CdsConfig::policy(policy);
+            let mut ws_scratch = WorkerScratch::new();
+            let mut sh_scratch = WorkerScratch::new();
+            let (a, _) = compute_via_handler(
+                &never, &mut ws_scratch, &cfg, 80, &edges, Some(&energy), FLAG_NO_CACHE,
+            );
+            let (b, _) = compute_via_handler(
+                &always, &mut sh_scratch, &cfg, 80, &edges, Some(&energy), FLAG_NO_CACHE,
+            );
+            assert_eq!(a, b, "{policy:?}: response frames must be byte-identical");
+            // The sharded engine really ran (its stats are per-compute).
+            assert!(sh_scratch.sharded.stats().tiles > 0, "Always must shard");
+            assert_eq!(ws_scratch.sharded.stats().tiles, 0, "Never must not");
+        }
+    }
+
+    #[test]
+    fn always_mode_falls_back_on_unshardable_configs() {
+        let mut state = ServeState::new(1 << 20);
+        state.shard.mode = ShardMode::Always;
+        let mut scratch = WorkerScratch::new();
+        // Sequential application is unshardable: the request must still be
+        // answered, by the whole-graph workspace.
+        let cfg = CdsConfig::sequential(Policy::Degree);
+        let edges = [(0u32, 1), (1, 2), (2, 3), (1, 3), (3, 4)];
+        let (resp, outcome) =
+            compute_via_handler(&state, &mut scratch, &cfg, 5, &edges, None, 0);
+        assert_eq!(outcome, HandleOutcome::KeepOpen);
+        let r = protocol::decode_cds_result(&resp_payload(&resp)[2..]).unwrap();
+        let g = Graph::from_edges(5, &edges);
+        let mut ws = CdsWorkspace::new();
+        assert_eq!(&r.mask, ws.compute(&g, None, &cfg));
+        assert_eq!(scratch.sharded.stats().tiles, 0, "fallback must not shard");
+    }
+
+    #[test]
+    fn auto_mode_respects_the_node_threshold() {
+        let mut state = ServeState::new(1 << 20);
+        state.shard.threshold = 4;
+        let mut scratch = WorkerScratch::new();
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let small = [(0u32, 1), (1, 2)];
+        compute_via_handler(&state, &mut scratch, &cfg, 3, &small, None, FLAG_NO_CACHE);
+        assert_eq!(scratch.sharded.stats().tiles, 0, "below threshold: whole-graph");
+        let big = [(0u32, 1), (1, 2), (2, 3), (3, 4)];
+        compute_via_handler(&state, &mut scratch, &cfg, 5, &big, None, FLAG_NO_CACHE);
+        assert!(scratch.sharded.stats().tiles > 0, "at threshold: sharded");
+    }
+
+    #[test]
+    fn shard_mode_labels_round_trip() {
+        for mode in [ShardMode::Auto, ShardMode::Always, ShardMode::Never] {
+            assert_eq!(ShardMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(ShardMode::parse("sometimes"), None);
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod server;
 
 pub use cache::{CacheStats, ShardedCache};
 pub use client::{Client, ClientError};
-pub use handler::{handle_payload, HandleOutcome, ServeState, ServerStats, WorkerScratch};
+pub use handler::{
+    handle_payload, HandleOutcome, ServeState, ServerStats, ShardMode, ShardPolicy, WorkerScratch,
+};
 pub use loadgen::{LoadReport, LoadgenConfig, Mode};
 pub use protocol::{
     CdsResult, ErrorCode, RequestKind, ResponseKind, StatsFormat, PROTOCOL_VERSION,

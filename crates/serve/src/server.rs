@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::handler::{handle_payload, HandleOutcome, ServeState, WorkerScratch};
+use crate::handler::{handle_payload, HandleOutcome, ServeState, ShardPolicy, WorkerScratch};
 use crate::protocol::{encode_error, ErrorCode, ErrorCode::Rejected, LEN_PREFIX};
 
 /// How often a blocked worker re-checks the shutdown flag.
@@ -50,6 +50,9 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Result-cache budget in bytes.
     pub cache_bytes: usize,
+    /// When compute requests route through the sharded engine (the
+    /// responses are bit-identical either way; see [`ShardPolicy`]).
+    pub shard: ShardPolicy,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +61,7 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(4, |p| p.get()),
             queue: 0,
             cache_bytes: 64 << 20,
+            shard: ShardPolicy::default(),
         }
     }
 }
@@ -115,7 +119,9 @@ pub fn serve(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
     let queue = if cfg.queue == 0 { workers * 4 } else { cfg.queue };
-    let state = Arc::new(ServeState::new(cfg.cache_bytes));
+    let mut st = ServeState::new(cfg.cache_bytes);
+    st.shard = cfg.shard;
+    let state = Arc::new(st);
     let stop = Arc::new(AtomicBool::new(false));
 
     let (tx, rx) = sync_channel::<TcpStream>(queue);

@@ -11,7 +11,7 @@
 
 use pacds_core::CdsConfig;
 use pacds_graph::{Graph, VertexMask};
-use pacds_serve::{serve, Client, ServerConfig};
+use pacds_serve::{serve, Client, ServerConfig, ShardMode, ShardPolicy};
 use pacds_testkit::harness::{full_config_matrix, ConformanceReport};
 use pacds_testkit::{named_families, random_unit_disk_cases};
 
@@ -49,6 +49,14 @@ fn served_responses_conform_over_the_corpus() {
             workers: 2,
             queue: 8,
             cache_bytes: 64 << 20,
+            // Route every shardable request through the sharded engine so
+            // this wire conformance run also pins the served sharded path
+            // against the oracle (unshardable configs fall back).
+            shard: ShardPolicy {
+                mode: ShardMode::Always,
+                shards: 4,
+                ..ShardPolicy::default()
+            },
         },
     )
     .expect("bind conformance server");

@@ -22,6 +22,7 @@ fn tiny_server(workers: usize, queue: usize) -> pacds_serve::ServerHandle {
             workers,
             queue,
             cache_bytes: 4 << 20,
+            shard: Default::default(),
         },
     )
     .expect("bind ephemeral port")
@@ -269,6 +270,7 @@ fn eviction_races_stay_consistent_on_a_live_server() {
             queue: 16,
             // Roughly two result frames' worth per shard: constant churn.
             cache_bytes: 16 * 400,
+            shard: Default::default(),
         },
     )
     .unwrap();

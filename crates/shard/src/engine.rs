@@ -1,0 +1,694 @@
+//! The sharded engine: per-tile retained workspaces, halo extraction,
+//! ownership-filtered merge.
+
+use crate::error::{check_shardable, ShardError};
+use crate::REQUIRED_HALO;
+use pacds_core::{CdsConfig, CdsWorkspace};
+use pacds_graph::gen::{unit_disk_csr_subset, TilePartition, UnitDiskScratch};
+use pacds_graph::{CsrGraph, Neighbors, NodeId, VertexMask};
+use pacds_geom::{Point2, Rect, EPS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Shape of a sharded computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Desired shard (tile/block) count; `0` sizes automatically from `n`
+    /// (about one shard per 2048 nodes).
+    pub shards: usize,
+    /// Halo width in hops. [`REQUIRED_HALO`] is the proven exactness
+    /// minimum; wider halos only cost replication. Narrower halos are
+    /// rejected by [`ShardedCds::new`].
+    pub halo: usize,
+    /// Worker threads; `0` uses the machine's available parallelism, `1`
+    /// solves every tile inline on the calling thread (the strictly
+    /// zero-allocation path — spawning scoped threads allocates stacks).
+    pub threads: usize,
+}
+
+impl ShardSpec {
+    /// `shards` shards at the exact halo, solved inline (one thread).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            halo: REQUIRED_HALO,
+            threads: 1,
+        }
+    }
+
+    /// Automatic shard count, exact halo, inline solve.
+    pub fn auto() -> Self {
+        Self::new(0)
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        }
+    }
+
+    fn resolved_shards(&self, n: usize) -> usize {
+        if self.shards == 0 {
+            n.div_ceil(2048).clamp(1, 4096)
+        } else {
+            self.shards
+        }
+    }
+}
+
+/// Per-computation totals of the latest [`ShardedCds`] run. The
+/// nanosecond figures are measured unconditionally (four `Instant` reads
+/// per tile — noise next to a tile solve), so benches and the CLI report
+/// per-phase timings without the `obs` feature; in multi-threaded runs the
+/// per-tile phases sum worker CPU time, not wall time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Tiles (shards) solved.
+    pub tiles: usize,
+    /// Nodes merged by ownership (equals the instance's `n`).
+    pub owned_nodes: usize,
+    /// Halo (non-owned) nodes replicated into tiles, summed.
+    pub halo_nodes: usize,
+    /// Undirected edges whose endpoints are owned by different tiles.
+    pub cross_tile_edges: u64,
+    /// Time partitioning the point set (spatial mode only).
+    pub partition_ns: u64,
+    /// Time gathering halos and building per-tile subgraphs.
+    pub halo_build_ns: u64,
+    /// Time in per-tile marking + rule passes (including result collection).
+    pub solve_ns: u64,
+    /// Time scattering per-tile verdicts into the output masks.
+    pub merge_ns: u64,
+}
+
+/// One worker's retained state; a slot solves many tiles sequentially, so
+/// memory scales with threads x largest tile, not with shard count.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    ws: CdsWorkspace,
+    csr: CsrGraph,
+    locals: Vec<u32>,
+    owned_flags: Vec<bool>,
+    energy: Vec<u64>,
+    uds: UnitDiskScratch,
+    g2l: Vec<u32>,
+    seen: Vec<bool>,
+    queue: Vec<u32>,
+    results: Vec<(u32, u8)>,
+    halo_nodes: usize,
+    cross_edges: u64,
+    halo_build_ns: u64,
+    solve_ns: u64,
+}
+
+impl WorkerSlot {
+    fn begin(&mut self) {
+        self.results.clear();
+        self.halo_nodes = 0;
+        self.cross_edges = 0;
+        self.halo_build_ns = 0;
+        self.solve_ns = 0;
+    }
+}
+
+/// The sharded CDS engine.
+///
+/// Partitions an instance into shards, solves each shard's halo-expanded
+/// induced subgraph on a retained [`CdsWorkspace`], and merges verdicts by
+/// ownership. For every shardable configuration (see
+/// [`check_shardable`](crate::check_shardable)) the merged `marked` /
+/// `after_rule1` / `gateways` masks and round count are **bit-identical**
+/// to [`CdsWorkspace::compute`] on the whole graph.
+///
+/// Two entry points: [`ShardedCds::compute_unit_disk`] shards a point set
+/// geometrically and never materialises the whole-graph adjacency (the
+/// large-`n` streaming path), and [`ShardedCds::compute_graph`] shards an
+/// existing graph into contiguous id blocks with a BFS halo (the serving
+/// path). All buffers are retained; with `threads == 1` a cache-warm
+/// computation performs zero heap allocations.
+#[derive(Debug, Default)]
+pub struct ShardedCds {
+    spec: ShardSpec,
+    partition: TilePartition,
+    slots: Vec<WorkerSlot>,
+    marked: VertexMask,
+    after1: VertexMask,
+    gateways: VertexMask,
+    rounds: usize,
+    stats: ShardStats,
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl ShardedCds {
+    /// An engine with the given shape. Rejects halos below
+    /// [`REQUIRED_HALO`] — a narrower halo provably breaks bit-identity
+    /// (see the corridor proptest in `tests/props.rs`).
+    pub fn new(spec: ShardSpec) -> Result<Self, ShardError> {
+        if spec.halo < REQUIRED_HALO {
+            return Err(ShardError::HaloTooSmall {
+                halo: spec.halo,
+                required: REQUIRED_HALO,
+            });
+        }
+        Ok(Self::with_unchecked_halo(spec))
+    }
+
+    /// An engine that skips the halo-width validation. Exists so tests and
+    /// diagnostics can *demonstrate* why [`REQUIRED_HALO`] is the minimum;
+    /// results below it are not exact.
+    pub fn with_unchecked_halo(spec: ShardSpec) -> Self {
+        Self {
+            spec,
+            ..Self::default()
+        }
+    }
+
+    /// The engine's shape.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Sharded CDS of the unit-disk graph of `points` (radius-`radius`
+    /// within `bounds`) — the geometry is partitioned into tiles and each
+    /// tile's subgraph is built directly from the points, so the whole
+    /// adjacency structure never exists in memory.
+    ///
+    /// Bit-identical to the whole-graph pipeline on the same instance for
+    /// every shardable `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `radius <= 0`, or if `cfg.policy.needs_energy()` and
+    /// `energy` is absent or of the wrong length (the
+    /// [`CdsWorkspace::compute`] contract).
+    pub fn compute_unit_disk(
+        &mut self,
+        bounds: Rect,
+        radius: f64,
+        points: &[Point2],
+        energy: Option<&[u64]>,
+        cfg: &CdsConfig,
+    ) -> Result<&VertexMask, ShardError> {
+        check_shardable(cfg)?;
+        assert!(radius > 0.0, "transmission radius must be positive");
+        let n = points.len();
+        if let Some(e) = energy {
+            assert_eq!(e.len(), n, "energy length must equal point count");
+        }
+
+        let shards = self.spec.resolved_shards(n);
+        let pt = Instant::now();
+        {
+            let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardPartition);
+            let (tx, ty) = grid_for(shards, bounds.width(), bounds.height());
+            self.partition.build(bounds, tx, ty, points);
+        }
+        let partition_ns = pt.elapsed().as_nanos() as u64;
+
+        let ntiles = self.partition.tiles();
+        let margin = self.spec.halo as f64 * (radius * radius + EPS).sqrt();
+        let nthreads = self.spec.resolved_threads().clamp(1, ntiles.max(1));
+        self.ensure_slots(nthreads);
+
+        let (partition, cfg_ref) = (&self.partition, cfg);
+        run_tiles(&mut self.slots[..nthreads], ntiles, |slot, t| {
+            let hb = Instant::now();
+            {
+                let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
+                partition.gather_expanded(t, margin, points, &mut slot.locals);
+                unit_disk_csr_subset(radius, points, &slot.locals, &mut slot.csr, &mut slot.uds);
+            }
+            slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+
+            // Ascending-list merge walk: flag the locals this tile owns.
+            let owned = partition.owned(t);
+            slot.owned_flags.clear();
+            slot.owned_flags.resize(slot.locals.len(), false);
+            let mut oi = 0;
+            for (li, &g) in slot.locals.iter().enumerate() {
+                if oi < owned.len() && owned[oi] == g {
+                    slot.owned_flags[li] = true;
+                    oi += 1;
+                }
+            }
+            debug_assert_eq!(oi, owned.len(), "tile {t} halo lost an owned node");
+            solve_locals(slot, owned.len(), energy, cfg_ref);
+        });
+
+        // The single-pass schedule runs exactly one (Rule 1; Rule 2) round
+        // when the policy prunes — same as the whole-graph workspace.
+        self.finish(n, ntiles, partition_ns, usize::from(cfg.policy.prunes()))
+    }
+
+    /// Sharded CDS of an existing graph: vertices are split into
+    /// `spec.shards` contiguous id blocks, each solved against a
+    /// `spec.halo`-hop BFS halo. Used where the graph already exists (the
+    /// serving layer's decoded edge lists, the conformance corpus); the
+    /// win over one whole-graph workspace is that the dense neighbour
+    /// bitmap only ever spans a block plus its halo.
+    ///
+    /// Bit-identical to the whole-graph pipeline for every shardable `cfg`.
+    ///
+    /// # Panics
+    /// Same contract as [`ShardedCds::compute_unit_disk`] for `energy`.
+    pub fn compute_graph<G: Neighbors + Sync + ?Sized>(
+        &mut self,
+        g: &G,
+        energy: Option<&[u64]>,
+        cfg: &CdsConfig,
+    ) -> Result<&VertexMask, ShardError> {
+        check_shardable(cfg)?;
+        let n = g.n();
+        if let Some(e) = energy {
+            assert_eq!(e.len(), n, "energy length must equal vertex count");
+        }
+
+        let nblocks = self.spec.resolved_shards(n).min(n.max(1));
+        let halo = self.spec.halo;
+        let nthreads = self.spec.resolved_threads().clamp(1, nblocks);
+        self.ensure_slots(nthreads);
+
+        let cfg_ref = cfg;
+        run_tiles(&mut self.slots[..nthreads], nblocks, |slot, b| {
+            let lo = (b * n / nblocks) as u32;
+            let hi = ((b + 1) * n / nblocks) as u32;
+            let hb = Instant::now();
+            {
+                let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
+                gather_bfs_halo(slot, g, lo, hi, halo);
+                let (csr, locals, g2l) = (&mut slot.csr, &slot.locals, &mut slot.g2l);
+                csr.rebuild_induced(g, locals, g2l);
+            }
+            slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+
+            slot.owned_flags.clear();
+            slot.owned_flags.resize(slot.locals.len(), false);
+            for (li, &v) in slot.locals.iter().enumerate() {
+                if v >= lo && v < hi {
+                    slot.owned_flags[li] = true;
+                }
+            }
+            solve_locals(slot, (hi - lo) as usize, energy, cfg_ref);
+        });
+
+        self.finish(n, nblocks, 0, usize::from(cfg.policy.prunes()))
+    }
+
+    fn ensure_slots(&mut self, nthreads: usize) {
+        if self.slots.len() < nthreads {
+            self.slots.resize_with(nthreads, WorkerSlot::default);
+        }
+        // Reset every slot, not just the ones this run will use: `finish`
+        // sums over all slots, and a previous wider run must not leak
+        // results or tallies into this one.
+        for slot in &mut self.slots {
+            slot.begin();
+        }
+    }
+
+    /// Ownership-filtered merge + stats/obs flush; every node is owned by
+    /// exactly one tile, so the scatter covers each index exactly once.
+    fn finish(
+        &mut self,
+        n: usize,
+        tiles: usize,
+        partition_ns: u64,
+        rounds: usize,
+    ) -> Result<&VertexMask, ShardError> {
+        self.rounds = rounds;
+        let mg = Instant::now();
+        let merged = {
+            let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardMerge);
+            self.marked.clear();
+            self.marked.resize(n, false);
+            self.after1.clear();
+            self.after1.resize(n, false);
+            self.gateways.clear();
+            self.gateways.resize(n, false);
+            let mut merged = 0usize;
+            for slot in &self.slots {
+                for &(g, bits) in &slot.results {
+                    let g = g as usize;
+                    self.marked[g] = bits & 1 != 0;
+                    self.after1[g] = bits & 2 != 0;
+                    self.gateways[g] = bits & 4 != 0;
+                }
+                merged += slot.results.len();
+            }
+            merged
+        };
+        assert_eq!(merged, n, "ownership merge must cover every node exactly once");
+
+        self.stats = ShardStats {
+            tiles,
+            owned_nodes: n,
+            halo_nodes: self.slots.iter().map(|s| s.halo_nodes).sum(),
+            cross_tile_edges: self.slots.iter().map(|s| s.cross_edges).sum(),
+            partition_ns,
+            halo_build_ns: self.slots.iter().map(|s| s.halo_build_ns).sum(),
+            solve_ns: self.slots.iter().map(|s| s.solve_ns).sum(),
+            merge_ns: mg.elapsed().as_nanos() as u64,
+        };
+        pacds_obs::add(pacds_obs::Counter::ShardComputes, 1);
+        pacds_obs::add(pacds_obs::Counter::ShardTiles, tiles as u64);
+        pacds_obs::add(pacds_obs::Counter::ShardOwnedNodes, n as u64);
+        pacds_obs::add(
+            pacds_obs::Counter::ShardHaloNodes,
+            self.stats.halo_nodes as u64,
+        );
+        pacds_obs::add(
+            pacds_obs::Counter::ShardCrossTileEdges,
+            self.stats.cross_tile_edges,
+        );
+        Ok(&self.gateways)
+    }
+
+    /// The merged gateway mask of the latest computation.
+    #[inline]
+    pub fn gateways(&self) -> &VertexMask {
+        &self.gateways
+    }
+
+    /// Number of gateways in the latest result.
+    pub fn gateway_count(&self) -> usize {
+        self.gateways.iter().filter(|&&b| b).count()
+    }
+
+    /// The merged marking-process output of the latest computation.
+    #[inline]
+    pub fn marked(&self) -> &VertexMask {
+        &self.marked
+    }
+
+    /// The merged after-Rule-1 mask of the latest computation.
+    #[inline]
+    pub fn after_rule1(&self) -> &VertexMask {
+        &self.after1
+    }
+
+    /// Rounds executed (matches the whole-graph workspace: 1 when the
+    /// policy prunes, 0 otherwise).
+    #[inline]
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Totals of the latest computation.
+    #[inline]
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+}
+
+/// The per-tile solve tail shared by both modes: slice energy, run the
+/// retained workspace on the local subgraph, collect owned verdicts and
+/// halo/cross-edge tallies.
+fn solve_locals(slot: &mut WorkerSlot, owned_count: usize, energy: Option<&[u64]>, cfg: &CdsConfig) {
+    let sv = Instant::now();
+    {
+        let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardSolve);
+        let energy_local = match energy {
+            Some(e) if cfg.policy.needs_energy() => {
+                slot.energy.clear();
+                slot.energy
+                    .extend(slot.locals.iter().map(|&g| e[g as usize]));
+                Some(slot.energy.as_slice())
+            }
+            _ => None,
+        };
+        slot.ws.compute(&slot.csr, energy_local, cfg);
+
+        let (marked, after1, gw) = (slot.ws.marked(), slot.ws.after_rule1(), slot.ws.gateways());
+        for (li, &g) in slot.locals.iter().enumerate() {
+            if slot.owned_flags[li] {
+                let bits =
+                    u8::from(marked[li]) | (u8::from(after1[li]) << 1) | (u8::from(gw[li]) << 2);
+                slot.results.push((g, bits));
+            }
+        }
+
+        slot.halo_nodes += slot.locals.len() - owned_count;
+        let mut cross = 0u64;
+        for (li, &g) in slot.locals.iter().enumerate() {
+            if !slot.owned_flags[li] {
+                continue;
+            }
+            for &lu in slot.csr.neighbors(li as NodeId) {
+                // Count each cross-ownership edge once: from the tile
+                // owning the smaller-id endpoint.
+                if !slot.owned_flags[lu as usize] && slot.locals[lu as usize] > g {
+                    cross += 1;
+                }
+            }
+        }
+        slot.cross_edges += cross;
+    }
+    slot.solve_ns += sv.elapsed().as_nanos() as u64;
+}
+
+/// Collects into `slot.locals` (ascending) every vertex within `halo` hops
+/// of the id block `[lo, hi)`, using the slot's retained BFS scratch.
+fn gather_bfs_halo<G: Neighbors + ?Sized>(
+    slot: &mut WorkerSlot,
+    g: &G,
+    lo: u32,
+    hi: u32,
+    halo: usize,
+) {
+    if slot.seen.len() < g.n() {
+        slot.seen.resize(g.n(), false);
+    }
+    slot.queue.clear();
+    for v in lo..hi {
+        slot.seen[v as usize] = true;
+        slot.queue.push(v);
+    }
+    let mut frontier = 0usize;
+    for _ in 0..halo {
+        let end = slot.queue.len();
+        for qi in frontier..end {
+            let v = slot.queue[qi];
+            for &u in g.neighbors(v) {
+                if !slot.seen[u as usize] {
+                    slot.seen[u as usize] = true;
+                    slot.queue.push(u);
+                }
+            }
+        }
+        frontier = end;
+    }
+    slot.locals.clear();
+    slot.locals.extend_from_slice(&slot.queue);
+    slot.locals.sort_unstable();
+    for &v in &slot.queue {
+        slot.seen[v as usize] = false;
+    }
+}
+
+/// Runs `f` over tiles `0..ntiles`; one thread per slot, tiles handed out
+/// by an atomic work-stealing counter. A single slot runs inline with no
+/// spawn (the zero-allocation path).
+fn run_tiles<F>(slots: &mut [WorkerSlot], ntiles: usize, f: F)
+where
+    F: Fn(&mut WorkerSlot, usize) + Sync,
+{
+    if slots.len() <= 1 {
+        let slot = &mut slots[0];
+        for t in 0..ntiles {
+            f(slot, t);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for slot in slots.iter_mut() {
+            let (next, f) = (&next, &f);
+            s.spawn(move || loop {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= ntiles {
+                    break;
+                }
+                f(slot, t);
+            });
+        }
+    });
+}
+
+/// Picks a tile grid of about `shards` tiles matching the domain's aspect
+/// ratio (square domains get square grids: 4 -> 2x2, 16 -> 4x4).
+fn grid_for(shards: usize, width: f64, height: f64) -> (usize, usize) {
+    let s = shards.max(1);
+    let aspect = if width > 0.0 && height > 0.0 {
+        width / height
+    } else {
+        1.0
+    };
+    let tx = (((s as f64) * aspect).sqrt().round() as usize).clamp(1, s);
+    let ty = s.div_ceil(tx);
+    (tx, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::Policy;
+    use pacds_geom::placement;
+    use pacds_graph::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_for_matches_the_issue_shard_counts() {
+        assert_eq!(grid_for(1, 100.0, 100.0), (1, 1));
+        assert_eq!(grid_for(2, 100.0, 100.0), (1, 2));
+        assert_eq!(grid_for(4, 100.0, 100.0), (2, 2));
+        assert_eq!(grid_for(16, 100.0, 100.0), (4, 4));
+        // Wide domains shard along x.
+        let (tx, ty) = grid_for(8, 400.0, 100.0);
+        assert!(tx > ty);
+        assert!(tx * ty >= 8);
+    }
+
+    #[test]
+    fn narrow_halo_is_rejected_and_unchecked_escape_exists() {
+        let narrow = ShardSpec {
+            shards: 4,
+            halo: REQUIRED_HALO - 1,
+            threads: 1,
+        };
+        assert_eq!(
+            ShardedCds::new(narrow).err(),
+            Some(ShardError::HaloTooSmall {
+                halo: 1,
+                required: REQUIRED_HALO
+            })
+        );
+        let _ = ShardedCds::with_unchecked_halo(narrow);
+        assert!(ShardedCds::new(ShardSpec::new(4)).is_ok());
+    }
+
+    #[test]
+    fn unshardable_configs_return_typed_errors_without_computing() {
+        let mut eng = ShardedCds::new(ShardSpec::new(4)).unwrap();
+        let pts = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 1.0)];
+        let cfg = CdsConfig::sequential(Policy::Id);
+        assert!(matches!(
+            eng.compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg),
+            Err(ShardError::Unshardable(_))
+        ));
+        let g = gen::path(5);
+        assert!(matches!(
+            eng.compute_graph(&g, None, &CdsConfig::fixpoint(Policy::Degree)),
+            Err(ShardError::Unshardable(_))
+        ));
+    }
+
+    #[test]
+    fn spatial_mode_matches_the_whole_graph_workspace() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        let mut ws = CdsWorkspace::new();
+        for n in [0usize, 1, 5, 60, 250] {
+            let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), n);
+            let energy: Vec<u64> = (0..n as u64).map(|v| (v * 13 + 5) % 40).collect();
+            let whole = gen::unit_disk(Rect::paper_arena(), 25.0, &pts);
+            for shards in [1usize, 2, 4, 16] {
+                let mut eng = ShardedCds::new(ShardSpec::new(shards)).unwrap();
+                for policy in Policy::ALL {
+                    let cfg = CdsConfig::policy(policy);
+                    let got = eng
+                        .compute_unit_disk(Rect::paper_arena(), 25.0, &pts, Some(&energy), &cfg)
+                        .unwrap()
+                        .clone();
+                    let expected = ws.compute(&whole, Some(&energy), &cfg).clone();
+                    assert_eq!(got, expected, "n={n} shards={shards} {policy:?}");
+                    assert_eq!(eng.marked(), ws.marked(), "n={n} shards={shards}");
+                    assert_eq!(eng.after_rule1(), ws.after_rule1(), "n={n} shards={shards}");
+                    assert_eq!(eng.rounds(), ws.rounds(), "n={n} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn graph_mode_matches_the_whole_graph_workspace() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        let mut ws = CdsWorkspace::new();
+        for n in [0usize, 1, 7, 80] {
+            let g = gen::gnp(&mut rng, n, 0.15);
+            let energy: Vec<u64> = (0..n as u64).map(|v| (v * 7 + 1) % 30).collect();
+            for shards in [1usize, 2, 4, 16] {
+                let mut eng = ShardedCds::new(ShardSpec::new(shards)).unwrap();
+                for policy in Policy::ALL {
+                    let cfg = CdsConfig::policy(policy);
+                    let got = eng.compute_graph(&g, Some(&energy), &cfg).unwrap().clone();
+                    let expected = ws.compute(&g, Some(&energy), &cfg).clone();
+                    assert_eq!(got, expected, "n={n} shards={shards} {policy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_threaded_solve_is_bit_identical_to_inline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(93);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 300);
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let mut inline = ShardedCds::new(ShardSpec::new(16)).unwrap();
+        let a = inline
+            .compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg)
+            .unwrap()
+            .clone();
+        let mut threaded = ShardedCds::new(ShardSpec {
+            threads: 4,
+            ..ShardSpec::new(16)
+        })
+        .unwrap();
+        let b = threaded
+            .compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg)
+            .unwrap()
+            .clone();
+        assert_eq!(a, b);
+        assert_eq!(inline.stats().halo_nodes, threaded.stats().halo_nodes);
+        assert_eq!(
+            inline.stats().cross_tile_edges,
+            threaded.stats().cross_tile_edges
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(94);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 200);
+        let mut eng = ShardedCds::new(ShardSpec::new(4)).unwrap();
+        let cfg = CdsConfig::policy(Policy::Id);
+        eng.compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg)
+            .unwrap();
+        let st = eng.stats();
+        assert_eq!(st.tiles, 4);
+        assert_eq!(st.owned_nodes, 200);
+        assert!(st.halo_nodes > 0, "4 tiles on a 100x100 arena need halos");
+        assert!(st.cross_tile_edges > 0);
+        // Cross edges are a subset of all edges.
+        let whole = gen::unit_disk(Rect::paper_arena(), 25.0, &pts);
+        assert!(st.cross_tile_edges <= whole.m() as u64);
+        // With a single shard there is no halo and no cross edge.
+        let mut one = ShardedCds::new(ShardSpec::new(1)).unwrap();
+        one.compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg)
+            .unwrap();
+        assert_eq!(one.stats().halo_nodes, 0);
+        assert_eq!(one.stats().cross_tile_edges, 0);
+    }
+
+    #[test]
+    fn auto_shards_scale_with_n() {
+        assert_eq!(ShardSpec::auto().resolved_shards(0), 1);
+        assert_eq!(ShardSpec::auto().resolved_shards(2048), 1);
+        assert_eq!(ShardSpec::auto().resolved_shards(100_000), 49);
+        assert_eq!(ShardSpec::auto().resolved_shards(10_000_000), 4096);
+    }
+}

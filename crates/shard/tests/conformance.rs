@@ -1,0 +1,162 @@
+//! Bit-identity of the sharded engine over the testkit's adversarial
+//! corpus × the full 40-configuration matrix, for shard counts
+//! {1, 2, 4, 16} — plus typed rejection of the unshardable half.
+//!
+//! Three layers of checking:
+//!
+//! 1. direct mask comparison (gateways, marked, after-Rule-1, rounds)
+//!    against a retained whole-graph [`CdsWorkspace`];
+//! 2. oracle-backed [`ConformanceReport::check_external`], which shrinks
+//!    and emits a replayable case file on mismatch;
+//! 3. the spatial mode ([`ShardedCds::compute_unit_disk`]) against the
+//!    same whole-graph verdicts on every positioned corpus case.
+
+use pacds_core::CdsWorkspace;
+use pacds_shard::{check_shardable, ShardError, ShardSpec, ShardedCds};
+use pacds_testkit::harness::full_config_matrix;
+use pacds_testkit::{named_families, random_unit_disk_cases, ConformanceReport, TopoCase};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 16];
+
+fn corpus() -> Vec<TopoCase> {
+    let mut cases = named_families();
+    cases.extend(random_unit_disk_cases(0x5AAD_C0DE, 24));
+    cases
+}
+
+fn engines() -> Vec<ShardedCds> {
+    SHARD_COUNTS
+        .iter()
+        .map(|&s| ShardedCds::new(ShardSpec::new(s)).expect("default halo is legal"))
+        .collect()
+}
+
+/// Graph mode: every corpus case × every shardable configuration × every
+/// shard count agrees bit-for-bit with the whole-graph workspace — not
+/// just the final gateway mask but the intermediate verdicts too.
+#[test]
+fn graph_mode_is_bit_identical_over_corpus_and_matrix() {
+    let mut ws = CdsWorkspace::new();
+    let mut engines = engines();
+    let mut checked = 0usize;
+    for case in corpus() {
+        let energy = Some(case.energy.as_slice());
+        for cfg in full_config_matrix() {
+            if check_shardable(&cfg).is_err() {
+                continue;
+            }
+            let expected = ws.compute(&case.graph, energy, &cfg).clone();
+            let exp_marked = ws.marked().to_vec();
+            let exp_after1 = ws.after_rule1().to_vec();
+            let exp_rounds = ws.rounds();
+            for eng in &mut engines {
+                let shards = eng.spec().shards;
+                let ctx = format!("case={} cfg={cfg:?} shards={shards}", case.name);
+                let got = eng
+                    .compute_graph(&case.graph, energy, &cfg)
+                    .unwrap_or_else(|e| panic!("{ctx}: unexpected {e}"));
+                assert_eq!(got, &expected, "gateway mask diverged: {ctx}");
+                assert_eq!(eng.marked(), &exp_marked, "marked mask diverged: {ctx}");
+                assert_eq!(
+                    eng.after_rule1(),
+                    &exp_after1,
+                    "after-Rule-1 mask diverged: {ctx}"
+                );
+                assert_eq!(eng.rounds(), exp_rounds, "round count diverged: {ctx}");
+                checked += 1;
+            }
+        }
+    }
+    // 7 shardable configs × 4 shard counts × every corpus case.
+    assert!(checked >= 7 * 4 * 24, "matrix coverage shrank: {checked}");
+}
+
+/// Spatial mode: every positioned corpus case computed straight from its
+/// points (the whole-graph adjacency never built inside the engine)
+/// matches the whole-graph workspace run on the case's graph.
+#[test]
+fn spatial_mode_is_bit_identical_on_positioned_cases() {
+    let mut ws = CdsWorkspace::new();
+    let mut engines = engines();
+    let mut positioned = 0usize;
+    for case in corpus() {
+        let Some((bounds, radius, points)) = case.positions.clone() else {
+            continue;
+        };
+        positioned += 1;
+        let energy = Some(case.energy.as_slice());
+        for cfg in full_config_matrix() {
+            if check_shardable(&cfg).is_err() {
+                continue;
+            }
+            let expected = ws.compute(&case.graph, energy, &cfg).clone();
+            for eng in &mut engines {
+                let shards = eng.spec().shards;
+                let ctx = format!("case={} cfg={cfg:?} shards={shards}", case.name);
+                let got = eng
+                    .compute_unit_disk(bounds, radius, &points, energy, &cfg)
+                    .unwrap_or_else(|e| panic!("{ctx}: unexpected {e}"));
+                assert_eq!(got, &expected, "spatial gateway mask diverged: {ctx}");
+                assert_eq!(eng.marked(), ws.marked(), "spatial marked diverged: {ctx}");
+            }
+        }
+    }
+    assert!(positioned >= 24, "positioned corpus shrank: {positioned}");
+}
+
+/// Oracle-backed differential check: the sharded engine plugged into the
+/// harness as an external implementation, so any mismatch is shrunk to a
+/// minimal replayable case file.
+#[test]
+fn sharded_engine_passes_the_oracle_harness() {
+    let mut report = ConformanceReport::new();
+    let mut engines = engines();
+    for case in named_families() {
+        for cfg in full_config_matrix() {
+            if check_shardable(&cfg).is_err() {
+                continue;
+            }
+            for eng in &mut engines {
+                let label = format!("sharded-s{}", eng.spec().shards);
+                report.check_external(&case, &cfg, &label, |g, e, c| {
+                    eng.compute_graph(g, Some(e), c)
+                        .expect("config pre-checked shardable")
+                        .clone()
+                });
+            }
+        }
+    }
+    report.finish();
+}
+
+/// The unshardable half of the matrix returns the same typed error from
+/// both entry points, without disturbing retained engine state.
+#[test]
+fn unshardable_matrix_half_is_rejected_with_typed_errors() {
+    let case = &corpus()[0];
+    let (bounds, radius, points) = corpus()
+        .iter()
+        .find_map(|c| c.positions.clone())
+        .expect("corpus has positioned cases");
+    let mut eng = ShardedCds::new(ShardSpec::new(4)).unwrap();
+    let mut rejected = 0usize;
+    for cfg in full_config_matrix() {
+        let Err(expected) = check_shardable(&cfg) else {
+            continue;
+        };
+        rejected += 1;
+        let graph_err = eng
+            .compute_graph(&case.graph, Some(&case.energy), &cfg)
+            .err();
+        assert_eq!(graph_err, Some(expected), "graph mode, cfg={cfg:?}");
+        let spatial_err = eng
+            .compute_unit_disk(bounds, radius, &points, None, &cfg)
+            .err();
+        assert_eq!(spatial_err, Some(expected), "spatial mode, cfg={cfg:?}");
+        assert!(
+            matches!(graph_err, Some(ShardError::Unshardable(_))),
+            "rejection must carry a reason, cfg={cfg:?}"
+        );
+    }
+    assert_eq!(rejected, 33, "the matrix splits 7 shardable / 33 not");
+}

@@ -1,0 +1,153 @@
+//! Property tests for the sharded engine.
+//!
+//! * Positive: random instances stay bit-identical to the whole-graph
+//!   workspace across shard counts {1, 2, 4, 16}, every policy, in both
+//!   the spatial and the generic-graph mode.
+//! * Negative: a corridor topology where a halo of 1 hop provably breaks
+//!   identity — the whole point of [`pacds_shard::REQUIRED_HALO`] being 2.
+
+use pacds_core::{CdsConfig, CdsWorkspace, Policy};
+use pacds_geom::{placement, Point2, Rect};
+use pacds_graph::gen;
+use pacds_shard::{ShardSpec, ShardedCds, REQUIRED_HALO};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 16];
+const RADIUS: f64 = 25.0;
+
+fn random_energies(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE4E6);
+    (0..n).map(|_| rng.random_range(0u64..1000)).collect()
+}
+
+/// The corridor gadget that breaks a 1-hop halo (hand-verified, then
+/// jittered here). Unit radius, two tiles split at `x = 5`:
+///
+/// ```text
+///   w1·            ·e1
+///   w3· ·v    ·t
+///   w2·            ·e2
+///        tile A │ tile B
+/// ```
+///
+/// Globally `deg(t) = 6 > deg(v) = 4`, and `N[v] ⊆ N[t]`, so Rule 1
+/// removes `v`. Tile A's 1-hop halo reaches `t` but not `e1`/`e2`, so
+/// locally `deg(t) = 4 = deg(v)` — a tie broken by id, under which the
+/// lower-id `t` is removed and `v` (owned by tile A) survives: a
+/// guaranteed mismatch. A ±0.02 jitter keeps every adjacency and the
+/// tile membership intact (the tightest pair, `t`–`e1`, sits at distance
+/// ~0.922 with slack 2·0.02·√2 ≈ 0.057).
+fn corridor(jitter_seed: u64) -> (Rect, f64, Vec<Point2>) {
+    let base = [
+        (5.4, 0.0),  // t — judged dominator, first so it takes the low id
+        (4.9, 0.0),  // v — removed globally, kept by the halo-1 tile
+        (4.8, 0.6),  // w1
+        (4.8, -0.6), // w2
+        (4.8, 0.0),  // w3
+        (6.3, 0.2),  // e1 — t's far neighbours, outside tile A's 1-hop halo
+        (6.3, -0.2), // e2
+    ];
+    let mut rng = StdRng::seed_from_u64(jitter_seed);
+    let points = base
+        .iter()
+        .map(|&(x, y)| {
+            Point2::new(
+                x + rng.random_range(-0.02f64..0.02),
+                y + rng.random_range(-0.02f64..0.02),
+            )
+        })
+        .collect();
+    (Rect::new(0.0, -1.0, 10.0, 1.0), 1.0, points)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Spatial mode: random unit-disk instances, all five policies, all
+    /// shard counts — gateway, marked, and after-Rule-1 masks identical
+    /// to the whole-graph workspace.
+    #[test]
+    fn spatial_sharding_preserves_identity(
+        n in 0usize..90,
+        seed in any::<u64>(),
+    ) {
+        let bounds = Rect::paper_arena();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = placement::uniform_points(&mut rng, bounds, n);
+        let graph = gen::unit_disk(bounds, RADIUS, &points);
+        let energy = random_energies(seed, n);
+        let mut ws = CdsWorkspace::new();
+        for policy in Policy::ALL {
+            let cfg = CdsConfig::policy(policy);
+            let expected = ws.compute(&graph, Some(&energy), &cfg).clone();
+            for shards in SHARD_COUNTS {
+                let mut eng = ShardedCds::new(ShardSpec::new(shards)).unwrap();
+                let got = eng
+                    .compute_unit_disk(bounds, RADIUS, &points, Some(&energy), &cfg)
+                    .unwrap();
+                prop_assert_eq!(got, &expected, "policy={:?} shards={}", policy, shards);
+                prop_assert_eq!(eng.marked(), ws.marked());
+                prop_assert_eq!(eng.after_rule1(), ws.after_rule1());
+            }
+        }
+    }
+
+    /// Generic-graph mode: arbitrary (non-geometric) random graphs,
+    /// id-block sharding with BFS halos — same identity.
+    #[test]
+    fn graph_sharding_preserves_identity(
+        n in 1usize..70,
+        p in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = gen::gnp(&mut rng, n, p);
+        let energy = random_energies(seed, n);
+        let mut ws = CdsWorkspace::new();
+        for policy in Policy::ALL {
+            let cfg = CdsConfig::policy(policy);
+            let expected = ws.compute(&graph, Some(&energy), &cfg).clone();
+            for shards in SHARD_COUNTS {
+                let mut eng = ShardedCds::new(ShardSpec::new(shards)).unwrap();
+                let got = eng.compute_graph(&graph, Some(&energy), &cfg).unwrap();
+                prop_assert_eq!(got, &expected, "policy={:?} shards={}", policy, shards);
+                prop_assert_eq!(eng.rounds(), ws.rounds());
+            }
+        }
+    }
+
+    /// Negative: on the corridor gadget a 1-hop halo diverges from the
+    /// whole graph while the required 2-hop halo matches — on the *same*
+    /// jittered instance. This is the constructive proof that
+    /// `REQUIRED_HALO` cannot be lowered.
+    #[test]
+    fn a_one_hop_halo_breaks_identity_on_the_corridor(jitter_seed in any::<u64>()) {
+        let (bounds, radius, points) = corridor(jitter_seed);
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let graph = gen::unit_disk(bounds, radius, &points);
+        let mut ws = CdsWorkspace::new();
+        let expected = ws.compute(&graph, None, &cfg).clone();
+
+        let narrow_spec = ShardSpec { halo: 1, ..ShardSpec::new(2) };
+        let mut narrow = ShardedCds::with_unchecked_halo(narrow_spec);
+        let got_narrow = narrow
+            .compute_unit_disk(bounds, radius, &points, None, &cfg)
+            .unwrap()
+            .clone();
+        prop_assert_ne!(
+            &got_narrow,
+            &expected,
+            "halo 1 must diverge on the corridor (seed {})",
+            jitter_seed
+        );
+
+        let mut exact = ShardedCds::new(ShardSpec::new(2)).unwrap();
+        prop_assert_eq!(exact.spec().halo, REQUIRED_HALO);
+        let got_exact = exact
+            .compute_unit_disk(bounds, radius, &points, None, &cfg)
+            .unwrap();
+        prop_assert_eq!(got_exact, &expected, "halo 2 must be exact (seed {})", jitter_seed);
+    }
+}

@@ -18,6 +18,9 @@
 //!   `obs` feature is on.
 //! * [`serve`](pacds_serve) — the CDS query service: TCP server with a
 //!   binary protocol, sharded result cache, worker pool, load generator.
+//! * [`shard`](pacds_shard) — the spatially-sharded CDS engine for
+//!   million-node unit-disk instances, bit-identical to the whole-graph
+//!   pipeline.
 //! * [`baselines`](pacds_baselines), [`energy`](pacds_energy),
 //!   [`mobility`](pacds_mobility), [`geom`](pacds_geom) — supporting
 //!   substrates.
@@ -32,4 +35,5 @@ pub use pacds_mobility as mobility;
 pub use pacds_obs as obs;
 pub use pacds_routing as routing;
 pub use pacds_serve as serve;
+pub use pacds_shard as shard;
 pub use pacds_sim as sim;

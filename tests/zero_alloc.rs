@@ -118,6 +118,65 @@ fn workspace_recompute_on_static_topology_is_allocation_free() {
 }
 
 #[test]
+fn sharded_engine_recompute_is_allocation_free_after_warmup() {
+    // The sharded engine's spatial path with `threads == 1` (tiles solved
+    // inline, no spawns): partition, per-tile halo gather + CSR build,
+    // per-tile marking + rules on retained workspaces, ownership merge.
+    // Every buffer is retained, so once each has reached its high-water
+    // mark a recompute performs zero heap allocations — the property that
+    // lets a long-lived serving worker run the engine per request.
+    use pacds::geom::Rect;
+    use pacds::shard::{ShardSpec, ShardedCds};
+
+    let bounds = Rect::square(300.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let base = pacds::geom::placement::uniform_points(&mut rng, bounds, N);
+    let energy: Vec<u64> = (0..N as u64).map(|i| (i * 7919) % 100).collect();
+    let cds_cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let mut engine = ShardedCds::new(ShardSpec {
+        shards: 4,
+        threads: 1,
+        ..ShardSpec::auto()
+    })
+    .expect("default halo is legal");
+
+    // Jitter cycles through a few distinct layouts so warm recomputes do
+    // real work (tile membership and halos shift), while every measured
+    // layout has already been seen in warm-up — retained buffers grow
+    // monotonically to their high-water marks, so growth cannot recur.
+    const LAYOUTS: usize = 5;
+    let mut points = base.clone();
+    let layout = |points: &mut Vec<pacds::geom::Point2>, round: usize| {
+        for (i, (p, b)) in points.iter_mut().zip(&base).enumerate() {
+            let phase = (i + (round % LAYOUTS) * 131) as f64;
+            p.x = (b.x + 3.0 * phase.sin()).clamp(0.0, 300.0);
+            p.y = (b.y + 3.0 * phase.cos()).clamp(0.0, 300.0);
+        }
+    };
+
+    for round in 0..WARMUP {
+        layout(&mut points, round);
+        engine
+            .compute_unit_disk(bounds, 25.0, &points, Some(&energy), &cds_cfg)
+            .expect("shardable config");
+    }
+
+    for round in 0..MEASURED {
+        layout(&mut points, round);
+        let before = allocs();
+        engine
+            .compute_unit_disk(bounds, 25.0, &points, Some(&energy), &cds_cfg)
+            .expect("shardable config");
+        let grew = allocs() - before;
+        assert!(engine.gateway_count() > 0, "round {round}: degenerate instance");
+        assert_eq!(
+            grew, 0,
+            "round {round}: warm sharded recompute performed {grew} heap allocations"
+        );
+    }
+}
+
+#[test]
 fn serve_cache_warm_request_handling_is_allocation_free() {
     // The serving layer's hot path: decode a compute-CDS frame, validate
     // and canonicalise the edges into retained scratch, derive the cache
