@@ -3,22 +3,30 @@
 //! For each size in `PACDS_SHARD_SIZES` (default `10000,100000,1000000`)
 //! the binary places a constant-density unit-disk instance and times:
 //!
-//! * the **sharded** engine (`compute_unit_disk`, shards scaled with `n`,
-//!   inline single thread and all-cores work stealing) — the full
-//!   partition → halo build → per-tile solve → ownership merge path,
-//!   straight from the points: the whole-graph adjacency never
+//! * the **sharded** engine (`compute_unit_disk`, shards scaled with `n`)
+//!   at every thread count in the scaling list (`--threads 1,2,4,8` or
+//!   `PACDS_SHARD_THREADS`; default `1,2,4,8`) plus an all-cores run —
+//!   the full partition → halo build → per-tile solve → ownership merge
+//!   path, straight from the points: the whole-graph adjacency never
 //!   materialises;
 //! * the **whole-graph** `CdsWorkspace` on the same instance, where its
 //!   dense `O(n²)`-bit neighbour bitmap is feasible (`n ≤ 100000`; at
 //!   `n = 10⁶` it would need ~125 TB, which is the point of the crate).
 //!
 //! Every measured sharded run is asserted **bit-identical** to the
-//! whole-graph result whenever the baseline ran — the speedup column is
-//! only meaningful if both sides answer the same question.
+//! whole-graph result whenever the baseline ran, and the thread-count
+//! runs to each other — the speedup columns are only meaningful if all
+//! sides answer the same question.
 //!
 //! Writes `BENCH_shard.json` (override: `PACDS_BENCH_OUT`) with per-phase
-//! timings from [`pacds_shard::ShardStats`]. Exits non-zero on identity
-//! failure or a degenerate result.
+//! timings from [`pacds_shard::ShardStats`] and a per-size `scaling`
+//! table carrying the work-distribution counters
+//! ([`pacds_shard::ThreadWork`]): `tiles_per_thread`,
+//! `busy_ns_per_thread`, `stolen_tiles`. Those counters — not wall clock,
+//! which depends on how many cores the bench box actually has
+//! (`machine_threads` records it) — are the portable evidence that the
+//! parallel path distributes work. Exits non-zero on identity failure or
+//! a degenerate result.
 //!
 //! Hand-written JSON: the bench crate deliberately takes no serde
 //! dependency.
@@ -26,7 +34,7 @@
 use pacds_core::{CdsConfig, CdsWorkspace, Policy};
 use pacds_geom::Rect;
 use pacds_graph::gen;
-use pacds_shard::{ShardSpec, ShardStats, ShardedCds};
+use pacds_shard::{ShardSpec, ShardStats, ShardedCds, ThreadWork};
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -51,6 +59,38 @@ fn sizes() -> Vec<usize> {
     }
 }
 
+/// Thread counts for the scaling table: `--threads`, then
+/// `PACDS_SHARD_THREADS`, then `1,2,4,8`. Always includes 1 (the
+/// reference point every speedup is computed against).
+fn thread_counts() -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    let mut spec = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => spec = Some(args.next().expect("--threads needs a list")),
+            other => {
+                eprintln!("error: unknown argument {other} (supported: --threads 1,2,4)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let spec = spec
+        .or_else(|| std::env::var("PACDS_SHARD_THREADS").ok())
+        .unwrap_or_else(|| "1,2,4,8".into());
+    let mut counts: Vec<usize> = spec
+        .split(',')
+        .map(|t| t.trim().parse().expect("thread list: integers"))
+        .collect();
+    assert!(
+        counts.iter().all(|&t| t >= 1),
+        "thread counts must be >= 1"
+    );
+    if !counts.contains(&1) {
+        counts.insert(0, 1);
+    }
+    counts
+}
+
 /// Repetitions scale down with size; minima are reported.
 fn reps(n: usize) -> usize {
     if n >= 1_000_000 {
@@ -65,10 +105,11 @@ fn reps(n: usize) -> usize {
 struct ShardRun {
     ns: f64,
     stats: ShardStats,
+    work: Vec<ThreadWork>,
 }
 
 /// Times `engine.compute_unit_disk` on a retained engine (minimum over
-/// `reps`), returning the stats of the fastest run.
+/// `reps`), returning the stats and work distribution of the fastest run.
 fn run_sharded(
     engine: &mut ShardedCds,
     bounds: Rect,
@@ -79,6 +120,7 @@ fn run_sharded(
 ) -> ShardRun {
     let mut best = f64::INFINITY;
     let mut stats = ShardStats::default();
+    let mut work = Vec::new();
     for _ in 0..reps {
         let t = Instant::now();
         engine
@@ -89,13 +131,44 @@ fn run_sharded(
         if ns < best {
             best = ns;
             stats = engine.stats();
+            work = engine.thread_work();
         }
     }
-    ShardRun { ns: best, stats }
+    ShardRun { ns: best, stats, work }
+}
+
+fn join_u64<I: Iterator<Item = u64>>(it: I) -> String {
+    it.map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+}
+
+/// One row of the per-size `scaling` table.
+fn scaling_row(threads: usize, run: &ShardRun) -> String {
+    let s = &run.stats;
+    // Trim the retained-slot tail: slots past the run's width report 0.
+    let active = &run.work[..run.work.len().min(threads)];
+    format!(
+        concat!(
+            "        {{ \"threads\": {}, \"ns\": {:.0}, ",
+            "\"partition_ns\": {}, \"halo_build_ns\": {}, ",
+            "\"solve_ns\": {}, \"merge_ns\": {}, \"stolen_tiles\": {}, ",
+            "\"tiles_per_thread\": [{}], \"busy_ns_per_thread\": [{}] }}"
+        ),
+        threads,
+        run.ns,
+        s.partition_ns,
+        s.halo_build_ns,
+        s.solve_ns,
+        s.merge_ns,
+        s.stolen_tiles,
+        join_u64(active.iter().map(|w| w.tiles_solved)),
+        join_u64(active.iter().map(|w| w.busy_ns)),
+    )
 }
 
 fn main() -> ExitCode {
     let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let counts = thread_counts();
+    let machine_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut rows = Vec::new();
     for n in sizes() {
         let bounds = arena(n);
@@ -104,11 +177,9 @@ fn main() -> ExitCode {
         let energy: Vec<u64> = (0..n).map(|i| (i as u64 * 7919) % 100).collect();
         let r = reps(n);
 
-        let mut inline = ShardedCds::new(ShardSpec {
-            threads: 1,
-            ..ShardSpec::auto()
-        })
-        .expect("default halo");
+        // The thread-scaling sweep; threads=1 is the reference the other
+        // rows' identity and speedups are checked against.
+        let mut inline = ShardedCds::new(ShardSpec::auto()).expect("default halo");
         let single = run_sharded(&mut inline, bounds, &points, &energy, &cfg, r);
         let gateways = inline.gateway_count();
         if n > 0 && gateways == 0 {
@@ -116,10 +187,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
 
-        let mut stealing = ShardedCds::new(ShardSpec::auto()).expect("default halo");
+        let mut scaling = vec![scaling_row(1, &single)];
+        let mut scaling_log = vec![(1usize, single.ns)];
+        for &t in counts.iter().filter(|&&t| t != 1) {
+            let mut eng = ShardedCds::new(ShardSpec {
+                threads: t,
+                ..ShardSpec::auto()
+            })
+            .expect("default halo");
+            let run = run_sharded(&mut eng, bounds, &points, &energy, &cfg, r);
+            if eng.gateways() != inline.gateways() {
+                eprintln!("error: n={n} threads={t}: result diverged from inline");
+                return ExitCode::FAILURE;
+            }
+            scaling.push(scaling_row(t, &run));
+            scaling_log.push((t, run.ns));
+        }
+
+        // The "use the whole machine" shape the serving layer would pick.
+        let mut stealing = ShardedCds::new(ShardSpec::all_cores()).expect("default halo");
         let multi = run_sharded(&mut stealing, bounds, &points, &energy, &cfg, r);
         if stealing.gateways() != inline.gateways() {
-            eprintln!("error: n={n}: threaded result diverged from inline");
+            eprintln!("error: n={n}: all-cores result diverged from inline");
             return ExitCode::FAILURE;
         }
 
@@ -157,6 +246,12 @@ fn main() -> ExitCode {
             whole_ns.map_or("    skipped".into(), |w| format!("{w:>12.0} ns")),
             speedup.map_or("-".into(), |x| format!("{x:.2}x")),
         );
+        for &(t, ns) in &scaling_log {
+            println!(
+                "            threads={t:>2}  {ns:>12.0} ns  speedup-vs-1 {:.2}x",
+                single.ns / ns
+            );
+        }
         rows.push(format!(
             concat!(
                 "    {{\n",
@@ -165,7 +260,8 @@ fn main() -> ExitCode {
                 "      \"sharded_ns\": {:.0}, \"sharded_all_cores_ns\": {:.0},\n",
                 "      \"partition_ns\": {}, \"halo_build_ns\": {}, ",
                 "\"solve_ns\": {}, \"merge_ns\": {},\n",
-                "      \"whole_graph_ns\": {}, \"speedup_vs_whole_graph\": {}\n",
+                "      \"whole_graph_ns\": {}, \"speedup_vs_whole_graph\": {},\n",
+                "      \"scaling\": [\n{}\n      ]\n",
                 "    }}"
             ),
             n,
@@ -182,6 +278,7 @@ fn main() -> ExitCode {
             s.merge_ns,
             whole_ns.map_or("null".into(), |w| format!("{w:.0}")),
             speedup.map_or("null".into(), |x| format!("{x:.3}")),
+            scaling.join(",\n"),
         ));
     }
 
@@ -193,12 +290,22 @@ fn main() -> ExitCode {
             "instances (radius 25, ~19.6 expected neighbours), EnergyDegree policy, ",
             "simultaneous single-pass min-of-three semantics; minimum over repetitions; ",
             "whole-graph CdsWorkspace baseline where its dense n^2-bit bitmap fits ",
-            "(n <= {}), with asserted bit-identity\",\n",
+            "(n <= {}), with asserted bit-identity. whole_graph_ns and ",
+            "speedup_vs_whole_graph are null (never omitted) when the baseline did not run. ",
+            "Schema: each result's scaling[] row is one thread count; its per-phase *_ns ",
+            "fields sum executor CPU time (not wall time, which is the row's ns); ",
+            "stolen_tiles counts tiles an executor claimed from another executor's stripe ",
+            "of the size-ordered schedule; tiles_per_thread / busy_ns_per_thread are ",
+            "indexed by executor id (0 = the calling thread) — work distribution is the ",
+            "machine-independent evidence of parallelism, wall-clock speedup depends on ",
+            "machine_threads\",\n",
             "  \"unit\": \"ns/compute\",\n",
+            "  \"machine_threads\": {},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         BASELINE_LIMIT,
+        machine_threads,
         rows.join(",\n")
     );
     let out = std::env::var("PACDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_shard.json".into());

@@ -68,6 +68,9 @@ COMMANDS:
               --check (also run the whole-graph pipeline and assert
               bit-identity; needs the O(n²)-bit bitmap, so moderate n)
               --compare (like --check, plus report the speedup)
+              --expect-workers <int=0> (fail unless at least this many
+              executors solved >= 1 tile — the work-distribution gate
+              CI uses where wall-clock scaling cannot be trusted)
               --json <file> (write stats as one JSON object)
               --fail-on-errors (exit non-zero if a requested check could
               not run, e.g. --check skipped because n is too large)
@@ -565,7 +568,7 @@ const CHECK_LIMIT: usize = 150_000;
 pub fn shard(args: &Args) -> CliResult {
     args.check_known(&[
         "n", "seed", "radius", "side", "shards", "halo", "threads", "policy", "semantics",
-        "energy-seed", "check", "compare", "json", "fail-on-errors",
+        "energy-seed", "check", "compare", "expect-workers", "json", "fail-on-errors",
     ])?;
     let n: usize = args.get_or("n", 50_000)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -625,6 +628,32 @@ pub fn shard(args: &Args) -> CliResult {
         stats.merge_ns as f64 / 1e9,
     );
 
+    // Work distribution: the machine-independent evidence that a parallel
+    // run actually spread tiles across executors.
+    let work = engine.thread_work();
+    let active_workers = work.iter().filter(|w| w.tiles_solved > 0).count();
+    println!(
+        "workers: {} executor(s) active, tiles [{}], {} stolen",
+        active_workers,
+        work.iter()
+            .map(|w| w.tiles_solved.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        stats.stolen_tiles,
+    );
+    let expect_workers: usize = args.get_or("expect-workers", 0)?;
+    if active_workers < expect_workers {
+        return Err(format!(
+            "--expect-workers {expect_workers}: only {active_workers} executor(s) solved a tile \
+             (tile distribution [{}])",
+            work.iter()
+                .map(|w| w.tiles_solved.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+        .into());
+    }
+
     // --check / --compare run the whole-graph pipeline on the same
     // instance; identity failure is always fatal (the over-sized skip was
     // handled before computing).
@@ -659,7 +688,8 @@ pub fn shard(args: &Args) -> CliResult {
              \"owned_nodes\":{},\"halo_nodes\":{},\"cross_tile_edges\":{},\
              \"marked\":{},\"after_rule1\":{},\"gateways\":{},\"rounds\":{},\
              \"partition_ns\":{},\"halo_build_ns\":{},\"solve_ns\":{},\
-             \"merge_ns\":{},\"total_s\":{sharded_s},\"whole_graph_s\":{}}}",
+             \"merge_ns\":{},\"stolen_tiles\":{},\"tiles_per_thread\":[{}],\
+             \"busy_ns_per_thread\":[{}],\"total_s\":{sharded_s},\"whole_graph_s\":{}}}",
             policy.label(),
             spec.shards,
             spec.halo,
@@ -676,6 +706,15 @@ pub fn shard(args: &Args) -> CliResult {
             stats.halo_build_ns,
             stats.solve_ns,
             stats.merge_ns,
+            stats.stolen_tiles,
+            work.iter()
+                .map(|w| w.tiles_solved.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            work.iter()
+                .map(|w| w.busy_ns.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
             if whole_s.is_nan() { "null".to_string() } else { whole_s.to_string() },
         );
         std::fs::write(path, json + "\n")?;

@@ -58,6 +58,14 @@ pub mod rules;
 pub mod verify;
 pub mod workspace;
 
+/// The bit-parallel scan kernels behind every coverage predicate
+/// (re-exported from `pacds-graph` so rule-engine callers see one module):
+/// the whole-graph workspace and the sharded tile solver both decide
+/// `N[v] ⊆ N[u]` / `N(v) ⊆ N(u) ∪ N(w)` through these chunked
+/// AND/ANDN scans, and the testkit bit-identity harness covers them on
+/// every corpus entry as a consequence.
+pub use pacds_graph::kernels;
+
 pub use daiwu::{compute_cds_daiwu, rule_k_pass};
 pub use explain::{explain, Explanation};
 pub use incremental::IncrementalCds;

@@ -3,9 +3,11 @@
 //! The pruning rules test neighbourhood coverage many times per node:
 //! `N[v] ⊆ N[u]` (Rule 1) and `N(v) ⊆ N(u) ∪ N(w)` (Rule 2). On a bitset
 //! representation both reduce to a few word-wise `AND`/`OR` passes, turning
-//! the rule engine's inner loop from set scans into O(n/64) word operations.
+//! the rule engine's inner loop from set scans into O(n/64) word operations
+//! — executed 4 words at a time by the [`crate::kernels`] module, with an
+//! early exit per 256-bit chunk.
 
-use crate::{Neighbors, NodeId};
+use crate::{kernels, Neighbors, NodeId};
 
 const WORD_BITS: usize = 64;
 
@@ -117,24 +119,16 @@ impl NeighborBitmap {
         if v != u && !self.contains(u, v) {
             return false;
         }
-        let rv = self.row(v);
-        let ru = self.row(u);
-        // mask = N(v) \ (N(u) ∪ {u, v}) must be empty.
+        // mask = N(v) \ (N(u) ∪ {u, v}) must be empty; the u/v self-bits
+        // are the kernel's exception masks.
         let ubit = u as usize;
         let vbit = v as usize;
-        for i in 0..self.words {
-            let mut excess = rv[i] & !ru[i];
-            if ubit / WORD_BITS == i {
-                excess &= !(1u64 << (ubit % WORD_BITS));
-            }
-            if vbit / WORD_BITS == i {
-                excess &= !(1u64 << (vbit % WORD_BITS));
-            }
-            if excess != 0 {
-                return false;
-            }
-        }
-        true
+        kernels::diff_is_empty_except(
+            self.row(v),
+            self.row(u),
+            (ubit / WORD_BITS, 1u64 << (ubit % WORD_BITS)),
+            (vbit / WORD_BITS, 1u64 << (vbit % WORD_BITS)),
+        )
     }
 
     /// `N(v) ⊆ N(u) ∪ N(w)` — the Rule 2 coverage condition.
@@ -146,15 +140,7 @@ impl NeighborBitmap {
     /// `u ∈ N(w)`: the bitset test computes the literal subset relation with
     /// no special cases, exactly as stated.
     pub fn open_subset_pair(&self, v: NodeId, u: NodeId, w: NodeId) -> bool {
-        let rv = self.row(v);
-        let ru = self.row(u);
-        let rw = self.row(w);
-        for i in 0..self.words {
-            if rv[i] & !(ru[i] | rw[i]) != 0 {
-                return false;
-            }
-        }
-        true
+        kernels::diff_pair_is_empty(self.row(v), self.row(u), self.row(w))
     }
 
     /// Degree of `v` recomputed from the bitset (popcount).
@@ -185,14 +171,7 @@ impl NeighborBitmap {
     /// test that rejects most candidate partners before any full coverage
     /// scan.
     pub fn first_residual_bit(&self, support: &[(u32, u64)], u: NodeId) -> Option<NodeId> {
-        let ru = self.row(u);
-        for &(i, w) in support {
-            let rest = w & !ru[i as usize];
-            if rest != 0 {
-                return Some(i * WORD_BITS as u32 + rest.trailing_zeros());
-            }
-        }
-        None
+        kernels::support_first_diff_bit(support, self.row(u))
     }
 
     /// [`NeighborBitmap::open_subset_pair`] with the support of row `v`
@@ -200,11 +179,7 @@ impl NeighborBitmap {
     /// `N(v) ⊆ N(u) ∪ N(w)` touching only the nonzero words of `N(v)`,
     /// with the usual early exit on the first uncovered word.
     pub fn open_subset_pair_with(&self, support: &[(u32, u64)], u: NodeId, w: NodeId) -> bool {
-        let ru = self.row(u);
-        let rw = self.row(w);
-        support
-            .iter()
-            .all(|&(i, word)| word & !(ru[i as usize] | rw[i as usize]) == 0)
+        kernels::support_diff_pair_is_empty(support, self.row(u), self.row(w))
     }
 
     /// Rebuilds the rows of `verts` from `g` (after a local topology
@@ -238,10 +213,7 @@ impl NeighborBitmap {
             }
             acc[m as usize / WORD_BITS] |= 1 << (m as usize % WORD_BITS);
         }
-        self.row(target)
-            .iter()
-            .zip(&acc)
-            .all(|(t, a)| t & !a == 0)
+        kernels::diff_is_empty(self.row(target), &acc)
     }
 }
 

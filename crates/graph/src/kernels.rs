@@ -1,0 +1,348 @@
+//! Bit-parallel scan kernels for the coverage predicates.
+//!
+//! The pruning rules spend their inner loops deciding word-wise set
+//! relations: `a & !b == 0` over whole bitmap rows (Rule 1's
+//! `N[v] ⊆ N[u]`) and `a & !(b | c) == 0` over rows or sparse row
+//! supports (Rule 2's `N(v) ⊆ N(u) ∪ N(w)`). This module is the single
+//! home of those scans: 4-lane (`u64x4`-shaped) chunked AND/ANDN with an
+//! OR-reduction and an early exit per chunk, written as std-only manual
+//! unrolling so the autovectorizer can lower a chunk to one 256-bit
+//! (or two 128-bit) vector op while the code stays portable.
+//!
+//! Both consumers route through here: the whole-graph
+//! [`NeighborBitmap`](crate::NeighborBitmap) (and with it
+//! `pacds_core::CdsWorkspace`) and the sharded engine's per-tile solver,
+//! which runs the same workspace on tile subgraphs — so the testkit's
+//! bit-identity harness exercises these kernels on every corpus entry.
+//!
+//! The early exit earns its keep probabilistically: Hansen–Schmutz's
+//! analysis of Rule 2 on random unit-disk graphs predicts that almost all
+//! candidate coverage tests fail, and fail *early* — a neighbour outside
+//! the would-be covering pair shows up within the first few words — so
+//! the expected scan length is O(1) chunks even though the worst case is
+//! the full row.
+//!
+//! Every kernel is paired with a scalar reference in the test suite and
+//! checked on adversarial widths (0, 63, 64, 65, 255, 256, 257 bits):
+//! chunk remainders and word boundaries are exactly where a lane bug
+//! would hide.
+
+/// Words per chunk. Four `u64`s = 256 bits, one AVX2 register.
+pub const LANES: usize = 4;
+
+const WORD_BITS: usize = 64;
+
+/// Whether `a & !b == 0` — no bit of `a` survives outside `b`.
+///
+/// Slices must have equal length (debug-asserted; release builds scan the
+/// common prefix, which is the full slice for all in-crate callers).
+#[inline]
+pub fn diff_is_empty(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+        let d = (x[0] & !y[0]) | (x[1] & !y[1]) | (x[2] & !y[2]) | (x[3] & !y[3]);
+        if d != 0 {
+            return false;
+        }
+    }
+    ca.remainder()
+        .iter()
+        .zip(cb.remainder())
+        .all(|(&x, &y)| x & !y == 0)
+}
+
+/// Whether `a & !b == 0` after clearing the exception bits `e0` and `e1`,
+/// each given as `(word index, bit mask)`. This is Rule 1's closed-
+/// neighbourhood test `N[v] ⊆ N[u]` with the `u` and `v` self-bits
+/// excused: open rows never contain the vertex itself, so those two bits
+/// always survive the ANDN and must not count as excess.
+///
+/// The hot path is the same OR-reduced 4-lane chunk as
+/// [`diff_is_empty`]; only a chunk whose reduction is nonzero re-checks
+/// its lanes with the exceptions applied, so the excused words cost one
+/// scalar re-check per run instead of two branches per word.
+#[inline]
+pub fn diff_is_empty_except(a: &[u64], b: &[u64], e0: (usize, u64), e1: (usize, u64)) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    #[inline(always)]
+    fn excused(mut d: u64, i: usize, e0: (usize, u64), e1: (usize, u64)) -> u64 {
+        if i == e0.0 {
+            d &= !e0.1;
+        }
+        if i == e1.0 {
+            d &= !e1.1;
+        }
+        d
+    }
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut base = 0usize;
+    for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+        let d = [x[0] & !y[0], x[1] & !y[1], x[2] & !y[2], x[3] & !y[3]];
+        if d[0] | d[1] | d[2] | d[3] != 0 {
+            for (k, &dk) in d.iter().enumerate() {
+                if excused(dk, base + k, e0, e1) != 0 {
+                    return false;
+                }
+            }
+        }
+        base += LANES;
+    }
+    for (k, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        if excused(x & !y, base + k, e0, e1) != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether `a & !(b | c) == 0` — Rule 2's pair coverage over full rows.
+#[inline]
+pub fn diff_pair_is_empty(a: &[u64], b: &[u64], c: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), c.len());
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut cc = c.chunks_exact(LANES);
+    for ((x, y), z) in ca.by_ref().zip(cb.by_ref()).zip(cc.by_ref()) {
+        let d = (x[0] & !(y[0] | z[0]))
+            | (x[1] & !(y[1] | z[1]))
+            | (x[2] & !(y[2] | z[2]))
+            | (x[3] & !(y[3] | z[3]));
+        if d != 0 {
+            return false;
+        }
+    }
+    ca.remainder()
+        .iter()
+        .zip(cb.remainder())
+        .zip(cc.remainder())
+        .all(|((&x, &y), &z)| x & !(y | z) == 0)
+}
+
+/// Whether every word of the sparse `support` (the nonzero words of a row,
+/// as `(word index, word)` pairs) is covered by `b | c` — the
+/// row-support form of Rule 2's pair coverage, O(degree) gathers instead
+/// of O(n/64) streaming.
+///
+/// The support list is short (at most `deg(v)` entries), so the unroll is
+/// over support entries: four gathers, one OR-reduction, one exit test.
+#[inline]
+pub fn support_diff_pair_is_empty(support: &[(u32, u64)], b: &[u64], c: &[u64]) -> bool {
+    let mut cs = support.chunks_exact(LANES);
+    for s in cs.by_ref() {
+        let d = (s[0].1 & !(b[s[0].0 as usize] | c[s[0].0 as usize]))
+            | (s[1].1 & !(b[s[1].0 as usize] | c[s[1].0 as usize]))
+            | (s[2].1 & !(b[s[2].0 as usize] | c[s[2].0 as usize]))
+            | (s[3].1 & !(b[s[3].0 as usize] | c[s[3].0 as usize]));
+        if d != 0 {
+            return false;
+        }
+    }
+    cs.remainder()
+        .iter()
+        .all(|&(i, w)| w & !(b[i as usize] | c[i as usize]) == 0)
+}
+
+/// The lowest set bit index of `support \ b` (sparse residual), or `None`
+/// when the support is fully covered by `b` — the Rule 2 witness probe.
+///
+/// Order matters (the caller wants the *first* residual vertex), so a
+/// chunk whose OR-reduction is nonzero re-walks its lanes in order.
+#[inline]
+pub fn support_first_diff_bit(support: &[(u32, u64)], b: &[u64]) -> Option<u32> {
+    let mut cs = support.chunks_exact(LANES);
+    for s in cs.by_ref() {
+        let d = [
+            s[0].1 & !b[s[0].0 as usize],
+            s[1].1 & !b[s[1].0 as usize],
+            s[2].1 & !b[s[2].0 as usize],
+            s[3].1 & !b[s[3].0 as usize],
+        ];
+        if d[0] | d[1] | d[2] | d[3] != 0 {
+            for (k, &dk) in d.iter().enumerate() {
+                if dk != 0 {
+                    return Some(s[k].0 * WORD_BITS as u32 + dk.trailing_zeros());
+                }
+            }
+        }
+    }
+    cs.remainder().iter().find_map(|&(i, w)| {
+        let d = w & !b[i as usize];
+        (d != 0).then(|| i * WORD_BITS as u32 + d.trailing_zeros())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Scalar references: the loops the kernels replaced, verbatim.
+
+    fn ref_diff_is_empty(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).all(|(&x, &y)| x & !y == 0)
+    }
+
+    fn ref_diff_is_empty_except(a: &[u64], b: &[u64], e0: (usize, u64), e1: (usize, u64)) -> bool {
+        a.iter().zip(b).enumerate().all(|(i, (&x, &y))| {
+            let mut d = x & !y;
+            if i == e0.0 {
+                d &= !e0.1;
+            }
+            if i == e1.0 {
+                d &= !e1.1;
+            }
+            d == 0
+        })
+    }
+
+    fn ref_diff_pair_is_empty(a: &[u64], b: &[u64], c: &[u64]) -> bool {
+        a.iter()
+            .zip(b)
+            .zip(c)
+            .all(|((&x, &y), &z)| x & !(y | z) == 0)
+    }
+
+    fn ref_support_first_diff_bit(support: &[(u32, u64)], b: &[u64]) -> Option<u32> {
+        for &(i, w) in support {
+            let d = w & !b[i as usize];
+            if d != 0 {
+                return Some(i * 64 + d.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Deterministic pseudo-random words (no RNG dependency needed here).
+    fn mix(seed: u64, i: u64) -> u64 {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x
+    }
+
+    fn row(seed: u64, words: usize, density_shift: u32) -> Vec<u64> {
+        (0..words as u64)
+            .map(|i| {
+                // AND-ing shifted copies thins the bit density so subset
+                // relations actually occur sometimes.
+                let w = mix(seed, i);
+                w & (w >> density_shift)
+            })
+            .collect()
+    }
+
+    /// The adversarial widths from the issue: empty, one-under / exactly /
+    /// one-over a word boundary, and the same around a whole chunk
+    /// (LANES * 64 = 256 bits).
+    const WIDTHS_BITS: &[usize] = &[0, 63, 64, 65, 255, 256, 257];
+
+    fn words_for(bits: usize) -> usize {
+        bits.div_ceil(64)
+    }
+
+    #[test]
+    fn diff_kernels_match_scalar_on_adversarial_widths() {
+        for &bits in WIDTHS_BITS {
+            let words = words_for(bits);
+            for seed in 0..50u64 {
+                let a = row(seed, words, 1);
+                let b = row(seed + 1000, words, 0);
+                let c = row(seed + 2000, words, 0);
+                assert_eq!(
+                    diff_is_empty(&a, &b),
+                    ref_diff_is_empty(&a, &b),
+                    "diff bits={bits} seed={seed}"
+                );
+                assert_eq!(
+                    diff_pair_is_empty(&a, &b, &c),
+                    ref_diff_pair_is_empty(&a, &b, &c),
+                    "pair bits={bits} seed={seed}"
+                );
+                // Subset-true cases (a ⊆ b) must come out true as well.
+                let sub: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x & y).collect();
+                assert!(diff_is_empty(&sub, &b), "subset bits={bits} seed={seed}");
+                assert!(
+                    diff_pair_is_empty(&sub, &b, &c),
+                    "pair subset bits={bits} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_except_matches_scalar_on_adversarial_widths() {
+        for &bits in WIDTHS_BITS {
+            let words = words_for(bits);
+            for seed in 0..50u64 {
+                let a = row(seed, words, 1);
+                let b = row(seed + 3000, words, 0);
+                // Exercise exceptions in the first word, the last word,
+                // and (when wide enough) a mid-chunk word.
+                let mut exc = vec![(0usize, 1u64 << (seed % 64))];
+                if words > 0 {
+                    exc.push((words - 1, 1u64 << ((seed * 7) % 64)));
+                    exc.push((words / 2, 1u64 << ((seed * 13) % 64)));
+                }
+                for &e0 in &exc {
+                    for &e1 in &exc {
+                        assert_eq!(
+                            diff_is_empty_except(&a, &b, e0, e1),
+                            ref_diff_is_empty_except(&a, &b, e0, e1),
+                            "bits={bits} seed={seed} e0={e0:?} e1={e1:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_kernels_match_scalar_on_adversarial_widths() {
+        for &bits in WIDTHS_BITS {
+            let words = words_for(bits);
+            for seed in 0..50u64 {
+                let a = row(seed, words, 1);
+                let b = row(seed + 4000, words, 0);
+                let c = row(seed + 5000, words, 0);
+                let support: Vec<(u32, u64)> = a
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w != 0)
+                    .map(|(i, &w)| (i as u32, w))
+                    .collect();
+                assert_eq!(
+                    support_diff_pair_is_empty(&support, &b, &c),
+                    ref_diff_pair_is_empty(&a, &b, &c),
+                    "support pair bits={bits} seed={seed}"
+                );
+                assert_eq!(
+                    support_first_diff_bit(&support, &b),
+                    ref_support_first_diff_bit(&support, &b),
+                    "support residual bits={bits} seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_vacuously_covered() {
+        assert!(diff_is_empty(&[], &[]));
+        assert!(diff_pair_is_empty(&[], &[], &[]));
+        assert!(diff_is_empty_except(&[], &[], (0, 1), (0, 2)));
+        assert!(support_diff_pair_is_empty(&[], &[], &[]));
+        assert_eq!(support_first_diff_bit(&[], &[]), None);
+    }
+
+    #[test]
+    fn first_diff_bit_is_the_lowest() {
+        // Residual bits in words 1 and 4 (different chunks); the word-1
+        // bit must win, and within a word the lowest bit must win.
+        let b = vec![!0u64, 0, !0, !0, 0, !0];
+        let support = vec![(1u32, 0b1100u64), (4u32, 1u64)];
+        assert_eq!(support_first_diff_bit(&support, &b), Some(64 + 2));
+    }
+}

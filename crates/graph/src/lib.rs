@@ -25,6 +25,7 @@ pub mod digest;
 pub mod gen;
 pub mod graph;
 pub mod io;
+pub mod kernels;
 pub mod neighbors;
 
 pub use bitmap::NeighborBitmap;

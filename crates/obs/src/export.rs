@@ -12,8 +12,8 @@
 //!   buckets plus `_sum`/`_count`.
 
 use crate::recorder::{
-    bucket_bound_ns, counter_value, enabled, par_work_per_thread, Counter, COUNTER_NAMES,
-    NUM_BUCKETS, NUM_COUNTERS, NUM_PHASES,
+    bucket_bound_ns, counter_value, enabled, par_work_per_thread, shard_tiles_per_thread,
+    Counter, COUNTER_NAMES, NUM_BUCKETS, NUM_COUNTERS, NUM_PHASES,
 };
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
@@ -68,6 +68,12 @@ pub struct Snapshot {
     pub phases: Vec<PhaseSnapshot>,
     /// Per-thread parallel work totals (slot-indexed, first-use order).
     pub par_thread_work: Vec<u64>,
+    /// Per-thread sharded tiles solved (same slot identities as
+    /// `par_thread_work`); the work-distribution evidence for parallel
+    /// shard runs. Absent in older snapshot lines, so deserialisation
+    /// defaults it to empty.
+    #[serde(default)]
+    pub shard_thread_tiles: Vec<u64>,
 }
 
 /// The `kind` tag every snapshot line carries.
@@ -114,6 +120,7 @@ impl Snapshot {
             counters,
             phases,
             par_thread_work: par_work_per_thread(),
+            shard_thread_tiles: shard_tiles_per_thread(),
         }
     }
 
@@ -125,6 +132,7 @@ impl Snapshot {
             counters: Vec::new(),
             phases: Vec::new(),
             par_thread_work: Vec::new(),
+            shard_thread_tiles: Vec::new(),
         }
     }
 
@@ -198,6 +206,8 @@ const ALL_COUNTERS: [Counter; NUM_COUNTERS] = {
         ShardOwnedNodes,
         ShardHaloNodes,
         ShardCrossTileEdges,
+        ShardTilesStolen,
+        ShardBusyNs,
     ]
 };
 
@@ -213,7 +223,8 @@ pub fn write_jsonl<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
 /// Counters become `pacds_<label>_total` (dots mapped to underscores);
 /// phases become the histogram family `pacds_phase_duration_ns` with
 /// cumulative `le` buckets, `_sum` and `_count`; per-thread parallel work
-/// becomes `pacds_par_thread_work_total{thread="i"}`.
+/// becomes `pacds_par_thread_work_total{thread="i"}` and per-thread shard
+/// tile counts `pacds_shard_thread_tiles_total{thread="i"}`.
 pub fn write_prometheus<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
     for c in &snap.counters {
         let name = c.name.replace('.', "_");
@@ -252,6 +263,12 @@ pub fn write_prometheus<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> 
         }
         writeln!(w, "pacds_par_thread_work_total{{thread=\"{i}\"}} {work}")?;
     }
+    for (i, tiles) in snap.shard_thread_tiles.iter().enumerate() {
+        if i == 0 {
+            writeln!(w, "# TYPE pacds_shard_thread_tiles_total counter")?;
+        }
+        writeln!(w, "pacds_shard_thread_tiles_total{{thread=\"{i}\"}} {tiles}")?;
+    }
     Ok(())
 }
 
@@ -282,12 +299,18 @@ mod tests {
             buckets: vec![0, 1, 2],
         });
         snap.par_thread_work = vec![7, 0, 3];
+        snap.shard_thread_tiles = vec![4, 4];
         let mut buf = Vec::new();
         write_jsonl(&snap, &mut buf).unwrap();
         let line = String::from_utf8(buf).unwrap();
         assert!(line.ends_with('\n'));
         let back: Snapshot = serde_json::from_str(line.trim_end()).unwrap();
         assert_eq!(back, snap);
+        // Older producers omit the shard tile table; it must default.
+        let old: Snapshot =
+            serde_json::from_str(r#"{"kind":"obs_snapshot","enabled":false,"counters":[],"phases":[],"par_thread_work":[]}"#)
+                .unwrap();
+        assert!(old.shard_thread_tiles.is_empty());
         assert_eq!(back.counter("rule1.candidates"), 42);
         assert_eq!(back.counter("rule1.unmarked"), 0);
         assert_eq!(back.phase("rule1").unwrap().count, 3);
@@ -325,9 +348,12 @@ mod tests {
             total_ns: 300,
             buckets: vec![1, 1],
         });
+        snap.shard_thread_tiles = vec![3, 2];
         let mut buf = Vec::new();
         write_prometheus(&snap, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("pacds_shard_thread_tiles_total{thread=\"0\"} 3"));
+        assert!(text.contains("pacds_shard_thread_tiles_total{thread=\"1\"} 2"));
         assert!(text.contains("pacds_rule2_unmarked_total 9"));
         assert!(text.contains("pacds_phase_duration_ns_bucket{phase=\"sim.cds\",le=\"128\"} 1"));
         assert!(text.contains("pacds_phase_duration_ns_bucket{phase=\"sim.cds\",le=\"256\"} 2"));

@@ -73,7 +73,8 @@ pub mod recorder;
 
 pub use export::{write_jsonl, write_prometheus, PhaseSnapshot, Snapshot};
 pub use recorder::{
-    enabled, par_tick, phase_timer, record_phase_ns, reset, Counter, Phase, PhaseTimer, Tally,
+    enabled, par_tick, phase_timer, record_phase_ns, reset, shard_thread_tiles_tick,
+    shard_tiles_per_thread, Counter, Phase, PhaseTimer, Tally,
 };
 
 /// Convenience: increments a counter by 1 (no-op without `enabled`).

@@ -132,6 +132,11 @@ metric_enum! {
         ShardHaloNodes => "shard.halo_nodes",
         /// Shard: undirected edges crossing a tile-ownership boundary.
         ShardCrossTileEdges => "shard.cross_tile_edges",
+        /// Shard: tiles a worker took from another worker's queue.
+        ShardTilesStolen => "shard.tiles_stolen",
+        /// Shard: nanoseconds workers spent solving tiles (summed CPU
+        /// time across workers, not wall time).
+        ShardBusyNs => "shard.busy_ns",
     }
 }
 
@@ -212,6 +217,8 @@ mod storage {
         [const { [const { AtomicU64::new(0) }; NUM_BUCKETS] }; NUM_PHASES];
     pub static PAR_WORK: [AtomicU64; NUM_PAR_SLOTS] =
         [const { AtomicU64::new(0) }; NUM_PAR_SLOTS];
+    pub static SHARD_TILES: [AtomicU64; NUM_PAR_SLOTS] =
+        [const { AtomicU64::new(0) }; NUM_PAR_SLOTS];
 
     /// Monotone id source for per-thread parallel-work slots.
     pub static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
@@ -284,18 +291,41 @@ pub fn par_tick(n: u64) {
 /// assigned in first-use order and trailing zero slots are trimmed.
 pub fn par_work_per_thread() -> Vec<u64> {
     #[cfg(feature = "enabled")]
-    {
-        let mut v: Vec<u64> = storage::PAR_WORK
-            .iter()
-            .map(|s| s.load(Ordering::Relaxed))
-            .collect();
-        while v.last() == Some(&0) {
-            v.pop();
-        }
-        v
-    }
+    return trimmed(&storage::PAR_WORK);
     #[cfg(not(feature = "enabled"))]
     Vec::new()
+}
+
+/// Adds `n` sharded tiles solved to the calling thread's slot (and to
+/// [`Counter::ShardTiles`] via the engine's own totals, not here) —
+/// the work-distribution evidence CI uses where wall-clock scaling
+/// cannot be trusted: on a 2-thread run, two slots must be non-zero.
+#[inline]
+pub fn shard_thread_tiles_tick(n: u64) {
+    #[cfg(feature = "enabled")]
+    storage::PAR_SLOT.with(|&slot| {
+        storage::SHARD_TILES[slot].fetch_add(n, Ordering::Relaxed);
+    });
+    #[cfg(not(feature = "enabled"))]
+    let _ = n;
+}
+
+/// Per-thread sharded-tiles-solved totals (empty when disabled); same
+/// slot identities as [`par_work_per_thread`].
+pub fn shard_tiles_per_thread() -> Vec<u64> {
+    #[cfg(feature = "enabled")]
+    return trimmed(&storage::SHARD_TILES);
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+#[cfg(feature = "enabled")]
+fn trimmed(slots: &[AtomicU64; NUM_PAR_SLOTS]) -> Vec<u64> {
+    let mut v: Vec<u64> = slots.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+    v
 }
 
 /// Scope guard started by [`phase_timer`]: records the elapsed time under
@@ -407,6 +437,9 @@ pub fn reset() {
             }
         }
         for s in &storage::PAR_WORK {
+            s.store(0, Ordering::Relaxed);
+        }
+        for s in &storage::SHARD_TILES {
             s.store(0, Ordering::Relaxed);
         }
     }

@@ -2,6 +2,7 @@
 //! ownership-filtered merge.
 
 use crate::error::{check_shardable, ShardError};
+use crate::pool::WorkerPool;
 use crate::REQUIRED_HALO;
 use pacds_core::{CdsConfig, CdsWorkspace};
 use pacds_graph::gen::{unit_disk_csr_subset, TilePartition, UnitDiskScratch};
@@ -21,8 +22,10 @@ pub struct ShardSpec {
     /// rejected by [`ShardedCds::new`].
     pub halo: usize,
     /// Worker threads; `0` uses the machine's available parallelism, `1`
-    /// solves every tile inline on the calling thread (the strictly
-    /// zero-allocation path — spawning scoped threads allocates stacks).
+    /// solves every tile inline on the calling thread. Both paths are
+    /// allocation-free once warm: the parallel path reuses a persistent
+    /// worker pool spawned on the first computation, the inline path never
+    /// touches threads at all.
     pub threads: usize,
 }
 
@@ -39,6 +42,18 @@ impl ShardSpec {
     /// Automatic shard count, exact halo, inline solve.
     pub fn auto() -> Self {
         Self::new(0)
+    }
+
+    /// Automatic shard count, exact halo, one executor per available core
+    /// — the shape benches and the CLI should use when they mean
+    /// "actually use the machine". (`auto()` deliberately stays inline:
+    /// it is the conservative embedding default.)
+    pub fn all_cores() -> Self {
+        Self {
+            shards: 0,
+            halo: REQUIRED_HALO,
+            threads: 0,
+        }
     }
 
     fn resolved_threads(&self) -> usize {
@@ -81,6 +96,24 @@ pub struct ShardStats {
     pub solve_ns: u64,
     /// Time scattering per-tile verdicts into the output masks.
     pub merge_ns: u64,
+    /// Tiles an executor took from another executor's stripe of the
+    /// size-ordered schedule (0 on single-threaded runs, where there is
+    /// nobody to steal from).
+    pub stolen_tiles: u64,
+}
+
+/// One executor's work-distribution totals from the latest computation —
+/// the evidence that parallel runs actually spread tiles across cores
+/// (wall-clock speedup is machine-dependent; these counters are not).
+/// Index 0 is the calling thread, which participates as an executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadWork {
+    /// Tiles this executor solved (own stripe + stolen).
+    pub tiles_solved: u64,
+    /// Of those, tiles taken from another executor's stripe.
+    pub tiles_stolen: u64,
+    /// Wall time this executor spent inside the tile loop, nanoseconds.
+    pub busy_ns: u64,
 }
 
 /// One worker's retained state; a slot solves many tiles sequentially, so
@@ -101,6 +134,9 @@ struct WorkerSlot {
     cross_edges: u64,
     halo_build_ns: u64,
     solve_ns: u64,
+    tiles_solved: u64,
+    tiles_stolen: u64,
+    busy_ns: u64,
 }
 
 impl WorkerSlot {
@@ -110,6 +146,9 @@ impl WorkerSlot {
         self.cross_edges = 0;
         self.halo_build_ns = 0;
         self.solve_ns = 0;
+        self.tiles_solved = 0;
+        self.tiles_stolen = 0;
+        self.busy_ns = 0;
     }
 }
 
@@ -133,6 +172,17 @@ pub struct ShardedCds {
     spec: ShardSpec,
     partition: TilePartition,
     slots: Vec<WorkerSlot>,
+    pool: WorkerPool,
+    /// Tile ids sorted descending by estimated cost (the LPT schedule);
+    /// executor `w` owns positions `w, w + W, w + 2W, ...`.
+    order: Vec<u32>,
+    /// Per-tile cost estimates backing the sort (owned population in the
+    /// spatial mode, degree mass in the graph mode).
+    weights: Vec<u64>,
+    /// Per-executor stripe cursors; a fetch-add claims one stripe position,
+    /// so every tile is executed exactly once whether taken by its owner
+    /// or by a thief.
+    cursors: Vec<AtomicUsize>,
     marked: VertexMask,
     after1: VertexMask,
     gateways: VertexMask,
@@ -216,30 +266,44 @@ impl ShardedCds {
         let nthreads = self.spec.resolved_threads().clamp(1, ntiles.max(1));
         self.ensure_slots(nthreads);
 
-        let (partition, cfg_ref) = (&self.partition, cfg);
-        run_tiles(&mut self.slots[..nthreads], ntiles, |slot, t| {
-            let hb = Instant::now();
-            {
-                let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
-                partition.gather_expanded(t, margin, points, &mut slot.locals);
-                unit_disk_csr_subset(radius, points, &slot.locals, &mut slot.csr, &mut slot.uds);
-            }
-            slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+        // LPT schedule: owned population is the cheap, accurate-enough
+        // proxy for a tile's halo-build + solve cost.
+        let partition = &self.partition;
+        self.weights.clear();
+        self.weights
+            .extend((0..ntiles).map(|t| partition.owned(t).len() as u64));
+        schedule_order(&mut self.order, &self.weights);
 
-            // Ascending-list merge walk: flag the locals this tile owns.
-            let owned = partition.owned(t);
-            slot.owned_flags.clear();
-            slot.owned_flags.resize(slot.locals.len(), false);
-            let mut oi = 0;
-            for (li, &g) in slot.locals.iter().enumerate() {
-                if oi < owned.len() && owned[oi] == g {
-                    slot.owned_flags[li] = true;
-                    oi += 1;
+        let cfg_ref = cfg;
+        run_tiles(
+            &mut self.pool,
+            &mut self.slots[..nthreads],
+            &self.order,
+            &self.cursors[..nthreads],
+            |slot, t| {
+                let hb = Instant::now();
+                {
+                    let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
+                    partition.gather_expanded(t, margin, points, &mut slot.locals);
+                    unit_disk_csr_subset(radius, points, &slot.locals, &mut slot.csr, &mut slot.uds);
                 }
-            }
-            debug_assert_eq!(oi, owned.len(), "tile {t} halo lost an owned node");
-            solve_locals(slot, owned.len(), energy, cfg_ref);
-        });
+                slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+
+                // Ascending-list merge walk: flag the locals this tile owns.
+                let owned = partition.owned(t);
+                slot.owned_flags.clear();
+                slot.owned_flags.resize(slot.locals.len(), false);
+                let mut oi = 0;
+                for (li, &g) in slot.locals.iter().enumerate() {
+                    if oi < owned.len() && owned[oi] == g {
+                        slot.owned_flags[li] = true;
+                        oi += 1;
+                    }
+                }
+                debug_assert_eq!(oi, owned.len(), "tile {t} halo lost an owned node");
+                solve_locals(slot, owned.len(), energy, cfg_ref);
+            },
+        );
 
         // The single-pass schedule runs exactly one (Rule 1; Rule 2) round
         // when the policy prunes — same as the whole-graph workspace.
@@ -274,28 +338,45 @@ impl ShardedCds {
         let nthreads = self.spec.resolved_threads().clamp(1, nblocks);
         self.ensure_slots(nthreads);
 
-        let cfg_ref = cfg;
-        run_tiles(&mut self.slots[..nthreads], nblocks, |slot, b| {
-            let lo = (b * n / nblocks) as u32;
-            let hi = ((b + 1) * n / nblocks) as u32;
-            let hb = Instant::now();
-            {
-                let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
-                gather_bfs_halo(slot, g, lo, hi, halo);
-                let (csr, locals, g2l) = (&mut slot.csr, &slot.locals, &mut slot.g2l);
-                csr.rebuild_induced(g, locals, g2l);
-            }
-            slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+        // LPT schedule: block populations are near-uniform by
+        // construction, so weigh blocks by degree mass (one `degree` read
+        // per vertex — noise next to the BFS halo that follows).
+        self.weights.clear();
+        self.weights.extend((0..nblocks).map(|b| {
+            (b * n / nblocks..(b + 1) * n / nblocks)
+                .map(|v| g.degree(v as NodeId) as u64 + 1)
+                .sum::<u64>()
+        }));
+        schedule_order(&mut self.order, &self.weights);
 
-            slot.owned_flags.clear();
-            slot.owned_flags.resize(slot.locals.len(), false);
-            for (li, &v) in slot.locals.iter().enumerate() {
-                if v >= lo && v < hi {
-                    slot.owned_flags[li] = true;
+        let cfg_ref = cfg;
+        run_tiles(
+            &mut self.pool,
+            &mut self.slots[..nthreads],
+            &self.order,
+            &self.cursors[..nthreads],
+            |slot, b| {
+                let lo = (b * n / nblocks) as u32;
+                let hi = ((b + 1) * n / nblocks) as u32;
+                let hb = Instant::now();
+                {
+                    let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
+                    gather_bfs_halo(slot, g, lo, hi, halo);
+                    let (csr, locals, g2l) = (&mut slot.csr, &slot.locals, &mut slot.g2l);
+                    csr.rebuild_induced(g, locals, g2l);
                 }
-            }
-            solve_locals(slot, (hi - lo) as usize, energy, cfg_ref);
-        });
+                slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+
+                slot.owned_flags.clear();
+                slot.owned_flags.resize(slot.locals.len(), false);
+                for (li, &v) in slot.locals.iter().enumerate() {
+                    if v >= lo && v < hi {
+                        slot.owned_flags[li] = true;
+                    }
+                }
+                solve_locals(slot, (hi - lo) as usize, energy, cfg_ref);
+            },
+        );
 
         self.finish(n, nblocks, 0, usize::from(cfg.policy.prunes()))
     }
@@ -303,6 +384,12 @@ impl ShardedCds {
     fn ensure_slots(&mut self, nthreads: usize) {
         if self.slots.len() < nthreads {
             self.slots.resize_with(nthreads, WorkerSlot::default);
+        }
+        if self.cursors.len() < nthreads {
+            self.cursors.resize_with(nthreads, AtomicUsize::default);
+        }
+        for c in &self.cursors {
+            c.store(0, Ordering::Relaxed);
         }
         // Reset every slot, not just the ones this run will use: `finish`
         // sums over all slots, and a previous wider run must not leak
@@ -354,6 +441,7 @@ impl ShardedCds {
             halo_build_ns: self.slots.iter().map(|s| s.halo_build_ns).sum(),
             solve_ns: self.slots.iter().map(|s| s.solve_ns).sum(),
             merge_ns: mg.elapsed().as_nanos() as u64,
+            stolen_tiles: self.slots.iter().map(|s| s.tiles_stolen).sum(),
         };
         pacds_obs::add(pacds_obs::Counter::ShardComputes, 1);
         pacds_obs::add(pacds_obs::Counter::ShardTiles, tiles as u64);
@@ -365,6 +453,14 @@ impl ShardedCds {
         pacds_obs::add(
             pacds_obs::Counter::ShardCrossTileEdges,
             self.stats.cross_tile_edges,
+        );
+        pacds_obs::add(
+            pacds_obs::Counter::ShardTilesStolen,
+            self.stats.stolen_tiles,
+        );
+        pacds_obs::add(
+            pacds_obs::Counter::ShardBusyNs,
+            self.slots.iter().map(|s| s.busy_ns).sum(),
         );
         Ok(&self.gateways)
     }
@@ -403,6 +499,20 @@ impl ShardedCds {
     #[inline]
     pub fn stats(&self) -> ShardStats {
         self.stats
+    }
+
+    /// Per-executor work distribution of the latest computation (index 0
+    /// is the calling thread). Allocates — a diagnostics accessor, not
+    /// part of the warm path.
+    pub fn thread_work(&self) -> Vec<ThreadWork> {
+        self.slots
+            .iter()
+            .map(|s| ThreadWork {
+                tiles_solved: s.tiles_solved,
+                tiles_stolen: s.tiles_stolen,
+                busy_ns: s.busy_ns,
+            })
+            .collect()
     }
 }
 
@@ -491,32 +601,99 @@ fn gather_bfs_halo<G: Neighbors + ?Sized>(
     }
 }
 
-/// Runs `f` over tiles `0..ntiles`; one thread per slot, tiles handed out
-/// by an atomic work-stealing counter. A single slot runs inline with no
-/// spawn (the zero-allocation path).
-fn run_tiles<F>(slots: &mut [WorkerSlot], ntiles: usize, f: F)
-where
+/// Refills `order` with `0..weights.len()` sorted descending by weight —
+/// the LPT (longest-processing-time-first) schedule. Big tiles start
+/// first, so the stragglers at the end of the run are the *small* tiles
+/// and the final imbalance is bounded by one small tile per executor,
+/// instead of a worst case where an executor picks up the largest tile
+/// last. In-place `sort_unstable` on a retained buffer: allocation-free
+/// once warm. Equal weights tie-break on the tile id, keeping schedules
+/// reproducible run to run.
+fn schedule_order(order: &mut Vec<u32>, weights: &[u64]) {
+    order.clear();
+    order.extend(0..weights.len() as u32);
+    order.sort_unstable_by_key(|&t| (std::cmp::Reverse(weights[t as usize]), t));
+}
+
+/// Base pointer of the slot table, shared with the pool job. Each executor
+/// id indexes a distinct slot, so the mutable accesses are disjoint by
+/// construction.
+#[derive(Clone, Copy)]
+struct SlotsPtr(*mut WorkerSlot);
+unsafe impl Send for SlotsPtr {}
+unsafe impl Sync for SlotsPtr {}
+
+impl SlotsPtr {
+    /// # Safety
+    /// The caller must ensure `id` is in bounds and that no other live
+    /// reference aliases slot `id`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot(&self, id: usize) -> &mut WorkerSlot {
+        &mut *self.0.add(id)
+    }
+}
+
+/// Runs `f` over every tile in `order`, one executor per slot.
+///
+/// A single slot runs inline with no thread traffic at all. With more,
+/// the persistent pool runs a strided-stripe schedule over the
+/// size-ordered `order`: executor `w` owns positions `w, w + W, ...`
+/// (interleaving spreads the big front-of-order tiles evenly), claims
+/// them through its own atomic cursor, and when its stripe runs dry
+/// steals from the other stripes — every claim is a `fetch_add`, so each
+/// tile runs exactly once no matter who takes it. Per-slot
+/// solved/stolen/busy tallies feed [`ShardStats`], [`ThreadWork`] and the
+/// obs per-thread table.
+fn run_tiles<F>(
+    pool: &mut WorkerPool,
+    slots: &mut [WorkerSlot],
+    order: &[u32],
+    cursors: &[AtomicUsize],
+    f: F,
+) where
     F: Fn(&mut WorkerSlot, usize) + Sync,
 {
-    if slots.len() <= 1 {
+    let nworkers = slots.len();
+    if nworkers <= 1 {
         let slot = &mut slots[0];
-        for t in 0..ntiles {
-            f(slot, t);
+        let start = Instant::now();
+        for &t in order {
+            f(slot, t as usize);
         }
+        slot.tiles_solved += order.len() as u64;
+        slot.busy_ns += start.elapsed().as_nanos() as u64;
+        pacds_obs::shard_thread_tiles_tick(order.len() as u64);
         return;
     }
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for slot in slots.iter_mut() {
-            let (next, f) = (&next, &f);
-            s.spawn(move || loop {
-                let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= ntiles {
-                    break;
+    debug_assert!(cursors.len() >= nworkers);
+    let base = SlotsPtr(slots.as_mut_ptr());
+    pool.run(nworkers, &|id| {
+        // SAFETY: executor ids within one generation are distinct and
+        // `id < nworkers == slots.len()`, so each executor holds the only
+        // reference to its slot; the pool's completion barrier orders all
+        // slot writes before `run_tiles` returns.
+        let slot = unsafe { base.slot(id) };
+        let start = Instant::now();
+        let (mut solved, mut stolen) = (0u64, 0u64);
+        'tiles: loop {
+            // Own stripe first; on a dry stripe, sweep the others.
+            for d in 0..nworkers {
+                let v = (id + d) % nworkers;
+                let k = cursors[v].fetch_add(1, Ordering::Relaxed);
+                let pos = v + k * nworkers;
+                if pos < order.len() {
+                    f(slot, order[pos] as usize);
+                    solved += 1;
+                    stolen += u64::from(d != 0);
+                    continue 'tiles;
                 }
-                f(slot, t);
-            });
+            }
+            break;
         }
+        slot.tiles_solved += solved;
+        slot.tiles_stolen += stolen;
+        slot.busy_ns += start.elapsed().as_nanos() as u64;
+        pacds_obs::shard_thread_tiles_tick(solved);
     });
 }
 
@@ -682,6 +859,77 @@ mod tests {
             .unwrap();
         assert_eq!(one.stats().halo_nodes, 0);
         assert_eq!(one.stats().cross_tile_edges, 0);
+    }
+
+    #[test]
+    fn schedule_is_descending_by_weight_with_id_tie_break() {
+        let mut order = Vec::new();
+        schedule_order(&mut order, &[3, 9, 1, 9, 3]);
+        assert_eq!(order, vec![1, 3, 0, 4, 2]);
+        schedule_order(&mut order, &[]);
+        assert!(order.is_empty());
+        // The buffer is fully refilled, not appended.
+        schedule_order(&mut order, &[5]);
+        assert_eq!(order, vec![0]);
+    }
+
+    #[test]
+    fn thread_work_tallies_cover_every_tile_exactly_once() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(95);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 400);
+        let cfg = CdsConfig::policy(Policy::Id);
+
+        let mut inline = ShardedCds::new(ShardSpec::new(16)).unwrap();
+        inline
+            .compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg)
+            .unwrap();
+        let w = inline.thread_work();
+        assert_eq!(w.iter().map(|t| t.tiles_solved).sum::<u64>(), 16);
+        assert_eq!(w.iter().map(|t| t.tiles_stolen).sum::<u64>(), 0);
+        assert_eq!(inline.stats().stolen_tiles, 0);
+        assert!(w[0].busy_ns > 0, "the inline executor records busy time");
+
+        let mut par = ShardedCds::new(ShardSpec {
+            threads: 3,
+            ..ShardSpec::new(16)
+        })
+        .unwrap();
+        par.compute_unit_disk(Rect::paper_arena(), 25.0, &pts, None, &cfg)
+            .unwrap();
+        let w = par.thread_work();
+        assert_eq!(
+            w.iter().map(|t| t.tiles_solved).sum::<u64>(),
+            16,
+            "strided claims must cover each tile exactly once: {w:?}"
+        );
+        let stolen: u64 = w.iter().map(|t| t.tiles_stolen).sum();
+        assert_eq!(par.stats().stolen_tiles, stolen);
+        assert!(
+            w.iter().all(|t| t.tiles_stolen <= t.tiles_solved),
+            "stolen tiles are a subset of solved tiles: {w:?}"
+        );
+        // Graph mode maintains the same invariant.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(96);
+        let g = gen::gnp(&mut rng, 120, 0.1);
+        let mut eng = ShardedCds::new(ShardSpec {
+            threads: 2,
+            ..ShardSpec::new(8)
+        })
+        .unwrap();
+        eng.compute_graph(&g, None, &cfg).unwrap();
+        let w = eng.thread_work();
+        assert_eq!(w.iter().map(|t| t.tiles_solved).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn all_cores_spec_uses_machine_parallelism() {
+        let spec = ShardSpec::all_cores();
+        assert_eq!(spec.threads, 0);
+        assert_eq!(spec.halo, REQUIRED_HALO);
+        assert!(spec.resolved_threads() >= 1);
+        // auto() stays inline — embedding code that asks for no threads
+        // gets none.
+        assert_eq!(ShardSpec::auto().threads, 1);
     }
 
     #[test]

@@ -19,9 +19,14 @@
 //!    points in the spatial mode, so the whole-graph adjacency never
 //!    materialises.
 //! 3. **Solve** — each tile runs the ordinary marking + rule passes on its
-//!    own retained [`pacds_core::CdsWorkspace`]; worker threads pull tiles
-//!    from an atomic counter, and `threads == 1` solves inline with zero
-//!    steady-state heap allocations.
+//!    own retained [`pacds_core::CdsWorkspace`]. Tiles are scheduled
+//!    big-first (LPT) over a persistent worker pool: each executor owns a
+//!    stride of the size-ordered schedule and steals from the others when
+//!    its stripe runs dry ([`ShardedCds::thread_work`] reports the
+//!    distribution). Halo construction happens *inside* the per-tile job,
+//!    so it parallelises along with the solve. Both `threads == 1` and the
+//!    parallel path are free of steady-state heap allocations — the pool
+//!    spawns once, and every per-run buffer is retained.
 //! 4. **Merge** — each node's verdict is taken only from the shard that
 //!    owns it; every node is owned by exactly one shard.
 //!
@@ -50,8 +55,9 @@
 
 mod engine;
 mod error;
+mod pool;
 
-pub use engine::{ShardSpec, ShardStats, ShardedCds};
+pub use engine::{ShardSpec, ShardStats, ShardedCds, ThreadWork};
 pub use error::{check_shardable, ShardError, UnshardableReason};
 
 /// Minimum halo width (in hops) for bit-identity, and the default of

@@ -1,0 +1,293 @@
+//! A persistent worker pool for the sharded engine.
+//!
+//! The previous engine spawned scoped threads on every computation; each
+//! spawn allocates a stack and kernel resources, so the multi-threaded
+//! path could never satisfy the zero-allocation warm-path pin that the
+//! `threads == 1` path has. This pool spawns its workers **once**, on the
+//! first parallel run, and every later [`WorkerPool::run`] is a
+//! lock/condvar handoff on retained state — no heap traffic on Linux,
+//! where `std`'s `Mutex`/`Condvar` are futex-based and unboxed.
+//!
+//! ## Shape
+//!
+//! * The calling thread participates as **executor 0** (it would
+//!   otherwise idle in a join loop), so a run with `executors == t` keeps
+//!   only `t - 1` pool threads.
+//! * A run publishes one type-erased job (`&dyn Fn(usize)` behind a raw
+//!   pointer) under a generation counter; workers wake on a condvar, run
+//!   the job with their executor id, and decrement an active count whose
+//!   zero-crossing wakes the caller.
+//! * [`WorkerPool::run`] does not return until every participating
+//!   executor has finished, which is what makes the lifetime-erased job
+//!   pointer sound: the borrowed closure strictly outlives every
+//!   dereference.
+//! * Panics on either side are caught and re-raised on the calling thread
+//!   after the barrier, so a poisoned tile cannot wedge the pool.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// One published job: the closure (lifetime-erased; see [`WorkerPool::run`]
+/// for the soundness argument) and how many pool workers participate.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    /// Pool workers joining this generation (executor ids `1..=helpers`);
+    /// workers with a higher index sit the generation out.
+    helpers: usize,
+}
+
+// SAFETY: the pointer is only dereferenced between publication and the
+// active-count barrier in `run`, during which the pointee is borrowed by
+// the (blocked) calling thread; `Sync` on the pointee makes the shared
+// calls sound.
+unsafe impl Send for Job {}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Bumped once per run; workers compare against their last-seen value
+    /// so a stale wakeup never re-runs a finished job.
+    generation: u64,
+    job: Option<Job>,
+    /// Participating workers still inside the current generation.
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// A lazily-spawned, persistent pool of shard workers. `Default` holds no
+/// threads at all; the first [`WorkerPool::run`] spawns what it needs and
+/// later runs reuse (and, if wider, extend) the same threads.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerPool {
+    inner: Option<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Runs `f(id)` for `id in 0..executors`, the calling thread serving
+    /// executor 0, and returns once all executors have finished. Requires
+    /// `executors >= 2` (a single executor needs no pool — call directly).
+    ///
+    /// Panics raised inside any executor propagate to the caller after
+    /// every other executor has drained.
+    pub(crate) fn run(&mut self, executors: usize, f: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(executors >= 2, "run() is for the parallel path");
+        let helpers = executors - 1;
+        let inner = self.ensure(helpers);
+
+        // SAFETY: purely a lifetime cast (`'a` -> `'static`) on a fat
+        // reference; the barrier below keeps `f` borrowed for as long as
+        // any worker may dereference the published pointer.
+        let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        {
+            let mut st = lock(&inner.shared.state);
+            st.generation = st.generation.wrapping_add(1);
+            st.job = Some(Job {
+                f: f_static,
+                helpers,
+            });
+            st.active = helpers;
+            st.panicked = false;
+        }
+        inner.shared.work_cv.notify_all();
+
+        let main_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        let mut st = lock(&inner.shared.state);
+        while st.active > 0 {
+            st = inner
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
+        assert!(!worker_panicked, "a shard worker panicked");
+    }
+
+    /// Number of spawned pool threads (not counting the caller).
+    #[cfg(test)]
+    pub(crate) fn spawned(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.handles.len())
+    }
+
+    fn ensure(&mut self, helpers: usize) -> &PoolInner {
+        let inner = self.inner.get_or_insert_with(|| PoolInner {
+            shared: Arc::new(Shared::default()),
+            handles: Vec::new(),
+        });
+        while inner.handles.len() < helpers {
+            let index = inner.handles.len();
+            let shared = Arc::clone(&inner.shared);
+            // Capture the pre-publication generation HERE, on the spawning
+            // thread: the worker body may not get scheduled until after the
+            // caller has already published its first job, and a worker that
+            // read the bumped generation as its baseline would sit that job
+            // out forever (deadlocking the publisher's barrier).
+            let seen = lock(&inner.shared.state).generation;
+            let handle = std::thread::Builder::new()
+                .name(format!("pacds-shard-{index}"))
+                .spawn(move || worker_loop(&shared, index, seen))
+                .expect("spawning a shard worker failed");
+            inner.handles.push(handle);
+        }
+        inner
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            lock(&inner.shared.state).shutdown = true;
+            inner.shared.work_cv.notify_all();
+            for handle in inner.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Locks ignoring poisoning: `State` transitions are all straight-line
+/// stores, so a panic can never leave it mid-update.
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &Shared, index: usize, mut seen: u64) {
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if st.generation != seen => {
+                        seen = st.generation;
+                        break job;
+                    }
+                    _ => st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        if index >= job.helpers {
+            continue; // generation acknowledged, but this worker sits out
+        }
+        // SAFETY: `run` holds the closure borrowed until `active` reaches
+        // zero, which cannot happen before the decrement below.
+        let f = unsafe { &*job.f };
+        let result = catch_unwind(AssertUnwindSafe(|| f(index + 1)));
+        let mut st = lock(&shared.state);
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_executor_exactly_once_and_reuses_threads() {
+        let mut pool = WorkerPool::default();
+        let hits = [const { AtomicUsize::new(0) }; 4];
+        pool.run(4, &|id| {
+            hits[id].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(pool.spawned(), 3);
+        for (id, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "executor {id}");
+        }
+        // A second, narrower run reuses the pool without spawning.
+        pool.run(2, &|id| {
+            hits[id].fetch_add(10, Ordering::Relaxed);
+        });
+        assert_eq!(pool.spawned(), 3);
+        assert_eq!(hits[0].load(Ordering::Relaxed), 11);
+        assert_eq!(hits[1].load(Ordering::Relaxed), 11);
+        assert_eq!(hits[2].load(Ordering::Relaxed), 1);
+        // And a wider run extends it.
+        pool.run(5, &|_| {});
+        assert_eq!(pool.spawned(), 4);
+    }
+
+    #[test]
+    fn results_are_visible_after_run_returns() {
+        let mut pool = WorkerPool::default();
+        let total = AtomicU64::new(0);
+        for round in 0..50u64 {
+            pool.run(3, &|id| {
+                total.fetch_add(round * 3 + id as u64, Ordering::Relaxed);
+            });
+        }
+        // sum over rounds of (9*round + 3)
+        let expected: u64 = (0..50).map(|r| 9 * r + 3).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let mut pool = WorkerPool::default();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|id| {
+                if id == 1 {
+                    panic!("tile exploded");
+                }
+            });
+        }));
+        assert!(err.is_err());
+        // The pool is still usable afterwards.
+        let ran = AtomicUsize::new(0);
+        pool.run(2, &|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn caller_panic_propagates_after_workers_drain() {
+        let mut pool = WorkerPool::default();
+        let worker_ran = AtomicUsize::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|id| {
+                if id == 0 {
+                    panic!("main-side failure");
+                }
+                worker_ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(err.is_err());
+        assert_eq!(worker_ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dropping_an_unused_pool_is_fine() {
+        drop(WorkerPool::default());
+    }
+}

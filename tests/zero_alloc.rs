@@ -177,6 +177,72 @@ fn sharded_engine_recompute_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn parallel_sharded_recompute_is_allocation_free_after_warmup() {
+    // The same property for the *parallel* path (`threads == 2`): the
+    // persistent worker pool spawns its thread on the first compute, the
+    // LPT schedule sorts in place on a retained order buffer, stripe
+    // cursors are retained atomics, and the condvar handoff itself is
+    // futex-based — so a warm parallel recompute, halo build included,
+    // performs zero heap allocations on the *calling* thread. (The
+    // counting allocator is global, so pool-thread allocations would be
+    // caught too; timing makes their attribution to a measured round
+    // nondeterministic, which is why warm-up must cover every layout.)
+    use pacds::geom::Rect;
+    use pacds::shard::{ShardSpec, ShardedCds};
+
+    let bounds = Rect::square(300.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let base = pacds::geom::placement::uniform_points(&mut rng, bounds, N);
+    let energy: Vec<u64> = (0..N as u64).map(|i| (i * 6271) % 100).collect();
+    let cds_cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let mut engine = ShardedCds::new(ShardSpec {
+        shards: 8,
+        threads: 2,
+        ..ShardSpec::auto()
+    })
+    .expect("default halo is legal");
+
+    const LAYOUTS: usize = 5;
+    let mut points = base.clone();
+    let layout = |points: &mut Vec<pacds::geom::Point2>, round: usize| {
+        for (i, (p, b)) in points.iter_mut().zip(&base).enumerate() {
+            let phase = (i + (round % LAYOUTS) * 137) as f64;
+            p.x = (b.x + 3.0 * phase.sin()).clamp(0.0, 300.0);
+            p.y = (b.y + 3.0 * phase.cos()).clamp(0.0, 300.0);
+        }
+    };
+
+    // First compute spawns the pool thread; later warm-up rounds grow
+    // every retained buffer to its high-water mark across all layouts.
+    for round in 0..WARMUP {
+        layout(&mut points, round);
+        engine
+            .compute_unit_disk(bounds, 25.0, &points, Some(&energy), &cds_cfg)
+            .expect("shardable config");
+    }
+
+    for round in 0..MEASURED {
+        layout(&mut points, round);
+        let before = allocs();
+        engine
+            .compute_unit_disk(bounds, 25.0, &points, Some(&energy), &cds_cfg)
+            .expect("shardable config");
+        let grew = allocs() - before;
+        assert!(engine.gateway_count() > 0, "round {round}: degenerate instance");
+        assert_eq!(
+            grew, 0,
+            "round {round}: warm parallel recompute performed {grew} heap allocations"
+        );
+        let work = engine.thread_work();
+        assert_eq!(
+            work.iter().map(|w| w.tiles_solved).sum::<u64>(),
+            engine.stats().tiles as u64,
+            "round {round}: executor tallies must cover every tile exactly once"
+        );
+    }
+}
+
+#[test]
 fn serve_cache_warm_request_handling_is_allocation_free() {
     // The serving layer's hot path: decode a compute-CDS frame, validate
     // and canonicalise the edges into retained scratch, derive the cache

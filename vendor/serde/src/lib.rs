@@ -279,6 +279,10 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
     fn from_json(v: &Json) -> Result<Self, Error> {
         match v {
             Json::Array(items) => items.iter().map(T::from_json).collect(),
+            // A missing struct field reaches us as Null (the derive stub has
+            // no `#[serde(default)]` support); real serde would default the
+            // field, so mirror that for the one shape it matters here.
+            Json::Null => Ok(Vec::new()),
             _ => Err(Error::msg("expected array")),
         }
     }
