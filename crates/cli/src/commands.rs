@@ -74,6 +74,22 @@ COMMANDS:
               --json <file> (write stats as one JSON object)
               --fail-on-errors (exit non-zero if a requested check could
               not run, e.g. --check skipped because n is too large)
+  churn     Replay a synthetic churn workload (mobility walk, battery
+            drain, host deaths and arrivals) through the incremental
+            ChurnEngine: dirty tiles from the 2-hop halo licence, only
+            those re-solved per step.
+              --n <int=5000> --seed <int=1> --radius <f=25>
+              --side <f; default scales with n for constant density>
+              --shards <int; 0 = scale with n> --threads <int; 0 = all>
+              --policy <..=nd> --semantics <safe|literal =safe>
+              --energy-seed <int> --steps <int=20>
+              --events <int; per step; default max(n/100, 4)>
+              --check (after every step, re-solve from scratch on the
+              sharded engine in masked mode and assert bit-identity)
+              --max-resolved-frac <f=1.0> (fail if the mean re-solved
+              tile fraction across steps exceeds this — the locality
+              gate CI uses where wall-clock cannot be trusted)
+              --json <file> (write totals as one JSON object)
   serve     Run the CDS query service (length-prefixed binary protocol
             over TCP, sharded result cache, bounded worker pool).
               --addr <host:port =127.0.0.1:7311> --workers <int=cores>
@@ -723,6 +739,167 @@ pub fn shard(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `pacds churn`
+pub fn churn(args: &Args) -> CliResult {
+    args.check_known(&[
+        "n", "seed", "radius", "side", "shards", "threads", "policy", "semantics",
+        "energy-seed", "steps", "events", "check", "max-resolved-frac", "json",
+    ])?;
+    let n: usize = args.get_or("n", 5000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let radius: f64 = args.get_or("radius", 25.0)?;
+    let side: f64 = args.get_or("side", density_side(n))?;
+    let policy = policy_of(args.get("policy").unwrap_or("nd"))?;
+    let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+    let steps: usize = args.get_or("steps", 20)?;
+    let per_step: usize = args.get_or("events", (n / 100).max(4))?;
+    let max_frac: f64 = args.get_or("max-resolved-frac", 1.0)?;
+    let spec = pacds_shard::ShardSpec {
+        shards: args.get_or("shards", 0)?,
+        halo: pacds_shard::REQUIRED_HALO,
+        threads: args.get_or("threads", 0)?,
+    };
+
+    let bounds = Rect::square(side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let points = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+    let energy = energy_levels(args, n)?;
+    let mut engine =
+        pacds_shard::ChurnEngine::open(spec, bounds, radius, &points, &energy, &cfg)?;
+    let tiles = engine.tiles();
+    // Lifetime totals include the initial full solve (every tile solved,
+    // every initial gateway a flip); snapshot it so the reported numbers
+    // cover only the churn stream.
+    let initial = engine.totals();
+    println!(
+        "churn: n={n} radius={radius} side={side:.1} policy={} — {} tiles, \
+         {} initial gateways",
+        policy.label(),
+        tiles,
+        engine.gateway_count(),
+    );
+
+    use pacds_shard::ChurnEvent;
+    use rand::Rng;
+    let hop = radius.max(1e-9);
+    let mut resolved_frac_sum = 0.0;
+    let t0 = std::time::Instant::now();
+    for step in 0..steps {
+        // An event mix that exercises every mutation type: mostly small
+        // mobility hops, some battery drains, rare deaths and arrivals.
+        let mut events = Vec::with_capacity(per_step);
+        // Deaths queued earlier in this batch: later live-only events must
+        // not target them or the whole batch would be typed-rejected.
+        let mut killed = vec![false; engine.n()];
+        while events.len() < per_step {
+            let node = rng.random_range(0..engine.n() as u32);
+            let alive = engine.alive()[node as usize] && !killed[node as usize];
+            match rng.random_range(0..100u32) {
+                0..=69 if alive => {
+                    let p = engine.positions()[node as usize];
+                    let to = pacds_geom::Point2::new(
+                        (p.x + rng.random_range(-hop..hop)).clamp(bounds.x0, bounds.x1),
+                        (p.y + rng.random_range(-hop..hop)).clamp(bounds.y0, bounds.y1),
+                    );
+                    events.push(ChurnEvent::MoveNode { node, to });
+                }
+                70..=89 if alive => {
+                    let remaining = engine.energy()[node as usize].saturating_sub(1);
+                    events.push(ChurnEvent::DrainBattery { node, remaining });
+                }
+                90..=95 if alive => {
+                    killed[node as usize] = true;
+                    events.push(ChurnEvent::KillNode { node });
+                }
+                96..=99 => events.push(ChurnEvent::AddNode {
+                    pos: pacds_geom::Point2::new(
+                        rng.random_range(bounds.x0..bounds.x1),
+                        rng.random_range(bounds.y0..bounds.y1),
+                    ),
+                    energy: rng.random_range(1..=10u64),
+                }),
+                _ => {} // dead host drawn for a live-only event: redraw
+            }
+        }
+        let stats = engine.step(&events)?;
+        resolved_frac_sum += stats.resolved_tiles as f64 / tiles.max(1) as f64;
+        println!(
+            "step {:>3}: {} events, {}/{} tiles re-solved, {} gateway flips, \
+             {} gateways",
+            step + 1,
+            stats.events,
+            stats.resolved_tiles,
+            stats.total_tiles,
+            stats.gateway_flips,
+            engine.gateway_count(),
+        );
+        if args.flag("check") {
+            let off = engine.off_mask();
+            let mut scratch = pacds_shard::ShardedCds::new(engine.spec())?;
+            scratch.compute_unit_disk_masked(
+                bounds,
+                radius,
+                engine.positions(),
+                Some(&off),
+                Some(engine.energy()),
+                &cfg,
+            )?;
+            if engine.gateways() != scratch.gateways()
+                || engine.marked() != scratch.marked()
+                || engine.after_rule1() != scratch.after_rule1()
+            {
+                return Err(format!(
+                    "step {}: incremental state diverged from the from-scratch recompute",
+                    step + 1
+                )
+                .into());
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let totals = engine.totals();
+    let events = totals.events - initial.events;
+    let refreshes = totals.refreshes - initial.refreshes;
+    let resolved = totals.resolved_tiles - initial.resolved_tiles;
+    let flips = totals.gateway_flips - initial.gateway_flips;
+    let mean_frac = resolved_frac_sum / steps.max(1) as f64;
+    let events_per_s = events as f64 / wall_s.max(1e-9);
+    println!(
+        "totals: {events} events in {wall_s:.3}s ({events_per_s:.0} events/s), \
+         {refreshes} refreshes, {:.1} tiles re-solved/refresh (mean frac {:.3}), \
+         {:.2} gateway flips/event",
+        resolved as f64 / refreshes.max(1) as f64,
+        mean_frac,
+        flips as f64 / events.max(1) as f64,
+    );
+    if args.flag("check") {
+        println!("check: bit-identical to the from-scratch recompute after every step");
+    }
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\"n\":{n},\"radius\":{radius},\"side\":{side},\"policy\":\"{}\",\
+             \"tiles\":{tiles},\"steps\":{steps},\"events\":{events},\
+             \"refreshes\":{refreshes},\"resolved_tiles\":{resolved},\
+             \"gateway_flips\":{flips},\
+             \"mean_resolved_frac\":{mean_frac},\"events_per_s\":{events_per_s},\
+             \"wall_s\":{wall_s},\"checked\":{}}}",
+            policy.label(),
+            args.flag("check"),
+        );
+        std::fs::write(path, json + "\n")?;
+        println!("stats written to {path}");
+    }
+    if mean_frac > max_frac {
+        return Err(format!(
+            "--max-resolved-frac {max_frac}: mean re-solved tile fraction was \
+             {mean_frac:.3} — churn is not localized"
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// Server shape shared by `serve` and `loadgen --self-host`.
 fn server_config_of(args: &Args) -> Result<pacds_serve::ServerConfig, Box<dyn std::error::Error>> {
     let mut cfg = pacds_serve::ServerConfig::default();
@@ -1029,6 +1206,38 @@ mod tests {
         );
         // Oversized --check is only fatal under --fail-on-errors.
         assert!(shard(&args("shard --n 200000 --check --fail-on-errors")).is_err());
+    }
+
+    #[test]
+    fn churn_command_checks_identity_and_writes_json() {
+        let path = std::env::temp_dir().join("pacds_cli_churn.json");
+        churn(&args(&format!(
+            "churn --n 300 --seed 5 --shards 9 --threads 1 --policy el2 \
+             --energy-seed 3 --steps 4 --events 12 --check --json {}",
+            path.display()
+        )))
+        .unwrap();
+        let stats = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(stats.contains("\"n\":300"));
+        assert!(stats.contains("\"checked\":true"));
+        assert!(stats.contains("\"gateway_flips\":"));
+    }
+
+    #[test]
+    fn churn_command_rejects_unshardable_semantics_and_bad_locality_gates() {
+        assert!(
+            churn(&args("churn --n 40 --semantics seq --steps 1")).is_err(),
+            "sequential semantics are typed-rejected"
+        );
+        // An impossible locality gate must fail the run: with every tile
+        // dirty on the initial solve, a later step touching most of a tiny
+        // grid cannot stay under a 0-fraction ceiling.
+        assert!(churn(&args(
+            "churn --n 120 --shards 4 --threads 1 --steps 2 --events 40 \
+             --max-resolved-frac 0.0"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -120,6 +120,10 @@ impl IncrementalCds {
 
     /// Advances to a new topology and energy table, recomputing only the
     /// affected neighbourhood. Returns the new gateway mask.
+    ///
+    /// Takes ownership of whole new tables; when the changes are already
+    /// known as events, [`IncrementalCds::apply_deltas`] avoids both the
+    /// clone and the O(n) diff (and additionally supports node spawns).
     pub fn update(&mut self, new_graph: Graph, new_energy: Vec<EnergyLevel>) -> &VertexMask {
         assert_eq!(new_graph.n(), self.graph.n(), "host set is fixed");
         assert_eq!(new_energy.len(), new_graph.n());
@@ -147,19 +151,117 @@ impl IncrementalCds {
         // that are no longer connected to the source in the new graph).
         let dist = ball_distances(&self.graph, &new_graph, &source, 3);
 
+        self.graph = new_graph;
+        self.energy = new_energy;
         // Bitmap rows are per-vertex adjacency: only the sources' rows
         // changed. (Energy-only sources refresh a still-valid row — cheap.)
         self.bitmap.refresh_rows(
-            &new_graph,
+            &self.graph,
             (0..n as NodeId).filter(|&v| source[v as usize]),
         );
-        self.key = PriorityKey::build(self.cfg.policy, &new_graph, Some(&new_energy));
+        self.key = PriorityKey::build(self.cfg.policy, &self.graph, Some(&self.energy));
+        self.last_recomputed = self.recompute_within(&dist);
+        &self.finall
+    }
+
+    /// Advances by an explicit event list — the delta counterpart of
+    /// [`IncrementalCds::update`]: no graph clone, no O(n) diff, and the
+    /// only entry point that can grow the host set
+    /// ([`CdsDelta::SpawnNode`]). Deltas apply in order; redundant ones
+    /// (re-adding a present edge, setting an unchanged level) are free.
+    ///
+    /// # Panics
+    /// Panics on out-of-range node ids or self-loop edges, mirroring
+    /// [`Graph::add_edge`].
+    pub fn apply_deltas(&mut self, deltas: &[CdsDelta]) -> &VertexMask {
+        let mut source = vec![false; self.graph.n()];
+        let mut any = false;
+        let mut spawned = false;
+        for d in deltas {
+            match d {
+                CdsDelta::AddEdge(u, v) => {
+                    if self.graph.add_edge(*u, *v) {
+                        source[*u as usize] = true;
+                        source[*v as usize] = true;
+                        any = true;
+                    }
+                }
+                CdsDelta::RemoveEdge(u, v) => {
+                    if self.graph.remove_edge(*u, *v) {
+                        source[*u as usize] = true;
+                        source[*v as usize] = true;
+                        any = true;
+                    }
+                }
+                CdsDelta::SetEnergy(v, level) => {
+                    if self.energy[*v as usize] != *level {
+                        self.energy[*v as usize] = *level;
+                        source[*v as usize] = true;
+                        any = true;
+                    }
+                }
+                CdsDelta::Isolate(v) => {
+                    if self.graph.degree(*v) > 0 {
+                        for &u in self.graph.neighbors(*v) {
+                            source[u as usize] = true;
+                        }
+                        source[*v as usize] = true;
+                        any = true;
+                        self.graph.isolate(*v);
+                    }
+                }
+                CdsDelta::SpawnNode { energy, links } => {
+                    let id = self.graph.add_vertex();
+                    source.push(true);
+                    self.energy.push(*energy);
+                    self.raw.push(false);
+                    self.after1.push(false);
+                    self.finall.push(false);
+                    for &u in links {
+                        if self.graph.add_edge(id, u) {
+                            source[u as usize] = true;
+                        }
+                    }
+                    spawned = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            self.last_recomputed = 0;
+            return &self.finall;
+        }
+
+        // Every removed edge's endpoints are sources, so BFS over the
+        // post-delta adjacency alone reaches everything the old+new union
+        // would (a removed edge only ever joins two distance-0 vertices).
+        let dist = ball_distances(&self.graph, &self.graph, &source, 3);
+        if spawned {
+            // Spawns widen every bitmap row; rebuild rather than patch.
+            self.bitmap = NeighborBitmap::build(&self.graph);
+        } else {
+            self.bitmap.refresh_rows(
+                &self.graph,
+                (0..self.graph.n() as NodeId).filter(|&v| source[v as usize]),
+            );
+        }
+        self.key = PriorityKey::build(self.cfg.policy, &self.graph, Some(&self.energy));
+        self.last_recomputed = self.recompute_within(&dist);
+        &self.finall
+    }
+
+    /// Re-evaluates raw markers on the 1-ball, Rule 1 on the 2-ball and
+    /// Rule 2 on the 3-ball around the BFS `dist` labels, against the
+    /// already-committed graph/bitmap/key. Returns the number of hosts
+    /// whose final status was recomputed.
+    fn recompute_within(&mut self, dist: &[u32]) -> usize {
+        let n = self.graph.n();
         let semantics = effective(&self.cfg);
 
         // Stage 0: raw markers on the 1-ball.
         for v in 0..n as NodeId {
             if dist[v as usize] <= 1 {
-                self.raw[v as usize] = has_unconnected_neighbors(&new_graph, v);
+                self.raw[v as usize] = has_unconnected_neighbors(&self.graph, v);
             }
         }
 
@@ -172,10 +274,7 @@ impl IncrementalCds {
                     recomputed += 1;
                 }
             }
-            self.graph = new_graph;
-            self.energy = new_energy;
-            self.last_recomputed = recomputed;
-            return &self.finall;
+            return recomputed;
         }
 
         // Stage 1: Rule 1 on the 2-ball. The simultaneous pass reads the
@@ -183,7 +282,7 @@ impl IncrementalCds {
         for v in 0..n as NodeId {
             if dist[v as usize] <= 2 {
                 self.after1[v as usize] = self.raw[v as usize]
-                    && !rule1_unmarks(&new_graph, &self.bitmap, &self.raw, &self.key, v);
+                    && !rule1_unmarks(&self.graph, &self.bitmap, &self.raw, &self.key, v);
             }
         }
 
@@ -194,7 +293,7 @@ impl IncrementalCds {
                 recomputed += 1;
                 self.finall[v as usize] = self.after1[v as usize]
                     && !rule2_unmarks(
-                        &new_graph,
+                        &self.graph,
                         &self.bitmap,
                         &self.after1,
                         &self.key,
@@ -203,12 +302,30 @@ impl IncrementalCds {
                     );
             }
         }
-
-        self.graph = new_graph;
-        self.energy = new_energy;
-        self.last_recomputed = recomputed;
-        &self.finall
+        recomputed
     }
+}
+
+/// One topology/energy event for [`IncrementalCds::apply_deltas`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdsDelta {
+    /// Insert edge `{u, v}` (no-op if already present).
+    AddEdge(NodeId, NodeId),
+    /// Remove edge `{u, v}` (no-op if absent).
+    RemoveEdge(NodeId, NodeId),
+    /// Set a host's quantised energy level (no-op if unchanged).
+    SetEnergy(NodeId, EnergyLevel),
+    /// Sever all of a host's links — the death event (no-op if already
+    /// isolated).
+    Isolate(NodeId),
+    /// Append a new host with the given level, linked to `links`. Its id
+    /// is the current host count.
+    SpawnNode {
+        /// Initial quantised energy level of the spawned host.
+        energy: EnergyLevel,
+        /// Hosts the spawn links to (deduplicated; must be in range).
+        links: Vec<NodeId>,
+    },
 }
 
 fn effective(cfg: &CdsConfig) -> Rule2Semantics {

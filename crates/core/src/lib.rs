@@ -68,7 +68,7 @@ pub use pacds_graph::kernels;
 
 pub use daiwu::{compute_cds_daiwu, rule_k_pass};
 pub use explain::{explain, Explanation};
-pub use incremental::IncrementalCds;
+pub use incremental::{CdsDelta, IncrementalCds};
 pub use marking::{marking, marking_into};
 pub use parallel::{compute_cds_par, compute_cds_par_with, marking_par};
 pub use pipeline::{

@@ -2,7 +2,7 @@
 //! disconnect the network, deaths of current gateways, and back-to-back
 //! deaths — each checked bit-for-bit against a full recompute.
 
-use pacds_core::{compute_cds, CdsConfig, CdsInput, IncrementalCds, Policy};
+use pacds_core::{compute_cds, CdsConfig, CdsDelta, CdsInput, IncrementalCds, Policy};
 use pacds_graph::{gen, mask_to_vec, Graph};
 
 fn full(g: &Graph, energy: &[u64], cfg: &CdsConfig) -> Vec<bool> {
@@ -90,6 +90,150 @@ fn cascading_deaths_down_to_an_empty_network_match_full_recompute() {
         assert_eq!(got, full(&g, &energy, &cfg), "after killing 0..={v}");
     }
     assert!(inc.gateways().iter().all(|&b| !b));
+}
+
+#[test]
+fn node_spawn_matches_full_recompute() {
+    // The previously-uncovered case: the host set grows. Spawn a host
+    // into a corner of a 6x6 grid with two links (so it both dominates
+    // and is dominated) and check against a from-scratch computation on
+    // the grown graph, for every policy. The 3-ball around a corner
+    // spawn is a strict subset of a 6x6 grid, so locality is observable.
+    let g0 = gen::grid(6, 6);
+    let energy: Vec<u64> = (0..36).map(|v| (v * 3 + 1) % 11).collect();
+    for policy in Policy::ALL {
+        let cfg = CdsConfig::policy(policy);
+        let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+        let got = inc
+            .apply_deltas(&[CdsDelta::SpawnNode {
+                energy: 6,
+                links: vec![0, 1],
+            }])
+            .clone();
+        let mut g = g0.clone();
+        let id = g.add_vertex();
+        g.add_edge(id, 0);
+        g.add_edge(id, 1);
+        let mut e = energy.clone();
+        e.push(6);
+        assert_eq!(got, full(&g, &e, &cfg), "{policy:?}");
+        assert!(
+            inc.last_recomputed() < g.n(),
+            "{policy:?}: a corner spawn must not dirty the whole grid"
+        );
+    }
+}
+
+#[test]
+fn isolated_spawn_changes_no_verdicts() {
+    // A spawn with no links is invisible to everyone else: it is its own
+    // component, unmarked, and nothing around it may flip.
+    let g0 = gen::grid(4, 4);
+    let energy = vec![5u64; 16];
+    let cfg = CdsConfig::policy(Policy::Degree);
+    let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let before = inc.gateways().clone();
+    let got = inc
+        .apply_deltas(&[CdsDelta::SpawnNode {
+            energy: 1,
+            links: vec![],
+        }])
+        .clone();
+    assert_eq!(&got[..16], &before[..], "existing verdicts unchanged");
+    assert!(!got[16], "an isolated host is never a gateway");
+}
+
+#[test]
+fn spawn_combined_with_edge_and_energy_deltas_in_one_batch() {
+    // Deltas apply in order, so later events may reference the spawned
+    // id; the result must match a from-scratch recompute of the final
+    // state.
+    let g0 = bridged();
+    let energy: Vec<u64> = (0..8).map(|v| (v * 5 + 2) % 11).collect();
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let mut inc = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let got = inc
+        .apply_deltas(&[
+            CdsDelta::SpawnNode {
+                energy: 9,
+                links: vec![3],
+            },
+            CdsDelta::AddEdge(8, 4), // link the spawn (id 8) across the bridge
+            CdsDelta::RemoveEdge(3, 4),
+            CdsDelta::SetEnergy(0, 10),
+        ])
+        .clone();
+    let mut g = g0.clone();
+    let id = g.add_vertex();
+    g.add_edge(id, 3);
+    g.add_edge(id, 4);
+    g.remove_edge(3, 4);
+    let mut e = energy.clone();
+    e.push(9);
+    e[0] = 10;
+    assert_eq!(got, full(&g, &e, &cfg));
+}
+
+#[test]
+fn delta_path_tracks_the_ownership_path_event_for_event() {
+    // The same mutation stream driven through apply_deltas and through
+    // the whole-graph update() must stay in lockstep.
+    let g0 = gen::grid(5, 5);
+    let mut energy: Vec<u64> = (0..25).map(|v| (v * 7 + 2) % 13).collect();
+    let cfg = CdsConfig::policy(Policy::Energy);
+    let mut by_delta = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let mut by_update = IncrementalCds::new(g0.clone(), energy.clone(), cfg);
+    let mut g = g0;
+
+    let script: &[CdsDelta] = &[
+        CdsDelta::AddEdge(0, 6),
+        CdsDelta::SetEnergy(12, 0),
+        CdsDelta::RemoveEdge(6, 7),
+        CdsDelta::Isolate(18),
+        CdsDelta::AddEdge(4, 8),
+        CdsDelta::SetEnergy(3, 12),
+    ];
+    for d in script {
+        match d.clone() {
+            CdsDelta::AddEdge(u, v) => {
+                g.add_edge(u, v);
+            }
+            CdsDelta::RemoveEdge(u, v) => {
+                g.remove_edge(u, v);
+            }
+            CdsDelta::SetEnergy(v, level) => energy[v as usize] = level,
+            CdsDelta::Isolate(v) => g.isolate(v),
+            CdsDelta::SpawnNode { .. } => unreachable!(),
+        }
+        let got = by_delta.apply_deltas(std::slice::from_ref(d)).clone();
+        let want = by_update.update(g.clone(), energy.clone()).clone();
+        assert_eq!(got, want, "diverged at {d:?}");
+        assert_eq!(got, full(&g, &energy, &cfg), "drifted from scratch at {d:?}");
+    }
+}
+
+#[test]
+fn redundant_deltas_recompute_nothing() {
+    let g = gen::grid(4, 4);
+    let energy = vec![5u64; 16];
+    let cfg = CdsConfig::policy(Policy::Degree);
+    let mut inc = IncrementalCds::new(g, energy, cfg);
+    let before = inc.gateways().clone();
+    let got = inc
+        .apply_deltas(&[
+            CdsDelta::AddEdge(0, 1),   // already present in the grid
+            CdsDelta::SetEnergy(3, 5), // unchanged level
+            CdsDelta::Isolate(0),      // real change…
+            CdsDelta::AddEdge(0, 1),   // …then restore both grid links
+            CdsDelta::AddEdge(0, 4),
+        ])
+        .clone();
+    // The isolate + re-adds cancel structurally but the endpoints were
+    // dirtied, so the mask is recomputed there — and must come back equal.
+    assert_eq!(got, before);
+    let got = inc.apply_deltas(&[CdsDelta::AddEdge(0, 1)]).clone();
+    assert_eq!(inc.last_recomputed(), 0, "a pure no-op batch is free");
+    assert_eq!(got, before);
 }
 
 #[test]

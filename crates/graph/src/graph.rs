@@ -52,6 +52,15 @@ impl Graph {
         self.adj.is_empty()
     }
 
+    /// Appends a new isolated vertex and returns its id (always the
+    /// current `n`). Node ids are dense, so spawning never invalidates
+    /// existing ids.
+    pub fn add_vertex(&mut self) -> NodeId {
+        let id = self.adj.len() as NodeId;
+        self.adj.push(Vec::new());
+        id
+    }
+
     /// Adds an undirected edge `{u, v}`. Returns `true` if the edge was new.
     ///
     /// # Panics
@@ -416,6 +425,19 @@ mod tests {
     fn from_edges_ignores_duplicates() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
         assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn add_vertex_appends_an_isolated_host() {
+        let mut g = Graph::from_edges(2, &[(0, 1)]);
+        let v = g.add_vertex();
+        assert_eq!(v, 2);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 1);
+        assert!(g.neighbors(v).is_empty());
+        assert!(g.add_edge(v, 0));
+        assert_eq!(g.degree(v), 1);
+        assert_eq!(g.add_vertex(), 3);
     }
 
     #[test]

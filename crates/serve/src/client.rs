@@ -13,9 +13,10 @@ use std::time::Duration;
 use pacds_core::CdsConfig;
 
 use crate::protocol::{
-    self, decode_cds_result, decode_error, decode_stats_result, CdsResult, DecodeError,
-    GenComputeRequest, ResponseKind, StatsFormat, StatsResult, WireError, DEFAULT_MAX_FRAME_LEN,
-    LEN_PREFIX, PROTOCOL_VERSION,
+    self, decode_cds_result, decode_error, decode_graph_opened, decode_mutate_result,
+    decode_stats_result, decode_tile_result, CdsResult, DecodeError, GenComputeRequest,
+    GraphOpened, MutateResult, ResponseKind, StatsFormat, StatsResult, TileResult, WireError,
+    WireEvent, DEFAULT_MAX_FRAME_LEN, LEN_PREFIX, PROTOCOL_VERSION,
 };
 
 /// Client-side failure.
@@ -112,6 +113,48 @@ impl Client {
         let payload = self.round_trip()?;
         expect(payload, ResponseKind::StatsResult)?;
         Ok(decode_stats_result(&payload[2..])?)
+    }
+
+    /// Opens a persistent named graph for mutation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_graph(
+        &mut self,
+        name: &str,
+        cfg: &CdsConfig,
+        shards: u32,
+        radius: f64,
+        bounds: (f64, f64, f64, f64),
+        points: &[(f64, f64)],
+        energy: &[u64],
+    ) -> Result<GraphOpened, ClientError> {
+        protocol::encode_open_graph(&mut self.req, name, cfg, shards, radius, bounds, points, energy);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::GraphOpened)?;
+        Ok(decode_graph_opened(&payload[2..])?)
+    }
+
+    /// Applies a batch of mutation events to an open graph.
+    pub fn mutate(&mut self, name: &str, events: &[WireEvent]) -> Result<MutateResult, ClientError> {
+        protocol::encode_mutate(&mut self.req, name, events);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::MutateResult)?;
+        Ok(decode_mutate_result(&payload[2..])?)
+    }
+
+    /// Closes (forgets) an open graph.
+    pub fn close_graph(&mut self, name: &str) -> Result<(), ClientError> {
+        protocol::encode_close_graph(&mut self.req, name);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::GraphClosed)?;
+        Ok(())
+    }
+
+    /// Fetches one tile's per-node verdicts from an open graph.
+    pub fn query_tile(&mut self, name: &str, tile: u32) -> Result<TileResult, ClientError> {
+        protocol::encode_query_tile(&mut self.req, name, tile);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::TileResult)?;
+        Ok(decode_tile_result(&payload[2..])?)
     }
 
     /// Liveness probe.

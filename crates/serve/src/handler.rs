@@ -22,12 +22,14 @@
 //! zeroed; a hit copies the frame into the caller's buffer and patches
 //! that single byte ([`protocol::CACHE_FLAG_PAYLOAD_OFFSET`]).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use pacds_core::{CdsConfig, CdsWorkspace};
 use pacds_geom::{Point2, Rect};
-use pacds_shard::{check_shardable, ShardSpec, ShardedCds};
+use pacds_shard::{check_shardable, ChurnEngine, ChurnEvent, ShardSpec, ShardedCds, REQUIRED_HALO};
 use pacds_graph::digest::{fold_edges, DigestSink, Fnv1a128};
 use pacds_graph::{algo, gen, Graph, NodeId};
 use rand::{Rng, SeedableRng};
@@ -36,14 +38,18 @@ use rand_chacha::ChaCha8Rng;
 use crate::cache::ShardedCache;
 use crate::protocol::{
     self, begin_frame, encode_error, end_frame, ComputeCdsRequest, DecodeError, ErrorCode,
-    GenComputeRequest, RequestKind, ResponseKind, StatsFormat, WireWrite, CACHE_FLAG_PAYLOAD_OFFSET,
-    FLAG_NO_CACHE, LEN_PREFIX, PROTOCOL_VERSION,
+    GenComputeRequest, OpenGraphRequest, RequestKind, ResponseKind, StatsFormat, WireEvent,
+    WireWrite, CACHE_FLAG_PAYLOAD_OFFSET, FLAG_NO_CACHE, LEN_PREFIX, PROTOCOL_VERSION,
 };
 
-/// Domain tags separating the two cache-key spaces (and both from raw
+/// Domain tags separating the cache-key spaces (and all of them from raw
 /// graph digests).
 const KEY_TAG_COMPUTE: &[u8] = b"pacds.serve.compute.v1";
 const KEY_TAG_GEN: &[u8] = b"pacds.serve.gen.v1";
+const KEY_TAG_TILE: &[u8] = b"pacds.serve.tile.v1";
+
+/// Maximum concurrently open churn graphs per server.
+pub const MAX_OPEN_GRAPHS: usize = 64;
 
 /// Bounded resample attempts for `connected` topology generation (matches
 /// the CLI's behaviour).
@@ -71,11 +77,23 @@ pub struct ServerStats {
     pub bad_input: AtomicU64,
     /// Requests answered with `DeadlineExceeded`.
     pub deadline_exceeded: AtomicU64,
+    /// Churn graphs opened.
+    pub graphs_opened: AtomicU64,
+    /// Churn graphs closed.
+    pub graphs_closed: AtomicU64,
+    /// Mutate batches applied (fully or up to a rejection).
+    pub mutations: AtomicU64,
+    /// Individual mutation events applied.
+    pub mutation_events: AtomicU64,
+    /// Mutation events rejected with `MutationRejected`.
+    pub mutation_rejected: AtomicU64,
+    /// Tile queries served (cold or warm).
+    pub tile_queries: AtomicU64,
 }
 
 impl ServerStats {
     /// The counters as stable `(name, value)` pairs, in wire order.
-    pub fn entries(&self, cache: &ShardedCache) -> [(&'static str, u64); 15] {
+    pub fn entries(&self, cache: &ShardedCache) -> [(&'static str, u64); 21] {
         let c = cache.stats();
         let v = |a: &AtomicU64| a.load(Ordering::Relaxed);
         [
@@ -88,6 +106,12 @@ impl ServerStats {
             ("protocol_errors", v(&self.protocol_errors)),
             ("bad_input", v(&self.bad_input)),
             ("deadline_exceeded", v(&self.deadline_exceeded)),
+            ("graphs_opened", v(&self.graphs_opened)),
+            ("graphs_closed", v(&self.graphs_closed)),
+            ("mutations", v(&self.mutations)),
+            ("mutation_events", v(&self.mutation_events)),
+            ("mutation_rejected", v(&self.mutation_rejected)),
+            ("tile_queries", v(&self.tile_queries)),
             ("cache_hits", c.hits),
             ("cache_misses", c.misses),
             ("cache_evictions", c.evictions),
@@ -95,6 +119,48 @@ impl ServerStats {
             ("cache_entries", c.entries),
             ("cache_bytes", c.bytes),
         ]
+    }
+}
+
+/// One open churn graph: the persistent engine plus the cache-invalidation
+/// state. `uid` is unique per *open* (a close + reopen under the same name
+/// gets a fresh uid, so stale cache entries can never be served), and
+/// `tile_versions[t]` increments every time tile `t` is re-solved — tile
+/// cache keys fold `(uid, tile, version)`, so a mutation invalidates
+/// exactly its dirty tiles' cached responses and nothing else. Stale
+/// entries age out of the LRU; no explicit removal is needed.
+struct OpenGraph {
+    engine: ChurnEngine,
+    uid: u64,
+    tile_versions: Vec<u64>,
+}
+
+/// The named-graph registry. One mutex over the whole map: churn graphs
+/// are stateful and order-sensitive, so mutations on one graph serialise
+/// anyway; the map is small (≤ [`MAX_OPEN_GRAPHS`]).
+#[derive(Default)]
+pub struct GraphRegistry {
+    inner: Mutex<HashMap<String, OpenGraph>>,
+    next_uid: AtomicU64,
+}
+
+impl GraphRegistry {
+    /// Open graph count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no graphs are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for GraphRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphRegistry")
+            .field("open", &self.len())
+            .finish()
     }
 }
 
@@ -170,6 +236,8 @@ pub struct ServeState {
     pub max_frame_len: u32,
     /// Sharded-compute routing.
     pub shard: ShardPolicy,
+    /// Named persistent churn graphs.
+    pub graphs: GraphRegistry,
 }
 
 impl ServeState {
@@ -180,6 +248,7 @@ impl ServeState {
             stats: ServerStats::default(),
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
             shard: ShardPolicy::default(),
+            graphs: GraphRegistry::default(),
         }
     }
 }
@@ -248,6 +317,10 @@ pub fn handle_payload(
         RequestKind::ComputeCds => handle_compute(state, scratch, body, resp, received),
         RequestKind::GenCompute => handle_gen(state, scratch, body, resp, received),
         RequestKind::Stats => handle_stats(state, body, resp),
+        RequestKind::OpenGraph => handle_open_graph(state, body, resp),
+        RequestKind::Mutate => handle_mutate(state, body, resp),
+        RequestKind::CloseGraph => handle_close_graph(state, body, resp),
+        RequestKind::QueryTile => handle_query_tile(state, body, resp),
         RequestKind::Ping => {
             state.stats.pings.fetch_add(1, Ordering::Relaxed);
             begin_frame(resp, ResponseKind::Pong as u8);
@@ -518,6 +591,197 @@ fn compute_and_encode(
     if deadline_hit(state, resp, deadline) {
         return HandleOutcome::KeepOpen;
     }
+    HandleOutcome::KeepOpen
+}
+
+/// Typed recoverable error for the churn-graph request family.
+fn graph_error(
+    state: &ServeState,
+    resp: &mut Vec<u8>,
+    code: ErrorCode,
+    msg: &str,
+) -> HandleOutcome {
+    debug_assert!(!code.is_connection_fatal());
+    state.stats.bad_input.fetch_add(1, Ordering::Relaxed);
+    encode_error(resp, code, msg);
+    HandleOutcome::KeepOpen
+}
+
+fn handle_open_graph(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+    let req = match OpenGraphRequest::decode(body) {
+        Ok(req) => req,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    // Build the engine inputs before taking the registry lock.
+    let points: Vec<Point2> = req.points().map(|(x, y)| Point2::new(x, y)).collect();
+    let energy: Vec<u64> = req.energies().collect();
+    let bounds = Rect::new(req.bounds.0, req.bounds.1, req.bounds.2, req.bounds.3);
+    let spec = ShardSpec {
+        shards: req.shards as usize,
+        halo: REQUIRED_HALO,
+        threads: 1,
+    };
+    let mut graphs = state.graphs.inner.lock().expect("registry poisoned");
+    if graphs.contains_key(req.name) {
+        return graph_error(state, resp, ErrorCode::GraphExists, "graph already open");
+    }
+    if graphs.len() >= MAX_OPEN_GRAPHS {
+        state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        encode_error(resp, ErrorCode::Rejected, "graph registry full");
+        return HandleOutcome::KeepOpen;
+    }
+    let engine = match ChurnEngine::open(spec, bounds, req.radius, &points, &energy, &req.cfg) {
+        Ok(engine) => engine,
+        // Unshardable configs / bad halos mirror the batch engine's typed
+        // rejection; the frame parsed, so the connection stays usable.
+        Err(e) => return bad_input(state, resp, e.label()),
+    };
+    let uid = state.graphs.next_uid.fetch_add(1, Ordering::Relaxed);
+    let tiles = engine.tiles();
+    let n = engine.n();
+    let gateways = engine.gateway_count();
+    graphs.insert(
+        req.name.to_string(),
+        OpenGraph {
+            engine,
+            uid,
+            tile_versions: vec![0; tiles],
+        },
+    );
+    drop(graphs);
+    state.stats.graphs_opened.fetch_add(1, Ordering::Relaxed);
+    begin_frame(resp, ResponseKind::GraphOpened as u8);
+    resp.put_u32(tiles as u32);
+    resp.put_u32(n as u32);
+    resp.put_u32(gateways as u32);
+    end_frame(resp);
+    HandleOutcome::KeepOpen
+}
+
+fn handle_mutate(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+    let (name, events) = match protocol::decode_mutate(body) {
+        Ok(decoded) => decoded,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    state.stats.mutations.fetch_add(1, Ordering::Relaxed);
+    let mut graphs = state.graphs.inner.lock().expect("registry poisoned");
+    let Some(open) = graphs.get_mut(name) else {
+        return graph_error(state, resp, ErrorCode::UnknownGraph, "graph not open");
+    };
+    let mut applied = 0u32;
+    let mut rejection = None;
+    for (i, ev) in events.iter().enumerate() {
+        let ev = match *ev {
+            WireEvent::Add { x, y, energy } => ChurnEvent::AddNode {
+                pos: Point2::new(x, y),
+                energy,
+            },
+            WireEvent::Move { node, x, y } => ChurnEvent::MoveNode {
+                node,
+                to: Point2::new(x, y),
+            },
+            WireEvent::Kill { node } => ChurnEvent::KillNode { node },
+            WireEvent::Drain { node, remaining } => ChurnEvent::DrainBattery { node, remaining },
+        };
+        match open.engine.apply(&ev) {
+            Ok(()) => applied += 1,
+            Err(e) => {
+                rejection = Some(format!("event {i}: {e}"));
+                break;
+            }
+        }
+    }
+    // Refresh whatever was applied — even on a rejection, so the engine's
+    // state always reflects exactly the applied prefix — and bump the
+    // versions of every re-solved tile so their cached TileResult frames
+    // can no longer be served.
+    let dirty = open.engine.dirty_tiles();
+    let stats = open.engine.refresh();
+    for &t in &dirty {
+        open.tile_versions[t] += 1;
+    }
+    let gateways = open.engine.gateway_count() as u32;
+    let n = open.engine.n() as u32;
+    drop(graphs);
+    state
+        .stats
+        .mutation_events
+        .fetch_add(u64::from(applied), Ordering::Relaxed);
+    if let Some(msg) = rejection {
+        state.stats.mutation_rejected.fetch_add(1, Ordering::Relaxed);
+        encode_error(resp, ErrorCode::MutationRejected, &msg);
+        return HandleOutcome::KeepOpen;
+    }
+    begin_frame(resp, ResponseKind::MutateResult as u8);
+    resp.put_u32(applied);
+    resp.put_u32(stats.dirty_tiles as u32);
+    resp.put_u32(stats.resolved_tiles as u32);
+    resp.put_u32(stats.total_tiles as u32);
+    resp.put_u64(stats.gateway_flips);
+    resp.put_u32(gateways);
+    resp.put_u32(n);
+    end_frame(resp);
+    HandleOutcome::KeepOpen
+}
+
+fn handle_close_graph(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+    let name = match protocol::decode_close_graph(body) {
+        Ok(name) => name,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    let removed = state
+        .graphs
+        .inner
+        .lock()
+        .expect("registry poisoned")
+        .remove(name);
+    if removed.is_none() {
+        return graph_error(state, resp, ErrorCode::UnknownGraph, "graph not open");
+    }
+    state.stats.graphs_closed.fetch_add(1, Ordering::Relaxed);
+    begin_frame(resp, ResponseKind::GraphClosed as u8);
+    end_frame(resp);
+    HandleOutcome::KeepOpen
+}
+
+fn handle_query_tile(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+    let (name, tile) = match protocol::decode_query_tile(body) {
+        Ok(decoded) => decoded,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    state.stats.tile_queries.fetch_add(1, Ordering::Relaxed);
+    let graphs = state.graphs.inner.lock().expect("registry poisoned");
+    let Some(open) = graphs.get(name) else {
+        return graph_error(state, resp, ErrorCode::UnknownGraph, "graph not open");
+    };
+    if tile as usize >= open.engine.tiles() {
+        return bad_input(state, resp, "tile out of range");
+    }
+    // Key on (graph uid, tile, tile version): a mutation that re-solved
+    // this tile bumped the version, so its old cached frame is simply
+    // never looked up again — per-dirty-tile invalidation without a cache
+    // removal primitive. The frame carries no hit flag, so cold and warm
+    // responses are byte-identical.
+    let mut d = Fnv1a128::new();
+    d.write(KEY_TAG_TILE);
+    d.write_u64(open.uid);
+    d.write_u32(tile);
+    d.write_u64(open.tile_versions[tile as usize]);
+    let key = d.finish();
+    if state.cache.get_into(key, resp) {
+        return HandleOutcome::KeepOpen;
+    }
+    begin_frame(resp, ResponseKind::TileResult as u8);
+    resp.put_u32(tile);
+    let entries = open.engine.tile_result(tile as usize);
+    resp.put_u32(entries.len() as u32);
+    for &(node, flags) in entries {
+        resp.put_u32(node);
+        resp.put_u8(flags);
+    }
+    end_frame(resp);
+    drop(graphs);
+    state.cache.insert(key, resp);
     HandleOutcome::KeepOpen
 }
 

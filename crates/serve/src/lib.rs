@@ -44,10 +44,12 @@ pub mod server;
 pub use cache::{CacheStats, ShardedCache};
 pub use client::{Client, ClientError};
 pub use handler::{
-    handle_payload, HandleOutcome, ServeState, ServerStats, ShardMode, ShardPolicy, WorkerScratch,
+    handle_payload, GraphRegistry, HandleOutcome, ServeState, ServerStats, ShardMode, ShardPolicy,
+    WorkerScratch, MAX_OPEN_GRAPHS,
 };
 pub use loadgen::{LoadReport, LoadgenConfig, Mode};
 pub use protocol::{
-    CdsResult, ErrorCode, RequestKind, ResponseKind, StatsFormat, PROTOCOL_VERSION,
+    CdsResult, ErrorCode, GraphOpened, MutateResult, RequestKind, ResponseKind, StatsFormat,
+    TileResult, WireEvent, PROTOCOL_VERSION,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -23,6 +23,14 @@
 //!   side f64, connected u8, has_energy_seed u8, energy_seed u64`.
 //! * [`RequestKind::Stats`] — `format u8` (0 table, 1 jsonl, 2 prometheus).
 //! * [`RequestKind::Ping`] — empty body.
+//! * [`RequestKind::OpenGraph`] — `name_len u16, name, config 4 bytes,
+//!   shards u32, radius f64, bounds 4×f64, n u32, points n×(f64,f64),
+//!   energy n×u64` (energy is always present — it is churn-graph state).
+//! * [`RequestKind::Mutate`] — `name_len u16, name, k u32, k × event`
+//!   where an event is `kind u8` (0 Add, 1 Move, 2 Kill, 3 Drain)
+//!   followed by that kind's fields ([`WireEvent`]).
+//! * [`RequestKind::CloseGraph`] — `name_len u16, name`.
+//! * [`RequestKind::QueryTile`] — `name_len u16, name, tile u32`.
 //!
 //! Response bodies:
 //!
@@ -32,6 +40,14 @@
 //! * [`ResponseKind::StatsResult`] — `k u32, k × (name_len u16, name,
 //!   value u64), text_len u32, text` (the rendered `pacds-obs` snapshot).
 //! * [`ResponseKind::Pong`] — empty body.
+//! * [`ResponseKind::GraphOpened`] — `tiles u32, n u32, gateways u32`.
+//! * [`ResponseKind::MutateResult`] — `applied u32, dirty_tiles u32,
+//!   resolved_tiles u32, total_tiles u32, gateway_flips u64,
+//!   gateways u32, n u32`.
+//! * [`ResponseKind::GraphClosed`] — empty body.
+//! * [`ResponseKind::TileResult`] — `tile u32, k u32, k × (node u32,
+//!   flags u8)`. Deliberately carries **no** cache-hit byte, so a
+//!   cache-warm response frame is byte-identical to the cache-cold one.
 //! * [`ResponseKind::Error`] — `code u8, msg_len u32, msg` (UTF-8).
 //!
 //! Decoding is strict: truncated or trailing bytes, out-of-range enum
@@ -75,6 +91,14 @@ pub enum RequestKind {
     Stats = 0x03,
     /// Liveness probe.
     Ping = 0x04,
+    /// Open a persistent named churn graph (spatial instance + config).
+    OpenGraph = 0x05,
+    /// Apply a batch of mutation events to a named graph and refresh.
+    Mutate = 0x06,
+    /// Close (drop) a named graph.
+    CloseGraph = 0x07,
+    /// Fetch one tile's per-owned-node verdicts from a named graph.
+    QueryTile = 0x08,
 }
 
 impl RequestKind {
@@ -85,6 +109,10 @@ impl RequestKind {
             0x02 => Self::GenCompute,
             0x03 => Self::Stats,
             0x04 => Self::Ping,
+            0x05 => Self::OpenGraph,
+            0x06 => Self::Mutate,
+            0x07 => Self::CloseGraph,
+            0x08 => Self::QueryTile,
             _ => return None,
         })
     }
@@ -100,6 +128,15 @@ pub enum ResponseKind {
     StatsResult = 0x83,
     /// Liveness reply.
     Pong = 0x84,
+    /// A churn graph is open.
+    GraphOpened = 0x85,
+    /// A mutation batch was applied and refreshed.
+    MutateResult = 0x86,
+    /// A churn graph was closed.
+    GraphClosed = 0x87,
+    /// One tile's verdicts (no cache-hit byte: cache-cold and cache-warm
+    /// responses are byte-identical; hits are observable via Stats only).
+    TileResult = 0x88,
     /// Typed failure.
     Error = 0x7F,
 }
@@ -111,6 +148,10 @@ impl ResponseKind {
             0x81 => Self::CdsResult,
             0x83 => Self::StatsResult,
             0x84 => Self::Pong,
+            0x85 => Self::GraphOpened,
+            0x86 => Self::MutateResult,
+            0x87 => Self::GraphClosed,
+            0x88 => Self::TileResult,
             0x7F => Self::Error,
             _ => return None,
         })
@@ -138,6 +179,14 @@ pub enum ErrorCode {
     BadInput = 7,
     /// Server-side failure unrelated to the request bytes.
     Internal = 8,
+    /// The named churn graph is not open on this server.
+    UnknownGraph = 9,
+    /// An `OpenGraph` named a graph that is already open.
+    GraphExists = 10,
+    /// A mutation event was rejected (unknown node, dead node, out of
+    /// bounds); events before it in the batch stay applied, the rejected
+    /// one and everything after it do not.
+    MutationRejected = 11,
 }
 
 impl ErrorCode {
@@ -152,6 +201,9 @@ impl ErrorCode {
             6 => Self::DeadlineExceeded,
             7 => Self::BadInput,
             8 => Self::Internal,
+            9 => Self::UnknownGraph,
+            10 => Self::GraphExists,
+            11 => Self::MutationRejected,
             _ => return None,
         })
     }
@@ -738,6 +790,377 @@ pub fn decode_error(body: &[u8]) -> Result<WireError, DecodeError> {
     Ok(WireError { code, message })
 }
 
+// ---------------------------------------------------------------------
+// Churn graph frames (OpenGraph / Mutate / CloseGraph / QueryTile)
+// ---------------------------------------------------------------------
+
+/// Maximum graph-name length in bytes.
+pub const MAX_GRAPH_NAME: usize = 255;
+
+/// Maximum events per `Mutate` frame.
+pub const MAX_MUTATION_BATCH: u32 = 65_536;
+
+/// Reads a length-prefixed (`u16`) UTF-8 graph name.
+fn read_name<'a>(r: &mut Reader<'a>) -> Result<&'a str, DecodeError> {
+    let len = r.u16()? as usize;
+    if len == 0 || len > MAX_GRAPH_NAME {
+        return Err(DecodeError::Bad("graph name length"));
+    }
+    std::str::from_utf8(r.bytes(len)?).map_err(|_| DecodeError::Bad("graph name utf-8"))
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    debug_assert!(!name.is_empty() && name.len() <= MAX_GRAPH_NAME);
+    out.put_u16(name.len() as u16);
+    out.put(name.as_bytes());
+}
+
+/// A mutation event on the wire — mirrors `pacds_shard::ChurnEvent`
+/// field for field (kind byte: 0 Add, 1 Move, 2 Kill, 3 Drain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireEvent {
+    /// Spawn a host at `(x, y)` with `energy` residual units.
+    Add {
+        /// Spawn x coordinate.
+        x: f64,
+        /// Spawn y coordinate.
+        y: f64,
+        /// Initial residual energy.
+        energy: u64,
+    },
+    /// Move host `node` to `(x, y)`.
+    Move {
+        /// The moving host.
+        node: u32,
+        /// Destination x coordinate.
+        x: f64,
+        /// Destination y coordinate.
+        y: f64,
+    },
+    /// Switch host `node` off permanently.
+    Kill {
+        /// The dying host.
+        node: u32,
+    },
+    /// Set host `node`'s residual energy to the absolute level `remaining`.
+    Drain {
+        /// The draining host.
+        node: u32,
+        /// New absolute residual level.
+        remaining: u64,
+    },
+}
+
+impl WireEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Self::Add { x, y, energy } => {
+                out.put_u8(0);
+                out.put_f64(x);
+                out.put_f64(y);
+                out.put_u64(energy);
+            }
+            Self::Move { node, x, y } => {
+                out.put_u8(1);
+                out.put_u32(node);
+                out.put_f64(x);
+                out.put_f64(y);
+            }
+            Self::Kill { node } => {
+                out.put_u8(2);
+                out.put_u32(node);
+            }
+            Self::Drain { node, remaining } => {
+                out.put_u8(3);
+                out.put_u32(node);
+                out.put_u64(remaining);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.u8()? {
+            0 => {
+                let (x, y, energy) = (r.f64()?, r.f64()?, r.u64()?);
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(DecodeError::Bad("event coordinates must be finite"));
+                }
+                Self::Add { x, y, energy }
+            }
+            1 => {
+                let (node, x, y) = (r.u32()?, r.f64()?, r.f64()?);
+                if !x.is_finite() || !y.is_finite() {
+                    return Err(DecodeError::Bad("event coordinates must be finite"));
+                }
+                Self::Move { node, x, y }
+            }
+            2 => Self::Kill { node: r.u32()? },
+            3 => Self::Drain {
+                node: r.u32()?,
+                remaining: r.u64()?,
+            },
+            _ => return Err(DecodeError::Bad("event kind")),
+        })
+    }
+}
+
+/// A decoded open-graph request. Point and energy payloads stay as raw
+/// borrowed bytes.
+#[derive(Debug, Clone)]
+pub struct OpenGraphRequest<'a> {
+    /// The graph's registry name.
+    pub name: &'a str,
+    /// CDS configuration the graph will run (must be shardable).
+    pub cfg: CdsConfig,
+    /// Shard (tile) count; `0` sizes automatically from `n`.
+    pub shards: u32,
+    /// Unit-disk transmission radius.
+    pub radius: f64,
+    /// Tile-domain bounds as `(x0, y0, x1, y1)`.
+    pub bounds: (f64, f64, f64, f64),
+    /// Initial host count.
+    pub n: u32,
+    /// `n × 16` raw bytes: each point as two little-endian `f64`s.
+    pub points_raw: &'a [u8],
+    /// `n × 8` raw bytes of little-endian `u64` energies (always present;
+    /// energy is churn-graph state even under energy-blind policies).
+    pub energy_raw: &'a [u8],
+}
+
+impl<'a> OpenGraphRequest<'a> {
+    /// Decodes an `OpenGraph` body.
+    pub fn decode(body: &'a [u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(body);
+        let name = read_name(&mut r)?;
+        let cfg = read_config(&mut r)?;
+        let shards = r.u32()?;
+        let radius = r.f64()?;
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(DecodeError::Bad("radius must be finite and positive"));
+        }
+        let bounds = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+        if !(bounds.0.is_finite() && bounds.1.is_finite() && bounds.2.is_finite() && bounds.3.is_finite())
+            || bounds.0 > bounds.2
+            || bounds.1 > bounds.3
+        {
+            return Err(DecodeError::Bad("bounds must be a finite ordered rectangle"));
+        }
+        let n = r.u32()?;
+        if n > MAX_NODES {
+            return Err(DecodeError::Bad("n exceeds MAX_NODES"));
+        }
+        let points_raw = r.bytes(n as usize * 16)?;
+        let energy_raw = r.bytes(n as usize * 8)?;
+        r.finish()?;
+        for c in points_raw.chunks_exact(8) {
+            if !f64::from_le_bytes(c.try_into().unwrap()).is_finite() {
+                return Err(DecodeError::Bad("point coordinates must be finite"));
+            }
+        }
+        Ok(Self {
+            name,
+            cfg,
+            shards,
+            radius,
+            bounds,
+            n,
+            points_raw,
+            energy_raw,
+        })
+    }
+
+    /// Iterates the points in host order.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + 'a {
+        self.points_raw.chunks_exact(16).map(|c| {
+            (
+                f64::from_le_bytes(c[0..8].try_into().unwrap()),
+                f64::from_le_bytes(c[8..16].try_into().unwrap()),
+            )
+        })
+    }
+
+    /// Iterates the energies in host order.
+    pub fn energies(&self) -> impl Iterator<Item = u64> + 'a {
+        self.energy_raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+    }
+}
+
+/// Encodes a complete `OpenGraph` request frame.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_open_graph(
+    out: &mut Vec<u8>,
+    name: &str,
+    cfg: &CdsConfig,
+    shards: u32,
+    radius: f64,
+    bounds: (f64, f64, f64, f64),
+    points: &[(f64, f64)],
+    energy: &[u64],
+) {
+    debug_assert_eq!(points.len(), energy.len());
+    begin_frame(out, RequestKind::OpenGraph as u8);
+    put_name(out, name);
+    put_config(out, cfg);
+    out.put_u32(shards);
+    out.put_f64(radius);
+    out.put_f64(bounds.0);
+    out.put_f64(bounds.1);
+    out.put_f64(bounds.2);
+    out.put_f64(bounds.3);
+    out.put_u32(points.len() as u32);
+    for &(x, y) in points {
+        out.put_f64(x);
+        out.put_f64(y);
+    }
+    for &e in energy {
+        out.put_u64(e);
+    }
+    end_frame(out);
+}
+
+/// Decodes a `Mutate` body into the graph name and its event batch.
+pub fn decode_mutate(body: &[u8]) -> Result<(&str, Vec<WireEvent>), DecodeError> {
+    let mut r = Reader::new(body);
+    let name = read_name(&mut r)?;
+    let k = r.u32()?;
+    if k > MAX_MUTATION_BATCH {
+        return Err(DecodeError::Bad("mutation batch too large"));
+    }
+    let mut events = Vec::with_capacity(k.min(4096) as usize);
+    for _ in 0..k {
+        events.push(WireEvent::decode(&mut r)?);
+    }
+    r.finish()?;
+    Ok((name, events))
+}
+
+/// Encodes a complete `Mutate` request frame.
+pub fn encode_mutate(out: &mut Vec<u8>, name: &str, events: &[WireEvent]) {
+    begin_frame(out, RequestKind::Mutate as u8);
+    put_name(out, name);
+    out.put_u32(events.len() as u32);
+    for ev in events {
+        ev.encode(out);
+    }
+    end_frame(out);
+}
+
+/// Decodes a `CloseGraph` body (just the name).
+pub fn decode_close_graph(body: &[u8]) -> Result<&str, DecodeError> {
+    let mut r = Reader::new(body);
+    let name = read_name(&mut r)?;
+    r.finish()?;
+    Ok(name)
+}
+
+/// Encodes a complete `CloseGraph` request frame.
+pub fn encode_close_graph(out: &mut Vec<u8>, name: &str) {
+    begin_frame(out, RequestKind::CloseGraph as u8);
+    put_name(out, name);
+    end_frame(out);
+}
+
+/// Decodes a `QueryTile` body into the graph name and tile index.
+pub fn decode_query_tile(body: &[u8]) -> Result<(&str, u32), DecodeError> {
+    let mut r = Reader::new(body);
+    let name = read_name(&mut r)?;
+    let tile = r.u32()?;
+    r.finish()?;
+    Ok((name, tile))
+}
+
+/// Encodes a complete `QueryTile` request frame.
+pub fn encode_query_tile(out: &mut Vec<u8>, name: &str, tile: u32) {
+    begin_frame(out, RequestKind::QueryTile as u8);
+    put_name(out, name);
+    out.put_u32(tile);
+    end_frame(out);
+}
+
+/// A decoded graph-opened response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphOpened {
+    /// Tiles in the graph's fixed grid.
+    pub tiles: u32,
+    /// Initial host count.
+    pub n: u32,
+    /// Gateways after the initial full solve.
+    pub gateways: u32,
+}
+
+/// Decodes a `GraphOpened` body.
+pub fn decode_graph_opened(body: &[u8]) -> Result<GraphOpened, DecodeError> {
+    let mut r = Reader::new(body);
+    let out = GraphOpened {
+        tiles: r.u32()?,
+        n: r.u32()?,
+        gateways: r.u32()?,
+    };
+    r.finish()?;
+    Ok(out)
+}
+
+/// A decoded mutate response: the churn metrics of one refreshed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutateResult {
+    /// Events applied (equals the batch size on success).
+    pub applied: u32,
+    /// Tiles the batch dirtied.
+    pub dirty_tiles: u32,
+    /// Tiles actually re-solved by the refresh.
+    pub resolved_tiles: u32,
+    /// Total tiles in the fixed grid.
+    pub total_tiles: u32,
+    /// Gateway verdicts flipped by the refresh.
+    pub gateway_flips: u64,
+    /// Gateway count after the refresh.
+    pub gateways: u32,
+    /// Host-slot count after the batch (grows with Add events).
+    pub n: u32,
+}
+
+/// Decodes a `MutateResult` body.
+pub fn decode_mutate_result(body: &[u8]) -> Result<MutateResult, DecodeError> {
+    let mut r = Reader::new(body);
+    let out = MutateResult {
+        applied: r.u32()?,
+        dirty_tiles: r.u32()?,
+        resolved_tiles: r.u32()?,
+        total_tiles: r.u32()?,
+        gateway_flips: r.u64()?,
+        gateways: r.u32()?,
+        n: r.u32()?,
+    };
+    r.finish()?;
+    Ok(out)
+}
+
+/// A decoded tile-result response: the tile's owned hosts in ascending id
+/// order with their verdict bit-sets (bit 0 marked, bit 1 after-Rule-1,
+/// bit 2 gateway — dead hosts carry 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileResult {
+    /// The queried tile.
+    pub tile: u32,
+    /// `(host id, verdict bits)` for every owned host, ascending by id.
+    pub entries: Vec<(u32, u8)>,
+}
+
+/// Decodes a `TileResult` body.
+pub fn decode_tile_result(body: &[u8]) -> Result<TileResult, DecodeError> {
+    let mut r = Reader::new(body);
+    let tile = r.u32()?;
+    let k = r.u32()?;
+    let mut entries = Vec::with_capacity(k.min(1 << 20) as usize);
+    for _ in 0..k {
+        entries.push((r.u32()?, r.u8()?));
+    }
+    r.finish()?;
+    Ok(TileResult { tile, entries })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,8 +1344,217 @@ mod tests {
             ErrorCode::DeadlineExceeded,
             ErrorCode::BadInput,
             ErrorCode::Internal,
+            ErrorCode::UnknownGraph,
+            ErrorCode::GraphExists,
+            ErrorCode::MutationRejected,
         ] {
             assert!(!code.is_connection_fatal(), "{code:?}");
         }
+    }
+
+    #[test]
+    fn open_graph_round_trip() {
+        let cfg = CdsConfig::policy(Policy::EnergyDegree);
+        let points = [(1.0, 2.0), (3.5, 4.25), (90.0, 10.0)];
+        let energy = [7u64, 19, 3];
+        let mut out = Vec::new();
+        encode_open_graph(
+            &mut out,
+            "fleet-a",
+            &cfg,
+            9,
+            25.0,
+            (0.0, 0.0, 100.0, 100.0),
+            &points,
+            &energy,
+        );
+        let p = payload(&out);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::OpenGraph));
+        let req = OpenGraphRequest::decode(&p[2..]).unwrap();
+        assert_eq!(req.name, "fleet-a");
+        assert_eq!(req.cfg, cfg);
+        assert_eq!(req.shards, 9);
+        assert_eq!(req.radius, 25.0);
+        assert_eq!(req.bounds, (0.0, 0.0, 100.0, 100.0));
+        assert_eq!(req.points().collect::<Vec<_>>(), points);
+        assert_eq!(req.energies().collect::<Vec<_>>(), energy);
+    }
+
+    type BadGeometry = (f64, (f64, f64, f64, f64), &'static [(f64, f64)]);
+
+    #[test]
+    fn open_graph_rejects_bad_geometry() {
+        let cfg = CdsConfig::policy(Policy::Id);
+        let cases: [BadGeometry; 4] = [
+            (0.0, (0.0, 0.0, 1.0, 1.0), &[]),                 // zero radius
+            (f64::NAN, (0.0, 0.0, 1.0, 1.0), &[]),            // NaN radius
+            (1.0, (5.0, 0.0, 1.0, 1.0), &[]),                 // inverted bounds
+            (1.0, (0.0, 0.0, 1.0, 1.0), &[(f64::NAN, 0.5)]),  // NaN point
+        ];
+        for (radius, bounds, pts) in cases {
+            let energy = vec![1u64; pts.len()];
+            let mut out = Vec::new();
+            encode_open_graph(&mut out, "g", &cfg, 4, radius, bounds, pts, &energy);
+            assert!(
+                OpenGraphRequest::decode(&payload(&out)[2..]).is_err(),
+                "radius={radius} bounds={bounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mutate_round_trip_all_event_kinds() {
+        let events = [
+            WireEvent::Add {
+                x: 1.5,
+                y: -2.5,
+                energy: 77,
+            },
+            WireEvent::Move {
+                node: 4,
+                x: 0.25,
+                y: 0.75,
+            },
+            WireEvent::Kill { node: 9 },
+            WireEvent::Drain {
+                node: 2,
+                remaining: 13,
+            },
+        ];
+        let mut out = Vec::new();
+        encode_mutate(&mut out, "fleet-a", &events);
+        let p = payload(&out);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::Mutate));
+        let (name, decoded) = decode_mutate(&p[2..]).unwrap();
+        assert_eq!(name, "fleet-a");
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn mutate_rejects_bad_events() {
+        // Unknown event kind byte.
+        let mut out = Vec::new();
+        encode_mutate(&mut out, "g", &[WireEvent::Kill { node: 0 }]);
+        let body_start = LEN_PREFIX + 2;
+        let kind_at = out.len() - 5; // kill body = kind u8 + node u32
+        out[kind_at] = 4;
+        assert!(matches!(
+            decode_mutate(&out[body_start..]).unwrap_err(),
+            DecodeError::Bad("event kind")
+        ));
+        // Non-finite move coordinate.
+        let mut out = Vec::new();
+        encode_mutate(
+            &mut out,
+            "g",
+            &[WireEvent::Move {
+                node: 1,
+                x: f64::INFINITY,
+                y: 0.0,
+            }],
+        );
+        assert!(decode_mutate(&out[body_start..]).is_err());
+        // Truncated mutate bodies are Truncated, never panics.
+        let mut out = Vec::new();
+        encode_mutate(&mut out, "g", &[WireEvent::Kill { node: 3 }]);
+        let body = out[body_start..].to_vec();
+        for cut in 0..body.len() {
+            assert_eq!(
+                decode_mutate(&body[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_and_query_tile_round_trip() {
+        let mut out = Vec::new();
+        encode_close_graph(&mut out, "fleet-b");
+        let p = payload(&out);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::CloseGraph));
+        assert_eq!(decode_close_graph(&p[2..]).unwrap(), "fleet-b");
+
+        let mut out = Vec::new();
+        encode_query_tile(&mut out, "fleet-b", 12);
+        let p = payload(&out);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::QueryTile));
+        assert_eq!(decode_query_tile(&p[2..]).unwrap(), ("fleet-b", 12));
+    }
+
+    #[test]
+    fn graph_names_are_validated() {
+        // The encoders debug-assert valid names, so the invalid-length
+        // bodies are crafted by hand: a zero-length name...
+        let mut body = vec![0u8, 0u8];
+        assert!(matches!(
+            decode_close_graph(&body).unwrap_err(),
+            DecodeError::Bad("graph name length")
+        ));
+        // ...an over-long one...
+        let long = (MAX_GRAPH_NAME + 1) as u16;
+        body.clear();
+        body.extend_from_slice(&long.to_le_bytes());
+        body.extend(std::iter::repeat_n(b'x', long as usize));
+        assert!(matches!(
+            decode_close_graph(&body).unwrap_err(),
+            DecodeError::Bad("graph name length")
+        ));
+        // ...and an invalid-UTF-8 one via byte surgery on a valid frame.
+        let mut out = Vec::new();
+        encode_close_graph(&mut out, "ok");
+        let body_start = LEN_PREFIX + 2;
+        out[body_start + 2] = 0xFF;
+        assert!(matches!(
+            decode_close_graph(&out[body_start..]).unwrap_err(),
+            DecodeError::Bad("graph name utf-8")
+        ));
+    }
+
+    #[test]
+    fn churn_response_round_trips_via_manual_encode() {
+        // GraphOpened.
+        let mut out = Vec::new();
+        begin_frame(&mut out, ResponseKind::GraphOpened as u8);
+        out.put_u32(16);
+        out.put_u32(1000);
+        out.put_u32(137);
+        end_frame(&mut out);
+        let g = decode_graph_opened(&payload(&out)[2..]).unwrap();
+        assert_eq!((g.tiles, g.n, g.gateways), (16, 1000, 137));
+
+        // MutateResult.
+        let mut out = Vec::new();
+        begin_frame(&mut out, ResponseKind::MutateResult as u8);
+        out.put_u32(3);
+        out.put_u32(2);
+        out.put_u32(2);
+        out.put_u32(16);
+        out.put_u64(5);
+        out.put_u32(140);
+        out.put_u32(1001);
+        end_frame(&mut out);
+        let m = decode_mutate_result(&payload(&out)[2..]).unwrap();
+        assert_eq!(m.applied, 3);
+        assert_eq!(m.dirty_tiles, 2);
+        assert_eq!(m.resolved_tiles, 2);
+        assert_eq!(m.total_tiles, 16);
+        assert_eq!(m.gateway_flips, 5);
+        assert_eq!(m.gateways, 140);
+        assert_eq!(m.n, 1001);
+
+        // TileResult — note: no cache-hit byte anywhere in the frame.
+        let mut out = Vec::new();
+        begin_frame(&mut out, ResponseKind::TileResult as u8);
+        out.put_u32(7);
+        out.put_u32(2);
+        out.put_u32(11);
+        out.put_u8(0b101);
+        out.put_u32(12);
+        out.put_u8(0);
+        end_frame(&mut out);
+        let t = decode_tile_result(&payload(&out)[2..]).unwrap();
+        assert_eq!(t.tile, 7);
+        assert_eq!(t.entries, vec![(11, 0b101), (12, 0)]);
     }
 }

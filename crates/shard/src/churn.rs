@@ -1,0 +1,1023 @@
+//! The churn engine: persistent sharded state under a stream of mutation
+//! events, re-solving only the tiles each event can actually reach.
+//!
+//! ## Dirty-set derivation
+//!
+//! A tile's solve is a pure function of the points within the 2-hop
+//! geometric margin of its rectangle (`REQUIRED_HALO * sqrt(r² + EPS)`,
+//! the same licence the batch engine's halo rests on). An event that
+//! touches position `p` — adding a node there, moving a node from or to
+//! there, killing the node that sits there — can therefore only change
+//! the solve of tiles whose rectangle lies within that margin of `p`;
+//! every other tile's stored verdicts remain exact and are *not*
+//! recomputed. Battery drains reach only one hop (priorities are compared
+//! strictly between a node and its direct neighbours), so they dirty the
+//! 1-hop margin — and when the active policy ignores energy entirely they
+//! dirty nothing at all.
+//!
+//! After [`ChurnEngine::refresh`], the merged masks are bit-identical to
+//! a from-scratch [`ShardedCds::compute_unit_disk_masked`] (and hence to
+//! the whole-graph pipeline) on the current points / off-mask / energy —
+//! the testkit's differential churn harness pins this after every event.
+
+use crate::engine::{
+    grid_for, run_tiles, schedule_order, solve_locals, ShardSpec, WorkerSlot,
+};
+use crate::error::{check_shardable, ChurnError, ShardError};
+use crate::pool::WorkerPool;
+use crate::REQUIRED_HALO;
+use pacds_core::CdsConfig;
+use pacds_geom::{Point2, Rect, EPS};
+use pacds_graph::{NodeId, VertexMask};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One mutation against a [`ChurnEngine`]'s persistent graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// A new host appears at `pos` with `energy` residual units; it takes
+    /// the next free id (`engine.n()` before the event).
+    AddNode {
+        /// Where the host appears (must lie in the engine's domain).
+        pos: Point2,
+        /// Initial residual energy level.
+        energy: u64,
+    },
+    /// Host `node` moves to `to`.
+    MoveNode {
+        /// The moving host.
+        node: NodeId,
+        /// Its new position (must lie in the engine's domain).
+        to: Point2,
+    },
+    /// Host `node` switches off permanently: it keeps its id slot but is
+    /// isolated (no edges in either direction) and carries all-false
+    /// verdicts — the same dead-host model as
+    /// [`pacds_graph::gen::unit_disk_csr`]'s off-mask.
+    KillNode {
+        /// The dying host.
+        node: NodeId,
+    },
+    /// Host `node`'s residual energy becomes `remaining` (drain schedules
+    /// set absolute levels, so replaying a trace never depends on history).
+    DrainBattery {
+        /// The draining host.
+        node: NodeId,
+        /// The new residual level.
+        remaining: u64,
+    },
+}
+
+/// Totals of one [`ChurnEngine::refresh`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Events applied since the previous refresh.
+    pub events: u64,
+    /// Tiles that were dirty when the refresh started.
+    pub dirty_tiles: usize,
+    /// Tiles actually re-solved (equals `dirty_tiles` except under the
+    /// diagnostics-only partial refresh).
+    pub resolved_tiles: usize,
+    /// Total tiles in the fixed grid — the denominator of the headline
+    /// "re-solved « total" claim.
+    pub total_tiles: usize,
+    /// Nodes whose gateway verdict flipped in this refresh.
+    pub gateway_flips: u64,
+    /// Time gathering halos and building per-tile subgraphs.
+    pub halo_build_ns: u64,
+    /// Time in per-tile marking + rule passes.
+    pub solve_ns: u64,
+    /// Time scattering re-solved tiles into the merged masks.
+    pub scatter_ns: u64,
+    /// Tiles taken cross-stripe by the worker pool.
+    pub stolen_tiles: u64,
+}
+
+/// Lifetime totals of a [`ChurnEngine`] (across all refreshes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnTotals {
+    /// Events accepted since [`ChurnEngine::open`].
+    pub events: u64,
+    /// Refreshes run (the initial full solve counts as one).
+    pub refreshes: u64,
+    /// Tiles re-solved, summed over refreshes.
+    pub resolved_tiles: u64,
+    /// Gateway verdict flips, summed over refreshes (the initial solve
+    /// counts every initial gateway as a flip from the empty set).
+    pub gateway_flips: u64,
+}
+
+/// The fixed tile grid: same axis arithmetic as
+/// [`pacds_graph::gen::TilePartition`], but retained for the engine's
+/// lifetime so ownership updates are O(tile population), never O(n).
+#[derive(Debug, Clone, Copy, Default)]
+struct GridGeom {
+    tx: usize,
+    ty: usize,
+    x0: f64,
+    y0: f64,
+    w: f64,
+    h: f64,
+}
+
+impl GridGeom {
+    #[inline]
+    fn axis_tile(c: f64, lo: f64, span: f64, k: usize) -> usize {
+        if span <= 0.0 {
+            return 0;
+        }
+        // Casting a negative f64 to usize saturates to 0.
+        (((c - lo) / span * k as f64) as usize).min(k - 1)
+    }
+
+    #[inline]
+    fn tile_of(&self, p: Point2) -> usize {
+        Self::axis_tile(p.y, self.y0, self.h, self.ty) * self.tx
+            + Self::axis_tile(p.x, self.x0, self.w, self.tx)
+    }
+
+    fn tiles(&self) -> usize {
+        self.tx * self.ty
+    }
+
+    fn contains(&self, p: Point2) -> bool {
+        p.x >= self.x0 && p.x <= self.x0 + self.w && p.y >= self.y0 && p.y <= self.y0 + self.h
+    }
+
+    fn tile_span(&self, t: usize) -> (f64, f64, f64, f64) {
+        let cx = (t % self.tx) as f64;
+        let cy = (t / self.tx) as f64;
+        let (tx, ty) = (self.tx as f64, self.ty as f64);
+        (
+            self.x0 + self.w * cx / tx,
+            self.y0 + self.h * cy / ty,
+            self.x0 + self.w * (cx + 1.0) / tx,
+            self.y0 + self.h * (cy + 1.0) / ty,
+        )
+    }
+
+    /// Distance from `p` to tile `t`'s rectangle is at most `m`.
+    #[inline]
+    fn within(&self, t: usize, p: Point2, m: f64) -> bool {
+        let (rx0, ry0, rx1, ry1) = self.tile_span(t);
+        let dx = (rx0 - p.x).max(p.x - rx1).max(0.0);
+        let dy = (ry0 - p.y).max(p.y - ry1).max(0.0);
+        dx * dx + dy * dy <= m * m
+    }
+
+    /// Calls `f(t)` for every tile within distance `m` of `p`. The
+    /// candidate index window is widened by one tile per side so exact
+    /// boundary hits can never fall outside it; the rectangle-distance
+    /// test inside keeps the set tight.
+    fn for_tiles_within<F: FnMut(usize)>(&self, p: Point2, m: f64, mut f: F) {
+        let cx_lo = Self::axis_tile(p.x - m, self.x0, self.w, self.tx).saturating_sub(1);
+        let cx_hi = (Self::axis_tile(p.x + m, self.x0, self.w, self.tx) + 1).min(self.tx - 1);
+        let cy_lo = Self::axis_tile(p.y - m, self.y0, self.h, self.ty).saturating_sub(1);
+        let cy_hi = (Self::axis_tile(p.y + m, self.y0, self.h, self.ty) + 1).min(self.ty - 1);
+        for cy in cy_lo..=cy_hi {
+            for cx in cx_lo..=cx_hi {
+                let t = cy * self.tx + cx;
+                if self.within(t, p, m) {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Collects into `out` (ascending) every point within distance `m` of
+    /// tile `t`'s rectangle — the same margin neighbourhood
+    /// `TilePartition::gather_expanded` produces, read from the retained
+    /// per-tile ownership lists instead of a counting-sort index.
+    fn gather(&self, t: usize, m: f64, points: &[Point2], owned: &[Vec<u32>], out: &mut Vec<u32>) {
+        out.clear();
+        let (rx0, ry0, rx1, ry1) = self.tile_span(t);
+        let m2 = m * m;
+        let cx_lo = Self::axis_tile(rx0 - m, self.x0, self.w, self.tx).saturating_sub(1);
+        let cx_hi = (Self::axis_tile(rx1 + m, self.x0, self.w, self.tx) + 1).min(self.tx - 1);
+        let cy_lo = Self::axis_tile(ry0 - m, self.y0, self.h, self.ty).saturating_sub(1);
+        let cy_hi = (Self::axis_tile(ry1 + m, self.y0, self.h, self.ty) + 1).min(self.ty - 1);
+        for cy in cy_lo..=cy_hi {
+            for cx in cx_lo..=cx_hi {
+                for &i in &owned[cy * self.tx + cx] {
+                    let p = points[i as usize];
+                    let dx = (rx0 - p.x).max(p.x - rx1).max(0.0);
+                    let dy = (ry0 - p.y).max(p.y - ry1).max(0.0);
+                    if dx * dx + dy * dy <= m2 {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+/// Inflates a margin exactly as `gather_expanded` does, so the dirty
+/// predicate and the halo membership predicate can never disagree at the
+/// rim.
+#[inline]
+fn inflate(margin: f64) -> f64 {
+    margin * (1.0 + 1e-12) + 1e-9
+}
+
+/// Base pointer of the per-tile result table, shared with the pool job.
+/// `run_tiles` claims each tile exactly once, so the mutable accesses are
+/// disjoint by construction.
+#[derive(Clone, Copy)]
+struct TileResultsPtr(*mut Vec<(u32, u8)>);
+unsafe impl Send for TileResultsPtr {}
+unsafe impl Sync for TileResultsPtr {}
+
+impl TileResultsPtr {
+    /// # Safety
+    /// The caller must ensure `t` is in bounds and that no other live
+    /// reference aliases entry `t`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn entry(&self, t: usize) -> &mut Vec<(u32, u8)> {
+        &mut *self.0.add(t)
+    }
+}
+
+/// A persistent sharded unit-disk CDS instance that absorbs a stream of
+/// [`ChurnEvent`]s and re-solves only the dirty tiles.
+///
+/// Usage: [`ChurnEngine::open`] performs the initial full solve; then any
+/// number of [`ChurnEngine::apply`] calls accumulate events and their
+/// dirty tiles, and [`ChurnEngine::refresh`] re-solves the dirty set on
+/// the worker pool and folds the verdicts into the merged masks.
+/// Rejected events ([`ChurnError`]) leave all state untouched.
+#[derive(Debug)]
+pub struct ChurnEngine {
+    spec: ShardSpec,
+    cfg: CdsConfig,
+    radius: f64,
+    /// 2-hop margin (inflated): topology events dirty tiles within it.
+    margin_topo: f64,
+    /// 1-hop margin (inflated): energy events dirty tiles within it.
+    margin_energy: f64,
+    geom: GridGeom,
+    points: Vec<Point2>,
+    energy: Vec<u64>,
+    alive: Vec<bool>,
+    /// Owning tile of each node (dead nodes keep their tile).
+    node_tile: Vec<u32>,
+    /// Per-tile owned ids, each list ascending; together a partition of
+    /// `0..n`.
+    owned: Vec<Vec<u32>>,
+    dirty: Vec<bool>,
+    dirty_list: Vec<u32>,
+    /// Per-tile verdicts of the last solve of that tile, sorted by id:
+    /// `(global id, marked | after1 << 1 | gateway << 2)`.
+    tile_results: Vec<Vec<(u32, u8)>>,
+    slots: Vec<WorkerSlot>,
+    pool: WorkerPool,
+    order: Vec<u32>,
+    weights: Vec<u64>,
+    cursors: Vec<AtomicUsize>,
+    marked: VertexMask,
+    after1: VertexMask,
+    gateways: VertexMask,
+    events_pending: u64,
+    stats: ChurnStats,
+    totals: ChurnTotals,
+}
+
+impl ChurnEngine {
+    /// Opens a persistent instance over `points` / `energy` inside
+    /// `bounds` and runs the initial full solve. The tile grid is fixed
+    /// here — `spec.shards` (or the automatic count for the initial `n`)
+    /// tiles over `bounds` expanded to the initial points' bounding box —
+    /// and later events must stay inside that domain.
+    ///
+    /// Rejects unshardable configurations and too-narrow halos with the
+    /// same typed errors as the batch engine.
+    ///
+    /// # Panics
+    /// Panics if `radius <= 0` or `energy.len() != points.len()` (energy
+    /// is engine state here — [`ChurnEvent::DrainBattery`] mutates it —
+    /// so it is required even for policies that ignore it).
+    pub fn open(
+        spec: ShardSpec,
+        bounds: Rect,
+        radius: f64,
+        points: &[Point2],
+        energy: &[u64],
+        cfg: &CdsConfig,
+    ) -> Result<Self, ChurnError> {
+        check_shardable(cfg)?;
+        if spec.halo < REQUIRED_HALO {
+            return Err(ChurnError::Shard(ShardError::HaloTooSmall {
+                halo: spec.halo,
+                required: REQUIRED_HALO,
+            }));
+        }
+        assert!(radius > 0.0, "transmission radius must be positive");
+        assert_eq!(energy.len(), points.len(), "energy length must equal point count");
+
+        let n = points.len();
+        let (mut x0, mut y0, mut x1, mut y1) = (bounds.x0, bounds.y0, bounds.x1, bounds.y1);
+        for p in points {
+            x0 = x0.min(p.x);
+            y0 = y0.min(p.y);
+            x1 = x1.max(p.x);
+            y1 = y1.max(p.y);
+        }
+        let (tx, ty) = grid_for(spec.resolved_shards(n), x1 - x0, y1 - y0);
+        let geom = GridGeom {
+            tx,
+            ty,
+            x0,
+            y0,
+            w: x1 - x0,
+            h: y1 - y0,
+        };
+        let tiles = geom.tiles();
+
+        let mut owned = vec![Vec::new(); tiles];
+        let mut node_tile = Vec::with_capacity(n);
+        for (i, &p) in points.iter().enumerate() {
+            let t = geom.tile_of(p);
+            owned[t].push(i as u32);
+            node_tile.push(t as u32);
+        }
+        // Ids are pushed in ascending order, so every list is ascending.
+
+        let hop = (radius * radius + EPS).sqrt();
+        let mut engine = Self {
+            spec,
+            cfg: *cfg,
+            radius,
+            margin_topo: inflate(REQUIRED_HALO as f64 * hop),
+            margin_energy: inflate(hop),
+            geom,
+            points: points.to_vec(),
+            energy: energy.to_vec(),
+            alive: vec![true; n],
+            node_tile,
+            owned,
+            dirty: vec![true; tiles],
+            dirty_list: (0..tiles as u32).collect(),
+            tile_results: vec![Vec::new(); tiles],
+            slots: Vec::new(),
+            pool: WorkerPool::default(),
+            order: Vec::new(),
+            weights: Vec::new(),
+            cursors: Vec::new(),
+            marked: VertexMask::new(),
+            after1: VertexMask::new(),
+            gateways: VertexMask::new(),
+            events_pending: 0,
+            stats: ChurnStats::default(),
+            totals: ChurnTotals::default(),
+        };
+        engine.refresh();
+        Ok(engine)
+    }
+
+    /// Validates and applies one event, accumulating (but not solving) the
+    /// tiles it dirties. On error the engine state is untouched.
+    pub fn apply(&mut self, ev: &ChurnEvent) -> Result<(), ChurnError> {
+        match *ev {
+            ChurnEvent::AddNode { pos, energy } => {
+                if !self.geom.contains(pos) {
+                    return Err(ChurnError::OutOfBounds { x: pos.x, y: pos.y });
+                }
+                let id = self.points.len() as u32;
+                let t = self.geom.tile_of(pos);
+                self.points.push(pos);
+                self.energy.push(energy);
+                self.alive.push(true);
+                self.node_tile.push(t as u32);
+                // The new id is the largest, so appending keeps the
+                // owned list ascending.
+                self.owned[t].push(id);
+                self.mark_dirty_around(pos, self.margin_topo);
+            }
+            ChurnEvent::MoveNode { node, to } => {
+                self.check_live(node)?;
+                if !self.geom.contains(to) {
+                    return Err(ChurnError::OutOfBounds { x: to.x, y: to.y });
+                }
+                let from = self.points[node as usize];
+                let old_t = self.node_tile[node as usize] as usize;
+                let new_t = self.geom.tile_of(to);
+                if new_t != old_t {
+                    let i = self.owned[old_t]
+                        .binary_search(&node)
+                        .expect("ownership lists partition the id space");
+                    self.owned[old_t].remove(i);
+                    let i = self.owned[new_t]
+                        .binary_search(&node)
+                        .expect_err("a node is owned by exactly one tile");
+                    self.owned[new_t].insert(i, node);
+                    self.node_tile[node as usize] = new_t as u32;
+                }
+                self.points[node as usize] = to;
+                self.mark_dirty_around(from, self.margin_topo);
+                self.mark_dirty_around(to, self.margin_topo);
+            }
+            ChurnEvent::KillNode { node } => {
+                self.check_live(node)?;
+                self.alive[node as usize] = false;
+                self.mark_dirty_around(self.points[node as usize], self.margin_topo);
+            }
+            ChurnEvent::DrainBattery { node, remaining } => {
+                self.check_live(node)?;
+                if self.energy[node as usize] != remaining {
+                    self.energy[node as usize] = remaining;
+                    // Priorities are only ever compared between direct
+                    // neighbours, so an energy change reaches one hop —
+                    // and nothing at all when the policy ignores energy.
+                    if self.cfg.policy.needs_energy() {
+                        self.mark_dirty_around(self.points[node as usize], self.margin_energy);
+                    }
+                }
+            }
+        }
+        self.events_pending += 1;
+        self.totals.events += 1;
+        Ok(())
+    }
+
+    fn check_live(&self, node: NodeId) -> Result<(), ChurnError> {
+        if node as usize >= self.points.len() {
+            return Err(ChurnError::UnknownNode {
+                node,
+                n: self.points.len(),
+            });
+        }
+        if !self.alive[node as usize] {
+            return Err(ChurnError::DeadNode { node });
+        }
+        Ok(())
+    }
+
+    fn mark_dirty_around(&mut self, p: Point2, m: f64) {
+        let geom = self.geom;
+        let (dirty, dirty_list) = (&mut self.dirty, &mut self.dirty_list);
+        geom.for_tiles_within(p, m, |t| {
+            if !dirty[t] {
+                dirty[t] = true;
+                dirty_list.push(t as u32);
+            }
+        });
+    }
+
+    /// Re-solves every dirty tile on the worker pool, scatters the new
+    /// verdicts into the merged masks, and clears the dirty set.
+    pub fn refresh(&mut self) -> ChurnStats {
+        self.refresh_where(|_| true)
+    }
+
+    /// Diagnostics-only partial refresh: re-solves only the dirty tiles
+    /// `keep` accepts, *clearing the whole dirty set regardless*. Skipped
+    /// tiles keep stale verdicts — this exists so the minimality proptests
+    /// can demonstrate that every tile in the dirty set is load-bearing.
+    /// Production code must call [`ChurnEngine::refresh`].
+    #[doc(hidden)]
+    pub fn refresh_where<K: Fn(usize) -> bool>(&mut self, keep: K) -> ChurnStats {
+        let n = self.points.len();
+        let dirty_count = self.dirty_list.len();
+
+        // Solve list: dirty tiles passing the filter, largest-owned first.
+        self.order.clear();
+        self.order
+            .extend(self.dirty_list.iter().filter(|&&t| keep(t as usize)));
+        let solve = std::mem::take(&mut self.order);
+        let owned_lists = &self.owned;
+        self.weights.clear();
+        self.weights
+            .extend(solve.iter().map(|&t| owned_lists[t as usize].len() as u64));
+        schedule_order(&mut self.order, &self.weights);
+        // `order` holds indexes into `solve`; map back to tile ids so the
+        // run closure receives real tiles.
+        for slot in self.order.iter_mut() {
+            *slot = solve[*slot as usize];
+        }
+
+        let nthreads = self
+            .spec
+            .resolved_threads()
+            .clamp(1, self.order.len().max(1));
+        self.ensure_slots(nthreads);
+
+        let geom = self.geom;
+        let (radius, margin) = (self.radius, self.margin_topo);
+        let (points, energy, alive, owned) =
+            (&self.points, &self.energy, &self.alive, &self.owned);
+        let cfg = &self.cfg;
+        let results_ptr = TileResultsPtr(self.tile_results.as_mut_ptr());
+        run_tiles(
+            &mut self.pool,
+            &mut self.slots[..nthreads],
+            &self.order,
+            &self.cursors[..nthreads],
+            |slot, t| {
+                let hb = Instant::now();
+                {
+                    let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
+                    geom.gather(t, margin, points, owned, &mut slot.locals);
+                    slot.locals.retain(|&g| alive[g as usize]);
+                    pacds_graph::gen::unit_disk_csr_subset(
+                        radius,
+                        points,
+                        &slot.locals,
+                        &mut slot.csr,
+                        &mut slot.uds,
+                    );
+                }
+                slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
+
+                // SAFETY: each tile id appears exactly once in `order`
+                // and run_tiles claims each position exactly once, so
+                // this entry is not aliased; the pool's completion
+                // barrier orders the writes before run_tiles returns.
+                let out = unsafe { results_ptr.entry(t) };
+                std::mem::swap(out, &mut slot.results);
+                slot.results.clear();
+
+                let tile_owned = &owned[t];
+                slot.owned_flags.clear();
+                slot.owned_flags.resize(slot.locals.len(), false);
+                let mut li = 0;
+                let mut owned_live = 0;
+                for &g in tile_owned {
+                    if !alive[g as usize] {
+                        slot.results.push((g, 0));
+                        continue;
+                    }
+                    while slot.locals[li] < g {
+                        li += 1;
+                    }
+                    debug_assert_eq!(slot.locals[li], g, "tile {t} halo lost an owned node");
+                    slot.owned_flags[li] = true;
+                    li += 1;
+                    owned_live += 1;
+                }
+                solve_locals(slot, owned_live, Some(energy), cfg);
+                slot.results.sort_unstable_by_key(|&(g, _)| g);
+                std::mem::swap(out, &mut slot.results);
+            },
+        );
+
+        // Scatter: only re-solved tiles changed, and ownership makes the
+        // writes disjoint. Gateway churn is counted here against the
+        // previous merged mask.
+        let sc = Instant::now();
+        self.marked.resize(n, false);
+        self.after1.resize(n, false);
+        self.gateways.resize(n, false);
+        let mut flips = 0u64;
+        for &t in &self.order {
+            for &(g, bits) in &self.tile_results[t as usize] {
+                let g = g as usize;
+                let gw = bits & 4 != 0;
+                flips += u64::from(self.gateways[g] != gw);
+                self.marked[g] = bits & 1 != 0;
+                self.after1[g] = bits & 2 != 0;
+                self.gateways[g] = gw;
+            }
+        }
+        let scatter_ns = sc.elapsed().as_nanos() as u64;
+
+        for &t in &self.dirty_list {
+            self.dirty[t as usize] = false;
+        }
+        self.dirty_list.clear();
+
+        self.stats = ChurnStats {
+            events: self.events_pending,
+            dirty_tiles: dirty_count,
+            resolved_tiles: self.order.len(),
+            total_tiles: self.geom.tiles(),
+            gateway_flips: flips,
+            halo_build_ns: self.slots.iter().map(|s| s.halo_build_ns).sum(),
+            solve_ns: self.slots.iter().map(|s| s.solve_ns).sum(),
+            scatter_ns,
+            stolen_tiles: self.slots.iter().map(|s| s.tiles_stolen).sum(),
+        };
+        self.events_pending = 0;
+        self.totals.refreshes += 1;
+        self.totals.resolved_tiles += self.stats.resolved_tiles as u64;
+        self.totals.gateway_flips += flips;
+        self.stats
+    }
+
+    /// Applies a batch of events and refreshes once. Events are validated
+    /// one by one: the first rejection stops the batch with already-applied
+    /// events still pending (call [`ChurnEngine::refresh`] or keep
+    /// streaming — the engine is never left inconsistent).
+    pub fn step(&mut self, events: &[ChurnEvent]) -> Result<ChurnStats, ChurnError> {
+        for ev in events {
+            self.apply(ev)?;
+        }
+        Ok(self.refresh())
+    }
+
+    fn ensure_slots(&mut self, nthreads: usize) {
+        if self.slots.len() < nthreads {
+            self.slots.resize_with(nthreads, WorkerSlot::default);
+        }
+        if self.cursors.len() < nthreads {
+            self.cursors.resize_with(nthreads, AtomicUsize::default);
+        }
+        for c in &self.cursors {
+            c.store(0, Ordering::Relaxed);
+        }
+        for slot in &mut self.slots {
+            slot.begin();
+        }
+    }
+
+    /// Node slots (alive + dead) in the persistent graph.
+    pub fn n(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Tiles in the fixed grid.
+    pub fn tiles(&self) -> usize {
+        self.geom.tiles()
+    }
+
+    /// The engine's shape.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The configuration the instance was opened with.
+    pub fn cfg(&self) -> &CdsConfig {
+        &self.cfg
+    }
+
+    /// Current positions (index = node id; dead nodes keep their last
+    /// position).
+    pub fn positions(&self) -> &[Point2] {
+        &self.points
+    }
+
+    /// Current residual energy levels.
+    pub fn energy(&self) -> &[u64] {
+        &self.energy
+    }
+
+    /// Liveness flags (false = killed).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The merged gateway mask as of the last refresh.
+    pub fn gateways(&self) -> &VertexMask {
+        &self.gateways
+    }
+
+    /// The merged marking-process mask as of the last refresh.
+    pub fn marked(&self) -> &VertexMask {
+        &self.marked
+    }
+
+    /// The merged after-Rule-1 mask as of the last refresh.
+    pub fn after_rule1(&self) -> &VertexMask {
+        &self.after1
+    }
+
+    /// Rounds the equivalent whole-graph pipeline reports (1 when the
+    /// policy prunes, 0 otherwise) — constant across events.
+    pub fn rounds(&self) -> usize {
+        usize::from(self.cfg.policy.prunes())
+    }
+
+    /// Number of gateways in the current mask.
+    pub fn gateway_count(&self) -> usize {
+        self.gateways.iter().filter(|&&b| b).count()
+    }
+
+    /// Stats of the latest refresh.
+    pub fn stats(&self) -> ChurnStats {
+        self.stats
+    }
+
+    /// Lifetime totals across all refreshes.
+    pub fn totals(&self) -> ChurnTotals {
+        self.totals
+    }
+
+    /// Currently-dirty tiles (ascending); empty right after a refresh.
+    pub fn dirty_tiles(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.dirty_list.iter().map(|&t| t as usize).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The ids tile `t` owns (ascending), dead nodes included.
+    pub fn tile_owned(&self, t: usize) -> &[u32] {
+        &self.owned[t]
+    }
+
+    /// Tile `t`'s verdicts from its last solve, sorted by id:
+    /// `(id, marked | after1 << 1 | gateway << 2)`. One entry per owned
+    /// node (dead nodes carry 0).
+    pub fn tile_result(&self, t: usize) -> &[(u32, u8)] {
+        &self.tile_results[t]
+    }
+
+    /// The owning tile of `node`.
+    pub fn tile_of_node(&self, node: NodeId) -> usize {
+        self.node_tile[node as usize] as usize
+    }
+
+    /// The current off-mask (true = dead), allocated — diagnostics and
+    /// differential-testing helper, not part of the warm path.
+    pub fn off_mask(&self) -> Vec<bool> {
+        self.alive.iter().map(|&a| !a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardedCds;
+    use pacds_core::Policy;
+    use pacds_geom::placement;
+    use rand::{Rng, SeedableRng};
+
+    fn scratch_masks(
+        eng: &ChurnEngine,
+        bounds: Rect,
+    ) -> (VertexMask, VertexMask, VertexMask) {
+        let mut scratch = ShardedCds::new(ShardSpec::new(eng.tiles())).unwrap();
+        let off = eng.off_mask();
+        scratch
+            .compute_unit_disk_masked(
+                bounds,
+                eng.radius,
+                eng.positions(),
+                Some(&off),
+                Some(eng.energy()),
+                eng.cfg(),
+            )
+            .unwrap();
+        (
+            scratch.marked().clone(),
+            scratch.after_rule1().clone(),
+            scratch.gateways().clone(),
+        )
+    }
+
+    #[test]
+    fn open_matches_batch_engine() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 150);
+        let energy: Vec<u64> = (0..150u64).map(|v| (v * 13 + 5) % 97).collect();
+        for policy in Policy::ALL {
+            let cfg = CdsConfig::policy(policy);
+            let eng = ChurnEngine::open(
+                ShardSpec::new(4),
+                Rect::paper_arena(),
+                25.0,
+                &pts,
+                &energy,
+                &cfg,
+            )
+            .unwrap();
+            let (m, a, g) = scratch_masks(&eng, Rect::paper_arena());
+            assert_eq!(eng.marked(), &m, "{policy:?}");
+            assert_eq!(eng.after_rule1(), &a, "{policy:?}");
+            assert_eq!(eng.gateways(), &g, "{policy:?}");
+            assert_eq!(eng.stats().resolved_tiles, eng.tiles());
+        }
+    }
+
+    #[test]
+    fn every_event_kind_stays_bit_identical_to_scratch() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let bounds = Rect::paper_arena();
+        let pts = placement::uniform_points(&mut rng, bounds, 200);
+        let energy: Vec<u64> = (0..200u64).map(|v| (v * 7 + 3) % 50).collect();
+        let cfg = CdsConfig::policy(Policy::EnergyDegree);
+        let mut eng =
+            ChurnEngine::open(ShardSpec::new(16), bounds, 25.0, &pts, &energy, &cfg).unwrap();
+
+        for step in 0..60 {
+            let ev = match step % 4 {
+                0 => ChurnEvent::MoveNode {
+                    node: rng.random_range(0..eng.n() as u32),
+                    to: Point2::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+                },
+                1 => ChurnEvent::AddNode {
+                    pos: Point2::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+                    energy: rng.random_range(0..100),
+                },
+                2 => ChurnEvent::KillNode {
+                    node: rng.random_range(0..eng.n() as u32),
+                },
+                _ => ChurnEvent::DrainBattery {
+                    node: rng.random_range(0..eng.n() as u32),
+                    remaining: rng.random_range(0..100),
+                },
+            };
+            match eng.apply(&ev) {
+                Ok(()) => {}
+                Err(ChurnError::DeadNode { .. }) => continue, // dead target rolled
+                Err(e) => panic!("unexpected rejection {e} for {ev:?}"),
+            }
+            eng.refresh();
+            let (m, a, g) = scratch_masks(&eng, bounds);
+            assert_eq!(eng.marked(), &m, "step {step} {ev:?}");
+            assert_eq!(eng.after_rule1(), &a, "step {step} {ev:?}");
+            assert_eq!(eng.gateways(), &g, "step {step} {ev:?}");
+        }
+        assert!(eng.totals().events > 0);
+    }
+
+    #[test]
+    fn far_events_resolve_few_tiles() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let bounds = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let pts = placement::uniform_points(&mut rng, bounds, 2000);
+        let energy = vec![10u64; 2000];
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let mut eng = ChurnEngine::open(
+            ShardSpec::new(64),
+            bounds,
+            25.0,
+            &pts,
+            &energy,
+            &cfg,
+        )
+        .unwrap();
+        assert!(eng.tiles() >= 64);
+        let st = eng
+            .step(&[ChurnEvent::MoveNode {
+                node: 0,
+                to: Point2::new(500.0, 500.0),
+            }])
+            .unwrap();
+        // A single move dirties tiles around two positions; with a 64-tile
+        // 1000x1000 grid and a 50-unit margin that is a small corner of
+        // the grid.
+        assert!(
+            st.resolved_tiles < eng.tiles() / 2,
+            "resolved {} of {}",
+            st.resolved_tiles,
+            st.total_tiles
+        );
+        assert!(st.resolved_tiles >= 1);
+    }
+
+    #[test]
+    fn energy_events_dirty_nothing_under_energy_blind_policies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let bounds = Rect::paper_arena();
+        let pts = placement::uniform_points(&mut rng, bounds, 100);
+        let energy = vec![50u64; 100];
+        let cfg = CdsConfig::policy(Policy::Degree);
+        let mut eng =
+            ChurnEngine::open(ShardSpec::new(9), bounds, 25.0, &pts, &energy, &cfg).unwrap();
+        let st = eng
+            .step(&[ChurnEvent::DrainBattery {
+                node: 3,
+                remaining: 1,
+            }])
+            .unwrap();
+        assert_eq!(st.resolved_tiles, 0, "Degree never reads energy");
+        // The same event under an energy policy does dirty tiles.
+        let cfg = CdsConfig::policy(Policy::Energy);
+        let mut eng =
+            ChurnEngine::open(ShardSpec::new(9), bounds, 25.0, &pts, &energy, &cfg).unwrap();
+        let st = eng
+            .step(&[ChurnEvent::DrainBattery {
+                node: 3,
+                remaining: 1,
+            }])
+            .unwrap();
+        assert!(st.resolved_tiles >= 1);
+        let (m, a, g) = scratch_masks(&eng, bounds);
+        assert_eq!(eng.marked(), &m);
+        assert_eq!(eng.after_rule1(), &a);
+        assert_eq!(eng.gateways(), &g);
+    }
+
+    #[test]
+    fn rejected_events_leave_state_untouched() {
+        // A 3-node path: the centre is the sole gateway, so killing it
+        // visibly changes the mask.
+        let pts = vec![
+            Point2::new(10.0, 50.0),
+            Point2::new(30.0, 50.0),
+            Point2::new(50.0, 50.0),
+        ];
+        let energy = vec![5, 5, 5];
+        let cfg = CdsConfig::policy(Policy::Id);
+        let mut eng = ChurnEngine::open(
+            ShardSpec::new(1),
+            Rect::paper_arena(),
+            25.0,
+            &pts,
+            &energy,
+            &cfg,
+        )
+        .unwrap();
+        let before_gw = eng.gateways().clone();
+        assert_eq!(eng.gateway_count(), 1, "the path centre is a gateway");
+
+        assert_eq!(
+            eng.apply(&ChurnEvent::MoveNode {
+                node: 9,
+                to: Point2::new(1.0, 1.0)
+            }),
+            Err(ChurnError::UnknownNode { node: 9, n: 3 })
+        );
+        assert_eq!(
+            eng.apply(&ChurnEvent::MoveNode {
+                node: 0,
+                to: Point2::new(500.0, 1.0)
+            }),
+            Err(ChurnError::OutOfBounds { x: 500.0, y: 1.0 })
+        );
+        eng.apply(&ChurnEvent::KillNode { node: 1 }).unwrap();
+        assert_eq!(
+            eng.apply(&ChurnEvent::KillNode { node: 1 }),
+            Err(ChurnError::DeadNode { node: 1 }),
+            "double kill is a typed error"
+        );
+        assert_eq!(
+            eng.apply(&ChurnEvent::DrainBattery {
+                node: 1,
+                remaining: 1
+            }),
+            Err(ChurnError::DeadNode { node: 1 })
+        );
+        assert!(eng.dirty_tiles().len() <= eng.tiles());
+        eng.refresh();
+        assert_ne!(eng.gateways(), &before_gw, "the kill did land");
+    }
+
+    #[test]
+    fn unshardable_configs_are_rejected_at_open() {
+        let pts = vec![Point2::new(1.0, 1.0)];
+        let err = ChurnEngine::open(
+            ShardSpec::new(1),
+            Rect::paper_arena(),
+            25.0,
+            &pts,
+            &[1],
+            &CdsConfig::sequential(Policy::Id),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, ChurnError::Shard(ShardError::Unshardable(_))));
+        assert_eq!(err.label(), "unshardable");
+        let err = ChurnEngine::open(
+            ShardSpec {
+                shards: 1,
+                halo: 1,
+                threads: 1,
+            },
+            Rect::paper_arena(),
+            25.0,
+            &pts,
+            &[1],
+            &CdsConfig::policy(Policy::Id),
+        )
+        .err()
+        .unwrap();
+        assert_eq!(err.label(), "halo_too_small");
+    }
+
+    #[test]
+    fn threaded_refresh_is_bit_identical_to_inline() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let bounds = Rect::paper_arena();
+        let pts = placement::uniform_points(&mut rng, bounds, 300);
+        let energy: Vec<u64> = (0..300u64).map(|v| (v * 11 + 1) % 60).collect();
+        let cfg = CdsConfig::policy(Policy::Energy);
+        let mut a =
+            ChurnEngine::open(ShardSpec::new(16), bounds, 25.0, &pts, &energy, &cfg).unwrap();
+        let mut b = ChurnEngine::open(
+            ShardSpec {
+                threads: 4,
+                ..ShardSpec::new(16)
+            },
+            bounds,
+            25.0,
+            &pts,
+            &energy,
+            &cfg,
+        )
+        .unwrap();
+        let events: Vec<ChurnEvent> = (0..40)
+            .map(|i| ChurnEvent::MoveNode {
+                node: i,
+                to: Point2::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)),
+            })
+            .collect();
+        for ev in &events {
+            a.apply(ev).unwrap();
+            b.apply(ev).unwrap();
+            a.refresh();
+            b.refresh();
+            assert_eq!(a.gateways(), b.gateways());
+            assert_eq!(a.marked(), b.marked());
+        }
+    }
+}

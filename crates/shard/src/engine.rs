@@ -56,7 +56,7 @@ impl ShardSpec {
         }
     }
 
-    fn resolved_threads(&self) -> usize {
+    pub(crate) fn resolved_threads(&self) -> usize {
         if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
@@ -64,7 +64,7 @@ impl ShardSpec {
         }
     }
 
-    fn resolved_shards(&self, n: usize) -> usize {
+    pub(crate) fn resolved_shards(&self, n: usize) -> usize {
         if self.shards == 0 {
             n.div_ceil(2048).clamp(1, 4096)
         } else {
@@ -118,29 +118,30 @@ pub struct ThreadWork {
 
 /// One worker's retained state; a slot solves many tiles sequentially, so
 /// memory scales with threads x largest tile, not with shard count.
+/// `pub(crate)` so the churn engine reuses the exact same tile machinery.
 #[derive(Debug, Default)]
-struct WorkerSlot {
-    ws: CdsWorkspace,
-    csr: CsrGraph,
-    locals: Vec<u32>,
-    owned_flags: Vec<bool>,
-    energy: Vec<u64>,
-    uds: UnitDiskScratch,
-    g2l: Vec<u32>,
-    seen: Vec<bool>,
-    queue: Vec<u32>,
-    results: Vec<(u32, u8)>,
-    halo_nodes: usize,
-    cross_edges: u64,
-    halo_build_ns: u64,
-    solve_ns: u64,
-    tiles_solved: u64,
-    tiles_stolen: u64,
-    busy_ns: u64,
+pub(crate) struct WorkerSlot {
+    pub(crate) ws: CdsWorkspace,
+    pub(crate) csr: CsrGraph,
+    pub(crate) locals: Vec<u32>,
+    pub(crate) owned_flags: Vec<bool>,
+    pub(crate) energy: Vec<u64>,
+    pub(crate) uds: UnitDiskScratch,
+    pub(crate) g2l: Vec<u32>,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) queue: Vec<u32>,
+    pub(crate) results: Vec<(u32, u8)>,
+    pub(crate) halo_nodes: usize,
+    pub(crate) cross_edges: u64,
+    pub(crate) halo_build_ns: u64,
+    pub(crate) solve_ns: u64,
+    pub(crate) tiles_solved: u64,
+    pub(crate) tiles_stolen: u64,
+    pub(crate) busy_ns: u64,
 }
 
 impl WorkerSlot {
-    fn begin(&mut self) {
+    pub(crate) fn begin(&mut self) {
         self.results.clear();
         self.halo_nodes = 0;
         self.cross_edges = 0;
@@ -245,11 +246,38 @@ impl ShardedCds {
         energy: Option<&[u64]>,
         cfg: &CdsConfig,
     ) -> Result<&VertexMask, ShardError> {
+        self.compute_unit_disk_masked(bounds, radius, points, None, energy, cfg)
+    }
+
+    /// [`ShardedCds::compute_unit_disk`] with an optional off-mask: hosts
+    /// flagged in `off` keep their id slot but are treated as switched off
+    /// (no edges in either direction, all verdict bits false) — the same
+    /// dead-host model as [`pacds_graph::gen::unit_disk_csr`]. This is the
+    /// from-scratch reference the churn engine is pinned against: an
+    /// isolated host affects nobody's neighbourhood, degree, or priority,
+    /// so excluding it from each tile's subgraph is bit-identical to the
+    /// whole-graph pipeline run with that host isolated.
+    ///
+    /// # Panics
+    /// As [`ShardedCds::compute_unit_disk`], plus `off` (when present) must
+    /// have one flag per point.
+    pub fn compute_unit_disk_masked(
+        &mut self,
+        bounds: Rect,
+        radius: f64,
+        points: &[Point2],
+        off: Option<&[bool]>,
+        energy: Option<&[u64]>,
+        cfg: &CdsConfig,
+    ) -> Result<&VertexMask, ShardError> {
         check_shardable(cfg)?;
         assert!(radius > 0.0, "transmission radius must be positive");
         let n = points.len();
         if let Some(e) = energy {
             assert_eq!(e.len(), n, "energy length must equal point count");
+        }
+        if let Some(o) = off {
+            assert_eq!(o.len(), n, "off-mask length must equal point count");
         }
 
         let shards = self.spec.resolved_shards(n);
@@ -285,23 +313,38 @@ impl ShardedCds {
                 {
                     let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
                     partition.gather_expanded(t, margin, points, &mut slot.locals);
+                    if let Some(off) = off {
+                        // Off hosts contribute no edges anywhere, so the
+                        // induced live subgraph equals the full subgraph
+                        // with them isolated (and local ids still ascend in
+                        // global id order — `retain` preserves order).
+                        slot.locals.retain(|&g| !off[g as usize]);
+                    }
                     unit_disk_csr_subset(radius, points, &slot.locals, &mut slot.csr, &mut slot.uds);
                 }
                 slot.halo_build_ns += hb.elapsed().as_nanos() as u64;
 
-                // Ascending-list merge walk: flag the locals this tile owns.
+                // Ascending-list merge walk: flag the live locals this tile
+                // owns; owned off hosts get all-false verdicts directly.
                 let owned = partition.owned(t);
                 slot.owned_flags.clear();
                 slot.owned_flags.resize(slot.locals.len(), false);
-                let mut oi = 0;
-                for (li, &g) in slot.locals.iter().enumerate() {
-                    if oi < owned.len() && owned[oi] == g {
-                        slot.owned_flags[li] = true;
-                        oi += 1;
+                let mut li = 0;
+                let mut owned_live = 0;
+                for &g in owned {
+                    if off.is_some_and(|o| o[g as usize]) {
+                        slot.results.push((g, 0));
+                        continue;
                     }
+                    while slot.locals[li] < g {
+                        li += 1;
+                    }
+                    debug_assert_eq!(slot.locals[li], g, "tile {t} halo lost an owned node");
+                    slot.owned_flags[li] = true;
+                    li += 1;
+                    owned_live += 1;
                 }
-                debug_assert_eq!(oi, owned.len(), "tile {t} halo lost an owned node");
-                solve_locals(slot, owned.len(), energy, cfg_ref);
+                solve_locals(slot, owned_live, energy, cfg_ref);
             },
         );
 
@@ -519,7 +562,12 @@ impl ShardedCds {
 /// The per-tile solve tail shared by both modes: slice energy, run the
 /// retained workspace on the local subgraph, collect owned verdicts and
 /// halo/cross-edge tallies.
-fn solve_locals(slot: &mut WorkerSlot, owned_count: usize, energy: Option<&[u64]>, cfg: &CdsConfig) {
+pub(crate) fn solve_locals(
+    slot: &mut WorkerSlot,
+    owned_count: usize,
+    energy: Option<&[u64]>,
+    cfg: &CdsConfig,
+) {
     let sv = Instant::now();
     {
         let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardSolve);
@@ -609,7 +657,7 @@ fn gather_bfs_halo<G: Neighbors + ?Sized>(
 /// last. In-place `sort_unstable` on a retained buffer: allocation-free
 /// once warm. Equal weights tie-break on the tile id, keeping schedules
 /// reproducible run to run.
-fn schedule_order(order: &mut Vec<u32>, weights: &[u64]) {
+pub(crate) fn schedule_order(order: &mut Vec<u32>, weights: &[u64]) {
     order.clear();
     order.extend(0..weights.len() as u32);
     order.sort_unstable_by_key(|&t| (std::cmp::Reverse(weights[t as usize]), t));
@@ -644,7 +692,7 @@ impl SlotsPtr {
 /// tile runs exactly once no matter who takes it. Per-slot
 /// solved/stolen/busy tallies feed [`ShardStats`], [`ThreadWork`] and the
 /// obs per-thread table.
-fn run_tiles<F>(
+pub(crate) fn run_tiles<F>(
     pool: &mut WorkerPool,
     slots: &mut [WorkerSlot],
     order: &[u32],
@@ -699,7 +747,7 @@ fn run_tiles<F>(
 
 /// Picks a tile grid of about `shards` tiles matching the domain's aspect
 /// ratio (square domains get square grids: 4 -> 2x2, 16 -> 4x4).
-fn grid_for(shards: usize, width: f64, height: f64) -> (usize, usize) {
+pub(crate) fn grid_for(shards: usize, width: f64, height: f64) -> (usize, usize) {
     let s = shards.max(1);
     let aspect = if width > 0.0 && height > 0.0 {
         width / height
@@ -786,6 +834,48 @@ mod tests {
                     assert_eq!(eng.marked(), ws.marked(), "n={n} shards={shards}");
                     assert_eq!(eng.after_rule1(), ws.after_rule1(), "n={n} shards={shards}");
                     assert_eq!(eng.rounds(), ws.rounds(), "n={n} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn masked_mode_matches_the_whole_graph_with_isolated_hosts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let pts = placement::uniform_points(&mut rng, Rect::paper_arena(), 180);
+        let energy: Vec<u64> = (0..180u64).map(|v| (v * 13 + 5) % 97).collect();
+        let mut off = vec![false; 180];
+        for i in [0usize, 17, 63, 118, 179] {
+            off[i] = true;
+        }
+        let mut whole = gen::unit_disk(Rect::paper_arena(), 25.0, &pts);
+        for (i, &o) in off.iter().enumerate() {
+            if o {
+                whole.isolate(i as NodeId);
+            }
+        }
+        let mut ws = CdsWorkspace::new();
+        for shards in [1usize, 4, 16] {
+            let mut eng = ShardedCds::new(ShardSpec::new(shards)).unwrap();
+            for policy in Policy::ALL {
+                let cfg = CdsConfig::policy(policy);
+                let got = eng
+                    .compute_unit_disk_masked(
+                        Rect::paper_arena(),
+                        25.0,
+                        &pts,
+                        Some(&off),
+                        Some(&energy),
+                        &cfg,
+                    )
+                    .unwrap()
+                    .clone();
+                let expected = ws.compute(&whole, Some(&energy), &cfg).clone();
+                assert_eq!(got, expected, "shards={shards} {policy:?}");
+                assert_eq!(eng.marked(), ws.marked(), "shards={shards} {policy:?}");
+                assert_eq!(eng.after_rule1(), ws.after_rule1(), "shards={shards} {policy:?}");
+                for i in [0usize, 17, 63, 118, 179] {
+                    assert!(!got[i], "off hosts never serve as gateways");
                 }
             }
         }

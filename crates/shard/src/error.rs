@@ -84,6 +84,77 @@ impl fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
+/// Errors returned by the churn engine. Every variant is *recoverable*:
+/// a rejected event leaves the engine state untouched (validation happens
+/// before any mutation), so a caller can drop the bad event and keep
+/// streaming.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnError {
+    /// The engine shape or configuration is invalid — the same typed
+    /// rejections as the batch engine ([`ShardError::Unshardable`],
+    /// [`ShardError::HaloTooSmall`]), mirrored at open time.
+    Shard(ShardError),
+    /// The event names a node id the graph has never had.
+    UnknownNode {
+        /// The offending id.
+        node: u32,
+        /// The engine's current node count.
+        n: usize,
+    },
+    /// The event targets a node that has already been killed (double
+    /// kill, moving or draining a dead node).
+    DeadNode {
+        /// The dead node's id.
+        node: u32,
+    },
+    /// The event places a node outside the engine's fixed tile domain;
+    /// accepting it would require re-partitioning, so it is rejected
+    /// instead (the domain is the open-time bounds expanded to the
+    /// initial points' bounding box).
+    OutOfBounds {
+        /// The rejected coordinates.
+        x: f64,
+        /// See `x`.
+        y: f64,
+    },
+}
+
+impl ChurnError {
+    /// Stable machine-readable label (CLI/serve JSON output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Shard(ShardError::Unshardable(_)) => "unshardable",
+            Self::Shard(ShardError::HaloTooSmall { .. }) => "halo_too_small",
+            Self::UnknownNode { .. } => "unknown_node",
+            Self::DeadNode { .. } => "dead_node",
+            Self::OutOfBounds { .. } => "out_of_bounds",
+        }
+    }
+}
+
+impl From<ShardError> for ChurnError {
+    fn from(e: ShardError) -> Self {
+        Self::Shard(e)
+    }
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Shard(e) => write!(f, "{e}"),
+            Self::UnknownNode { node, n } => {
+                write!(f, "unknown node {node} (graph has {n} node slots)")
+            }
+            Self::DeadNode { node } => write!(f, "node {node} is dead"),
+            Self::OutOfBounds { x, y } => {
+                write!(f, "({x}, {y}) is outside the engine's fixed tile domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
 /// Whether `cfg` can run on the sharded engine (at a sufficient halo).
 ///
 /// Shardable configurations are exactly: simultaneous application,

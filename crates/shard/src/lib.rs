@@ -53,12 +53,14 @@
 //! [`check_shardable`] is the predicate. Of the 40-configuration matrix,
 //! 7 configurations shard; the conformance suite pins both halves.
 
+mod churn;
 mod engine;
 mod error;
 mod pool;
 
+pub use churn::{ChurnEngine, ChurnEvent, ChurnStats, ChurnTotals};
 pub use engine::{ShardSpec, ShardStats, ShardedCds, ThreadWork};
-pub use error::{check_shardable, ShardError, UnshardableReason};
+pub use error::{check_shardable, ChurnError, ShardError, UnshardableReason};
 
 /// Minimum halo width (in hops) for bit-identity, and the default of
 /// [`ShardSpec`].

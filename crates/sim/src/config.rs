@@ -50,6 +50,14 @@ pub struct SimConfig {
     /// paper's "switching on/off" form of mobility). Off hosts leave the
     /// topology for the interval and pay no energy.
     pub off_probability: f64,
+    /// Maintain the gateway set through the sharded churn engine
+    /// (`pacds_shard::ChurnEngine`): mobility, battery drain and deaths
+    /// are fed as mutation events and only the dirty tiles are re-solved
+    /// each interval. Produces identical gateway sets to the default
+    /// from-scratch path. Requires a shardable configuration
+    /// (`pacds_shard::check_shardable`), `off_probability == 0`, and is
+    /// mutually exclusive with `incremental`.
+    pub churn: bool,
 }
 
 impl SimConfig {
@@ -75,6 +83,7 @@ impl SimConfig {
             max_intervals: 100_000,
             incremental: false,
             off_probability: 0.0,
+            churn: false,
         }
     }
 
@@ -88,6 +97,16 @@ impl SimConfig {
             (0.0..=1.0).contains(&self.off_probability),
             "off_probability out of range"
         );
+        if self.churn {
+            assert!(
+                self.off_probability == 0.0,
+                "churn mode has no event for on/off flapping"
+            );
+            assert!(
+                !self.incremental,
+                "churn and incremental maintenance are mutually exclusive"
+            );
+        }
     }
 }
 
@@ -105,6 +124,24 @@ mod tests {
         assert_eq!(cfg.energy.non_gateway_drain, 1.0);
         assert_eq!(cfg.walk.stay_probability, 0.5);
         assert_eq!(cfg.walk.max_step, 6);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn churn_with_off_flapping_rejected() {
+        let mut cfg = SimConfig::paper(10, Policy::Energy, DrainModel::LinearInN);
+        cfg.churn = true;
+        cfg.off_probability = 0.1;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn churn_with_incremental_rejected() {
+        let mut cfg = SimConfig::paper(10, Policy::Energy, DrainModel::LinearInN);
+        cfg.churn = true;
+        cfg.incremental = true;
         cfg.validate();
     }
 

@@ -39,10 +39,15 @@
 //!    the production and oracle verifiers must agree on its verdict.
 
 pub mod casefile;
+pub mod churn;
 pub mod corpus;
 pub mod harness;
 pub mod oracle;
 
 pub use casefile::{emit_case, shrink_case, CaseFile};
+pub use churn::{
+    corpus_traces, emit_trace, first_divergence, shardable_matrix, shrink_trace, ChurnReport,
+    ChurnTrace, TraceEvent,
+};
 pub use corpus::{named_families, random_unit_disk_cases, TopoCase};
 pub use harness::{run_impl, ConformanceReport, ImplKind};
