@@ -7,11 +7,17 @@
 //! 1. **without** `--features obs` — instrumentation compiled out — it
 //!    writes the baseline timings (`PACDS_OBS_BASELINE`, default
 //!    `BENCH_obs_baseline.json`);
-//! 2. **with** `--features obs` — it re-times the workload, reads the
-//!    baseline, writes the merged `BENCH_obs.json` artifact
-//!    (`PACDS_BENCH_OUT`), and **exits non-zero** if the instrumented
-//!    build is more than `PACDS_OBS_MAX_PCT` percent slower (default 3)
-//!    at any n ≥ 1000.
+//! 2. **with** `--features obs` (or `obs,trace`) — it re-times the
+//!    workload, reads the baseline, writes the merged `BENCH_obs.json`
+//!    artifact (`PACDS_BENCH_OUT`), and **exits non-zero** if the
+//!    instrumented build is more than `PACDS_OBS_MAX_PCT` percent slower
+//!    (default 3) at any n ≥ 1000.
+//!
+//! Three hot paths are gated: the whole-graph reuse loop, the sharded
+//! engine, and the incremental churn engine. When the instrumented build
+//! also compiles the `trace` feature in, span sampling is switched on
+//! (1/[`TRACE_SAMPLE`]) for the measurement, so the gate covers tracing
+//! as deployed, not just dormant counters.
 //!
 //! Per-size timings take the minimum of several repetitions — wall-clock
 //! minima are far more stable than means under scheduler noise, which
@@ -34,6 +40,11 @@ const SIZES: [usize; 3] = [100, 1000, 10000];
 /// Sizes for the sharded-engine hot path (`pacds-shard`), gated the same
 /// way: the shard phase timers and counters must also be ≤ 3% overhead.
 const SHARD_SIZES: [usize; 2] = [1000, 10000];
+/// Sizes for the incremental churn hot path (`ChurnEngine::step`).
+const CHURN_SIZES: [usize; 2] = [1000, 10000];
+/// Span sampling rate used for the instrumented run of a `trace` build:
+/// every 64th churn step / sharded compute carries a recording trace id.
+const TRACE_SAMPLE: u64 = 64;
 /// Many *short* repetitions, minimum taken: on a small shared machine,
 /// contention arrives in multi-second bursts, so a 75–125 ms measurement
 /// window that can dodge the burst beats a long window that averages it
@@ -112,10 +123,59 @@ fn measure_shard(n: usize) -> f64 {
         .expect("default halo is legal");
         let ns = time_ns(2, iters, || {
             iv.walk.step(&mut iv.rng, iv.bounds, &mut iv.positions);
+            engine.set_trace(pacds_obs::next_trace_id());
             engine
                 .compute_unit_disk(iv.bounds, RADIUS, &iv.positions, Some(&iv.energy), &cfg)
                 .expect("benchmark config is shardable");
             black_box(engine.gateway_count());
+        });
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Minimum over [`REPS`] repetitions of the churn hot path at size `n`:
+/// a deterministic batch of mobility events through a retained
+/// `ChurnEngine` (inline single thread; only the dirtied tiles re-solve).
+fn measure_churn(n: usize) -> f64 {
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let iters = (50_000 / n).clamp(4, 400);
+    let batch = (n / 100).max(4);
+    let mut best = f64::INFINITY;
+    for rep in 0..REPS {
+        let iv = Interval::new(n, 42 + rep as u64);
+        // The churn engine treats energy 0 as exhausted; keep every host up.
+        let energy: Vec<u64> = iv.energy.iter().map(|&e| e.max(1)).collect();
+        let mut engine = pacds_shard::ChurnEngine::open(
+            pacds_shard::ShardSpec { threads: 1, ..pacds_shard::ShardSpec::auto() },
+            iv.bounds,
+            RADIUS,
+            &iv.positions,
+            &energy,
+            &cfg,
+        )
+        .expect("benchmark config is shardable");
+        let mut step = 0u64;
+        let ns = time_ns(2, iters, || {
+            // Small deterministic hops for a rotating subset of hosts.
+            let events: Vec<pacds_shard::ChurnEvent> = (0..batch)
+                .map(|k| {
+                    let node = ((step * 31 + k as u64 * 97) % n as u64) as u32;
+                    let p = engine.positions()[node as usize];
+                    let f = ((step * 61 + k as u64 * 13) % 997) as f64 / 997.0 - 0.5;
+                    pacds_shard::ChurnEvent::MoveNode {
+                        node,
+                        to: Point2::new(
+                            (p.x + f * RADIUS).clamp(iv.bounds.x0, iv.bounds.x1),
+                            (p.y - f * RADIUS).clamp(iv.bounds.y0, iv.bounds.y1),
+                        ),
+                    }
+                })
+                .collect();
+            engine.set_trace(pacds_obs::next_trace_id());
+            engine.step(&events).expect("typed-valid event batch");
+            black_box(engine.gateway_count());
+            step += 1;
         });
         best = best.min(ns);
     }
@@ -156,11 +216,20 @@ fn run_baseline() -> ExitCode {
             format!("    {{ \"shard_n\": {n}, \"shard_ns_per_interval\": {ns:.0} }}")
         })
         .collect();
+    let churn_rows: Vec<String> = CHURN_SIZES
+        .iter()
+        .map(|&n| {
+            let ns = measure_churn(n);
+            println!("n={n:>6}  baseline {ns:>12.0} ns/step (churn)");
+            format!("    {{ \"churn_n\": {n}, \"churn_ns_per_step\": {ns:.0} }}")
+        })
+        .collect();
     let json = format!(
         "{{\n  \"mode\": \"baseline\",\n  \"results\": [\n{}\n  ],\n  \
-         \"shard_results\": [\n{}\n  ]\n}}\n",
+         \"shard_results\": [\n{}\n  ],\n  \"churn_results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
-        shard_rows.join(",\n")
+        shard_rows.join(",\n"),
+        churn_rows.join(",\n")
     );
     let out = std::env::var("PACDS_OBS_BASELINE")
         .unwrap_or_else(|_| "BENCH_obs_baseline.json".into());
@@ -211,6 +280,17 @@ fn run_instrumented() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    let churn_base_ns = extract_numbers(&text, "churn_ns_per_step");
+    let churn_base_n: Vec<f64> = extract_numbers(&text, "churn_n");
+    if churn_base_ns.len() != CHURN_SIZES.len()
+        || churn_base_n.iter().map(|&v| v as usize).ne(CHURN_SIZES.iter().copied())
+    {
+        eprintln!(
+            "error: baseline {baseline_path} does not cover churn sizes {CHURN_SIZES:?}; \
+             re-run the baseline binary (without --features obs)"
+        );
+        return ExitCode::FAILURE;
+    }
 
     let max_pct: f64 = std::env::var("PACDS_OBS_MAX_PCT")
         .ok()
@@ -218,6 +298,12 @@ fn run_instrumented() -> ExitCode {
         .unwrap_or(3.0);
 
     pacds_obs::reset();
+    // A trace build is gated with sampling ON: the deployment-realistic
+    // cost is "counters + every 64th request carrying spans", not a
+    // dormant ring.
+    if pacds_obs::trace_enabled() {
+        pacds_obs::set_sampling(TRACE_SAMPLE);
+    }
     let mut gate_failed = false;
     // Scheduler noise is one-sided (it only ever adds time), so a
     // minimum that trips the gate is re-measured and min-combined a
@@ -263,6 +349,7 @@ fn run_instrumented() -> ExitCode {
     };
     let rows = gate(&SIZES, &base_ns, "n", "", &measure);
     let shard_rows = gate(&SHARD_SIZES, &shard_base_ns, "shard_n", " (sharded)", &measure_shard);
+    let churn_rows = gate(&CHURN_SIZES, &churn_base_ns, "churn_n", " (churn)", &measure_churn);
 
     // Prove the instrumented run actually recorded something: a ≤ 3%
     // number for a build where the counters silently compiled out would
@@ -278,30 +365,51 @@ fn run_instrumented() -> ExitCode {
         eprintln!("error: instrumented build recorded no shard.computes");
         return ExitCode::FAILURE;
     }
+    let churn_refreshes = snap.counter("churn.refreshes");
+    if churn_refreshes == 0 {
+        eprintln!("error: instrumented build recorded no churn.refreshes");
+        return ExitCode::FAILURE;
+    }
+    let trace_spans = snap.counter("trace.spans");
+    if pacds_obs::trace_enabled() && trace_spans == 0 {
+        eprintln!("error: trace build with sampling 1/{TRACE_SAMPLE} recorded no spans");
+        return ExitCode::FAILURE;
+    }
 
     let json = format!(
         concat!(
             "{{\n",
             "  \"benchmark\": \"obs_overhead\",\n",
             "  \"description\": \"BENCH_workspace reuse hot path (mobility step + in-place ",
-            "CSR rebuild + CdsWorkspace CDS + verification) and the sharded-engine hot path ",
-            "(mobility step + ShardedCds::compute_unit_disk), timed with pacds-obs compiled ",
-            "out vs enabled; minimum of {} repetitions per size\",\n",
+            "CSR rebuild + CdsWorkspace CDS + verification), the sharded-engine hot path ",
+            "(mobility step + ShardedCds::compute_unit_disk) and the incremental churn hot ",
+            "path (ChurnEngine::step on a mobility event batch), timed with pacds-obs ",
+            "compiled out vs enabled; minimum of {} repetitions per size\",\n",
             "  \"unit\": \"ns/interval\",\n",
             "  \"max_overhead_pct_gate\": {},\n",
             "  \"gated_sizes\": \"n >= 1000\",\n",
+            "  \"trace_enabled\": {},\n",
+            "  \"trace_sample\": {},\n",
+            "  \"instrumented_trace_spans\": {},\n",
             "  \"instrumented_workspace_computes\": {},\n",
             "  \"instrumented_shard_computes\": {},\n",
+            "  \"instrumented_churn_refreshes\": {},\n",
             "  \"results\": [\n{}\n  ],\n",
-            "  \"shard_results\": [\n{}\n  ]\n",
+            "  \"shard_results\": [\n{}\n  ],\n",
+            "  \"churn_results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         REPS,
         max_pct,
+        pacds_obs::trace_enabled(),
+        if pacds_obs::trace_enabled() { TRACE_SAMPLE } else { 0 },
+        trace_spans,
         computes,
         shard_computes,
+        churn_refreshes,
         rows.join(",\n"),
-        shard_rows.join(",\n")
+        shard_rows.join(",\n"),
+        churn_rows.join(",\n")
     );
     let out = std::env::var("PACDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
     match std::fs::write(&out, &json) {

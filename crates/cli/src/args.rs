@@ -15,6 +15,10 @@ pub const GLOBAL_OPTS: &[&str] = &["log-level"];
 pub struct Args {
     /// The first positional token (subcommand).
     pub command: Option<String>,
+    /// Positional tokens after the subcommand (e.g. the two snapshot
+    /// paths of `obs-report --diff old.jsonl new.jsonl`). Commands that
+    /// take none reject them via [`Args::check_known`].
+    pub positionals: Vec<String>,
     /// `--key value` pairs, last occurrence wins.
     options: BTreeMap<String, String>,
     /// Bare `--flag` switches.
@@ -54,7 +58,7 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(tok);
             } else {
-                return Err(ArgError(format!("unexpected positional argument '{tok}'")));
+                out.positionals.push(tok);
             }
         }
         Ok(out)
@@ -89,9 +93,27 @@ impl Args {
             .map_err(|_| ArgError(format!("--{key}: cannot parse '{raw}'")))
     }
 
-    /// Rejects options/flags outside `allowed` (catches typos). The
-    /// [`GLOBAL_OPTS`] are accepted everywhere.
+    /// Rejects options/flags outside `allowed` (catches typos) and any
+    /// positional argument — commands that take positionals use
+    /// [`Args::check_known_with_positionals`]. The [`GLOBAL_OPTS`] are
+    /// accepted everywhere.
     pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        self.check_known_with_positionals(allowed, 0)
+    }
+
+    /// [`Args::check_known`] for commands accepting up to
+    /// `max_positionals` positional arguments.
+    pub fn check_known_with_positionals(
+        &self,
+        allowed: &[&str],
+        max_positionals: usize,
+    ) -> Result<(), ArgError> {
+        if self.positionals.len() > max_positionals {
+            return Err(ArgError(format!(
+                "unexpected positional argument '{}'",
+                self.positionals[max_positionals]
+            )));
+        }
         for k in self.options.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str)) {
             if !allowed.contains(&k) && !GLOBAL_OPTS.contains(&k) {
                 return Err(ArgError(format!(
@@ -158,7 +180,12 @@ mod tests {
 
     #[test]
     fn rejects_extra_positionals_and_unknown_options() {
-        assert!(parse("a b").is_err());
+        // Positionals parse, but commands reject them unless opted in.
+        let a = parse("a b c").unwrap();
+        assert_eq!(a.positionals, vec!["b", "c"]);
+        assert!(a.check_known(&[]).is_err());
+        assert!(a.check_known_with_positionals(&[], 1).is_err());
+        assert!(a.check_known_with_positionals(&[], 2).is_ok());
         let a = parse("x --good 1 --bad 2").unwrap();
         assert!(a.check_known(&["good"]).is_err());
         assert!(a.check_known(&["good", "bad"]).is_ok());

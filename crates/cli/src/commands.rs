@@ -57,6 +57,14 @@ COMMANDS:
               --workload <sim|shard =sim> (shard: one sharded unit-disk
               compute at --n with --shards/--threads, reporting the
               shard.* phases and counters instead of a simulation)
+              --trace-jsonl <file> (write sampled span traces after the
+              workload; --trace-sample <N=1> traces every Nth candidate;
+              needs --features trace)
+              --diff <old.jsonl> <new.jsonl> (no workload: print the
+              counter/phase deltas between two snapshot JSONL files)
+              --live <host:port> (no workload: subscribe to a running
+              server's stats stream and print one row per window;
+              --interval-ms <int=1000>, --windows <int; 0 = forever>)
   shard     Compute the gateway set of a large unit-disk instance on the
             spatially-sharded engine (bit-identical to the whole-graph
             pipeline; the full adjacency never materialises).
@@ -84,6 +92,8 @@ COMMANDS:
               --policy <..=nd> --semantics <safe|literal =safe>
               --energy-seed <int> --steps <int=20>
               --events <int; per step; default max(n/100, 4)>
+              --trace-jsonl <file> (one trace per step: refresh + dirty
+              tile spans; --trace-sample <N=1>; needs --features trace)
               --check (after every step, re-solve from scratch on the
               sharded engine in masked mode and assert bit-identity)
               --max-resolved-frac <f=1.0> (fail if the mean re-solved
@@ -98,6 +108,9 @@ COMMANDS:
               --shard <auto|always|never =auto> (route compute requests
               through the sharded engine; responses are bit-identical)
               --shard-threshold <nodes=20000> --shards <int; 0 = auto>
+              --metrics-addr <host:port> (plain-HTTP Prometheus scrape
+              endpoint) --trace-sample <int=0> (span sampling rate;
+              needs --features trace)
   loadgen   Drive closed- or open-loop load at a running server and
             report throughput and p50/p99/p999 latency.
               --addr <host:port =127.0.0.1:7311> --duration <secs=10>
@@ -105,7 +118,12 @@ COMMANDS:
               --rate <req/s; open mode> --n <int=200> --radius <f=15>
               --side <f=100> --seed <int=1> --policy <..=nd>
               --semantics <..=safe> --no-cache --deadline-ms <int=0>
+              --mutate-every <int=0> / --query-every <int=0> (mix in a
+              Mutate / QueryTile request every Nth request per worker;
+              the report then breaks latency down per frame kind)
               --json <file> (write the report as one JSON object)
+              --obs-jsonl <file> (write an obs snapshot after the run;
+              pairs with --self-host to capture the server's counters)
               --fail-on-errors (exit non-zero on any protocol/io error)
               --self-host (spin up an in-process server on an ephemeral
               port and aim the load at it; --workers/--cache-mb and the
@@ -465,12 +483,39 @@ pub fn run_scenario(args: &Args) -> CliResult {
 
 /// `pacds obs-report`
 pub fn obs_report(args: &Args) -> CliResult {
-    args.check_known(&[
-        "n", "policy", "model", "seed", "intervals", "semantics", "format", "workload",
-        "shards", "threads",
-    ])?;
+    // `--diff old.jsonl new.jsonl` parses as option "diff"=old plus one
+    // positional (the new path); everything else takes no positionals.
+    args.check_known_with_positionals(
+        &[
+            "n", "policy", "model", "seed", "intervals", "semantics", "format", "workload",
+            "shards", "threads", "diff", "live", "interval-ms", "windows", "trace-jsonl",
+            "trace-sample",
+        ],
+        1,
+    )?;
+    if args.get("diff").is_some() {
+        return obs_diff(args);
+    }
+    if let Some(addr) = args.get("live") {
+        return obs_live(addr, args);
+    }
+    if !args.positionals.is_empty() {
+        return Err(format!(
+            "unexpected positional argument '{}' (only --diff takes positionals)",
+            args.positionals[0]
+        )
+        .into());
+    }
     let policy = policy_of(args.get("policy").unwrap_or("el1"))?;
     let seed: u64 = args.get_or("seed", 1)?;
+    let trace_path = args.get("trace-jsonl");
+    let trace_sample: u64 = args.get_or("trace-sample", u64::from(trace_path.is_some()))?;
+    if trace_path.is_some() && !pacds_obs::trace_enabled() {
+        eprintln!(
+            "note: span tracing is compiled out in this build; rebuild with \
+             `--features trace` for a populated --trace-jsonl"
+        );
+    }
 
     if !pacds_obs::enabled() {
         eprintln!(
@@ -479,6 +524,8 @@ pub fn obs_report(args: &Args) -> CliResult {
         );
     }
     pacds_obs::reset();
+    pacds_obs::trace::reset_tracing();
+    pacds_obs::set_sampling(trace_sample);
     let header = match args.get("workload").unwrap_or("sim") {
         "sim" => {
             let n: usize = args.get_or("n", 50)?;
@@ -527,6 +574,13 @@ pub fn obs_report(args: &Args) -> CliResult {
         other => return Err(format!("unknown workload '{other}' (sim|shard)").into()),
     };
     let snap = pacds_obs::Snapshot::capture();
+    if let Some(path) = trace_path {
+        let jsonl = pacds_obs::traces_jsonl();
+        let traces = jsonl.lines().count();
+        std::fs::write(path, jsonl)?;
+        println!("{traces} trace(s) written to {path} (sampling 1/{trace_sample})");
+    }
+    pacds_obs::set_sampling(0);
 
     match args.get("format").unwrap_or("table") {
         "table" => {
@@ -565,6 +619,119 @@ pub fn obs_report(args: &Args) -> CliResult {
             return Err(
                 format!("unknown format '{other}' (table|jsonl|prometheus)").into(),
             )
+        }
+    }
+    Ok(())
+}
+
+/// Loads the last `obs_snapshot` line of a JSONL file (snapshots may
+/// interleave with window/trace lines in one stream).
+fn load_snapshot(path: &str) -> Result<pacds_obs::Snapshot, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .rev()
+        .find_map(|l| serde_json::from_str::<pacds_obs::Snapshot>(l.trim()).ok())
+        .ok_or_else(|| format!("{path}: no obs_snapshot line found").into())
+}
+
+/// `pacds obs-report --diff old.jsonl new.jsonl`
+fn obs_diff(args: &Args) -> CliResult {
+    let old_path: String = args.require("diff")?;
+    let new_path = args
+        .positionals
+        .first()
+        .ok_or("--diff takes two snapshot files: --diff <old.jsonl> <new.jsonl>")?;
+    let old = load_snapshot(&old_path)?;
+    let new = load_snapshot(new_path)?;
+    println!("obs-diff: {old_path} -> {new_path}");
+
+    // Union of counter names in new-snapshot order, then old-only extras.
+    let mut names: Vec<&str> = new.counters.iter().map(|c| c.name.as_str()).collect();
+    for c in &old.counters {
+        if !names.contains(&c.name.as_str()) {
+            names.push(&c.name);
+        }
+    }
+    let mut changed = 0usize;
+    println!();
+    println!("{:>28} {:>14} {:>14} {:>15}", "counter", "old", "new", "delta");
+    for name in names {
+        let (o, n) = (old.counter(name), new.counter(name));
+        if o == n {
+            continue;
+        }
+        changed += 1;
+        println!("{:>28} {:>14} {:>14} {:>+15}", name, o, n, n as i128 - o as i128);
+    }
+    if changed == 0 {
+        println!("{:>28}", "(no counter changed)");
+    }
+
+    let mut phase_names: Vec<&str> = new.phases.iter().map(|p| p.name.as_str()).collect();
+    for p in &old.phases {
+        if !phase_names.contains(&p.name.as_str()) {
+            phase_names.push(&p.name);
+        }
+    }
+    if !phase_names.is_empty() {
+        println!();
+        println!(
+            "{:>16} {:>12} {:>14} {:>14}",
+            "phase", "Δcount", "Δtotal ms", "Δmean µs"
+        );
+        for name in phase_names {
+            let (oc, ot) = old.phase(name).map_or((0, 0), |p| (p.count, p.total_ns));
+            let (nc, nt) = new.phase(name).map_or((0, 0), |p| (p.count, p.total_ns));
+            if oc == nc && ot == nt {
+                continue;
+            }
+            let dc = nc as i128 - oc as i128;
+            let dt = nt as i128 - ot as i128;
+            let mean_us = if dc > 0 { dt as f64 / dc as f64 / 1e3 } else { 0.0 };
+            println!("{:>16} {:>+12} {:>14.3} {:>14.2}", name, dc, dt as f64 / 1e6, mean_us);
+        }
+    }
+    Ok(())
+}
+
+/// `pacds obs-report --live host:port`
+fn obs_live(addr: &str, args: &Args) -> CliResult {
+    let interval: u32 = args.get_or("interval-ms", 1000)?;
+    let windows: u64 = args.get_or("windows", 0)?;
+    let mut client = pacds_serve::Client::connect(addr)?;
+    let ack = client.subscribe(pacds_serve::SUB_STATS, interval, None)?;
+    println!(
+        "live: subscriber #{} at {addr}, one row per {}ms window \
+         (ctrl-c to stop)",
+        ack.subscriber_id, ack.interval_ms,
+    );
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "seq", "dt s", "reqs", "req/s", "p50 µs", "p99 µs", "flips", "tiles", "refresh", "dropped"
+    );
+    let mut seen = 0u64;
+    while windows == 0 || seen < windows {
+        match client.next_push()? {
+            pacds_serve::Push::Stats(w) => {
+                let dt_s = w.dt_us as f64 / 1e6;
+                println!(
+                    "{:>6} {:>8.2} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>8} {:>8} {:>8} {:>8}",
+                    w.seq,
+                    dt_s,
+                    w.requests,
+                    w.requests as f64 / dt_s.max(1e-9),
+                    w.p50_ns as f64 / 1e3,
+                    w.p99_ns as f64 / 1e3,
+                    w.gateway_flips,
+                    w.tiles_resolved,
+                    w.refreshes,
+                    w.push_dropped,
+                );
+                seen += 1;
+            }
+            // Stats-only subscription: flips shouldn't arrive, but a
+            // server-side change of heart is not an error.
+            pacds_serve::Push::Flip(_) => {}
         }
     }
     Ok(())
@@ -744,6 +911,7 @@ pub fn churn(args: &Args) -> CliResult {
     args.check_known(&[
         "n", "seed", "radius", "side", "shards", "threads", "policy", "semantics",
         "energy-seed", "steps", "events", "check", "max-resolved-frac", "json",
+        "trace-jsonl", "trace-sample",
     ])?;
     let n: usize = args.get_or("n", 5000)?;
     let seed: u64 = args.get_or("seed", 1)?;
@@ -760,10 +928,21 @@ pub fn churn(args: &Args) -> CliResult {
         threads: args.get_or("threads", 0)?,
     };
 
+    let trace_path = args.get("trace-jsonl");
+    let trace_sample: u64 = args.get_or("trace-sample", u64::from(trace_path.is_some()))?;
+    if trace_path.is_some() && !pacds_obs::trace_enabled() {
+        eprintln!(
+            "note: span tracing is compiled out in this build; rebuild with \
+             `--features trace` for a populated --trace-jsonl"
+        );
+    }
+
     let bounds = Rect::square(side);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let points = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
     let energy = energy_levels(args, n)?;
+    pacds_obs::trace::reset_tracing();
+    pacds_obs::set_sampling(trace_sample);
     let mut engine =
         pacds_shard::ChurnEngine::open(spec, bounds, radius, &points, &energy, &cfg)?;
     let tiles = engine.tiles();
@@ -821,6 +1000,9 @@ pub fn churn(args: &Args) -> CliResult {
                 _ => {} // dead host drawn for a live-only event: redraw
             }
         }
+        // One trace id per step: the refresh + its dirty-tile re-solves
+        // land as one causally-linked trace line.
+        engine.set_trace(pacds_obs::next_trace_id());
         let stats = engine.step(&events)?;
         resolved_frac_sum += stats.resolved_tiles as f64 / tiles.max(1) as f64;
         println!(
@@ -875,6 +1057,13 @@ pub fn churn(args: &Args) -> CliResult {
     if args.flag("check") {
         println!("check: bit-identical to the from-scratch recompute after every step");
     }
+    if let Some(path) = trace_path {
+        let jsonl = pacds_obs::traces_jsonl();
+        let traces = jsonl.lines().count();
+        std::fs::write(path, jsonl)?;
+        println!("{traces} trace(s) written to {path} (sampling 1/{trace_sample})");
+    }
+    pacds_obs::set_sampling(0);
 
     if let Some(path) = args.get("json") {
         let json = format!(
@@ -922,9 +1111,19 @@ fn server_config_of(args: &Args) -> Result<pacds_serve::ServerConfig, Box<dyn st
 pub fn serve(args: &Args) -> CliResult {
     args.check_known(&[
         "addr", "workers", "queue", "cache-mb", "duration", "shard", "shard-threshold", "shards",
+        "metrics-addr", "trace-sample",
     ])?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7311");
-    let cfg = server_config_of(args)?;
+    let mut cfg = server_config_of(args)?;
+    cfg.metrics_addr = args.get("metrics-addr").map(str::to_string);
+    let trace_sample: u64 = args.get_or("trace-sample", 0)?;
+    if trace_sample > 0 && !pacds_obs::trace_enabled() {
+        eprintln!(
+            "note: span tracing is compiled out in this build; rebuild with \
+             `--features trace` for --trace-sample to record spans"
+        );
+    }
+    pacds_obs::set_sampling(trace_sample);
     let duration: u64 = args.get_or("duration", 0)?;
     let workers = cfg.workers.max(1);
     let mut handle = pacds_serve::serve(addr, cfg)?;
@@ -934,6 +1133,9 @@ pub fn serve(args: &Args) -> CliResult {
         workers,
         pacds_serve::PROTOCOL_VERSION,
     );
+    if let Some(m) = handle.metrics_addr() {
+        println!("metrics scrape on http://{m}/metrics");
+    }
     if duration > 0 {
         std::thread::sleep(std::time::Duration::from_secs(duration));
         handle.shutdown();
@@ -956,6 +1158,7 @@ pub fn loadgen(args: &Args) -> CliResult {
         "addr", "duration", "concurrency", "mode", "rate", "n", "radius", "side", "seed",
         "policy", "semantics", "no-cache", "deadline-ms", "json", "fail-on-errors",
         "self-host", "workers", "queue", "cache-mb", "shard", "shard-threshold", "shards",
+        "mutate-every", "query-every", "obs-jsonl",
     ])?;
     // Optionally host the target server in-process (CI smoke runs).
     let hosted = if args.flag("self-host") {
@@ -987,7 +1190,10 @@ pub fn loadgen(args: &Args) -> CliResult {
         seed: args.get_or("seed", 1)?,
         no_cache: args.flag("no-cache"),
         deadline_ms: args.get_or("deadline-ms", 0)?,
+        mutate_every: args.get_or("mutate-every", 0)?,
+        query_every: args.get_or("query-every", 0)?,
     };
+    let mixed = cfg.mutate_every > 0 || cfg.query_every > 0;
     let report = pacds_serve::loadgen::run(&cfg)?;
     println!(
         "loadgen: {} mode, {} conns, {:.1}s — {} requests, {:.0} req/s \
@@ -1007,9 +1213,26 @@ pub fn loadgen(args: &Args) -> CliResult {
         "latency µs: p50={:.1} p99={:.1} p999={:.1} mean={:.1} max={:.1}",
         report.p50_us, report.p99_us, report.p999_us, report.mean_us, report.max_us,
     );
+    if mixed {
+        for (label, k) in [
+            ("compute_cds", &report.compute),
+            ("mutate", &report.mutate),
+            ("query_tile", &report.query),
+        ] {
+            println!(
+                "  {label:<12} {:>8} req  p50={:.1} p99={:.1} mean={:.1} max={:.1} µs",
+                k.requests, k.p50_us, k.p99_us, k.mean_us, k.max_us,
+            );
+        }
+    }
     if let Some(path) = args.get("json") {
         std::fs::write(path, report.to_json() + "\n")?;
         println!("report written to {path}");
+    }
+    if let Some(path) = args.get("obs-jsonl") {
+        let mut f = std::fs::File::create(path)?;
+        pacds_obs::write_jsonl(&pacds_obs::Snapshot::capture(), &mut f)?;
+        println!("obs snapshot written to {path}");
     }
     drop(hosted);
     if args.flag("fail-on-errors") && report.protocol_errors + report.io_errors > 0 {
@@ -1039,6 +1262,10 @@ mod tests {
     fn args(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()
     }
+
+    /// Serialises tests that reset or sample the process-global obs state
+    /// (counter table, span ring) against each other.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn policy_names_round_trip() {
@@ -1135,9 +1362,26 @@ mod tests {
     fn obs_report_runs_in_all_formats() {
         // One test fn for every invocation: obs_report resets the global
         // counters, so concurrent calls from separate tests would race.
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         obs_report(&args("obs-report --n 12 --intervals 3")).unwrap();
         obs_report(&args("obs-report --n 12 --intervals 3 --format jsonl")).unwrap();
         obs_report(&args("obs-report --n 12 --intervals 3 --format prometheus")).unwrap();
+        let tpath = std::env::temp_dir().join("pacds_cli_obs_traces.jsonl");
+        obs_report(&args(&format!(
+            "obs-report --n 12 --intervals 3 --trace-jsonl {}",
+            tpath.display()
+        )))
+        .unwrap();
+        let traces = std::fs::read_to_string(&tpath).unwrap();
+        let _ = std::fs::remove_file(&tpath);
+        if pacds_obs::trace_enabled() {
+            assert!(
+                traces.lines().any(|l| l.contains("sim.interval")),
+                "trace build must record interval spans: {traces}"
+            );
+        } else {
+            assert!(traces.is_empty());
+        }
         assert!(obs_report(&args("obs-report --n 12 --intervals 3 --format bogus")).is_err());
         assert!(obs_report(&args("obs-report --bogus 1")).is_err());
         #[cfg(feature = "obs")]
@@ -1246,6 +1490,81 @@ mod tests {
         // Open mode requires --rate.
         assert!(loadgen(&args("loadgen --mode open")).is_err());
         assert!(loadgen(&args("loadgen --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn obs_diff_reports_counter_and_phase_deltas() {
+        use pacds_obs::{PhaseSnapshot, Snapshot};
+        let dir = std::env::temp_dir();
+        let (old_path, new_path) =
+            (dir.join("pacds_cli_diff_old.jsonl"), dir.join("pacds_cli_diff_new.jsonl"));
+        let mut old = Snapshot::empty();
+        old.counters.push(pacds_obs::export::CounterEntry {
+            name: "serve.requests".into(),
+            value: 10,
+        });
+        let mut new = old.clone();
+        new.counters[0].value = 25;
+        new.phases.push(PhaseSnapshot {
+            name: "serve.compute".into(),
+            count: 4,
+            total_ns: 8_000,
+            buckets: vec![4],
+        });
+        // An interleaved non-snapshot line must be skipped, not fatal.
+        std::fs::write(&old_path, old.to_json_line() + "\n").unwrap();
+        std::fs::write(
+            &new_path,
+            format!("{}\n{{\"kind\":\"obs_window\",\"seq\":1}}\n", new.to_json_line()),
+        )
+        .unwrap();
+        obs_report(&args(&format!(
+            "obs-report --diff {} {}",
+            old_path.display(),
+            new_path.display()
+        )))
+        .unwrap();
+        // Missing second path and over-long positional lists are rejected.
+        assert!(obs_report(&args(&format!("obs-report --diff {}", old_path.display()))).is_err());
+        assert!(obs_report(&args("obs-report --diff a.jsonl b.jsonl c.jsonl")).is_err());
+        // A positional without --diff is rejected too.
+        assert!(obs_report(&args("obs-report stray.jsonl")).is_err());
+        let _ = std::fs::remove_file(&old_path);
+        let _ = std::fs::remove_file(&new_path);
+    }
+
+    #[test]
+    fn obs_live_tails_a_stats_subscription() {
+        let cfg = pacds_serve::ServerConfig { workers: 1, ..Default::default() };
+        let mut server = pacds_serve::serve("127.0.0.1:0", cfg).unwrap();
+        obs_live(
+            &server.addr().to_string(),
+            &args("obs-report --interval-ms 20 --windows 2"),
+        )
+        .unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn churn_trace_jsonl_writes_a_file() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let path = std::env::temp_dir().join("pacds_cli_churn_traces.jsonl");
+        churn(&args(&format!(
+            "churn --n 120 --shards 4 --threads 1 --steps 2 --events 8 \
+             --trace-jsonl {}",
+            path.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        if pacds_obs::trace_enabled() {
+            assert!(
+                text.lines().any(|l| l.contains("churn.refresh")),
+                "trace build must record refresh spans: {text}"
+            );
+        } else {
+            assert!(text.is_empty(), "disabled build writes an empty trace file");
+        }
     }
 
     #[test]

@@ -208,6 +208,14 @@ const ALL_COUNTERS: [Counter; NUM_COUNTERS] = {
         ShardCrossTileEdges,
         ShardTilesStolen,
         ShardBusyNs,
+        ChurnRefreshes,
+        ChurnTilesResolved,
+        ChurnGatewayFlips,
+        ServePushFrames,
+        ServePushDropped,
+        ServeSubscribersLagged,
+        TraceSpans,
+        TraceSpansDropped,
     ]
 };
 

@@ -70,11 +70,18 @@
 pub mod export;
 pub mod log;
 pub mod recorder;
+pub mod series;
+pub mod trace;
 
 pub use export::{write_jsonl, write_prometheus, PhaseSnapshot, Snapshot};
 pub use recorder::{
-    enabled, par_tick, phase_timer, record_phase_ns, reset, shard_thread_tiles_tick,
-    shard_tiles_per_thread, Counter, Phase, PhaseTimer, Tally,
+    counter_value, enabled, par_tick, phase_timer, record_phase_ns, reset,
+    shard_thread_tiles_tick, shard_tiles_per_thread, Counter, Phase, PhaseTimer, Tally,
+};
+pub use series::{SeriesTracker, WindowDelta};
+pub use trace::{
+    next_trace_id, reset_tracing, sampling, set_sampling, span, take_spans, trace_enabled,
+    traces_jsonl, SpanGuard, SpanKind, SpanRecord, TraceId,
 };
 
 /// Convenience: increments a counter by 1 (no-op without `enabled`).

@@ -137,6 +137,22 @@ metric_enum! {
         /// Shard: nanoseconds workers spent solving tiles (summed CPU
         /// time across workers, not wall time).
         ShardBusyNs => "shard.busy_ns",
+        /// Churn engine: refreshes run.
+        ChurnRefreshes => "churn.refreshes",
+        /// Churn engine: tiles re-solved across refreshes.
+        ChurnTilesResolved => "churn.tiles_resolved",
+        /// Churn engine: gateway verdict flips across refreshes.
+        ChurnGatewayFlips => "churn.gateway_flips",
+        /// Serve: push frames delivered to subscribers.
+        ServePushFrames => "serve.push_frames",
+        /// Serve: push frames dropped because a subscriber queue was full.
+        ServePushDropped => "serve.push_dropped",
+        /// Serve: subscribers disconnected for lagging behind the stream.
+        ServeSubscribersLagged => "serve.subscribers_lagged",
+        /// Trace: spans recorded into the span ring.
+        TraceSpans => "trace.spans",
+        /// Trace: ring slots overwritten before being drained.
+        TraceSpansDropped => "trace.spans_dropped",
     }
 }
 
@@ -178,6 +194,8 @@ metric_enum! {
         ShardSolve => "shard.solve",
         /// Shard: ownership-filtered merge into the output masks.
         ShardMerge => "shard.merge",
+        /// Churn engine: one incremental refresh (dirty-tile re-solve).
+        ChurnRefresh => "churn.refresh",
     }
 }
 
@@ -443,6 +461,15 @@ pub fn reset() {
             s.store(0, Ordering::Relaxed);
         }
     }
+    crate::trace::reset_tracing();
+}
+
+/// The calling thread's parallel-work slot id (shared with the trace
+/// ring's `thread` field).
+#[cfg(feature = "enabled")]
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+pub(crate) fn par_slot() -> usize {
+    storage::PAR_SLOT.with(|&slot| slot)
 }
 
 #[cfg(feature = "enabled")]
@@ -529,6 +556,49 @@ mod tests {
             assert!(marking.is_none() || marking.unwrap().count == 0);
         }
         reset();
+    }
+
+    #[test]
+    fn histogram_edges_boundaries_zero_and_saturation() {
+        let _guard = serial();
+        reset();
+        // Zero lands in the first bucket; a value exactly on a bucket's
+        // upper bound (128 << i, exclusive) lands in the *next* bucket;
+        // anything past the last finite bound saturates into the overflow
+        // bucket.
+        record_phase_ns(Phase::Verify, 0);
+        record_phase_ns(Phase::Verify, 127);
+        record_phase_ns(Phase::Verify, 128);
+        record_phase_ns(Phase::Verify, (128u64 << 5) - 1);
+        record_phase_ns(Phase::Verify, 128u64 << 5);
+        record_phase_ns(Phase::Verify, 128u64 << (NUM_BUCKETS - 2));
+        record_phase_ns(Phase::Verify, u64::MAX);
+        if !enabled() {
+            assert!(crate::Snapshot::capture().phase("verify").is_none());
+            return;
+        }
+        #[cfg(feature = "enabled")]
+        {
+            let (count, _total, hist) = phase_raw(Phase::Verify as usize);
+            assert_eq!(count, 7);
+            assert_eq!(hist[0], 2, "0 and 127 share bucket 0");
+            assert_eq!(hist[1], 1, "exact 128 spills into bucket 1");
+            assert_eq!(hist[5], 1, "(128<<5)-1 stays in bucket 5");
+            assert_eq!(hist[6], 1, "exact 128<<5 spills into bucket 6");
+            assert_eq!(hist[NUM_BUCKETS - 1], 2, "last bound and u64::MAX overflow");
+            assert_eq!(hist.iter().sum::<u64>(), count);
+
+            // The snapshot round-trips those exact buckets bit-identically.
+            let snap = crate::Snapshot::capture();
+            let back: crate::Snapshot =
+                serde_json::from_str(&snap.to_json_line()).expect("snapshot parses");
+            assert_eq!(back, snap);
+            let p = back.phase("verify").expect("verify phase present");
+            assert_eq!(p.count, 7);
+            assert_eq!(p.buckets[0], 2);
+            assert_eq!(p.buckets[p.buckets.len() - 1], 2);
+            reset();
+        }
     }
 
     #[test]

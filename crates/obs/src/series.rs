@@ -1,0 +1,302 @@
+//! Windowed time-series over the lifetime counters and histograms.
+//!
+//! The recorder's counters and phase histograms are monotone lifetime
+//! totals — right for overhead gates, wrong for "what is the server doing
+//! *now*". A [`SeriesTracker`] closes that gap: it remembers the raw
+//! values at its last tick, and every [`SeriesTracker::tick`] produces a
+//! [`WindowDelta`] — requests, request rate, p50/p99 derived from the
+//! **delta** of a phase histogram (not the lifetime one), gateway
+//! flips/sec, and tiles-resolved/refresh — and pushes it into a
+//! fixed-capacity ring of recent windows ([`WINDOW_CAP`]).
+//!
+//! Ticking is a cold-path operation (it reads every bucket of one
+//! histogram); the data path is never touched. In non-`enabled` builds a
+//! tracker ticks real wall-clock windows whose metric fields are all
+//! zero.
+
+use crate::recorder::{bucket_bound_ns, counter_value, Counter, Phase, NUM_BUCKETS};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Maximum windows a tracker retains; older windows are dropped.
+pub const WINDOW_CAP: usize = 64;
+
+/// One closed window: deltas since the previous tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct WindowDelta {
+    /// Window sequence number (0-based, per tracker).
+    pub seq: u64,
+    /// Window length in seconds (wall clock).
+    pub dt_s: f64,
+    /// Requests completed in the window ([`Counter::ServeRequests`]).
+    pub requests: u64,
+    /// Requests per second over the window.
+    pub req_per_s: f64,
+    /// Median of the tracked phase's in-window samples, nanoseconds
+    /// (bucket upper bound; 0 when the window saw no samples).
+    pub p50_ns: u64,
+    /// 99th percentile of the tracked phase's in-window samples, ns.
+    pub p99_ns: u64,
+    /// Phase samples the percentiles were computed from.
+    pub samples: u64,
+    /// Gateway verdict flips in the window
+    /// ([`Counter::ChurnGatewayFlips`]).
+    pub gateway_flips: u64,
+    /// Gateway flips per second over the window.
+    pub flips_per_s: f64,
+    /// Tiles re-solved in the window ([`Counter::ChurnTilesResolved`]).
+    pub tiles_resolved: u64,
+    /// Churn refreshes in the window ([`Counter::ChurnRefreshes`]).
+    pub refreshes: u64,
+}
+
+impl WindowDelta {
+    /// Mean tiles re-solved per refresh in the window (0 when idle).
+    pub fn tiles_per_refresh(&self) -> f64 {
+        if self.refreshes == 0 {
+            0.0
+        } else {
+            self.tiles_resolved as f64 / self.refreshes as f64
+        }
+    }
+
+    /// One self-describing JSON line (no trailing newline), interleavable
+    /// with snapshot and trace lines.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kind\":\"obs_window\",\"seq\":{},\"dt_s\":{:.6},",
+                "\"requests\":{},\"req_per_s\":{:.1},\"p50_ns\":{},\"p99_ns\":{},",
+                "\"samples\":{},\"gateway_flips\":{},\"flips_per_s\":{:.1},",
+                "\"tiles_resolved\":{},\"refreshes\":{}}}"
+            ),
+            self.seq,
+            self.dt_s,
+            self.requests,
+            self.req_per_s,
+            self.p50_ns,
+            self.p99_ns,
+            self.samples,
+            self.gateway_flips,
+            self.flips_per_s,
+            self.tiles_resolved,
+            self.refreshes,
+        )
+    }
+}
+
+/// Counters a tracker diffs, in `last_counters` order.
+const TRACKED: [Counter; 4] = [
+    Counter::ServeRequests,
+    Counter::ChurnGatewayFlips,
+    Counter::ChurnTilesResolved,
+    Counter::ChurnRefreshes,
+];
+
+/// Produces [`WindowDelta`]s against a chosen latency phase and keeps the
+/// last [`WINDOW_CAP`] of them.
+#[derive(Debug, Clone)]
+pub struct SeriesTracker {
+    phase: Phase,
+    seq: u64,
+    last: Instant,
+    last_counters: [u64; TRACKED.len()],
+    last_hist: [u64; NUM_BUCKETS],
+    windows: VecDeque<WindowDelta>,
+}
+
+impl SeriesTracker {
+    /// A tracker whose percentiles follow `phase`'s histogram
+    /// (e.g. [`Phase::ServeCompute`] for request latency,
+    /// [`Phase::ChurnRefresh`] for refresh latency). Baselines are
+    /// snapshotted now; the first `tick` therefore covers activity since
+    /// construction.
+    pub fn new(phase: Phase) -> Self {
+        let mut t = Self {
+            phase,
+            seq: 0,
+            last: Instant::now(),
+            last_counters: [0; TRACKED.len()],
+            last_hist: [0; NUM_BUCKETS],
+            windows: VecDeque::with_capacity(WINDOW_CAP),
+        };
+        t.rebaseline();
+        t
+    }
+
+    fn rebaseline(&mut self) {
+        self.last = Instant::now();
+        for (slot, &c) in self.last_counters.iter_mut().zip(&TRACKED) {
+            *slot = counter_value(c);
+        }
+        self.last_hist = hist_of(self.phase);
+    }
+
+    /// Closes the current window: computes deltas since the previous
+    /// tick, pushes the window into the ring, and rebaselines.
+    pub fn tick(&mut self) -> WindowDelta {
+        let dt_s = self.last.elapsed().as_secs_f64().max(1e-9);
+        let mut deltas = [0u64; TRACKED.len()];
+        for ((d, last), &c) in deltas.iter_mut().zip(&self.last_counters).zip(&TRACKED) {
+            *d = counter_value(c).saturating_sub(*last);
+        }
+        let hist = hist_of(self.phase);
+        let mut delta_hist = [0u64; NUM_BUCKETS];
+        for i in 0..NUM_BUCKETS {
+            delta_hist[i] = hist[i].saturating_sub(self.last_hist[i]);
+        }
+        let samples: u64 = delta_hist.iter().sum();
+        let w = WindowDelta {
+            seq: self.seq,
+            dt_s,
+            requests: deltas[0],
+            req_per_s: deltas[0] as f64 / dt_s,
+            p50_ns: percentile_ns(&delta_hist, samples, 0.50),
+            p99_ns: percentile_ns(&delta_hist, samples, 0.99),
+            samples,
+            gateway_flips: deltas[1],
+            flips_per_s: deltas[1] as f64 / dt_s,
+            tiles_resolved: deltas[2],
+            refreshes: deltas[3],
+        };
+        self.seq += 1;
+        if self.windows.len() == WINDOW_CAP {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(w);
+        self.rebaseline();
+        w
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowDelta> {
+        self.windows.iter()
+    }
+
+    /// The most recently closed window.
+    pub fn latest(&self) -> Option<&WindowDelta> {
+        self.windows.back()
+    }
+}
+
+fn hist_of(phase: Phase) -> [u64; NUM_BUCKETS] {
+    #[cfg_attr(not(feature = "enabled"), allow(unused_mut))]
+    let mut out = [0u64; NUM_BUCKETS];
+    #[cfg(feature = "enabled")]
+    {
+        let (_, _, buckets) = crate::recorder::phase_raw(phase as usize);
+        for (slot, b) in out.iter_mut().zip(buckets) {
+            *slot = b;
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = phase;
+    out
+}
+
+/// The `q`-quantile of a bucketed delta histogram, reported as the
+/// matched bucket's upper bound in nanoseconds (the overflow bucket
+/// reports the last finite bound). 0 for an empty histogram.
+fn percentile_ns(delta_hist: &[u64; NUM_BUCKETS], samples: u64, q: f64) -> u64 {
+    if samples == 0 {
+        return 0;
+    }
+    let rank = ((samples as f64 * q).ceil() as u64).clamp(1, samples);
+    let mut seen = 0u64;
+    for (i, &b) in delta_hist.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return bucket_bound_ns(i).unwrap_or(128u64 << (NUM_BUCKETS - 2));
+        }
+    }
+    128u64 << (NUM_BUCKETS - 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let mut t = SeriesTracker::new(Phase::ServeCompute);
+        // No activity attributed because deltas are against the baseline
+        // taken at construction — this window may still race other tests'
+        // recordings, so only the structural facts are asserted.
+        let w = t.tick();
+        assert_eq!(w.seq, 0);
+        assert!(w.dt_s > 0.0);
+        assert_eq!(t.windows().count(), 1);
+        assert_eq!(t.latest().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_delta_histogram() {
+        let mut h = [0u64; NUM_BUCKETS];
+        h[0] = 50; // < 128 ns
+        h[3] = 49; // < 1024 ns
+        h[10] = 1; // < 131072 ns
+        let total: u64 = h.iter().sum();
+        assert_eq!(percentile_ns(&h, total, 0.50), 128);
+        assert_eq!(percentile_ns(&h, total, 0.99), 1024);
+        assert_eq!(percentile_ns(&h, total, 1.0), 131_072);
+        assert_eq!(percentile_ns(&h, 0, 0.5), 0);
+        // Overflow bucket reports the last finite bound.
+        let mut o = [0u64; NUM_BUCKETS];
+        o[NUM_BUCKETS - 1] = 1;
+        assert_eq!(percentile_ns(&o, 1, 0.5), 128u64 << (NUM_BUCKETS - 2));
+    }
+
+    #[test]
+    fn ring_caps_at_window_cap() {
+        let mut t = SeriesTracker::new(Phase::Marking);
+        for _ in 0..(WINDOW_CAP + 5) {
+            t.tick();
+        }
+        assert_eq!(t.windows().count(), WINDOW_CAP);
+        assert_eq!(t.latest().unwrap().seq, (WINDOW_CAP + 5 - 1) as u64);
+        // Oldest retained window is seq 5.
+        assert_eq!(t.windows().next().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn window_json_line_shape() {
+        let w = WindowDelta {
+            seq: 2,
+            dt_s: 1.0,
+            requests: 10,
+            req_per_s: 10.0,
+            p50_ns: 256,
+            p99_ns: 1024,
+            samples: 10,
+            gateway_flips: 4,
+            flips_per_s: 4.0,
+            tiles_resolved: 8,
+            refreshes: 4,
+        };
+        let line = w.to_json_line();
+        assert!(line.starts_with("{\"kind\":\"obs_window\""));
+        for key in ["\"requests\":10", "\"p99_ns\":1024", "\"refreshes\":4"] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert_eq!(w.tiles_per_refresh(), 2.0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn deltas_track_counter_movement() {
+        // Counter movement is delta'd even under concurrent tests: record
+        // a known amount and assert the window saw at least that much.
+        let mut t = SeriesTracker::new(Phase::ChurnRefresh);
+        crate::add(Counter::ChurnGatewayFlips, 7);
+        crate::add(Counter::ChurnTilesResolved, 3);
+        crate::add(Counter::ChurnRefreshes, 1);
+        crate::recorder::record_phase_ns(Phase::ChurnRefresh, 200);
+        let w = t.tick();
+        assert!(w.gateway_flips >= 7);
+        assert!(w.tiles_resolved >= 3);
+        assert!(w.refreshes >= 1);
+        assert!(w.samples >= 1);
+        assert!(w.p50_ns >= 256);
+    }
+}

@@ -14,10 +14,19 @@ use pacds_core::CdsConfig;
 
 use crate::protocol::{
     self, decode_cds_result, decode_error, decode_graph_opened, decode_mutate_result,
-    decode_stats_result, decode_tile_result, CdsResult, DecodeError, GenComputeRequest,
-    GraphOpened, MutateResult, ResponseKind, StatsFormat, StatsResult, TileResult, WireError,
-    WireEvent, DEFAULT_MAX_FRAME_LEN, LEN_PREFIX, PROTOCOL_VERSION,
+    decode_stats_result, decode_tile_result, CdsResult, DecodeError, FlipEvent, GenComputeRequest,
+    GraphOpened, MutateResult, ResponseKind, StatsDelta, StatsFormat, StatsResult, SubscribeAck,
+    TileResult, WireError, WireEvent, DEFAULT_MAX_FRAME_LEN, LEN_PREFIX, PROTOCOL_VERSION,
 };
+
+/// One frame pushed by the server to a subscribed connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Push {
+    /// A periodic stats window ([`crate::protocol::SUB_STATS`]).
+    Stats(StatsDelta),
+    /// A per-refresh gateway-flip event ([`crate::protocol::SUB_FLIPS`]).
+    Flip(FlipEvent),
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -165,11 +174,51 @@ impl Client {
         Ok(())
     }
 
+    /// Flips this connection into push mode: subscribes to periodic stats
+    /// windows and/or gateway-flip events (see the `SUB_*` flags). After
+    /// the ack, the connection only carries server pushes — drain them
+    /// with [`next_push`](Client::next_push).
+    pub fn subscribe(
+        &mut self,
+        flags: u8,
+        interval_ms: u32,
+        graph: Option<&str>,
+    ) -> Result<SubscribeAck, ClientError> {
+        protocol::encode_subscribe(&mut self.req, flags, interval_ms, graph);
+        let payload = self.round_trip()?;
+        expect(payload, ResponseKind::SubscribeAck)?;
+        Ok(protocol::decode_subscribe_ack(&payload[2..])?)
+    }
+
+    /// Blocks for the next pushed frame on a subscribed connection. A
+    /// server-side retirement (e.g. [`ErrorCode::SubscriberLagged`]
+    /// (crate::protocol::ErrorCode::SubscriberLagged)) surfaces as
+    /// [`ClientError::Wire`]; a clean close as [`ClientError::Io`].
+    pub fn next_push(&mut self) -> Result<Push, ClientError> {
+        let payload = self.read_frame()?;
+        match ResponseKind::from_wire(payload[1]) {
+            Some(ResponseKind::StatsDelta) => {
+                Ok(Push::Stats(protocol::decode_stats_delta(&payload[2..])?))
+            }
+            Some(ResponseKind::FlipEvent) => {
+                Ok(Push::Flip(protocol::decode_flip_event(&payload[2..])?))
+            }
+            Some(ResponseKind::Error) => Err(ClientError::Wire(decode_error(&payload[2..])?)),
+            _ => Err(ClientError::Unexpected(payload[1])),
+        }
+    }
+
     /// Sends `self.req` (a complete frame) and reads one response frame,
     /// returning its payload. Reused buffers; no allocation at steady
     /// state once the buffers reach their high-water marks.
     fn round_trip(&mut self) -> Result<&[u8], ClientError> {
         self.conn.write_all(&self.req)?;
+        self.read_frame()
+    }
+
+    /// Reads one frame into the retained response buffer and returns its
+    /// payload (version byte included).
+    fn read_frame(&mut self) -> Result<&[u8], ClientError> {
         let mut prefix = [0u8; LEN_PREFIX];
         self.conn.read_exact(&mut prefix)?;
         let len = u32::from_le_bytes(prefix) as usize;

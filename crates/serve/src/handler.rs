@@ -36,10 +36,12 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::cache::ShardedCache;
+use crate::hub::SubscriberHub;
 use crate::protocol::{
     self, begin_frame, encode_error, end_frame, ComputeCdsRequest, DecodeError, ErrorCode,
-    GenComputeRequest, OpenGraphRequest, RequestKind, ResponseKind, StatsFormat, WireEvent,
-    WireWrite, CACHE_FLAG_PAYLOAD_OFFSET, FLAG_NO_CACHE, LEN_PREFIX, PROTOCOL_VERSION,
+    GenComputeRequest, OpenGraphRequest, RequestKind, ResponseKind, StatsFormat, SubscribeAck,
+    WireEvent, WireWrite, CACHE_FLAG_PAYLOAD_OFFSET, FLAG_NO_CACHE, LEN_PREFIX, PROTOCOL_VERSION,
+    SUB_FLIPS,
 };
 
 /// Domain tags separating the cache-key spaces (and all of them from raw
@@ -133,6 +135,9 @@ struct OpenGraph {
     engine: ChurnEngine,
     uid: u64,
     tile_versions: Vec<u64>,
+    /// Mutate-triggered refreshes on this open (the flip-event sequence
+    /// number; the open itself performs refresh 0).
+    refreshes: u64,
 }
 
 /// The named-graph registry. One mutex over the whole map: churn graphs
@@ -238,6 +243,8 @@ pub struct ServeState {
     pub shard: ShardPolicy,
     /// Named persistent churn graphs.
     pub graphs: GraphRegistry,
+    /// Telemetry push subscribers.
+    pub hub: SubscriberHub,
 }
 
 impl ServeState {
@@ -249,6 +256,7 @@ impl ServeState {
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
             shard: ShardPolicy::default(),
             graphs: GraphRegistry::default(),
+            hub: SubscriberHub::default(),
         }
     }
 }
@@ -281,12 +289,26 @@ impl WorkerScratch {
 }
 
 /// What the connection loop should do after a response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HandleOutcome {
     /// Response written; keep the connection.
     KeepOpen,
     /// Response written; framing is unreliable, close after sending.
     Close,
+    /// An ack was written and the connection should flip into push mode:
+    /// register with [`ServeState::hub`] (the ack already carries `id`)
+    /// and drain the subscription queue to the socket until the client
+    /// hangs up or the subscriber lags.
+    Subscribe {
+        /// Hub id the ack frame promised (pre-allocated by the handler).
+        id: u64,
+        /// Accepted [`protocol::SUB_STATS`] | [`protocol::SUB_FLIPS`].
+        flags: u8,
+        /// Accepted stats cadence in milliseconds.
+        interval_ms: u32,
+        /// Flip-event graph filter (`None` = all graphs).
+        graph: Option<String>,
+    },
 }
 
 /// Handles one request payload (`version, kind, body` — the bytes after
@@ -312,15 +334,22 @@ pub fn handle_payload(
     let Some(kind) = RequestKind::from_wire(payload[1]) else {
         return protocol_error(state, resp, ErrorCode::UnknownKind, "unknown request kind");
     };
+    // One trace id per request (NONE unless sampling hits); every span
+    // along the request's path — cache lookup, shard dispatch, per-tile
+    // solve, merge — carries it, so one JSONL trace line reconstructs
+    // where the request spent its time.
+    let trace = pacds_obs::next_trace_id();
+    let _req_span = pacds_obs::span(trace, pacds_obs::SpanKind::Request, u32::from(payload[1]));
     let body = &payload[2..];
     match kind {
-        RequestKind::ComputeCds => handle_compute(state, scratch, body, resp, received),
-        RequestKind::GenCompute => handle_gen(state, scratch, body, resp, received),
+        RequestKind::ComputeCds => handle_compute(state, scratch, body, resp, received, trace),
+        RequestKind::GenCompute => handle_gen(state, scratch, body, resp, received, trace),
         RequestKind::Stats => handle_stats(state, body, resp),
         RequestKind::OpenGraph => handle_open_graph(state, body, resp),
-        RequestKind::Mutate => handle_mutate(state, body, resp),
+        RequestKind::Mutate => handle_mutate(state, body, resp, trace),
         RequestKind::CloseGraph => handle_close_graph(state, body, resp),
         RequestKind::QueryTile => handle_query_tile(state, body, resp),
+        RequestKind::Subscribe => handle_subscribe(state, body, resp),
         RequestKind::Ping => {
             state.stats.pings.fetch_add(1, Ordering::Relaxed);
             begin_frame(resp, ResponseKind::Pong as u8);
@@ -386,6 +415,7 @@ fn handle_compute(
     body: &[u8],
     resp: &mut Vec<u8>,
     received: Instant,
+    trace: pacds_obs::TraceId,
 ) -> HandleOutcome {
     state.stats.compute.fetch_add(1, Ordering::Relaxed);
     let decode_timer = pacds_obs::phase_timer(pacds_obs::Phase::ServeDecode);
@@ -424,7 +454,10 @@ fn handle_compute(
         d.finish()
     });
     if let Some(key) = key {
-        if state.cache.get_into(key, resp) {
+        let lookup = pacds_obs::span(trace, pacds_obs::SpanKind::CacheLookup, 0);
+        let hit = state.cache.get_into(key, resp);
+        drop(lookup);
+        if hit {
             if deadline_hit(state, resp, deadline) {
                 return HandleOutcome::KeepOpen;
             }
@@ -444,7 +477,7 @@ fn handle_compute(
         scratch.energy.extend(levels);
     }
     let energy = req.energy_raw.is_some().then_some(scratch.energy.as_slice());
-    compute_and_encode(state, scratch, &req.cfg, energy.is_some(), resp, deadline, key)
+    compute_and_encode(state, scratch, &req.cfg, energy.is_some(), resp, deadline, key, trace)
 }
 
 fn handle_gen(
@@ -453,6 +486,7 @@ fn handle_gen(
     body: &[u8],
     resp: &mut Vec<u8>,
     received: Instant,
+    trace: pacds_obs::TraceId,
 ) -> HandleOutcome {
     state.stats.gen_compute.fetch_add(1, Ordering::Relaxed);
     let req = match GenComputeRequest::decode(body) {
@@ -479,7 +513,10 @@ fn handle_gen(
         d.finish()
     });
     if let Some(key) = key {
-        if state.cache.get_into(key, resp) {
+        let lookup = pacds_obs::span(trace, pacds_obs::SpanKind::CacheLookup, 0);
+        let hit = state.cache.get_into(key, resp);
+        drop(lookup);
+        if hit {
             if deadline_hit(state, resp, deadline) {
                 return HandleOutcome::KeepOpen;
             }
@@ -514,12 +551,13 @@ fn handle_gen(
             scratch.energy.extend((0..n).map(|_| erng.random_range(0..=10u64)));
         }
     }
-    compute_and_encode(state, scratch, &req.cfg, true, resp, deadline, key)
+    compute_and_encode(state, scratch, &req.cfg, true, resp, deadline, key, trace)
 }
 
 /// Runs the pipeline on `scratch.graph`, encodes the `CdsResult` frame,
 /// inserts it into the cache (flag zeroed), and patches nothing: a fresh
 /// computation reports `cache_hit = 0`.
+#[allow(clippy::too_many_arguments)]
 fn compute_and_encode(
     state: &ServeState,
     scratch: &mut WorkerScratch,
@@ -528,6 +566,7 @@ fn compute_and_encode(
     resp: &mut Vec<u8>,
     deadline: Option<Instant>,
     key: Option<u128>,
+    trace: pacds_obs::TraceId,
 ) -> HandleOutcome {
     let use_shard = match state.shard.mode {
         ShardMode::Never => false,
@@ -537,6 +576,7 @@ fn compute_and_encode(
         }
     };
     {
+        let _s = pacds_obs::span(trace, pacds_obs::SpanKind::Compute, scratch.graph.n() as u32);
         let _t = pacds_obs::phase_timer(pacds_obs::Phase::ServeCompute);
         let energy = with_energy.then_some(scratch.energy.as_slice());
         if use_shard {
@@ -544,6 +584,7 @@ fn compute_and_encode(
                 scratch.sharded = ShardedCds::new(ShardSpec::new(state.shard.shards))
                     .expect("default halo is legal");
             }
+            scratch.sharded.set_trace(trace);
             scratch
                 .sharded
                 .compute_graph(&scratch.graph, energy, cfg)
@@ -646,6 +687,7 @@ fn handle_open_graph(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> Han
             engine,
             uid,
             tile_versions: vec![0; tiles],
+            refreshes: 0,
         },
     );
     drop(graphs);
@@ -658,7 +700,12 @@ fn handle_open_graph(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> Han
     HandleOutcome::KeepOpen
 }
 
-fn handle_mutate(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+fn handle_mutate(
+    state: &ServeState,
+    body: &[u8],
+    resp: &mut Vec<u8>,
+    trace: pacds_obs::TraceId,
+) -> HandleOutcome {
     let (name, events) = match protocol::decode_mutate(body) {
         Ok(decoded) => decoded,
         Err(e) => return decode_failed(state, resp, &e),
@@ -696,13 +743,24 @@ fn handle_mutate(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleO
     // versions of every re-solved tile so their cached TileResult frames
     // can no longer be served.
     let dirty = open.engine.dirty_tiles();
+    open.engine.set_trace(trace);
     let stats = open.engine.refresh();
     for &t in &dirty {
         open.tile_versions[t] += 1;
     }
+    open.refreshes += 1;
+    let refresh_seq = open.refreshes;
     let gateways = open.engine.gateway_count() as u32;
     let n = open.engine.n() as u32;
     drop(graphs);
+    // Publish the flip event after releasing the registry lock so slow
+    // subscribers can never extend the mutation's critical section.
+    if !dirty.is_empty() {
+        let tiles: Vec<u32> = dirty.iter().map(|&t| t as u32).collect();
+        state
+            .hub
+            .publish_flip(name, refresh_seq, stats.gateway_flips, gateways, &tiles);
+    }
     state
         .stats
         .mutation_events
@@ -783,6 +841,42 @@ fn handle_query_tile(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> Han
     drop(graphs);
     state.cache.insert(key, resp);
     HandleOutcome::KeepOpen
+}
+
+fn handle_subscribe(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {
+    let req = match protocol::decode_subscribe(body) {
+        Ok(req) => req,
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    // A named flip subscription must reference an open graph; stats-only
+    // subscriptions are graph-independent. (The graph may still close
+    // later — the subscription then simply stops receiving flip events.)
+    if req.flags & SUB_FLIPS != 0 {
+        if let Some(name) = req.graph {
+            let graphs = state.graphs.inner.lock().expect("registry poisoned");
+            if !graphs.contains_key(name) {
+                return graph_error(state, resp, ErrorCode::UnknownGraph, "graph not open");
+            }
+        }
+    }
+    // Pre-allocate the id so the ack frame can carry it; the server loop
+    // registers the receiver with the hub *before* writing this ack, so a
+    // client never misses an event it was promised.
+    let id = state.hub.allocate_id();
+    protocol::encode_subscribe_ack(
+        resp,
+        SubscribeAck {
+            subscriber_id: id,
+            flags: req.flags,
+            interval_ms: req.interval_ms,
+        },
+    );
+    HandleOutcome::Subscribe {
+        id,
+        flags: req.flags,
+        interval_ms: req.interval_ms,
+        graph: req.graph.map(str::to_owned),
+    }
 }
 
 fn handle_stats(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOutcome {

@@ -37,19 +37,22 @@
 pub mod cache;
 pub mod client;
 pub mod handler;
+pub mod hub;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Push};
 pub use handler::{
     handle_payload, GraphRegistry, HandleOutcome, ServeState, ServerStats, ShardMode, ShardPolicy,
     WorkerScratch, MAX_OPEN_GRAPHS,
 };
-pub use loadgen::{LoadReport, LoadgenConfig, Mode};
+pub use hub::{SubscriberHub, Subscription};
+pub use loadgen::{KindStats, LoadReport, LoadgenConfig, Mode};
 pub use protocol::{
-    CdsResult, ErrorCode, GraphOpened, MutateResult, RequestKind, ResponseKind, StatsFormat,
-    TileResult, WireEvent, PROTOCOL_VERSION,
+    CdsResult, ErrorCode, FlipEvent, GraphOpened, MutateResult, RequestKind, ResponseKind,
+    StatsDelta, StatsFormat, SubscribeAck, TileResult, WireEvent, PROTOCOL_VERSION, SUB_FLIPS,
+    SUB_STATS,
 };
 pub use server::{serve, ServerConfig, ServerHandle};

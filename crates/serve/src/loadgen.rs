@@ -27,7 +27,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::client::{Client, ClientError};
-use crate::protocol::{ErrorCode, FLAG_NO_CACHE};
+use crate::protocol::{ErrorCode, WireEvent, FLAG_NO_CACHE};
+
+/// Name of the churn graph the mixed workload mutates and queries.
+const MIX_GRAPH: &str = "loadgen-mix";
 
 /// Arrival discipline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +69,13 @@ pub struct LoadgenConfig {
     pub no_cache: bool,
     /// Per-request deadline in ms (0 = none).
     pub deadline_ms: u32,
+    /// Every Nth request per worker is a Mutate batch against a shared
+    /// churn graph (0 = pure compute workload). Requires a shardable
+    /// `cds` configuration (the graph open is rejected otherwise).
+    pub mutate_every: usize,
+    /// Every Nth request per worker is a QueryTile against the shared
+    /// churn graph (0 = never).
+    pub query_every: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -82,7 +92,51 @@ impl Default for LoadgenConfig {
             seed: 1,
             no_cache: false,
             deadline_ms: 0,
+            mutate_every: 0,
+            query_every: 0,
         }
+    }
+}
+
+/// Latency summary for one frame kind within a mixed run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KindStats {
+    /// Successful requests of this kind.
+    pub requests: u64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 99th percentile latency (µs).
+    pub p99_us: f64,
+    /// Mean latency (µs).
+    pub mean_us: f64,
+    /// Maximum observed latency (µs).
+    pub max_us: f64,
+}
+
+impl KindStats {
+    fn from_latencies(lat: &mut [u64]) -> Self {
+        lat.sort_unstable();
+        if lat.is_empty() {
+            return Self::default();
+        }
+        let pct = |q: f64| {
+            let idx = ((lat.len() as f64 - 1.0) * q).round() as usize;
+            lat[idx] as f64 / 1_000.0
+        };
+        Self {
+            requests: lat.len() as u64,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            mean_us: lat.iter().sum::<u64>() as f64 / lat.len() as f64 / 1_000.0,
+            max_us: *lat.last().unwrap() as f64 / 1_000.0,
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"requests\":{},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},\"max_us\":{:.1}}}",
+            self.requests, self.p50_us, self.p99_us, self.mean_us, self.max_us
+        )
     }
 }
 
@@ -123,6 +177,13 @@ pub struct LoadReport {
     pub n: usize,
     /// Whether the cache was bypassed.
     pub no_cache: bool,
+    /// ComputeCds latency breakdown (equal to the overall numbers in a
+    /// pure compute run).
+    pub compute: KindStats,
+    /// Mutate latency breakdown (all-zero unless `mutate_every` was set).
+    pub mutate: KindStats,
+    /// QueryTile latency breakdown (all-zero unless `query_every` was set).
+    pub query: KindStats,
 }
 
 impl LoadReport {
@@ -136,7 +197,8 @@ impl LoadReport {
                 "\"throughput_rps\":{:.1},\"cache_hits\":{},\"rejected\":{},",
                 "\"deadline_exceeded\":{},\"protocol_errors\":{},\"io_errors\":{},",
                 "\"p50_us\":{:.1},\"p99_us\":{:.1},\"p999_us\":{:.1},",
-                "\"mean_us\":{:.1},\"max_us\":{:.1}}}"
+                "\"mean_us\":{:.1},\"max_us\":{:.1},",
+                "\"by_kind\":{{\"compute_cds\":{},\"mutate\":{},\"query_tile\":{}}}}}"
             ),
             self.mode,
             self.concurrency,
@@ -155,8 +217,19 @@ impl LoadReport {
             self.p999_us,
             self.mean_us,
             self.max_us,
+            self.compute.to_json(),
+            self.mutate.to_json(),
+            self.query.to_json(),
         )
     }
+}
+
+/// Frame kinds the mixed workload interleaves.
+#[derive(Clone, Copy, PartialEq)]
+enum ReqKind {
+    Compute = 0,
+    Mutate = 1,
+    Query = 2,
 }
 
 #[derive(Default)]
@@ -168,6 +241,8 @@ struct WorkerTotals {
     protocol_errors: u64,
     io_errors: u64,
     latencies_ns: Vec<u64>,
+    /// Per-kind latencies, indexed by [`ReqKind`].
+    kind_ns: [Vec<u64>; 3],
 }
 
 /// Runs the load and aggregates the report. Blocks for `cfg.duration`
@@ -185,6 +260,26 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
     // Fail fast (and warm the cache) with one synchronous request.
     let mut probe = Client::connect(&cfg.addr)?;
     probe.compute_cds(&cfg.cds, n, &edges, None, flags, 0)?;
+
+    // A mixed workload additionally needs a shared churn graph to mutate
+    // and query; open it (and learn its tile count) before the clock runs.
+    let mixed = cfg.mutate_every > 0 || cfg.query_every > 0;
+    let mix_tiles = if mixed {
+        let flat: Vec<(f64, f64)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        let energy = vec![1_000u64; flat.len()];
+        let opened = probe.open_graph(
+            MIX_GRAPH,
+            &cfg.cds,
+            4,
+            cfg.radius,
+            (0.0, 0.0, cfg.side, cfg.side),
+            &flat,
+            &energy,
+        )?;
+        opened.tiles.max(1)
+    } else {
+        0
+    };
     drop(probe);
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -206,6 +301,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         let stop = Arc::clone(&stop);
         let started = Arc::clone(&started);
         let deadline_ms = cfg.deadline_ms;
+        let (mutate_every, query_every) = (cfg.mutate_every, cfg.query_every);
+        let (side, graph_n) = (cfg.side, cfg.n as u32);
         handles.push(std::thread::spawn(move || {
             let mut totals = WorkerTotals::default();
             let mut client = match Client::connect(&addr) {
@@ -216,6 +313,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
                 }
             };
             started.fetch_add(1, Ordering::SeqCst);
+            let mut seq = 0usize;
             // Spread open-loop ticks across workers.
             let mut next_tick = per_conn_interval
                 .map(|iv| Instant::now() + iv.mul_f64(w as f64 / workers as f64));
@@ -242,13 +340,46 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
                     }
                     continue;
                 };
-                match c.compute_cds(&cds, n, &edges, None, flags, deadline_ms) {
-                    Ok(result) => {
+                // Mixed workload: every Nth slot per worker is a Mutate /
+                // QueryTile; everything else stays ComputeCds. `seq` is
+                // per-worker, so the mix ratio is exact, not stochastic.
+                seq += 1;
+                let kind = if mutate_every > 0 && seq.is_multiple_of(mutate_every) {
+                    ReqKind::Mutate
+                } else if query_every > 0 && seq.is_multiple_of(query_every) {
+                    ReqKind::Query
+                } else {
+                    ReqKind::Compute
+                };
+                let mut cache_hit = false;
+                let sent = match kind {
+                    ReqKind::Compute => c
+                        .compute_cds(&cds, n, &edges, None, flags, deadline_ms)
+                        .map(|r| cache_hit = r.cache_hit),
+                    ReqKind::Mutate => {
+                        // An always-valid move: shuffle one owned node to a
+                        // deterministic in-bounds position.
+                        let node = (w as u32 * 31 + seq as u32) % graph_n;
+                        let f = ((seq * 61 + w * 17) % 997) as f64 / 997.0;
+                        let ev = [WireEvent::Move {
+                            node,
+                            x: f * side,
+                            y: (1.0 - f) * side,
+                        }];
+                        c.mutate(MIX_GRAPH, &ev).map(drop)
+                    }
+                    ReqKind::Query => {
+                        let tile = (seq % mix_tiles as usize) as u32;
+                        c.query_tile(MIX_GRAPH, tile).map(drop)
+                    }
+                };
+                match sent {
+                    Ok(()) => {
                         totals.requests += 1;
-                        totals.cache_hits += u64::from(result.cache_hit);
-                        totals
-                            .latencies_ns
-                            .push(scheduled.elapsed().as_nanos() as u64);
+                        totals.cache_hits += u64::from(cache_hit);
+                        let ns = scheduled.elapsed().as_nanos() as u64;
+                        totals.latencies_ns.push(ns);
+                        totals.kind_ns[kind as usize].push(ns);
                     }
                     Err(ClientError::Wire(e)) => match e.code {
                         ErrorCode::Rejected => totals.rejected += 1,
@@ -285,7 +416,18 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         all.protocol_errors += t.protocol_errors;
         all.io_errors += t.io_errors;
         all.latencies_ns.extend(t.latencies_ns);
+        for (dst, src) in all.kind_ns.iter_mut().zip(t.kind_ns) {
+            dst.extend(src);
+        }
     }
+    if mixed {
+        // Best-effort cleanup so repeated runs against one server reopen
+        // the mix graph from a fresh state.
+        if let Ok(mut c) = Client::connect(&cfg.addr) {
+            let _ = c.close_graph(MIX_GRAPH);
+        }
+    }
+    let [mut compute_ns, mut mutate_ns, mut query_ns] = all.kind_ns;
     all.latencies_ns.sort_unstable();
     let pct = |q: f64| -> f64 {
         if all.latencies_ns.is_empty() {
@@ -321,6 +463,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         },
         n: cfg.n,
         no_cache: cfg.no_cache,
+        compute: KindStats::from_latencies(&mut compute_ns),
+        mutate: KindStats::from_latencies(&mut mutate_ns),
+        query: KindStats::from_latencies(&mut query_ns),
     })
 }
 
@@ -348,6 +493,27 @@ mod tests {
             mode: "closed",
             n: 200,
             no_cache: false,
+            compute: KindStats {
+                requests: 900,
+                p50_us: 75.0,
+                p99_us: 190.0,
+                mean_us: 90.0,
+                max_us: 850.0,
+            },
+            mutate: KindStats {
+                requests: 50,
+                p50_us: 300.0,
+                p99_us: 700.0,
+                mean_us: 340.0,
+                max_us: 900.0,
+            },
+            query: KindStats {
+                requests: 50,
+                p50_us: 40.0,
+                p99_us: 90.0,
+                mean_us: 45.0,
+                max_us: 120.0,
+            },
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -358,8 +524,22 @@ mod tests {
             "\"p999_us\":450.0",
             "\"requests\":1000",
             "\"mode\":\"closed\"",
+            "\"by_kind\":{\"compute_cds\":{\"requests\":900",
+            "\"mutate\":{\"requests\":50,\"p50_us\":300.0",
+            "\"query_tile\":{\"requests\":50,\"p50_us\":40.0",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
+    }
+
+    #[test]
+    fn kind_stats_handles_empty_and_computes_percentiles() {
+        assert_eq!(KindStats::from_latencies(&mut Vec::new()), KindStats::default());
+        let mut lat: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        let s = KindStats::from_latencies(&mut lat);
+        assert_eq!(s.requests, 100);
+        assert!((s.p50_us - 51.0).abs() < 1.5, "p50 ~ median, got {}", s.p50_us);
+        assert!((s.p99_us - 99.0).abs() < 1.5, "p99 near top, got {}", s.p99_us);
+        assert_eq!(s.max_us, 100.0);
     }
 }

@@ -31,6 +31,8 @@
 //!   followed by that kind's fields ([`WireEvent`]).
 //! * [`RequestKind::CloseGraph`] — `name_len u16, name`.
 //! * [`RequestKind::QueryTile`] — `name_len u16, name, tile u32`.
+//! * [`RequestKind::Subscribe`] — `flags u8 ([`SUB_STATS`] | [`SUB_FLIPS`]),
+//!   interval_ms u32, name_len u16, name` (`name_len` 0 = all graphs).
 //!
 //! Response bodies:
 //!
@@ -48,6 +50,16 @@
 //! * [`ResponseKind::TileResult`] — `tile u32, k u32, k × (node u32,
 //!   flags u8)`. Deliberately carries **no** cache-hit byte, so a
 //!   cache-warm response frame is byte-identical to the cache-cold one.
+//! * [`ResponseKind::SubscribeAck`] — `subscriber_id u64, flags u8,
+//!   interval_ms u32` (the negotiated options, echoed back).
+//! * [`ResponseKind::StatsDelta`] — `seq u64, dt_us u64, requests u64,
+//!   samples u64, p50_ns u64, p99_ns u64, gateway_flips u64,
+//!   tiles_resolved u64, refreshes u64, push_dropped u64`. Pushed every
+//!   interval while a [`SUB_STATS`] subscription is open.
+//! * [`ResponseKind::FlipEvent`] — `name_len u16, name, refresh_seq u64,
+//!   gateway_flips u64, gateways u32, k u32, k × tile u32` (the tiles the
+//!   refresh re-solved). Pushed per Mutate-triggered refresh while a
+//!   [`SUB_FLIPS`] subscription is open.
 //! * [`ResponseKind::Error`] — `code u8, msg_len u32, msg` (UTF-8).
 //!
 //! Decoding is strict: truncated or trailing bytes, out-of-range enum
@@ -99,6 +111,10 @@ pub enum RequestKind {
     CloseGraph = 0x07,
     /// Fetch one tile's per-owned-node verdicts from a named graph.
     QueryTile = 0x08,
+    /// Subscribe this connection to pushed telemetry (stats deltas and/or
+    /// gateway-flip events). The connection stops being request/response:
+    /// after the ack, the server pushes frames until either side closes.
+    Subscribe = 0x09,
 }
 
 impl RequestKind {
@@ -113,6 +129,7 @@ impl RequestKind {
             0x06 => Self::Mutate,
             0x07 => Self::CloseGraph,
             0x08 => Self::QueryTile,
+            0x09 => Self::Subscribe,
             _ => return None,
         })
     }
@@ -137,6 +154,13 @@ pub enum ResponseKind {
     /// One tile's verdicts (no cache-hit byte: cache-cold and cache-warm
     /// responses are byte-identical; hits are observable via Stats only).
     TileResult = 0x88,
+    /// A subscription is active (carries the subscriber id and the
+    /// negotiated options).
+    SubscribeAck = 0x89,
+    /// Pushed: one closed telemetry window's deltas.
+    StatsDelta = 0x8A,
+    /// Pushed: one refresh's gateway flips on a named graph.
+    FlipEvent = 0x8B,
     /// Typed failure.
     Error = 0x7F,
 }
@@ -152,6 +176,9 @@ impl ResponseKind {
             0x86 => Self::MutateResult,
             0x87 => Self::GraphClosed,
             0x88 => Self::TileResult,
+            0x89 => Self::SubscribeAck,
+            0x8A => Self::StatsDelta,
+            0x8B => Self::FlipEvent,
             0x7F => Self::Error,
             _ => return None,
         })
@@ -187,6 +214,10 @@ pub enum ErrorCode {
     /// bounds); events before it in the batch stay applied, the rejected
     /// one and everything after it do not.
     MutationRejected = 11,
+    /// The subscriber fell too far behind the push stream (its bounded
+    /// queue overflowed); the server sends this and closes the
+    /// subscription connection. Data-path connections are unaffected.
+    SubscriberLagged = 12,
 }
 
 impl ErrorCode {
@@ -204,6 +235,7 @@ impl ErrorCode {
             9 => Self::UnknownGraph,
             10 => Self::GraphExists,
             11 => Self::MutationRejected,
+            12 => Self::SubscriberLagged,
             _ => return None,
         })
     }
@@ -1161,6 +1193,221 @@ pub fn decode_tile_result(body: &[u8]) -> Result<TileResult, DecodeError> {
     Ok(TileResult { tile, entries })
 }
 
+/// Subscription flag: push periodic [`ResponseKind::StatsDelta`] frames.
+pub const SUB_STATS: u8 = 0b0000_0001;
+
+/// Subscription flag: push per-refresh [`ResponseKind::FlipEvent`] frames.
+pub const SUB_FLIPS: u8 = 0b0000_0010;
+
+/// Fastest stats-delta cadence a subscriber may request.
+pub const MIN_SUBSCRIBE_INTERVAL_MS: u32 = 10;
+
+/// A decoded `Subscribe` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubscribeRequest<'a> {
+    /// [`SUB_STATS`] | [`SUB_FLIPS`]; at least one bit is set.
+    pub flags: u8,
+    /// Stats-delta push cadence in milliseconds.
+    pub interval_ms: u32,
+    /// Restrict flip events to this named graph; `None` = all graphs.
+    pub graph: Option<&'a str>,
+}
+
+/// Decodes a `Subscribe` body.
+pub fn decode_subscribe(body: &[u8]) -> Result<SubscribeRequest<'_>, DecodeError> {
+    let mut r = Reader::new(body);
+    let flags = r.u8()?;
+    if flags == 0 || flags & !(SUB_STATS | SUB_FLIPS) != 0 {
+        return Err(DecodeError::Bad("subscribe flags"));
+    }
+    let interval_ms = r.u32()?;
+    if flags & SUB_STATS != 0 && interval_ms < MIN_SUBSCRIBE_INTERVAL_MS {
+        return Err(DecodeError::Bad("subscribe interval"));
+    }
+    let len = r.u16()? as usize;
+    let graph = if len == 0 {
+        None
+    } else {
+        if len > MAX_GRAPH_NAME {
+            return Err(DecodeError::Bad("graph name length"));
+        }
+        Some(
+            std::str::from_utf8(r.bytes(len)?).map_err(|_| DecodeError::Bad("graph name utf-8"))?,
+        )
+    };
+    r.finish()?;
+    Ok(SubscribeRequest {
+        flags,
+        interval_ms,
+        graph,
+    })
+}
+
+/// Encodes a complete `Subscribe` request frame.
+pub fn encode_subscribe(out: &mut Vec<u8>, flags: u8, interval_ms: u32, graph: Option<&str>) {
+    begin_frame(out, RequestKind::Subscribe as u8);
+    out.put_u8(flags);
+    out.put_u32(interval_ms);
+    match graph {
+        Some(name) => put_name(out, name),
+        None => out.put_u16(0),
+    }
+    end_frame(out);
+}
+
+/// A decoded subscribe acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscribeAck {
+    /// Server-assigned subscriber id (diagnostic; unique per server run).
+    pub subscriber_id: u64,
+    /// The accepted flags.
+    pub flags: u8,
+    /// The accepted stats cadence.
+    pub interval_ms: u32,
+}
+
+/// Encodes a complete `SubscribeAck` response frame.
+pub fn encode_subscribe_ack(out: &mut Vec<u8>, ack: SubscribeAck) {
+    begin_frame(out, ResponseKind::SubscribeAck as u8);
+    out.put_u64(ack.subscriber_id);
+    out.put_u8(ack.flags);
+    out.put_u32(ack.interval_ms);
+    end_frame(out);
+}
+
+/// Decodes a `SubscribeAck` body.
+pub fn decode_subscribe_ack(body: &[u8]) -> Result<SubscribeAck, DecodeError> {
+    let mut r = Reader::new(body);
+    let out = SubscribeAck {
+        subscriber_id: r.u64()?,
+        flags: r.u8()?,
+        interval_ms: r.u32()?,
+    };
+    r.finish()?;
+    Ok(out)
+}
+
+/// One pushed telemetry window: deltas since the previous push, not
+/// lifetime totals. Mirrors `pacds_obs::WindowDelta` but is plain wire
+/// data, so the protocol stays independent of the obs feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsDelta {
+    /// Window sequence number (per subscription, 0-based).
+    pub seq: u64,
+    /// Window length in microseconds.
+    pub dt_us: u64,
+    /// Requests completed in the window.
+    pub requests: u64,
+    /// Latency samples behind the percentiles.
+    pub samples: u64,
+    /// In-window median compute latency (bucket upper bound, ns).
+    pub p50_ns: u64,
+    /// In-window p99 compute latency (bucket upper bound, ns).
+    pub p99_ns: u64,
+    /// Gateway verdict flips in the window.
+    pub gateway_flips: u64,
+    /// Tiles re-solved in the window.
+    pub tiles_resolved: u64,
+    /// Churn refreshes in the window.
+    pub refreshes: u64,
+    /// Push frames dropped server-wide so far (lifetime counter — lets a
+    /// surviving subscriber see that *some* consumer is lagging).
+    pub push_dropped: u64,
+}
+
+/// Encodes a complete `StatsDelta` push frame.
+pub fn encode_stats_delta(out: &mut Vec<u8>, d: &StatsDelta) {
+    begin_frame(out, ResponseKind::StatsDelta as u8);
+    out.put_u64(d.seq);
+    out.put_u64(d.dt_us);
+    out.put_u64(d.requests);
+    out.put_u64(d.samples);
+    out.put_u64(d.p50_ns);
+    out.put_u64(d.p99_ns);
+    out.put_u64(d.gateway_flips);
+    out.put_u64(d.tiles_resolved);
+    out.put_u64(d.refreshes);
+    out.put_u64(d.push_dropped);
+    end_frame(out);
+}
+
+/// Decodes a `StatsDelta` body.
+pub fn decode_stats_delta(body: &[u8]) -> Result<StatsDelta, DecodeError> {
+    let mut r = Reader::new(body);
+    let out = StatsDelta {
+        seq: r.u64()?,
+        dt_us: r.u64()?,
+        requests: r.u64()?,
+        samples: r.u64()?,
+        p50_ns: r.u64()?,
+        p99_ns: r.u64()?,
+        gateway_flips: r.u64()?,
+        tiles_resolved: r.u64()?,
+        refreshes: r.u64()?,
+        push_dropped: r.u64()?,
+    };
+    r.finish()?;
+    Ok(out)
+}
+
+/// One pushed gateway-flip event: a named graph finished a refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlipEvent {
+    /// The refreshed graph.
+    pub name: String,
+    /// The graph's refresh count after this refresh (1-based).
+    pub refresh_seq: u64,
+    /// Gateway verdicts the refresh flipped.
+    pub gateway_flips: u64,
+    /// Gateway count after the refresh.
+    pub gateways: u32,
+    /// The tiles the refresh re-solved (the Mutate batch's dirty set).
+    pub tiles: Vec<u32>,
+}
+
+/// Encodes a complete `FlipEvent` push frame.
+pub fn encode_flip_event(
+    out: &mut Vec<u8>,
+    name: &str,
+    refresh_seq: u64,
+    gateway_flips: u64,
+    gateways: u32,
+    tiles: &[u32],
+) {
+    begin_frame(out, ResponseKind::FlipEvent as u8);
+    put_name(out, name);
+    out.put_u64(refresh_seq);
+    out.put_u64(gateway_flips);
+    out.put_u32(gateways);
+    out.put_u32(tiles.len() as u32);
+    for &t in tiles {
+        out.put_u32(t);
+    }
+    end_frame(out);
+}
+
+/// Decodes a `FlipEvent` body.
+pub fn decode_flip_event(body: &[u8]) -> Result<FlipEvent, DecodeError> {
+    let mut r = Reader::new(body);
+    let name = read_name(&mut r)?.to_owned();
+    let refresh_seq = r.u64()?;
+    let gateway_flips = r.u64()?;
+    let gateways = r.u32()?;
+    let k = r.u32()?;
+    let mut tiles = Vec::with_capacity(k.min(1 << 20) as usize);
+    for _ in 0..k {
+        tiles.push(r.u32()?);
+    }
+    r.finish()?;
+    Ok(FlipEvent {
+        name,
+        refresh_seq,
+        gateway_flips,
+        gateways,
+        tiles,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1347,9 +1594,123 @@ mod tests {
             ErrorCode::UnknownGraph,
             ErrorCode::GraphExists,
             ErrorCode::MutationRejected,
+            ErrorCode::SubscriberLagged,
         ] {
             assert!(!code.is_connection_fatal(), "{code:?}");
         }
+    }
+
+    #[test]
+    fn subscribe_round_trip() {
+        let mut out = Vec::new();
+        encode_subscribe(&mut out, SUB_STATS | SUB_FLIPS, 250, Some("fleet-a"));
+        let p = payload(&out);
+        assert_eq!(RequestKind::from_wire(p[1]), Some(RequestKind::Subscribe));
+        let req = decode_subscribe(&p[2..]).unwrap();
+        assert_eq!(req.flags, SUB_STATS | SUB_FLIPS);
+        assert_eq!(req.interval_ms, 250);
+        assert_eq!(req.graph, Some("fleet-a"));
+
+        // Flips-only needs no cadence; empty name = all graphs.
+        encode_subscribe(&mut out, SUB_FLIPS, 0, None);
+        let req = decode_subscribe(&payload(&out)[2..]).unwrap();
+        assert_eq!(req.flags, SUB_FLIPS);
+        assert_eq!(req.graph, None);
+    }
+
+    #[test]
+    fn subscribe_rejects_bad_options() {
+        let mut out = Vec::new();
+        // No flags at all.
+        encode_subscribe(&mut out, 0, 100, None);
+        assert!(matches!(
+            decode_subscribe(&payload(&out)[2..]).unwrap_err(),
+            DecodeError::Bad("subscribe flags")
+        ));
+        // Unknown flag bits.
+        encode_subscribe(&mut out, 0b1000_0000, 100, None);
+        assert!(matches!(
+            decode_subscribe(&payload(&out)[2..]).unwrap_err(),
+            DecodeError::Bad("subscribe flags")
+        ));
+        // Stats cadence below the floor.
+        encode_subscribe(&mut out, SUB_STATS, MIN_SUBSCRIBE_INTERVAL_MS - 1, None);
+        assert!(matches!(
+            decode_subscribe(&payload(&out)[2..]).unwrap_err(),
+            DecodeError::Bad("subscribe interval")
+        ));
+        // Truncated body.
+        assert!(matches!(
+            decode_subscribe(&[SUB_STATS]).unwrap_err(),
+            DecodeError::Truncated
+        ));
+    }
+
+    #[test]
+    fn subscribe_ack_round_trip() {
+        let ack = SubscribeAck {
+            subscriber_id: 42,
+            flags: SUB_STATS,
+            interval_ms: 500,
+        };
+        let mut out = Vec::new();
+        encode_subscribe_ack(&mut out, ack);
+        let p = payload(&out);
+        assert_eq!(
+            ResponseKind::from_wire(p[1]),
+            Some(ResponseKind::SubscribeAck)
+        );
+        assert_eq!(decode_subscribe_ack(&p[2..]).unwrap(), ack);
+    }
+
+    #[test]
+    fn stats_delta_round_trip() {
+        let d = StatsDelta {
+            seq: 3,
+            dt_us: 250_000,
+            requests: 120,
+            samples: 118,
+            p50_ns: 16_384,
+            p99_ns: 524_288,
+            gateway_flips: 7,
+            tiles_resolved: 12,
+            refreshes: 4,
+            push_dropped: 1,
+        };
+        let mut out = Vec::new();
+        encode_stats_delta(&mut out, &d);
+        let p = payload(&out);
+        assert_eq!(
+            ResponseKind::from_wire(p[1]),
+            Some(ResponseKind::StatsDelta)
+        );
+        assert_eq!(decode_stats_delta(&p[2..]).unwrap(), d);
+        assert!(matches!(
+            decode_stats_delta(&p[2..p.len() - 1]).unwrap_err(),
+            DecodeError::Truncated
+        ));
+    }
+
+    #[test]
+    fn flip_event_round_trip() {
+        let mut out = Vec::new();
+        encode_flip_event(&mut out, "fleet-a", 9, 15, 230, &[0, 3, 7]);
+        let p = payload(&out);
+        assert_eq!(ResponseKind::from_wire(p[1]), Some(ResponseKind::FlipEvent));
+        let ev = decode_flip_event(&p[2..]).unwrap();
+        assert_eq!(ev.name, "fleet-a");
+        assert_eq!(ev.refresh_seq, 9);
+        assert_eq!(ev.gateway_flips, 15);
+        assert_eq!(ev.gateways, 230);
+        assert_eq!(ev.tiles, vec![0, 3, 7]);
+        // Trailing garbage is rejected.
+        let mut frame = out.clone();
+        frame.push(0);
+        end_frame(&mut frame);
+        assert!(matches!(
+            decode_flip_event(&payload(&frame)[2..]).unwrap_err(),
+            DecodeError::Trailing
+        ));
     }
 
     #[test]

@@ -30,16 +30,24 @@
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::handler::{handle_payload, HandleOutcome, ServeState, ShardPolicy, WorkerScratch};
-use crate::protocol::{encode_error, ErrorCode, ErrorCode::Rejected, LEN_PREFIX};
+use crate::hub::Subscription;
+use crate::protocol::{
+    self, encode_error, ErrorCode, ErrorCode::Rejected, StatsDelta, LEN_PREFIX, SUB_STATS,
+};
 
 /// How often a blocked worker re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Socket write timeout on push-mode connections: a stalled subscriber's
+/// TCP buffer fills, the write times out, and the subscriber is retired —
+/// it can never wedge its push thread.
+const PUSH_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -53,6 +61,10 @@ pub struct ServerConfig {
     /// When compute requests route through the sharded engine (the
     /// responses are bit-identical either way; see [`ShardPolicy`]).
     pub shard: ShardPolicy,
+    /// When set, a second listener on this address answers every HTTP GET
+    /// with the Prometheus text rendering of the obs snapshot (a minimal
+    /// line-based scrape endpoint; `"127.0.0.1:0"` picks a port).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +74,7 @@ impl Default for ServerConfig {
             queue: 0,
             cache_bytes: 64 << 20,
             shard: ShardPolicy::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -72,9 +85,11 @@ impl Default for ServerConfig {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     state: Arc<ServeState>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -84,20 +99,32 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound metrics-scrape address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Shared server state (stats, cache).
     pub fn state(&self) -> &Arc<ServeState> {
         &self.state
     }
 
     /// Stops accepting, drains queued and in-flight work, joins all
-    /// threads. Idempotent.
+    /// threads. Idempotent. (Detached push threads observe the flag within
+    /// one poll interval and exit on their own.)
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
         // Nudge the blocking accept() awake; it will observe the flag.
         let _ = TcpStream::connect(self.addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
         if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -170,16 +197,57 @@ pub fn serve(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
             })?
     };
 
+    let (metrics_addr, metrics) = match &cfg.metrics_addr {
+        Some(maddr) => {
+            let listener = TcpListener::bind(maddr.as_str())?;
+            let bound = listener.local_addr()?;
+            let stop = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("pacds-serve-metrics".into())
+                .spawn(move || metrics_loop(&listener, &stop))?;
+            (Some(bound), Some(handle))
+        }
+        None => (None, None),
+    };
+
     Ok(ServerHandle {
         addr,
+        metrics_addr,
         state,
         stop,
         acceptor: Some(acceptor),
+        metrics,
         workers: worker_handles,
     })
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServeState, stop: &AtomicBool) {
+/// The Prometheus scrape listener: a deliberately minimal HTTP/1.0
+/// responder — read whatever request arrived, answer with the text
+/// rendering of the current obs snapshot, close. No routing, no
+/// keep-alive; exactly what a line-based scraper needs and nothing more.
+fn metrics_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut conn) = conn else { continue };
+        let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = conn.set_write_timeout(Some(PUSH_WRITE_TIMEOUT));
+        // Drain the request head (best effort; scrape bodies are empty).
+        let mut buf = [0u8; 1024];
+        let _ = conn.read(&mut buf);
+        let mut body = Vec::new();
+        let _ = pacds_obs::write_prometheus(&pacds_obs::Snapshot::capture(), &mut body);
+        let head = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let _ = conn.write_all(head.as_bytes());
+        let _ = conn.write_all(&body);
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<ServeState>, stop: &Arc<AtomicBool>) {
     let mut scratch = WorkerScratch::new();
     let mut payload = Vec::new();
     let mut resp = Vec::new();
@@ -202,14 +270,16 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &ServeState, stop: &Atomi
 }
 
 /// Serves frames on one connection until the client closes, a fatal
-/// protocol error occurs, or shutdown is requested while idle.
+/// protocol error occurs, shutdown is requested while idle, or the
+/// connection flips into push mode (a `Subscribe` frame hands it off to a
+/// dedicated push thread so it never occupies a pool worker).
 fn serve_connection(
     mut conn: TcpStream,
-    state: &ServeState,
+    state: &Arc<ServeState>,
     scratch: &mut WorkerScratch,
     payload: &mut Vec<u8>,
     resp: &mut Vec<u8>,
-    stop: &AtomicBool,
+    stop: &Arc<AtomicBool>,
 ) {
     let _ = conn.set_nodelay(true);
     let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
@@ -229,6 +299,32 @@ fn serve_connection(
         }
         let received = Instant::now();
         let outcome = handle_payload(state, scratch, payload, resp, received);
+        if let HandleOutcome::Subscribe {
+            id,
+            flags,
+            interval_ms,
+            graph,
+        } = outcome
+        {
+            // Register with the hub *before* writing the ack: an event
+            // published between the ack and registration would otherwise
+            // be silently missed, breaking the "every flip after the ack"
+            // delivery promise.
+            let sub = state.hub.register(id, flags, graph);
+            if conn.write_all(resp).is_err() {
+                state.hub.unregister(id, false);
+                return;
+            }
+            let push_state = Arc::clone(state);
+            let stop = Arc::clone(stop);
+            let spawned = std::thread::Builder::new()
+                .name(format!("pacds-serve-push-{id}"))
+                .spawn(move || push_loop(conn, &push_state, &sub, flags, interval_ms, &stop));
+            if spawned.is_err() {
+                state.hub.unregister(id, false);
+            }
+            return;
+        }
         if conn.write_all(resp).is_err() {
             return;
         }
@@ -236,6 +332,85 @@ fn serve_connection(
             return;
         }
     }
+}
+
+/// Drains one subscriber's push queue onto its socket and emits periodic
+/// stats-delta frames. Runs on a dedicated thread (never a pool worker);
+/// exits — always unregistering — when the client hangs up, the server
+/// stops, or the hub marks the subscriber lagged (answered with a typed
+/// [`ErrorCode::SubscriberLagged`] before closing).
+fn push_loop(
+    mut conn: TcpStream,
+    state: &ServeState,
+    sub: &Subscription,
+    flags: u8,
+    interval_ms: u32,
+    stop: &AtomicBool,
+) {
+    let _ = conn.set_write_timeout(Some(PUSH_WRITE_TIMEOUT));
+    let mut buf = Vec::new();
+    let want_stats = flags & SUB_STATS != 0;
+    // Windows are tracked per subscriber, so each receives deltas relative
+    // to its own subscription epoch regardless of other subscribers.
+    let mut tracker = pacds_obs::SeriesTracker::new(pacds_obs::Phase::ServeCompute);
+    let interval = Duration::from_millis(u64::from(interval_ms.max(1)));
+    let mut next_stats = Instant::now() + interval;
+    let was_lagged = loop {
+        if stop.load(Ordering::SeqCst) {
+            break false;
+        }
+        if sub.lagged.load(Ordering::Relaxed) {
+            // The publisher overflowed our queue: rather than silently
+            // delivering a gappy event stream, retire with a typed NACK.
+            buf.clear();
+            encode_error(
+                &mut buf,
+                ErrorCode::SubscriberLagged,
+                "subscriber queue overflowed; events were dropped",
+            );
+            let _ = conn.write_all(&buf);
+            break true;
+        }
+        let wait = if want_stats {
+            next_stats
+                .saturating_duration_since(Instant::now())
+                .min(POLL_INTERVAL)
+        } else {
+            POLL_INTERVAL
+        };
+        match sub.rx.recv_timeout(wait) {
+            Ok(frame) => {
+                if conn.write_all(&frame).is_err() {
+                    break false;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break false,
+        }
+        if want_stats && Instant::now() >= next_stats {
+            let w = tracker.tick();
+            let delta = StatsDelta {
+                seq: w.seq,
+                dt_us: (w.dt_s * 1e6) as u64,
+                requests: w.requests,
+                samples: w.samples,
+                p50_ns: w.p50_ns,
+                p99_ns: w.p99_ns,
+                gateway_flips: w.gateway_flips,
+                tiles_resolved: w.tiles_resolved,
+                refreshes: w.refreshes,
+                push_dropped: state.hub.dropped(),
+            };
+            buf.clear();
+            protocol::encode_stats_delta(&mut buf, &delta);
+            if conn.write_all(&buf).is_err() {
+                break false;
+            }
+            pacds_obs::inc(pacds_obs::Counter::ServePushFrames);
+            next_stats += interval;
+        }
+    };
+    state.hub.unregister(sub.id, was_lagged);
 }
 
 enum FrameRead {

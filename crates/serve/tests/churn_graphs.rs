@@ -32,6 +32,7 @@ fn tiny_server() -> pacds_serve::ServerHandle {
             queue: 4,
             cache_bytes: 4 << 20,
             shard: Default::default(),
+            metrics_addr: None,
         },
     )
     .expect("bind ephemeral port")

@@ -57,6 +57,7 @@ fn served_responses_conform_over_the_corpus() {
                 shards: 4,
                 ..ShardPolicy::default()
             },
+            metrics_addr: None,
         },
     )
     .expect("bind conformance server");

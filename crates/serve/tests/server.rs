@@ -23,6 +23,7 @@ fn tiny_server(workers: usize, queue: usize) -> pacds_serve::ServerHandle {
             queue,
             cache_bytes: 4 << 20,
             shard: Default::default(),
+            metrics_addr: None,
         },
     )
     .expect("bind ephemeral port")
@@ -271,6 +272,7 @@ fn eviction_races_stay_consistent_on_a_live_server() {
             // Roughly two result frames' worth per shard: constant churn.
             cache_bytes: 16 * 400,
             shard: Default::default(),
+            metrics_addr: None,
         },
     )
     .unwrap();

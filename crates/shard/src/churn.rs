@@ -280,6 +280,8 @@ pub struct ChurnEngine {
     events_pending: u64,
     stats: ChurnStats,
     totals: ChurnTotals,
+    /// Trace id the next refresh's spans are attributed to.
+    trace: pacds_obs::TraceId,
 }
 
 impl ChurnEngine {
@@ -369,6 +371,7 @@ impl ChurnEngine {
             events_pending: 0,
             stats: ChurnStats::default(),
             totals: ChurnTotals::default(),
+            trace: pacds_obs::TraceId::NONE,
         };
         engine.refresh();
         Ok(engine)
@@ -463,6 +466,14 @@ impl ChurnEngine {
         });
     }
 
+    /// Attributes the next refresh's spans to `trace` (the serving layer
+    /// threads each Mutate request's id through here). Sticky until
+    /// changed; [`pacds_obs::TraceId::NONE`] turns attribution back off.
+    #[inline]
+    pub fn set_trace(&mut self, trace: pacds_obs::TraceId) {
+        self.trace = trace;
+    }
+
     /// Re-solves every dirty tile on the worker pool, scatters the new
     /// verdicts into the merged masks, and clears the dirty set.
     pub fn refresh(&mut self) -> ChurnStats {
@@ -478,6 +489,10 @@ impl ChurnEngine {
     pub fn refresh_where<K: Fn(usize) -> bool>(&mut self, keep: K) -> ChurnStats {
         let n = self.points.len();
         let dirty_count = self.dirty_list.len();
+        let trace = self.trace;
+        let _refresh_span =
+            pacds_obs::span(trace, pacds_obs::SpanKind::ChurnRefresh, dirty_count as u32);
+        let _refresh_timer = pacds_obs::phase_timer(pacds_obs::Phase::ChurnRefresh);
 
         // Solve list: dirty tiles passing the filter, largest-owned first.
         self.order.clear();
@@ -513,6 +528,7 @@ impl ChurnEngine {
             &self.order,
             &self.cursors[..nthreads],
             |slot, t| {
+                let _s = pacds_obs::span(trace, pacds_obs::SpanKind::ChurnTile, t as u32);
                 let hb = Instant::now();
                 {
                     let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
@@ -600,6 +616,12 @@ impl ChurnEngine {
         self.totals.refreshes += 1;
         self.totals.resolved_tiles += self.stats.resolved_tiles as u64;
         self.totals.gateway_flips += flips;
+        pacds_obs::add(pacds_obs::Counter::ChurnRefreshes, 1);
+        pacds_obs::add(
+            pacds_obs::Counter::ChurnTilesResolved,
+            self.stats.resolved_tiles as u64,
+        );
+        pacds_obs::add(pacds_obs::Counter::ChurnGatewayFlips, flips);
         self.stats
     }
 

@@ -189,6 +189,9 @@ pub struct ShardedCds {
     gateways: VertexMask,
     rounds: usize,
     stats: ShardStats,
+    /// Trace id spans of the next computation are attributed to
+    /// ([`pacds_obs::TraceId::NONE`] = unsampled, spans are no-ops).
+    trace: pacds_obs::TraceId,
 }
 
 impl Default for ShardSpec {
@@ -224,6 +227,14 @@ impl ShardedCds {
     /// The engine's shape.
     pub fn spec(&self) -> ShardSpec {
         self.spec
+    }
+
+    /// Attributes the spans of subsequent computations to `trace` (the
+    /// serving layer threads each request's id through here). Sticky until
+    /// changed; [`pacds_obs::TraceId::NONE`] turns attribution back off.
+    #[inline]
+    pub fn set_trace(&mut self, trace: pacds_obs::TraceId) {
+        self.trace = trace;
     }
 
     /// Sharded CDS of the unit-disk graph of `points` (radius-`radius`
@@ -303,12 +314,15 @@ impl ShardedCds {
         schedule_order(&mut self.order, &self.weights);
 
         let cfg_ref = cfg;
+        let trace = self.trace;
+        let _dispatch = pacds_obs::span(trace, pacds_obs::SpanKind::ShardDispatch, ntiles as u32);
         run_tiles(
             &mut self.pool,
             &mut self.slots[..nthreads],
             &self.order,
             &self.cursors[..nthreads],
             |slot, t| {
+                let _s = pacds_obs::span(trace, pacds_obs::SpanKind::TileSolve, t as u32);
                 let hb = Instant::now();
                 {
                     let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardHaloBuild);
@@ -347,6 +361,7 @@ impl ShardedCds {
                 solve_locals(slot, owned_live, energy, cfg_ref);
             },
         );
+        drop(_dispatch);
 
         // The single-pass schedule runs exactly one (Rule 1; Rule 2) round
         // when the policy prunes — same as the whole-graph workspace.
@@ -393,12 +408,15 @@ impl ShardedCds {
         schedule_order(&mut self.order, &self.weights);
 
         let cfg_ref = cfg;
+        let trace = self.trace;
+        let _dispatch = pacds_obs::span(trace, pacds_obs::SpanKind::ShardDispatch, nblocks as u32);
         run_tiles(
             &mut self.pool,
             &mut self.slots[..nthreads],
             &self.order,
             &self.cursors[..nthreads],
             |slot, b| {
+                let _s = pacds_obs::span(trace, pacds_obs::SpanKind::TileSolve, b as u32);
                 let lo = (b * n / nblocks) as u32;
                 let hi = ((b + 1) * n / nblocks) as u32;
                 let hb = Instant::now();
@@ -420,6 +438,7 @@ impl ShardedCds {
                 solve_locals(slot, (hi - lo) as usize, energy, cfg_ref);
             },
         );
+        drop(_dispatch);
 
         self.finish(n, nblocks, 0, usize::from(cfg.policy.prunes()))
     }
@@ -454,6 +473,7 @@ impl ShardedCds {
         self.rounds = rounds;
         let mg = Instant::now();
         let merged = {
+            let _s = pacds_obs::span(self.trace, pacds_obs::SpanKind::ShardMerge, tiles as u32);
             let _t = pacds_obs::phase_timer(pacds_obs::Phase::ShardMerge);
             self.marked.clear();
             self.marked.resize(n, false);

@@ -70,6 +70,12 @@ impl Simulation {
         let mut prev_gateways = VertexMask::new();
 
         while intervals < cap {
+            // One trace id per update interval: with span sampling on, the
+            // whole interval (connectivity check → CDS → drain → mobility)
+            // lands as one reconstructible trace line.
+            let trace = pacds_obs::next_trace_id();
+            let _interval_span =
+                pacds_obs::span(trace, pacds_obs::SpanKind::SimInterval, intervals);
             let connected = algo::is_connected(self.state.graph());
             if !connected {
                 disconnected += 1;
