@@ -13,8 +13,9 @@
 //!    instrumented build is more than `PACDS_OBS_MAX_PCT` percent slower
 //!    (default 3) at any n ≥ 1000.
 //!
-//! Three hot paths are gated: the whole-graph reuse loop, the sharded
-//! engine, and the incremental churn engine. When the instrumented build
+//! Four hot paths are gated: the whole-graph reuse loop, the sharded
+//! engine, the incremental churn engine, and the dataplane forwarding
+//! loop (`Dataplane::pump` over cached routes). When the instrumented build
 //! also compiles the `trace` feature in, span sampling is switched on
 //! (1/[`TRACE_SAMPLE`]) for the measurement, so the gate covers tracing
 //! as deployed, not just dormant counters.
@@ -42,6 +43,10 @@ const SIZES: [usize; 3] = [100, 1000, 10000];
 const SHARD_SIZES: [usize; 2] = [1000, 10000];
 /// Sizes for the incremental churn hot path (`ChurnEngine::step`).
 const CHURN_SIZES: [usize; 2] = [1000, 10000];
+/// Sizes for the dataplane forwarding hot path (`Dataplane::pump` on
+/// cached routes — the per-pump `obs_time!`/`obs_count!` flush plus the
+/// per-pump span must stay inside the same ≤ 3% band).
+const DP_SIZES: [usize; 2] = [1000, 10000];
 /// Span sampling rate used for the instrumented run of a `trace` build:
 /// every 64th churn step / sharded compute carries a recording trace id.
 const TRACE_SAMPLE: u64 = 64;
@@ -182,6 +187,52 @@ fn measure_churn(n: usize) -> f64 {
     best
 }
 
+/// Minimum over [`REPS`] repetitions of the dataplane forwarding hot path
+/// at size `n`: a wave of packets over cached source routes through
+/// `Dataplane::pump` (inject → lookup hit → forward → egress, then the
+/// wholesale batch reset). The backbone is static here — churn overhead
+/// is `measure_churn`'s job; this isolates the per-packet engine cost.
+fn measure_dataplane(n: usize) -> f64 {
+    const FLOWS: usize = 64;
+    const PACKETS: usize = 32;
+    let cfg = CdsConfig::policy(Policy::EnergyDegree);
+    let iters = (50_000 / n).clamp(4, 400);
+    let mut best = f64::INFINITY;
+    for rep in 0..REPS {
+        let iv = Interval::new(n, 42 + rep as u64);
+        let mut csr = CsrGraph::new();
+        let mut scratch = gen::UnitDiskScratch::new();
+        gen::unit_disk_csr(iv.bounds, RADIUS, &iv.positions, None, &mut csr, &mut scratch);
+        let mut ws = CdsWorkspace::with_capacity(n);
+        ws.compute(&csr, Some(&iv.energy), &cfg);
+        let alive = vec![true; n];
+        let mut dp = pacds_dataplane::Dataplane::new();
+        dp.install_tables(ws.gateways(), &alive);
+        let mut probe = Vec::new();
+        let mut flow_ids = Vec::with_capacity(FLOWS);
+        let mut k = 0u32;
+        while flow_ids.len() < FLOWS {
+            let s = (k.wrapping_mul(131).wrapping_add(17)) % n as u32;
+            let t = (k.wrapping_mul(197).wrapping_add(5)) % n as u32;
+            k += 1;
+            if s == t || dp.routes_mut().assemble(&csr, s, t, &mut probe).is_err() {
+                continue; // off-backbone or disconnected pick: next stride
+            }
+            flow_ids.push(dp.add_flow(s, t));
+        }
+        let ns = time_ns(2, iters, || {
+            dp.set_trace(pacds_obs::next_trace_id());
+            for &f in &flow_ids {
+                dp.inject(f, PACKETS);
+            }
+            black_box(dp.pump(&csr, &alive));
+            dp.reset_packets();
+        });
+        best = best.min(ns);
+    }
+    best
+}
+
 /// Extracts `"key": <number>` occurrences from hand-written JSON `text`.
 fn extract_numbers(text: &str, key: &str) -> Vec<f64> {
     let needle = format!("\"{key}\":");
@@ -224,12 +275,22 @@ fn run_baseline() -> ExitCode {
             format!("    {{ \"churn_n\": {n}, \"churn_ns_per_step\": {ns:.0} }}")
         })
         .collect();
+    let dp_rows: Vec<String> = DP_SIZES
+        .iter()
+        .map(|&n| {
+            let ns = measure_dataplane(n);
+            println!("n={n:>6}  baseline {ns:>12.0} ns/wave (dataplane)");
+            format!("    {{ \"dp_n\": {n}, \"dp_ns_per_wave\": {ns:.0} }}")
+        })
+        .collect();
     let json = format!(
         "{{\n  \"mode\": \"baseline\",\n  \"results\": [\n{}\n  ],\n  \
-         \"shard_results\": [\n{}\n  ],\n  \"churn_results\": [\n{}\n  ]\n}}\n",
+         \"shard_results\": [\n{}\n  ],\n  \"churn_results\": [\n{}\n  ],\n  \
+         \"dp_results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
         shard_rows.join(",\n"),
-        churn_rows.join(",\n")
+        churn_rows.join(",\n"),
+        dp_rows.join(",\n")
     );
     let out = std::env::var("PACDS_OBS_BASELINE")
         .unwrap_or_else(|_| "BENCH_obs_baseline.json".into());
@@ -287,6 +348,18 @@ fn run_instrumented() -> ExitCode {
     {
         eprintln!(
             "error: baseline {baseline_path} does not cover churn sizes {CHURN_SIZES:?}; \
+             re-run the baseline binary (without --features obs)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let dp_base_ns = extract_numbers(&text, "dp_ns_per_wave");
+    let dp_base_n: Vec<f64> = extract_numbers(&text, "dp_n");
+    if dp_base_ns.len() != DP_SIZES.len()
+        || dp_base_n.iter().map(|&v| v as usize).ne(DP_SIZES.iter().copied())
+    {
+        eprintln!(
+            "error: baseline {baseline_path} does not cover dataplane sizes {DP_SIZES:?}; \
              re-run the baseline binary (without --features obs)"
         );
         return ExitCode::FAILURE;
@@ -350,6 +423,7 @@ fn run_instrumented() -> ExitCode {
     let rows = gate(&SIZES, &base_ns, "n", "", &measure);
     let shard_rows = gate(&SHARD_SIZES, &shard_base_ns, "shard_n", " (sharded)", &measure_shard);
     let churn_rows = gate(&CHURN_SIZES, &churn_base_ns, "churn_n", " (churn)", &measure_churn);
+    let dp_rows = gate(&DP_SIZES, &dp_base_ns, "dp_n", " (dataplane)", &measure_dataplane);
 
     // Prove the instrumented run actually recorded something: a ≤ 3%
     // number for a build where the counters silently compiled out would
@@ -370,6 +444,11 @@ fn run_instrumented() -> ExitCode {
         eprintln!("error: instrumented build recorded no churn.refreshes");
         return ExitCode::FAILURE;
     }
+    let dp_forwarded = snap.counter("dp.forwarded");
+    if dp_forwarded == 0 {
+        eprintln!("error: instrumented build recorded no dp.forwarded");
+        return ExitCode::FAILURE;
+    }
     let trace_spans = snap.counter("trace.spans");
     if pacds_obs::trace_enabled() && trace_spans == 0 {
         eprintln!("error: trace build with sampling 1/{TRACE_SAMPLE} recorded no spans");
@@ -382,8 +461,9 @@ fn run_instrumented() -> ExitCode {
             "  \"benchmark\": \"obs_overhead\",\n",
             "  \"description\": \"BENCH_workspace reuse hot path (mobility step + in-place ",
             "CSR rebuild + CdsWorkspace CDS + verification), the sharded-engine hot path ",
-            "(mobility step + ShardedCds::compute_unit_disk) and the incremental churn hot ",
-            "path (ChurnEngine::step on a mobility event batch), timed with pacds-obs ",
+            "(mobility step + ShardedCds::compute_unit_disk), the incremental churn hot ",
+            "path (ChurnEngine::step on a mobility event batch) and the dataplane ",
+            "forwarding hot path (Dataplane::pump over cached routes), timed with pacds-obs ",
             "compiled out vs enabled; minimum of {} repetitions per size\",\n",
             "  \"unit\": \"ns/interval\",\n",
             "  \"max_overhead_pct_gate\": {},\n",
@@ -394,9 +474,11 @@ fn run_instrumented() -> ExitCode {
             "  \"instrumented_workspace_computes\": {},\n",
             "  \"instrumented_shard_computes\": {},\n",
             "  \"instrumented_churn_refreshes\": {},\n",
+            "  \"instrumented_dp_forwarded\": {},\n",
             "  \"results\": [\n{}\n  ],\n",
             "  \"shard_results\": [\n{}\n  ],\n",
-            "  \"churn_results\": [\n{}\n  ]\n",
+            "  \"churn_results\": [\n{}\n  ],\n",
+            "  \"dp_results\": [\n{}\n  ]\n",
             "}}\n"
         ),
         REPS,
@@ -407,9 +489,11 @@ fn run_instrumented() -> ExitCode {
         computes,
         shard_computes,
         churn_refreshes,
+        dp_forwarded,
         rows.join(",\n"),
         shard_rows.join(",\n"),
-        churn_rows.join(",\n")
+        churn_rows.join(",\n"),
+        dp_rows.join(",\n")
     );
     let out = std::env::var("PACDS_BENCH_OUT").unwrap_or_else(|_| "BENCH_obs.json".into());
     match std::fs::write(&out, &json) {

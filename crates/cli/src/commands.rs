@@ -100,6 +100,23 @@ COMMANDS:
               tile fraction across steps exceeds this — the locality
               gate CI uses where wall-clock cannot be trusted)
               --json <file> (write totals as one JSON object)
+  dataplane Drive packet traffic over the backbone forwarding engine:
+            source-routed unicast flows plus blind/gateway broadcasts,
+            with optional gateway kills to exercise the NACK → refresh →
+            retransmit path.
+              --n <int=5000> --seed <int=1> --radius <f=25>
+              --side <f; default scales with n for constant density>
+              --shards <int; 0 = scale with n> --threads <int; 0 = all>
+              --policy <..=nd> --semantics <safe|literal =safe>
+              --energy-seed <int> --flows <int=64> --packets <int=16;
+              per flow per wave> --waves <int=10>
+              --kill-every <int=0; kill one gateway every Nth wave>
+              --broadcast <none|blind|gateway|both =both>
+              --trace-jsonl <file> (one trace per wave; --trace-sample
+              <N=1>; needs --features trace)
+              --json <file> (write totals as one JSON object)
+              --fail-on-errors (exit non-zero on misroutes, drops, or
+              packets left undelivered)
   serve     Run the CDS query service (length-prefixed binary protocol
             over TCP, sharded result cache, bounded worker pool).
               --addr <host:port =127.0.0.1:7311> --workers <int=cores>
@@ -1085,6 +1102,234 @@ pub fn churn(args: &Args) -> CliResult {
              {mean_frac:.3} — churn is not localized"
         )
         .into());
+    }
+    Ok(())
+}
+
+/// `pacds dataplane`
+pub fn dataplane(args: &Args) -> CliResult {
+    args.check_known(&[
+        "n", "seed", "radius", "side", "shards", "threads", "policy", "semantics",
+        "energy-seed", "flows", "packets", "waves", "kill-every", "broadcast", "json",
+        "fail-on-errors", "trace-jsonl", "trace-sample",
+    ])?;
+    let n: usize = args.get_or("n", 5000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let radius: f64 = args.get_or("radius", 25.0)?;
+    let side: f64 = args.get_or("side", density_side(n))?;
+    let policy = policy_of(args.get("policy").unwrap_or("nd"))?;
+    let cfg = cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?;
+    let flows: usize = args.get_or("flows", 64)?;
+    let packets: usize = args.get_or("packets", 16)?;
+    let waves: usize = args.get_or("waves", 10)?;
+    let kill_every: usize = args.get_or("kill-every", 0)?;
+    let broadcast = args.get("broadcast").unwrap_or("both");
+    if !matches!(broadcast, "none" | "blind" | "gateway" | "both") {
+        return Err(format!(
+            "unknown --broadcast mode '{broadcast}' (none|blind|gateway|both)"
+        )
+        .into());
+    }
+    let spec = pacds_shard::ShardSpec {
+        shards: args.get_or("shards", 0)?,
+        halo: pacds_shard::REQUIRED_HALO,
+        threads: args.get_or("threads", 0)?,
+    };
+
+    let trace_path = args.get("trace-jsonl");
+    let trace_sample: u64 = args.get_or("trace-sample", u64::from(trace_path.is_some()))?;
+    if trace_path.is_some() && !pacds_obs::trace_enabled() {
+        eprintln!(
+            "note: span tracing is compiled out in this build; rebuild with \
+             `--features trace` for a populated --trace-jsonl"
+        );
+    }
+
+    let bounds = Rect::square(side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let points = pacds_geom::placement::uniform_points(&mut rng, bounds, n);
+    let energy = energy_levels(args, n)?;
+    pacds_obs::trace::reset_tracing();
+    pacds_obs::set_sampling(trace_sample);
+    let mut net = pacds_dataplane::ChurnNet::open(spec, bounds, radius, &points, &energy, &cfg)?;
+    let mut dp = pacds_dataplane::Dataplane::new();
+    dp.install_tables(net.gateway(), net.alive());
+    println!(
+        "dataplane: n={n} radius={radius} side={side:.1} policy={} — {} gateways, \
+         {flows} flows x {packets} packets x {waves} waves",
+        policy.label(),
+        net.gateway_count(),
+    );
+
+    // Flow endpoints: alive, dominated hosts, protected from the kill
+    // schedule so every flow stays routable for the whole run.
+    use rand::Rng;
+    let mut protected = vec![false; n];
+    let mut flow_ids = Vec::with_capacity(flows);
+    while flow_ids.len() < flows {
+        let s = rng.random_range(0..n as u32);
+        let t = rng.random_range(0..n as u32);
+        let mut probe = Vec::new();
+        if dp.routes_mut().assemble(net.graph(), s, t, &mut probe).is_err() {
+            continue; // disconnected or undominated pick: redraw
+        }
+        protected[s as usize] = true;
+        protected[t as usize] = true;
+        flow_ids.push(dp.add_flow(s, t));
+    }
+
+    let mut kills = 0u64;
+    let mut refreshes = 0u64;
+    let mut reroute_s_sum = 0.0f64;
+    let mut blind_tx = 0u64;
+    let mut gateway_tx = 0u64;
+    let t0 = std::time::Instant::now();
+    for wave in 0..waves {
+        dp.set_trace(pacds_obs::next_trace_id());
+        if kill_every > 0 && wave > 0 && wave % kill_every == 0 {
+            // Kill one unprotected gateway: routes through it go stale.
+            for _ in 0..10 * n {
+                let v = rng.random_range(0..n as u32);
+                if net.alive()[v as usize] && net.gateway()[v as usize] && !protected[v as usize]
+                {
+                    net.kill(v)?;
+                    kills += 1;
+                    break;
+                }
+            }
+        }
+        for &f in &flow_ids {
+            dp.inject(f, packets);
+        }
+        let src = flow_ids
+            .first()
+            .map(|_| dp.packets().src(0))
+            .unwrap_or(0);
+        if matches!(broadcast, "blind" | "both") {
+            dp.inject_broadcast(src, true);
+        }
+        let before = dp.stats();
+        dp.pump(net.graph(), net.alive());
+        if matches!(broadcast, "blind" | "both") {
+            blind_tx += dp.last_flood().map_or(0, |c| c.transmissions as u64)
+        }
+        if matches!(broadcast, "gateway" | "both") {
+            dp.inject_broadcast(src, false);
+            dp.pump(net.graph(), net.alive());
+            gateway_tx += dp.last_flood().map_or(0, |c| c.transmissions as u64);
+        }
+        // Stale routes NACKed above: refresh the control plane, reinstall
+        // tables, retransmit, and time the recovery end to end.
+        if dp.nacked_pending() > 0 {
+            let tr = std::time::Instant::now();
+            net.refresh();
+            dp.install_tables(net.gateway(), net.alive());
+            let requeued = dp.requeue_nacked();
+            dp.pump(net.graph(), net.alive());
+            reroute_s_sum += tr.elapsed().as_secs_f64();
+            refreshes += 1;
+            println!(
+                "wave {:>3}: {} packets NACKed on stale routes, redelivered after \
+                 refresh ({} gateways)",
+                wave + 1,
+                requeued,
+                net.gateway_count(),
+            );
+        }
+        let after = dp.stats();
+        if dp.nacked_pending() == 0 {
+            dp.reset_packets();
+        }
+        pacds_obs::obs_debug!(
+            "cli.dataplane",
+            "wave {}: {} delivered, {} hops",
+            wave + 1,
+            after.delivered - before.delivered,
+            after.forwarded_hops - before.forwarded_hops
+        );
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = dp.stats();
+    let hops_per_s = stats.forwarded_hops as f64 / wall_s.max(1e-9);
+    let flood_reduction = if blind_tx > 0 && gateway_tx > 0 {
+        1.0 - gateway_tx as f64 / blind_tx as f64
+    } else {
+        f64::NAN
+    };
+    println!(
+        "totals: {} injected, {} delivered, {} dropped, {} NACKed ({} retransmits), \
+         {} hops in {wall_s:.3}s ({hops_per_s:.0} hops/s), {} misroutes",
+        stats.injected,
+        stats.delivered,
+        stats.dropped,
+        stats.nacked,
+        stats.retransmits,
+        stats.forwarded_hops,
+        stats.misroutes,
+    );
+    if kills > 0 {
+        println!(
+            "churn: {kills} gateway kills, {refreshes} refreshes, mean reroute \
+             {:.1} ms",
+            1e3 * reroute_s_sum / refreshes.max(1) as f64,
+        );
+    }
+    if !flood_reduction.is_nan() {
+        println!(
+            "broadcast: {blind_tx} blind vs {gateway_tx} gateway transmissions \
+             ({:.1}% reduction)",
+            100.0 * flood_reduction,
+        );
+    }
+    if let Some(path) = trace_path {
+        let jsonl = pacds_obs::traces_jsonl();
+        let traces = jsonl.lines().count();
+        std::fs::write(path, jsonl)?;
+        println!("{traces} trace(s) written to {path} (sampling 1/{trace_sample})");
+    }
+    pacds_obs::set_sampling(0);
+
+    if let Some(path) = args.get("json") {
+        let json = format!(
+            "{{\"n\":{n},\"radius\":{radius},\"side\":{side},\"policy\":\"{}\",\
+             \"flows\":{flows},\"packets_per_flow\":{packets},\"waves\":{waves},\
+             \"injected\":{},\"delivered\":{},\"dropped\":{},\"nacked\":{},\
+             \"retransmits\":{},\"forwarded_hops\":{},\"misroutes\":{},\
+             \"hops_per_s\":{hops_per_s},\"wall_s\":{wall_s},\
+             \"kills\":{kills},\"refreshes\":{refreshes},\
+             \"blind_transmissions\":{blind_tx},\
+             \"gateway_transmissions\":{gateway_tx},\
+             \"flood_reduction\":{}}}",
+            policy.label(),
+            stats.injected,
+            stats.delivered,
+            stats.dropped,
+            stats.nacked,
+            stats.retransmits,
+            stats.forwarded_hops,
+            stats.misroutes,
+            if flood_reduction.is_nan() { "null".to_string() } else { flood_reduction.to_string() },
+        );
+        std::fs::write(path, json + "\n")?;
+        println!("stats written to {path}");
+    }
+    if args.flag("fail-on-errors") {
+        if stats.misroutes > 0 {
+            return Err(format!("{} packets misrouted into dead nodes", stats.misroutes).into());
+        }
+        if stats.dropped > 0 {
+            return Err(format!("{} packets terminally dropped", stats.dropped).into());
+        }
+        if dp.nacked_pending() > 0 {
+            return Err(format!(
+                "{} packets still parked for retransmission at exit",
+                dp.nacked_pending()
+            )
+            .into());
+        }
+        if stats.delivered + stats.dropped != stats.injected {
+            return Err("delivered + dropped != injected: packets unaccounted for".into());
+        }
     }
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! pacds obs-report run instrumented and print the phase/counter breakdown
 //! pacds shard      compute a large unit-disk CDS on the sharded engine
 //! pacds churn      replay a churn workload through the incremental engine
+//! pacds dataplane  drive packet traffic over the backbone forwarding engine
 //! pacds serve      run the TCP query service (binary protocol + cache)
 //! pacds loadgen    drive load at a server; throughput + latency report
 //! ```
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
         "obs-report" => dispatch("cli.obs-report", || commands::obs_report(&args)),
         "shard" => dispatch("cli.shard", || commands::shard(&args)),
         "churn" => dispatch("cli.churn", || commands::churn(&args)),
+        "dataplane" => dispatch("cli.dataplane", || commands::dataplane(&args)),
         "serve" => dispatch("cli.serve", || commands::serve(&args)),
         "loadgen" => dispatch("cli.loadgen", || commands::loadgen(&args)),
         "help" | "--help" | "-h" => {

@@ -1,0 +1,188 @@
+//! The live network under the dataplane: a [`ChurnEngine`] control plane
+//! plus the retained CSR adjacency the forwarding engine actually walks.
+//!
+//! `ChurnNet` makes the control-plane/data-plane staleness window
+//! explicit. A [`ChurnNet::kill`] updates the *current* liveness mask
+//! immediately — the radio is off the moment the host dies, which is
+//! what [`crate::Dataplane::pump`] checks before every transmission —
+//! but the gateway backbone and the adjacency only change at the next
+//! [`ChurnNet::refresh`], exactly as the incremental CDS engine
+//! re-solves its dirty tiles. The gap between those two moments is the
+//! window the NACK/retransmit path exists to close.
+
+use pacds_core::CdsConfig;
+use pacds_geom::{Point2, Rect};
+use pacds_graph::gen::{unit_disk_csr, UnitDiskScratch};
+use pacds_graph::CsrGraph;
+use pacds_shard::{ChurnEngine, ChurnError, ChurnEvent, ChurnStats, ShardSpec};
+
+/// A churn-driven unit-disk network with retained adjacency and masks.
+#[derive(Debug)]
+pub struct ChurnNet {
+    engine: ChurnEngine,
+    graph: CsrGraph,
+    scratch: UnitDiskScratch,
+    bounds: Rect,
+    radius: f64,
+    /// Current liveness — updated by [`Self::kill`] *immediately*.
+    alive: Vec<bool>,
+    /// Gateway mask as of the last refresh (the control plane's view).
+    gateway: Vec<bool>,
+    /// Off-mask scratch for adjacency rebuilds.
+    off: Vec<bool>,
+}
+
+impl ChurnNet {
+    /// Opens the network: solves the initial CDS and builds the adjacency.
+    pub fn open(
+        spec: ShardSpec,
+        bounds: Rect,
+        radius: f64,
+        points: &[Point2],
+        energy: &[u64],
+        cfg: &CdsConfig,
+    ) -> Result<Self, ChurnError> {
+        let engine = ChurnEngine::open(spec, bounds, radius, points, energy, cfg)?;
+        let mut net = Self {
+            graph: CsrGraph::default(),
+            scratch: UnitDiskScratch::default(),
+            bounds,
+            radius,
+            alive: engine.alive().to_vec(),
+            gateway: engine.gateways().clone(),
+            off: vec![false; points.len()],
+            engine,
+        };
+        net.rebuild_graph();
+        Ok(net)
+    }
+
+    fn rebuild_graph(&mut self) {
+        let n = self.engine.positions().len();
+        self.off.clear();
+        self.off
+            .extend(self.engine.alive().iter().map(|&a| !a));
+        debug_assert_eq!(self.off.len(), n);
+        unit_disk_csr(
+            self.bounds,
+            self.radius,
+            self.engine.positions(),
+            Some(&self.off),
+            &mut self.graph,
+            &mut self.scratch,
+        );
+    }
+
+    /// Kills `node`: the control plane records the event (dirty tiles,
+    /// deferred re-solve) and the *current* liveness mask flips at once.
+    /// Tables and adjacency stay stale until [`Self::refresh`].
+    pub fn kill(&mut self, node: u32) -> Result<(), ChurnError> {
+        self.engine.apply(&ChurnEvent::KillNode { node })?;
+        self.alive[node as usize] = false;
+        Ok(())
+    }
+
+    /// Re-solves the dirty tiles and brings adjacency, liveness, and the
+    /// gateway mask back in sync with the control plane.
+    pub fn refresh(&mut self) -> ChurnStats {
+        let stats = self.engine.refresh();
+        self.alive.clear();
+        self.alive.extend_from_slice(self.engine.alive());
+        self.gateway.clear();
+        self.gateway.extend_from_slice(self.engine.gateways());
+        self.rebuild_graph();
+        stats
+    }
+
+    /// The adjacency as of the last refresh.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Current per-host liveness (fresher than the installed tables
+    /// between a kill and the next refresh).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Gateway mask as of the last refresh.
+    pub fn gateway(&self) -> &[bool] {
+        &self.gateway
+    }
+
+    /// Number of gateways as of the last refresh.
+    pub fn gateway_count(&self) -> usize {
+        self.gateway.iter().filter(|&&b| b).count()
+    }
+
+    /// Host count (including dead id slots).
+    pub fn n(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// The underlying control-plane engine.
+    pub fn engine(&self) -> &ChurnEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::Policy;
+    use pacds_geom::placement;
+    use pacds_shard::REQUIRED_HALO;
+    use rand::SeedableRng;
+
+    fn small_net() -> ChurnNet {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let bounds = Rect::paper_arena();
+        let pts = placement::uniform_points(&mut rng, bounds, 80);
+        let energy = vec![100u64; pts.len()];
+        let spec = ShardSpec {
+            shards: 4,
+            halo: REQUIRED_HALO,
+            threads: 1,
+        };
+        ChurnNet::open(
+            spec,
+            bounds,
+            25.0,
+            &pts,
+            &energy,
+            &CdsConfig::policy(Policy::Degree),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kill_is_immediate_but_backbone_waits_for_refresh() {
+        let mut net = small_net();
+        let gw = net
+            .gateway()
+            .iter()
+            .position(|&b| b)
+            .expect("some gateway exists") as u32;
+        net.kill(gw).unwrap();
+        assert!(!net.alive()[gw as usize], "liveness flips at once");
+        assert!(net.gateway()[gw as usize], "backbone still lists it");
+        assert!(
+            !net.graph().neighbors(gw).is_empty() || net.graph().degree(gw) == 0,
+            "adjacency untouched until refresh"
+        );
+        net.refresh();
+        assert!(!net.gateway()[gw as usize], "refresh evicts the dead gateway");
+        assert_eq!(net.graph().degree(gw), 0, "dead host is isolated");
+    }
+
+    #[test]
+    fn refresh_masks_match_the_engine() {
+        let mut net = small_net();
+        net.kill(3).unwrap();
+        net.kill(9).unwrap();
+        net.refresh();
+        assert_eq!(net.alive(), net.engine().alive());
+        assert_eq!(net.gateway(), net.engine().gateways().as_slice());
+        assert_eq!(net.gateway_count(), net.engine().gateway_count());
+    }
+}

@@ -1,0 +1,346 @@
+//! Scalable backbone route tables: per-destination-gateway BFS trees.
+//!
+//! [`pacds_routing::RoutingState`] materialises the paper's Figure-2
+//! tables densely — `O(gateways × n)` words — which is exact and fine at
+//! corpus scale but infeasible at n = 10⁵⁻⁶ (tens of gigabytes). The
+//! dataplane instead keeps one BFS tree *per destination gateway actually
+//! in use*: `toward[u]` is the next gateway from `u` on a shortest
+//! gateway-only path towards the destination gateway, `O(n)` words per
+//! active destination, built lazily and pooled across epochs.
+//!
+//! [`BackboneRoutes::assemble`] runs the same three-step procedure as
+//! [`pacds_routing::route`]: member → source gateway → gateway walk →
+//! destination. Routes are shortest within the gateway subgraph, so hop
+//! counts match `route()` exactly (the conformance suite pins this); the
+//! specific shortest path may differ because the trees are rooted at the
+//! destination rather than the source.
+//!
+//! Staleness model: the masks are snapshots taken at [`BackboneRoutes::
+//! install`] — the control plane's view. A node that dies afterwards is
+//! still routed through until the next install (churn refresh), which is
+//! exactly the window the forward node's liveness check + NACK closes.
+
+use pacds_graph::{Neighbors, NodeId};
+use pacds_obs::{obs_count, obs_time, Counter, Phase};
+use pacds_routing::RouteError;
+
+/// One destination gateway's shortest-path tree over the live gateway
+/// subgraph.
+#[derive(Debug, Default)]
+struct DestTree {
+    dest: NodeId,
+    /// Hop distance from each gateway to `dest` within the gateway
+    /// subgraph; `u32::MAX` = unreachable or not a live gateway.
+    dist: Vec<u32>,
+    /// Next gateway towards `dest` (the BFS parent); undefined where
+    /// `dist` is `u32::MAX`.
+    toward: Vec<NodeId>,
+}
+
+/// The dataplane's routing tables: gateway + liveness masks plus a pool
+/// of lazily-built [`DestTree`]s. All storage is retained; once every
+/// buffer has hit its high-water mark, `install` + `assemble` perform
+/// zero heap allocations.
+#[derive(Debug, Default)]
+pub struct BackboneRoutes {
+    n: usize,
+    gateway: Vec<bool>,
+    alive: Vec<bool>,
+    epoch: u32,
+    /// Dense destination → tree-slot map; `u32::MAX` = no tree yet.
+    slot_of: Vec<u32>,
+    trees: Vec<DestTree>,
+    /// Tree-pool slots in use this epoch (`trees[..used]`).
+    used: usize,
+    /// BFS frontier scratch.
+    queue: Vec<NodeId>,
+}
+
+impl BackboneRoutes {
+    /// Empty tables; [`Self::install`] must run before [`Self::assemble`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a new epoch of tables from the control plane's gateway
+    /// and liveness masks (snapshot copies). Invalidates every tree from
+    /// the previous epoch in O(trees used), not O(n).
+    pub fn install(&mut self, gateway: &[bool], alive: &[bool]) {
+        assert_eq!(gateway.len(), alive.len());
+        let n = gateway.len();
+        if n != self.n {
+            self.n = n;
+            self.slot_of.clear();
+            self.slot_of.resize(n, u32::MAX);
+        } else {
+            for t in &self.trees[..self.used] {
+                self.slot_of[t.dest as usize] = u32::MAX;
+            }
+        }
+        self.used = 0;
+        self.gateway.clear();
+        self.gateway.extend_from_slice(gateway);
+        self.alive.clear();
+        self.alive.extend_from_slice(alive);
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// The current table epoch; bumped by every [`Self::install`]. Flow
+    /// caches compare this to decide whether a cached route is current.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Number of nodes the installed tables cover.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The installed gateway mask (the control plane's snapshot); the
+    /// flood node uses this as the relay set for gateway broadcast.
+    pub fn gateway_mask(&self) -> &[bool] {
+        &self.gateway
+    }
+
+    /// Destination trees built since the last install.
+    pub fn trees_built(&self) -> usize {
+        self.used
+    }
+
+    /// The gateway whose domain contains `v`: itself for gateways, else
+    /// the smallest-id adjacent gateway (the same choice
+    /// [`pacds_routing::RoutingState::gateway_of`] makes).
+    pub fn gateway_of<G: Neighbors>(&self, g: &G, v: NodeId) -> Option<NodeId> {
+        if self.gateway[v as usize] {
+            return Some(v);
+        }
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .find(|&u| self.gateway[u as usize])
+    }
+
+    /// Returns the tree slot for destination gateway `dg`, building the
+    /// BFS tree on first use this epoch. `dg` must be a live gateway.
+    fn tree_slot<G: Neighbors>(&mut self, g: &G, dg: NodeId) -> usize {
+        if self.slot_of[dg as usize] != u32::MAX {
+            return self.slot_of[dg as usize] as usize;
+        }
+        obs_time!(_t, Phase::DpRouteBuild);
+        obs_count!(Counter::DpRouteBuilds);
+        let slot = self.used;
+        if self.trees.len() == slot {
+            self.trees.push(DestTree::default());
+        }
+        self.used += 1;
+        self.slot_of[dg as usize] = slot as u32;
+
+        let tree = &mut self.trees[slot];
+        tree.dest = dg;
+        tree.dist.clear();
+        tree.dist.resize(self.n, u32::MAX);
+        tree.toward.clear();
+        tree.toward.resize(self.n, NodeId::MAX);
+        self.queue.clear();
+        tree.dist[dg as usize] = 0;
+        tree.toward[dg as usize] = dg;
+        self.queue.push(dg);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            let dv = tree.dist[v as usize];
+            for &u in g.neighbors(v) {
+                let ui = u as usize;
+                if self.gateway[ui] && self.alive[ui] && tree.dist[ui] == u32::MAX {
+                    tree.dist[ui] = dv + 1;
+                    // The BFS parent is one hop closer to dg: forwarding
+                    // from u towards dg goes through v.
+                    tree.toward[ui] = v;
+                    self.queue.push(u);
+                }
+            }
+        }
+        slot
+    }
+
+    /// Assembles the three-step source route `src → dst` into `out`
+    /// (cleared first). Error taxonomy matches
+    /// [`pacds_routing::route_alive_into`]: dead endpoints or dead chosen
+    /// gateways yield [`RouteError::StaleGateway`], a disconnected live
+    /// backbone yields [`RouteError::GatewayPathMissing`].
+    pub fn assemble<G: Neighbors>(
+        &mut self,
+        g: &G,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), RouteError> {
+        out.clear();
+        if (src as usize) >= self.n || (dst as usize) >= self.n {
+            return Err(RouteError::OutOfRange);
+        }
+        if !self.alive[src as usize] || !self.alive[dst as usize] {
+            return Err(RouteError::StaleGateway);
+        }
+        if src == dst {
+            out.push(src);
+            return Ok(());
+        }
+        if g.has_edge(src, dst) {
+            out.push(src);
+            out.push(dst);
+            return Ok(());
+        }
+
+        let sg = self
+            .gateway_of(g, src)
+            .ok_or(RouteError::SourceNotDominated)?;
+        let dg = self
+            .gateway_of(g, dst)
+            .ok_or(RouteError::DestinationNotDominated)?;
+        if !self.alive[sg as usize] || !self.alive[dg as usize] {
+            return Err(RouteError::StaleGateway);
+        }
+
+        let slot = self.tree_slot(g, dg);
+        let tree = &self.trees[slot];
+        if tree.dist[sg as usize] == u32::MAX {
+            return Err(RouteError::GatewayPathMissing);
+        }
+        out.push(src);
+        if sg != src {
+            out.push(sg);
+        }
+        let mut cur = sg;
+        while cur != dg {
+            cur = tree.toward[cur as usize];
+            out.push(cur);
+        }
+        if dg != dst {
+            out.push(dst);
+        }
+        Ok(())
+    }
+
+    /// Whether every hop of `path` is alive under the *installed* masks
+    /// (the control plane's view; used by tests and self-checks).
+    pub fn path_alive(&self, path: &[NodeId]) -> bool {
+        path.iter().all(|&v| self.alive[v as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pacds_core::{compute_cds, CdsConfig, CdsInput, Policy};
+    use pacds_graph::{gen, Graph};
+    use pacds_routing::{hop_count, is_valid_walk, route, RoutingState};
+    use rand::SeedableRng;
+
+    fn fig1() -> (Graph, Vec<bool>) {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 4), (2, 3)]);
+        let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Id));
+        (g, cds)
+    }
+
+    #[test]
+    fn figure1_route_matches_the_paper() {
+        let (g, cds) = fig1();
+        let mut br = BackboneRoutes::new();
+        br.install(&cds, &[true; 5]);
+        let mut out = Vec::new();
+        br.assemble(&g, 4, 3, &mut out).unwrap();
+        assert_eq!(out, vec![4, 1, 2, 3]);
+        br.assemble(&g, 0, 4, &mut out).unwrap();
+        assert_eq!(out, vec![0, 4], "direct neighbours bypass the overlay");
+        br.assemble(&g, 3, 3, &mut out).unwrap();
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn hop_counts_match_routing_state_on_random_unit_disks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let bounds = pacds_geom::Rect::paper_arena();
+        for _ in 0..8 {
+            let pts = pacds_geom::placement::uniform_points(&mut rng, bounds, 50);
+            let full = gen::unit_disk(bounds, 25.0, &pts);
+            let keep = pacds_graph::algo::largest_component(&full);
+            let (g, _) = full.induced(&keep);
+            if g.n() < 3 || g.is_complete() {
+                continue;
+            }
+            let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Degree));
+            let state = RoutingState::build(&g, &cds);
+            let mut br = BackboneRoutes::new();
+            br.install(&cds, &vec![true; g.n()]);
+            let mut out = Vec::new();
+            for s in 0..g.n() as NodeId {
+                for t in 0..g.n() as NodeId {
+                    let reference = route(&g, &state, s, t).unwrap();
+                    br.assemble(&g, s, t, &mut out).unwrap();
+                    assert!(is_valid_walk(&g, &out), "{s}->{t}: {out:?}");
+                    assert_eq!(out.first(), Some(&s));
+                    assert_eq!(out.last(), Some(&t));
+                    assert_eq!(
+                        hop_count(&out),
+                        hop_count(&reference),
+                        "{s}->{t}: {out:?} vs {reference:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_taxonomy_matches_route_alive_into() {
+        // Path 0-1-2 plus isolated 3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let gw = vec![false, true, false, false];
+        let mut br = BackboneRoutes::new();
+        br.install(&gw, &[true; 4]);
+        let mut out = Vec::new();
+        assert_eq!(
+            br.assemble(&g, 3, 0, &mut out),
+            Err(RouteError::SourceNotDominated)
+        );
+        assert_eq!(
+            br.assemble(&g, 0, 3, &mut out),
+            Err(RouteError::DestinationNotDominated)
+        );
+        assert_eq!(br.assemble(&g, 0, 9, &mut out), Err(RouteError::OutOfRange));
+
+        // Dead destination gateway → stale.
+        let (g, cds) = fig1();
+        let mut alive = vec![true; 5];
+        alive[2] = false;
+        br.install(&cds, &alive);
+        assert_eq!(
+            br.assemble(&g, 4, 3, &mut out),
+            Err(RouteError::StaleGateway)
+        );
+    }
+
+    #[test]
+    fn install_invalidates_trees_and_reroutes() {
+        // Cycle C6, all gateways: 0 -> 3 can go either way (3 hops).
+        let g = gen::cycle(6);
+        let gw = vec![true; 6];
+        let mut br = BackboneRoutes::new();
+        br.install(&gw, &[true; 6]);
+        let mut out = Vec::new();
+        br.assemble(&g, 0, 3, &mut out).unwrap();
+        assert_eq!(hop_count(&out), 3);
+        assert_eq!(br.trees_built(), 1);
+        // Kill node 1: the control plane refreshes, and the new tables
+        // must route the long way round, never through 1.
+        let alive = vec![true, false, true, true, true, true];
+        let epoch = br.epoch();
+        br.install(&gw, &alive);
+        assert_ne!(br.epoch(), epoch);
+        assert_eq!(br.trees_built(), 0);
+        br.assemble(&g, 0, 3, &mut out).unwrap();
+        assert_eq!(out, vec![0, 5, 4, 3]);
+        assert!(br.path_alive(&out));
+    }
+}

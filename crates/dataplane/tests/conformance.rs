@@ -1,0 +1,131 @@
+//! Dataplane conformance against the routing oracles, over the
+//! adversarial topology corpus.
+//!
+//! Two pins, per corpus case:
+//!
+//! * **Unicast**: pumping one packet per sampled (src, dst) pair through
+//!   the full node graph delivers every packet with an aggregate hop
+//!   count exactly equal to the sum of [`pacds_routing::route`] oracle
+//!   hop counts (the dense-table implementation the dataplane's BFS-tree
+//!   tables must match), with zero misroutes.
+//! * **Broadcast**: the flood node's blind and gateway floods reproduce
+//!   [`pacds_routing::flood_cost`] exactly, and gateway flooding never
+//!   transmits more than blind flooding.
+
+use pacds_core::{compute_cds, CdsConfig, CdsInput, Policy};
+use pacds_dataplane::Dataplane;
+use pacds_graph::NodeId;
+use pacds_routing::{flood_cost, hop_count, route, RoutingState};
+use pacds_testkit::corpus;
+
+/// Sampled ordered pairs: everything for small graphs, a deterministic
+/// stride otherwise.
+fn pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    if n <= 12 {
+        for s in 0..n as NodeId {
+            for t in 0..n as NodeId {
+                out.push((s, t));
+            }
+        }
+    } else {
+        for i in 0..64usize {
+            let s = ((i * 31 + 7) % n) as NodeId;
+            let t = ((i * 17 + 3) % n) as NodeId;
+            out.push((s, t));
+        }
+    }
+    out
+}
+
+#[test]
+fn unicast_hop_counts_match_the_route_oracle_on_the_corpus() {
+    let mut cases = corpus::named_families();
+    cases.extend(corpus::random_unit_disk_cases(0xDA7A, 20));
+    let mut checked = 0usize;
+    for case in &cases {
+        if !case.connected || case.graph.n() < 2 {
+            continue;
+        }
+        let g = &case.graph;
+        let cds = compute_cds(&CdsInput::new(g), &CdsConfig::policy(Policy::Degree));
+        let state = RoutingState::build(g, &cds);
+        let alive = vec![true; g.n()];
+        let mut dp = Dataplane::new();
+        dp.install_tables(&cds, &alive);
+
+        let mut expected_hops = 0u64;
+        let mut injected = 0u64;
+        for (s, t) in pairs(g.n()) {
+            let reference = match route(g, &state, s, t) {
+                Ok(p) => p,
+                // The corpus has no undominated vertices in connected
+                // graphs; any error here is a real regression.
+                Err(e) => panic!("{}: oracle route {s}->{t} failed: {e}", case.name),
+            };
+            expected_hops += hop_count(&reference) as u64;
+            let f = dp.add_flow(s, t);
+            dp.inject(f, 1);
+            injected += 1;
+        }
+        let stats = dp.pump(g, &alive);
+        assert_eq!(stats.delivered, injected, "{}", case.name);
+        assert_eq!(stats.dropped, 0, "{}", case.name);
+        assert_eq!(stats.nacked, 0, "{}", case.name);
+        assert_eq!(stats.misroutes, 0, "{}", case.name);
+        assert_eq!(
+            stats.forwarded_hops, expected_hops,
+            "{}: aggregate hops diverge from the dense-table oracle",
+            case.name
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "corpus shrank? only {checked} cases checked");
+}
+
+#[test]
+fn broadcasts_match_flood_cost_on_the_corpus() {
+    let mut cases = corpus::named_families();
+    cases.extend(corpus::random_unit_disk_cases(0xF100D, 12));
+    let mut checked = 0usize;
+    for case in &cases {
+        let g = &case.graph;
+        if g.n() == 0 {
+            continue;
+        }
+        let cds = compute_cds(&CdsInput::new(g), &CdsConfig::policy(Policy::Degree));
+        let alive = vec![true; g.n()];
+        let mut dp = Dataplane::new();
+        dp.install_tables(&cds, &alive);
+        for src in [0, (g.n() / 2) as NodeId, g.n() as NodeId - 1] {
+            dp.inject_broadcast(src, true);
+            dp.pump(g, &alive);
+            let blind = dp.last_flood().unwrap();
+            assert_eq!(blind, flood_cost(g, src, None), "{} blind {src}", case.name);
+
+            dp.inject_broadcast(src, false);
+            dp.pump(g, &alive);
+            let gateway = dp.last_flood().unwrap();
+            assert_eq!(
+                gateway,
+                flood_cost(g, src, Some(&cds)),
+                "{} gateway {src}",
+                case.name
+            );
+            assert!(
+                gateway.transmissions <= blind.transmissions,
+                "{}: gateway flood transmitted more than blind",
+                case.name
+            );
+            if case.connected {
+                assert_eq!(
+                    gateway.reached, blind.reached,
+                    "{}: gateway flood lost coverage",
+                    case.name
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 30, "corpus shrank? only {checked} cases checked");
+}

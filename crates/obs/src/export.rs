@@ -216,6 +216,16 @@ const ALL_COUNTERS: [Counter; NUM_COUNTERS] = {
         ServeSubscribersLagged,
         TraceSpans,
         TraceSpansDropped,
+        DpPackets,
+        DpForwarded,
+        DpDelivered,
+        DpDropped,
+        DpNacks,
+        DpRetransmits,
+        DpRouteBuilds,
+        DpFloodTransmissions,
+        DpFloodDuplicates,
+        DpMisroutes,
     ]
 };
 

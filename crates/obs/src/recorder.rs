@@ -153,6 +153,28 @@ metric_enum! {
         TraceSpans => "trace.spans",
         /// Trace: ring slots overwritten before being drained.
         TraceSpansDropped => "trace.spans_dropped",
+        /// Dataplane: packets admitted at the ingress node.
+        DpPackets => "dp.packets",
+        /// Dataplane: per-hop forward operations (aggregate transmissions
+        /// across all relay nodes — the "packets/sec forwarded" number).
+        DpForwarded => "dp.forwarded",
+        /// Dataplane: packets delivered at the egress node.
+        DpDelivered => "dp.delivered",
+        /// Dataplane: packets terminally dropped (unroutable).
+        DpDropped => "dp.dropped",
+        /// Dataplane: packets NACKed on a stale route (dead next hop).
+        DpNacks => "dp.nacks",
+        /// Dataplane: NACKed packets re-injected after a table rebuild.
+        DpRetransmits => "dp.retransmits",
+        /// Dataplane: source routes assembled (backbone lookups).
+        DpRouteBuilds => "dp.route_builds",
+        /// Dataplane: flood transmissions (blind + gateway relays).
+        DpFloodTransmissions => "dp.flood_transmissions",
+        /// Dataplane: duplicate flood receptions suppressed.
+        DpFloodDuplicates => "dp.flood_duplicates",
+        /// Dataplane: packets forwarded into a dead node. The NACK path
+        /// makes this structurally impossible; benches assert it stays 0.
+        DpMisroutes => "dp.misroutes",
     }
 }
 
@@ -196,6 +218,13 @@ metric_enum! {
         ShardMerge => "shard.merge",
         /// Churn engine: one incremental refresh (dirty-tile re-solve).
         ChurnRefresh => "churn.refresh",
+        /// Dataplane: one pump sweep over the node graph.
+        DpPump => "dp.pump",
+        /// Dataplane: backbone route-table (re)build + source-route
+        /// assembly.
+        DpRouteBuild => "dp.route_build",
+        /// Dataplane: one broadcast flood.
+        DpFlood => "dp.flood",
     }
 }
 
@@ -575,7 +604,6 @@ mod tests {
         record_phase_ns(Phase::Verify, u64::MAX);
         if !enabled() {
             assert!(crate::Snapshot::capture().phase("verify").is_none());
-            return;
         }
         #[cfg(feature = "enabled")]
         {

@@ -81,10 +81,13 @@ pub enum SpanKind {
     ChurnTile = 7,
     /// One simulator update interval (detail: interval index).
     SimInterval = 8,
+    /// One dataplane pump sweep over the node graph (detail: packets
+    /// admitted this sweep, capped).
+    DpPump = 9,
 }
 
 /// Number of span kinds (labels table length).
-pub const NUM_SPAN_KINDS: usize = 9;
+pub const NUM_SPAN_KINDS: usize = 10;
 
 /// JSONL labels, indexed by discriminant.
 pub const SPAN_KIND_NAMES: [&str; NUM_SPAN_KINDS] = [
@@ -97,6 +100,7 @@ pub const SPAN_KIND_NAMES: [&str; NUM_SPAN_KINDS] = [
     "churn.refresh",
     "churn.tile",
     "sim.interval",
+    "dp.pump",
 ];
 
 impl SpanKind {

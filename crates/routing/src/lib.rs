@@ -23,4 +23,7 @@ pub mod tables;
 pub use flood::{flood_cost, FloodCost};
 pub use robustness::{backbone_robustness, RobustnessReport};
 pub use stretch::{stretch, stretch_summary, StretchSummary};
-pub use tables::{route, RouteError, RoutingState};
+pub use tables::{
+    hop_count, is_valid_walk, route, route_alive_into, route_into, GatewayEntry,
+    GatewayEntryRef, RouteError, RoutingState,
+};

@@ -16,6 +16,12 @@ pub enum RouteError {
     /// No gateway-only path connects the source and destination gateways
     /// (the gateway set is disconnected, or empty on a non-trivial graph).
     GatewayPathMissing,
+    /// The tables reference a node that is no longer alive: a dead
+    /// endpoint, a dead chosen gateway, or a dead next hop mid-path. The
+    /// route was valid when the tables were built — the caller should
+    /// rebuild them (e.g. after a churn refresh) and retry; this is the
+    /// error the dataplane's NACK/retransmit path consumes.
+    StaleGateway,
 }
 
 impl std::fmt::Display for RouteError {
@@ -27,6 +33,9 @@ impl std::fmt::Display for RouteError {
                 write!(f, "destination has no adjacent gateway")
             }
             RouteError::GatewayPathMissing => write!(f, "gateway subgraph has no path"),
+            RouteError::StaleGateway => {
+                write!(f, "route references a dead node (stale gateway tables)")
+            }
         }
     }
 }
@@ -46,6 +55,33 @@ pub struct GatewayEntry {
     pub next_hop: NodeId,
 }
 
+/// A borrowed routing-table row: the zero-allocation view of
+/// [`GatewayEntry`] yielded by [`RoutingState::entries`]. The dataplane's
+/// warm forwarding loop reads these without cloning membership lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayEntryRef<'a> {
+    /// The gateway host this entry describes.
+    pub gateway: NodeId,
+    /// Its domain membership list (borrowed from the state).
+    pub members: &'a [NodeId],
+    /// Hop distance from the owning gateway, within the gateway subgraph.
+    pub distance: u32,
+    /// Next gateway on a shortest gateway-only path (self for distance 0).
+    pub next_hop: NodeId,
+}
+
+impl GatewayEntryRef<'_> {
+    /// Clones into the owned row type.
+    pub fn to_owned(self) -> GatewayEntry {
+        GatewayEntry {
+            gateway: self.gateway,
+            members: self.members.to_vec(),
+            distance: self.distance,
+            next_hop: self.next_hop,
+        }
+    }
+}
+
 /// Routing state of the whole network under a fixed gateway set.
 ///
 /// Holds, for every gateway, the gateway routing table of Figure 2 —
@@ -55,6 +91,8 @@ pub struct GatewayEntry {
 pub struct RoutingState {
     n: usize,
     gateway: Vec<bool>,
+    /// Cached gateway population so hot paths never rescan the mask.
+    gateway_count: usize,
     /// Domain membership list per gateway (empty vec for non-gateways).
     members: Vec<Vec<NodeId>>,
     /// Gateway-subgraph hop distances: `dist[g][h]` for gateways g, h.
@@ -126,6 +164,7 @@ impl RoutingState {
         Self {
             n,
             gateway: gateway.to_vec(),
+            gateway_count: gateway.iter().filter(|&&b| b).count(),
             members,
             dist,
             next,
@@ -137,9 +176,43 @@ impl RoutingState {
         self.gateway[v as usize]
     }
 
-    /// The gateway hosts.
+    /// The gateway hosts, collected into a fresh `Vec`.
+    ///
+    /// Allocates per call — hot paths should use [`Self::gateways_iter`]
+    /// (or [`Self::gateway_mask`]) instead.
     pub fn gateways(&self) -> Vec<NodeId> {
         pacds_graph::mask_to_vec(&self.gateway)
+    }
+
+    /// Iterates the gateway hosts in ascending id order without
+    /// allocating.
+    pub fn gateways_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.gateway
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| i as NodeId)
+    }
+
+    /// Number of gateway hosts (cached at build time; O(1)).
+    pub fn gateway_count(&self) -> usize {
+        self.gateway_count
+    }
+
+    /// The gateway membership mask, indexed by node id.
+    pub fn gateway_mask(&self) -> &[bool] {
+        &self.gateway
+    }
+
+    /// Next gateway on a shortest gateway-only path from gateway `at`
+    /// towards gateway `toward` (zero-allocation table read); `None` when
+    /// either endpoint is not a gateway or no gateway path exists.
+    pub fn next_hop(&self, at: NodeId, toward: NodeId) -> Option<NodeId> {
+        if !self.is_gateway(at) || !self.is_gateway(toward) {
+            return None;
+        }
+        let nh = self.next[at as usize][toward as usize];
+        (nh != NodeId::MAX).then_some(nh)
     }
 
     /// Domain membership list of gateway `v` (Figure 2(b)); empty for
@@ -150,21 +223,32 @@ impl RoutingState {
 
     /// The full gateway routing table stored at gateway `at` (Figure 2(c)).
     ///
+    /// Allocates the table and clones every membership list — use
+    /// [`Self::entries`] on hot paths.
+    ///
     /// # Panics
     /// Panics if `at` is not a gateway.
     pub fn routing_table(&self, at: NodeId) -> Vec<GatewayEntry> {
+        self.entries(at).map(GatewayEntryRef::to_owned).collect()
+    }
+
+    /// Iterates gateway `at`'s routing-table rows (Figure 2(c)) without
+    /// allocating: membership lists are borrowed, not cloned.
+    ///
+    /// # Panics
+    /// Panics if `at` is not a gateway.
+    pub fn entries(&self, at: NodeId) -> impl Iterator<Item = GatewayEntryRef<'_>> {
         assert!(self.is_gateway(at), "host {at} is not a gateway");
         let d = &self.dist[at as usize];
         let nh = &self.next[at as usize];
         (0..self.n as NodeId)
-            .filter(|&h| self.gateway[h as usize] && d[h as usize] != u32::MAX)
-            .map(|h| GatewayEntry {
+            .filter(move |&h| self.gateway[h as usize] && d[h as usize] != u32::MAX)
+            .map(move |h| GatewayEntryRef {
                 gateway: h,
-                members: self.members[h as usize].clone(),
+                members: &self.members[h as usize],
                 distance: d[h as usize],
                 next_hop: nh[h as usize],
             })
-            .collect()
     }
 
     /// The gateway whose domain contains non-gateway `v`, chosen as the
@@ -226,15 +310,58 @@ pub fn route(
     src: NodeId,
     dst: NodeId,
 ) -> Result<Vec<NodeId>, RouteError> {
+    let mut path = Vec::new();
+    route_into(g, state, src, dst, &mut path)?;
+    Ok(path)
+}
+
+/// [`route`] into a caller-retained buffer: `out` is cleared and filled
+/// with the hop sequence, so a warm forwarding loop reusing the same
+/// buffer performs zero heap allocations past its high-water capacity.
+pub fn route_into(
+    g: &Graph,
+    state: &RoutingState,
+    src: NodeId,
+    dst: NodeId,
+    out: &mut Vec<NodeId>,
+) -> Result<(), RouteError> {
+    route_alive_into(g, state, None, src, dst, out)
+}
+
+/// [`route_into`] against possibly-stale tables: `alive` marks the hosts
+/// still up, and any dead node the procedure would traverse — a dead
+/// endpoint, a dead chosen gateway, or a dead next hop mid-walk — aborts
+/// with [`RouteError::StaleGateway`] instead of emitting a route through
+/// it. `None` means every host is alive (identical to [`route_into`]).
+///
+/// This is the detection half of the dataplane's retransmit path: on
+/// `StaleGateway` the caller NACKs, refreshes the gateway set (churn
+/// engine), rebuilds the tables, and retries.
+pub fn route_alive_into(
+    g: &Graph,
+    state: &RoutingState,
+    alive: Option<&[bool]>,
+    src: NodeId,
+    dst: NodeId,
+    out: &mut Vec<NodeId>,
+) -> Result<(), RouteError> {
+    out.clear();
     let n = g.n();
     if (src as usize) >= n || (dst as usize) >= n {
         return Err(RouteError::OutOfRange);
     }
+    let up = |v: NodeId| alive.is_none_or(|a| a[v as usize]);
+    if !up(src) || !up(dst) {
+        return Err(RouteError::StaleGateway);
+    }
     if src == dst {
-        return Ok(vec![src]);
+        out.push(src);
+        return Ok(());
     }
     if g.has_edge(src, dst) {
-        return Ok(vec![src, dst]);
+        out.push(src);
+        out.push(dst);
+        return Ok(());
     }
 
     let sg = state
@@ -243,27 +370,35 @@ pub fn route(
     let dg = state
         .gateway_of(g, dst)
         .ok_or(RouteError::DestinationNotDominated)?;
+    // The tables may still name a gateway that has since died.
+    if !up(sg) || !up(dg) {
+        return Err(RouteError::StaleGateway);
+    }
 
     // Step 2: walk the gateway tables from sg to dg.
-    let mut path = Vec::new();
-    path.push(src);
+    out.push(src);
     if sg != src {
-        path.push(sg);
+        out.push(sg);
     }
     if state.gateway_distance(sg, dg).is_none() {
+        out.clear();
         return Err(RouteError::GatewayPathMissing);
     }
     let mut cur = sg;
     while cur != dg {
         let nh = state.next[cur as usize][dg as usize];
         debug_assert_ne!(nh, NodeId::MAX);
-        path.push(nh);
+        if !up(nh) {
+            out.clear();
+            return Err(RouteError::StaleGateway);
+        }
+        out.push(nh);
         cur = nh;
     }
     if dg != dst {
-        path.push(dst);
+        out.push(dst);
     }
-    Ok(path)
+    Ok(())
 }
 
 /// Validates that `path` is a walk in `g` (each consecutive pair adjacent).
@@ -383,6 +518,90 @@ mod tests {
         let g = gen::path(6);
         let state = RoutingState::build(&g, &[false, true, false, false, true, false]);
         assert_eq!(route(&g, &state, 0, 5), Err(RouteError::GatewayPathMissing));
+    }
+
+    #[test]
+    fn retained_accessors_match_allocating_ones() {
+        let (_, state) = fig1();
+        assert_eq!(state.gateways_iter().collect::<Vec<_>>(), state.gateways());
+        assert_eq!(state.gateway_count(), state.gateways().len());
+        assert_eq!(
+            pacds_graph::mask_to_vec(state.gateway_mask()),
+            state.gateways()
+        );
+        let owned = state.routing_table(1);
+        let borrowed: Vec<_> = state.entries(1).map(GatewayEntryRef::to_owned).collect();
+        assert_eq!(owned, borrowed);
+        for e in state.entries(1) {
+            assert_eq!(state.next_hop(1, e.gateway), Some(e.next_hop));
+        }
+        assert_eq!(state.next_hop(1, 0), None, "0 is not a gateway");
+    }
+
+    #[test]
+    fn route_into_reuses_the_buffer() {
+        let (g, state) = fig1();
+        let mut buf = vec![9, 9, 9, 9, 9, 9];
+        route_into(&g, &state, 4, 3, &mut buf).unwrap();
+        assert_eq!(buf, vec![4, 1, 2, 3]);
+        route_into(&g, &state, 0, 4, &mut buf).unwrap();
+        assert_eq!(buf, vec![0, 4]);
+    }
+
+    #[test]
+    fn dead_next_hop_mid_path_is_stale() {
+        let (g, state) = fig1();
+        // Route 4 -> 3 crosses gateway 2; killing 2 makes the walk stale.
+        let mut alive = vec![true; 5];
+        alive[2] = false;
+        let mut buf = Vec::new();
+        assert_eq!(
+            route_alive_into(&g, &state, Some(&alive), 4, 3, &mut buf),
+            Err(RouteError::StaleGateway)
+        );
+        assert!(buf.is_empty(), "a failed walk must not leak partial hops");
+    }
+
+    #[test]
+    fn dead_source_gateway_is_stale() {
+        let (g, state) = fig1();
+        // 4's source gateway is 1; with 1 dead the tables are stale.
+        let mut alive = vec![true; 5];
+        alive[1] = false;
+        let mut buf = Vec::new();
+        assert_eq!(
+            route_alive_into(&g, &state, Some(&alive), 4, 3, &mut buf),
+            Err(RouteError::StaleGateway)
+        );
+    }
+
+    #[test]
+    fn dead_endpoints_are_stale_but_all_alive_matches_route() {
+        let (g, state) = fig1();
+        let mut buf = Vec::new();
+        let mut alive = vec![true; 5];
+        alive[3] = false;
+        assert_eq!(
+            route_alive_into(&g, &state, Some(&alive), 4, 3, &mut buf),
+            Err(RouteError::StaleGateway)
+        );
+        alive[3] = true;
+        for s in 0..5 {
+            for t in 0..5 {
+                route_alive_into(&g, &state, Some(&alive), s, t, &mut buf).unwrap();
+                assert_eq!(buf, route(&g, &state, s, t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn direct_neighbors_bypass_stale_tables() {
+        let (g, state) = fig1();
+        // Both gateways dead, but 0-4 is a direct edge: still deliverable.
+        let alive = vec![true, false, false, true, true];
+        let mut buf = Vec::new();
+        route_alive_into(&g, &state, Some(&alive), 0, 4, &mut buf).unwrap();
+        assert_eq!(buf, vec![0, 4]);
     }
 
     #[test]

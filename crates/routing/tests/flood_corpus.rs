@@ -1,0 +1,77 @@
+//! Pins the paper's broadcast claim over the whole adversarial corpus:
+//! gateway-relayed flooding never transmits more than blind flooding,
+//! and on connected graphs it loses no coverage.
+//!
+//! This is the routing-crate half of the broadcast story; the dataplane's
+//! conformance suite separately pins its batched [`FloodEngine`] to
+//! [`flood_cost`] exactly.
+//!
+//! [`FloodEngine`]: ../../dataplane/src/flood.rs
+
+use pacds_core::{compute_cds, CdsConfig, CdsInput, Policy};
+use pacds_graph::NodeId;
+use pacds_routing::flood_cost;
+use pacds_testkit::corpus;
+
+#[test]
+fn gateway_flood_never_exceeds_blind_flood_on_the_corpus() {
+    let mut cases = corpus::named_families();
+    cases.extend(corpus::random_unit_disk_cases(0xB10D, 26));
+    let mut checked = 0usize;
+    for case in &cases {
+        let g = &case.graph;
+        if g.n() == 0 {
+            continue;
+        }
+        for policy in [Policy::Degree, Policy::Energy, Policy::Id] {
+            let cds = compute_cds(
+                &CdsInput::with_energy(g, &case.energy),
+                &CdsConfig::policy(policy),
+            );
+            for src in 0..g.n() as NodeId {
+                let blind = flood_cost(g, src, None);
+                let gateway = flood_cost(g, src, Some(&cds));
+                assert!(
+                    gateway.transmissions <= blind.transmissions,
+                    "{} {policy:?} src={src}: gateway {} > blind {}",
+                    case.name,
+                    gateway.transmissions,
+                    blind.transmissions
+                );
+                if case.connected {
+                    assert_eq!(
+                        gateway.reached, blind.reached,
+                        "{} {policy:?} src={src}: gateway flood lost coverage",
+                        case.name
+                    );
+                    assert!(
+                        gateway.depth >= blind.depth,
+                        "{} {policy:?} src={src}: relay restriction cannot shorten paths",
+                        case.name
+                    );
+                }
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 40, "corpus shrank? only {checked} cases checked");
+}
+
+/// Blind flooding makes every reached host transmit; on a connected graph
+/// that is exactly `n` transmissions and the gateway saving is therefore
+/// `(n - 1 - gateways_downstream) / n` — the corpus-wide sanity bound
+/// that the per-topology pins in `tests/paper_examples.rs` instantiate.
+#[test]
+fn blind_flood_transmission_count_is_the_host_count_when_connected() {
+    let mut cases = corpus::named_families();
+    cases.extend(corpus::random_unit_disk_cases(0xB11D, 13));
+    for case in &cases {
+        let g = &case.graph;
+        if !case.connected || g.n() == 0 {
+            continue;
+        }
+        let blind = flood_cost(g, 0, None);
+        assert_eq!(blind.transmissions, g.n(), "{}", case.name);
+        assert_eq!(blind.reached, g.n() - 1, "{}", case.name);
+    }
+}

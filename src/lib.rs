@@ -12,6 +12,9 @@
 //! * [`graph`](pacds_graph) — graph substrate.
 //! * [`sim`](pacds_sim) — the ad hoc network simulator and experiments.
 //! * [`routing`](pacds_routing) — dominating-set-based routing.
+//! * [`dataplane`](pacds_dataplane) — packet-level forwarding engine over
+//!   the gateway backbone: vector-dispatch node graph, source-routed
+//!   unicast, gateway-flood broadcast, churn-driven retransmit.
 //! * [`distributed`](pacds_distributed) — message-passing protocol.
 //! * [`obs`](pacds_obs) — instrumentation layer (phase timers, rule-pass
 //!   counters, JSONL/Prometheus export); compiled to no-ops unless the
@@ -27,6 +30,7 @@
 
 pub use pacds_baselines as baselines;
 pub use pacds_core as core;
+pub use pacds_dataplane as dataplane;
 pub use pacds_distributed as distributed;
 pub use pacds_energy as energy;
 pub use pacds_geom as geom;

@@ -237,3 +237,48 @@ fn section33_full_pipeline_verifies_for_every_policy() {
         }
     }
 }
+
+// ---------------------------------------------- §4, broadcast reduction
+
+/// Gateway-relayed broadcast on the §3.3 clusters: the paper's claim that
+/// "only dominating nodes need to relay" cuts transmissions by well over
+/// half at these densities. Blind flooding costs one transmission per
+/// host; gateway flooding costs the source plus the reached gateways —
+/// pinned exactly, with full coverage retained.
+#[test]
+fn section33_gateway_flood_reduction_is_pinned() {
+    use pacds::routing::flood_cost;
+    let low = {
+        let g = section33_low_cluster();
+        let keep: Vec<bool> = (0..12).map(|v| v != 0).collect();
+        g.induced(&keep).0
+    };
+    let high = {
+        let g = section33_high_cluster();
+        let keep: Vec<bool> = (0..28).map(|v| v >= 20).collect();
+        g.induced(&keep).0
+    };
+    // (graph, policy, blind transmissions, gateway transmissions): Id
+    // keeps {4,9} / {22,27} as gateways, Degree keeps {2,4,9} / {22}.
+    let cases: [(&Graph, Policy, usize, usize); 4] = [
+        (&low, Policy::Id, 11, 3),
+        (&low, Policy::Degree, 11, 4),
+        (&high, Policy::Id, 8, 3),
+        (&high, Policy::Degree, 8, 2),
+    ];
+    for (g, policy, blind_tx, gw_tx) in cases {
+        let cds = pacds::core::compute_cds(&CdsInput::new(g), &CdsConfig::policy(policy));
+        for src in 0..g.n() as pacds::graph::NodeId {
+            let blind = flood_cost(g, src, None);
+            let gateway = flood_cost(g, src, Some(&cds));
+            assert_eq!(blind.transmissions, blind_tx, "{policy:?} src={src}");
+            // A gateway source double-counts as source-transmitter and
+            // relay, saving one more transmission.
+            let expect = gw_tx - usize::from(cds[src as usize]);
+            assert_eq!(gateway.transmissions, expect, "{policy:?} src={src}");
+            assert_eq!(gateway.reached, blind.reached, "{policy:?} src={src}");
+        }
+        // ≥ 60% reduction — the bound the n = 10⁵ bench gates on.
+        assert!((blind_tx - gw_tx) as f64 / blind_tx as f64 >= 0.60);
+    }
+}

@@ -300,3 +300,77 @@ fn serve_cache_warm_request_handling_is_allocation_free() {
     pacds::obs::set_sampling(0);
     assert_eq!(state.cache.stats().hits as usize, WARMUP - 1 + MEASURED);
 }
+
+#[test]
+fn dataplane_warm_forwarding_loop_is_allocation_free() {
+    // The forwarding hot path, epoch churn included: inject a wave on
+    // every registered flow plus both broadcast kinds, pump the node
+    // graph to quiescence, reset the packet store — and every other
+    // round, reinstall the tables first so the lazy BFS trees and the
+    // route arena rebuild from their retained pools. Once the warm-up
+    // has seen both the cached-route and the rebuild path, a full wave
+    // performs zero heap allocations — the ≥10⁶ hops/s claim in
+    // BENCH_dataplane.json rests on this.
+    use pacds::core::{compute_cds, CdsInput};
+    use pacds::dataplane::Dataplane;
+    use pacds::geom::Rect;
+
+    let bounds = Rect::square(300.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let pts = pacds::geom::placement::uniform_points(&mut rng, bounds, N);
+    let full = pacds::graph::gen::unit_disk(bounds, 25.0, &pts);
+    let keep = pacds::graph::algo::largest_component(&full);
+    let (g, _) = full.induced(&keep);
+    let cds = compute_cds(&CdsInput::new(&g), &CdsConfig::policy(Policy::Degree));
+    let alive = vec![true; g.n()];
+
+    let mut dp = Dataplane::new();
+    dp.install_tables(&cds, &alive);
+    let flows: Vec<u32> = (0..64u32)
+        .map(|i| {
+            let s = (i as usize * 131 + 17) % g.n();
+            let t = (i as usize * 197 + 5) % g.n();
+            dp.add_flow(s as u32, t as u32)
+        })
+        .collect();
+
+    let wave = |dp: &mut Dataplane, reinstall: bool| {
+        if reinstall {
+            dp.install_tables(&cds, &alive);
+        }
+        for &f in &flows {
+            dp.inject(f, 4);
+        }
+        dp.inject_broadcast(0, false);
+        dp.inject_broadcast(0, true);
+        let stats = dp.pump(&g, &alive);
+        assert_eq!(stats.misroutes, 0);
+        assert_eq!(dp.nacked_pending(), 0, "no churn here: nothing to NACK");
+        dp.reset_packets();
+    };
+
+    for round in 0..WARMUP {
+        wave(&mut dp, round % 2 == 0);
+    }
+
+    // Half the measured rounds run with span sampling ON, as in the serve
+    // test: pump spans must land in the static ring, not the heap.
+    for round in 0..MEASURED {
+        if round == MEASURED / 2 {
+            pacds::obs::set_sampling(1);
+        }
+        let before = allocs();
+        wave(&mut dp, round % 2 == 0);
+        let grew = allocs() - before;
+        assert_eq!(
+            grew, 0,
+            "round {round}: warm forwarding wave performed {grew} heap allocations \
+             (sampling {})",
+            pacds::obs::sampling(),
+        );
+    }
+    pacds::obs::set_sampling(0);
+    let stats = dp.stats();
+    assert_eq!(stats.delivered, stats.injected, "every wave fully delivered");
+    assert!(stats.forwarded_hops > stats.injected, "multi-hop traffic");
+}
