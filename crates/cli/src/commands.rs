@@ -135,6 +135,9 @@ COMMANDS:
               --rate <req/s; open mode> --n <int=200> --radius <f=15>
               --side <f=100> --seed <int=1> --policy <..=nd>
               --semantics <..=safe> --no-cache --deadline-ms <int=0>
+              --gen-seeds <int=0> (cycle GenCompute requests over this
+              many seeds instead of replaying one ComputeCds — the
+              keyspace-spreading workload `cluster --loadgen` uses)
               --mutate-every <int=0> / --query-every <int=0> (mix in a
               Mutate / QueryTile request every Nth request per worker;
               the report then breaks latency down per frame kind)
@@ -145,6 +148,27 @@ COMMANDS:
               --self-host (spin up an in-process server on an ephemeral
               port and aim the load at it; --workers/--cache-mb and the
               --shard/--shard-threshold/--shards routing flags apply)
+  cluster   Front several pacds-serve backends with one consistent-hash
+            coordinator: requests route by canonical digest, health
+            probes evict dead backends, affected keys fail over to the
+            survivors (cold, never wrong).
+              --addr <host:port =127.0.0.1:7411>
+              --backends <host:port,host:port,...> (external backends)
+              --self-host <int=0> (also spawn N in-process backends;
+              --backend-workers <int=8> --cache-mb <int=64> shape them)
+              --workers <int=4> --queue <int=4*workers> (proxy pool)
+              --vnodes <int=256> --probe-interval-ms <int=200>
+              --fail-threshold <int=2> --rise-threshold <int=2>
+              --duration <secs; 0 = run until killed>
+              --loadgen (drive the built-in load generator at the
+              coordinator for --duration instead of parking; the
+              loadgen topology/policy flags apply, --gen-seeds <int=64>)
+              --kill-after <secs=0> (self-host drill: shut down the last
+              backend mid-run) --drain-after <secs=0> (drain b0 mid-run)
+              --expect-failover (exit non-zero unless a failover was
+              observed in the coordinator counters)
+              --json <file> (write loadgen report + cluster counters)
+              --fail-on-errors (exit non-zero on any protocol/io error)
   help      Show this message.
 
 GLOBAL OPTIONS (all commands):
@@ -1384,7 +1408,7 @@ pub fn serve(args: &Args) -> CliResult {
     if duration > 0 {
         std::thread::sleep(std::time::Duration::from_secs(duration));
         handle.shutdown();
-        let entries = handle.state().stats.entries(&handle.state().cache);
+        let entries = handle.state().stat_entries();
         for (name, value) in entries {
             println!("{name:<20} {value}");
         }
@@ -1401,9 +1425,9 @@ pub fn serve(args: &Args) -> CliResult {
 pub fn loadgen(args: &Args) -> CliResult {
     args.check_known(&[
         "addr", "duration", "concurrency", "mode", "rate", "n", "radius", "side", "seed",
-        "policy", "semantics", "no-cache", "deadline-ms", "json", "fail-on-errors",
-        "self-host", "workers", "queue", "cache-mb", "shard", "shard-threshold", "shards",
-        "mutate-every", "query-every", "obs-jsonl",
+        "gen-seeds", "policy", "semantics", "no-cache", "deadline-ms", "json",
+        "fail-on-errors", "self-host", "workers", "queue", "cache-mb", "shard",
+        "shard-threshold", "shards", "mutate-every", "query-every", "obs-jsonl",
     ])?;
     // Optionally host the target server in-process (CI smoke runs).
     let hosted = if args.flag("self-host") {
@@ -1433,6 +1457,7 @@ pub fn loadgen(args: &Args) -> CliResult {
         radius: args.get_or("radius", 15.0)?,
         side: args.get_or("side", 100.0)?,
         seed: args.get_or("seed", 1)?,
+        gen_seeds: args.get_or("gen-seeds", 0)?,
         no_cache: args.flag("no-cache"),
         deadline_ms: args.get_or("deadline-ms", 0)?,
         mutate_every: args.get_or("mutate-every", 0)?,
@@ -1486,6 +1511,207 @@ pub fn loadgen(args: &Args) -> CliResult {
             report.protocol_errors, report.io_errors
         )
         .into());
+    }
+    Ok(())
+}
+
+/// `pacds cluster`
+pub fn cluster(args: &Args) -> CliResult {
+    args.check_known(&[
+        "addr", "backends", "self-host", "workers", "queue", "vnodes", "probe-interval-ms",
+        "fail-threshold", "rise-threshold", "backend-workers", "cache-mb", "duration",
+        "loadgen", "concurrency", "n", "radius", "side", "seed", "gen-seeds", "policy",
+        "semantics", "deadline-ms", "kill-after", "drain-after", "expect-failover", "json",
+        "fail-on-errors",
+    ])?;
+
+    // Backends: external addresses, in-process ones, or a mix. Ids are
+    // positional (`b0`, `b1`, …) — stable ids keep ring arcs (and cache
+    // locality) stable across restarts.
+    let mut hosted: Vec<pacds_serve::ServerHandle> = Vec::new();
+    let mut specs: Vec<pacds_cluster::BackendSpec> = Vec::new();
+    if let Some(list) = args.get("backends") {
+        for addr in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            specs.push(pacds_cluster::BackendSpec::new(format!("b{}", specs.len()), addr));
+        }
+    }
+    let self_host: usize = args.get_or("self-host", 0)?;
+    // Backends fronting a coordinator need workers to spare: pacds-serve
+    // parks one worker per open connection, and the coordinator holds
+    // persistent ones (pooled relays + the prober) — see the sizing note
+    // in ARCHITECTURE.md.
+    let backend_workers: usize = args.get_or("backend-workers", 8)?;
+    let cache_mb: usize = args.get_or("cache-mb", 64)?;
+    for _ in 0..self_host {
+        let h = pacds_serve::serve(
+            "127.0.0.1:0",
+            pacds_serve::ServerConfig {
+                workers: backend_workers,
+                queue: 0,
+                cache_bytes: cache_mb << 20,
+                shard: Default::default(),
+                metrics_addr: None,
+            },
+        )?;
+        specs.push(pacds_cluster::BackendSpec::new(
+            format!("b{}", specs.len()),
+            h.addr().to_string(),
+        ));
+        hosted.push(h);
+    }
+    if specs.is_empty() {
+        return Err("no backends: pass --backends <host:port,...> and/or --self-host <n>".into());
+    }
+
+    let ccfg = pacds_cluster::ClusterConfig {
+        workers: args.get_or("workers", 0)?,
+        queue: args.get_or("queue", 0)?,
+        vnodes: args.get_or("vnodes", 0)?,
+        probe_interval: std::time::Duration::from_millis(args.get_or("probe-interval-ms", 200)?),
+        fail_threshold: args.get_or("fail-threshold", 2)?,
+        rise_threshold: args.get_or("rise-threshold", 2)?,
+        ..Default::default()
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7411");
+    let mut coord = pacds_cluster::cluster(addr, &specs, ccfg)?;
+    println!(
+        "pacds-cluster coordinating {} backend(s) on {}; protocol v{}",
+        specs.len(),
+        coord.addr(),
+        pacds_serve::PROTOCOL_VERSION,
+    );
+    for s in &specs {
+        println!("  {:<6} {}", s.id, s.addr);
+    }
+
+    // Failure drills for smoke runs: kill the last self-hosted backend
+    // and/or drain `b0` partway through a --loadgen window.
+    let kill_after: f64 = args.get_or("kill-after", 0.0)?;
+    let mut killer = None;
+    if kill_after > 0.0 {
+        let mut victim = hosted
+            .pop()
+            .ok_or("--kill-after needs at least one --self-host backend")?;
+        println!(
+            "  (killing {} after {kill_after}s)",
+            specs.last().map(|s| s.id.as_str()).unwrap_or("?")
+        );
+        killer = Some(std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs_f64(kill_after));
+            victim.shutdown();
+        }));
+    }
+    let drain_after: f64 = args.get_or("drain-after", 0.0)?;
+    if drain_after > 0.0 {
+        let state = std::sync::Arc::clone(coord.state());
+        println!("  (draining b0 after {drain_after}s)");
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs_f64(drain_after));
+            state.drain("b0");
+        });
+    }
+
+    let report = if args.flag("loadgen") {
+        let policy = policy_of(args.get("policy").unwrap_or("nd"))?;
+        let lcfg = pacds_serve::LoadgenConfig {
+            addr: coord.addr().to_string(),
+            concurrency: args.get_or("concurrency", 8)?,
+            duration: std::time::Duration::from_secs_f64(args.get_or("duration", 10.0)?),
+            mode: pacds_serve::Mode::Closed,
+            cds: cds_config_of(policy, args.get("semantics").unwrap_or("safe"))?,
+            n: args.get_or("n", 200)?,
+            radius: args.get_or("radius", 15.0)?,
+            side: args.get_or("side", 100.0)?,
+            seed: args.get_or("seed", 1)?,
+            // Distinct GenCompute digests spread the keyspace across the
+            // ring; a single replayed request would pin to one backend.
+            gen_seeds: args.get_or("gen-seeds", 64)?,
+            no_cache: false,
+            deadline_ms: args.get_or("deadline-ms", 0)?,
+            mutate_every: 0,
+            query_every: 0,
+        };
+        let report = pacds_serve::loadgen::run(&lcfg)?;
+        println!(
+            "loadgen via coordinator: {} conns, {:.1}s — {} requests, {:.0} req/s \
+             ({} cache hits, {} rejected, {} protocol err, {} io err)",
+            report.concurrency,
+            report.duration_s,
+            report.requests,
+            report.throughput_rps,
+            report.cache_hits,
+            report.rejected,
+            report.protocol_errors,
+            report.io_errors,
+        );
+        println!(
+            "latency µs: p50={:.1} p99={:.1} p999={:.1} mean={:.1} max={:.1}",
+            report.p50_us, report.p99_us, report.p999_us, report.mean_us, report.max_us,
+        );
+        Some(report)
+    } else {
+        let duration: f64 = args.get_or("duration", 0.0)?;
+        if duration > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(duration));
+        } else {
+            // Run until the process is killed, like `pacds serve`.
+            loop {
+                std::thread::park();
+            }
+        }
+        None
+    };
+
+    if let Some(k) = killer {
+        let _ = k.join();
+    }
+    let entries = coord.state().stats.entries(&coord.state().backends);
+    coord.shutdown();
+    drop(hosted);
+    for (name, value) in &entries {
+        println!("{name:<32} {value}");
+    }
+
+    if let Some(path) = args.get("json") {
+        // Counter names are plain identifiers, so the object composes
+        // textually — the same way LoadReport::to_json builds its body.
+        let fields: Vec<String> = entries.iter().map(|(n, v)| format!("\"{n}\":{v}")).collect();
+        let mut out = String::from("{");
+        if let Some(r) = &report {
+            out.push_str("\"loadgen\":");
+            out.push_str(&r.to_json());
+            out.push(',');
+        }
+        out.push_str("\"cluster\":{");
+        out.push_str(&fields.join(","));
+        out.push_str("}}\n");
+        std::fs::write(path, out)?;
+        println!("report written to {path}");
+    }
+
+    let counter = |name: &str| {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    if args.flag("expect-failover") && counter("cluster.failed_over") == 0 {
+        return Err("expected a failover, but cluster.failed_over is 0".into());
+    }
+    if args.flag("fail-on-errors") {
+        if let Some(r) = &report {
+            if r.protocol_errors + r.io_errors > 0 {
+                return Err(format!(
+                    "cluster loadgen saw {} protocol and {} io errors",
+                    r.protocol_errors, r.io_errors
+                )
+                .into());
+            }
+        }
+        if counter("cluster.protocol_errors") > 0 {
+            return Err("coordinator counted protocol errors".into());
+        }
     }
     Ok(())
 }

@@ -12,6 +12,7 @@
 //! pacds dataplane  drive packet traffic over the backbone forwarding engine
 //! pacds serve      run the TCP query service (binary protocol + cache)
 //! pacds loadgen    drive load at a server; throughput + latency report
+//! pacds cluster    front several servers with a consistent-hash coordinator
 //! ```
 //!
 //! Run `pacds help [command]` for options. Every command accepts
@@ -77,6 +78,7 @@ fn main() -> ExitCode {
         "dataplane" => dispatch("cli.dataplane", || commands::dataplane(&args)),
         "serve" => dispatch("cli.serve", || commands::serve(&args)),
         "loadgen" => dispatch("cli.loadgen", || commands::loadgen(&args)),
+        "cluster" => dispatch("cli.cluster", || commands::cluster(&args)),
         "help" | "--help" | "-h" => {
             print!("{}", commands::HELP);
             Ok(())

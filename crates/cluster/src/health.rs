@@ -1,0 +1,237 @@
+//! Backend membership state and the active health prober.
+//!
+//! The membership model is a reconcile loop: the **desired** set is the
+//! configured backends (minus any the operator is draining), the **live**
+//! set is what the prober currently believes is healthy, and the prober's
+//! job is to converge belief to reality — with hysteresis in both
+//! directions so one dropped probe never flaps a backend out of the ring:
+//!
+//! * a healthy backend is marked **down** only after `fail_threshold`
+//!   *consecutive* probe failures (default 2);
+//! * a down backend is marked **up** only after `rise_threshold`
+//!   consecutive probe successes (default 2).
+//!
+//! The probe is the wire protocol's own cheap health form
+//! ([`StatsFormat::Health`]): counters only, no obs snapshot render, so a
+//! few-hundred-millisecond cadence costs the backends nothing measurable.
+//! The last probe's health fields (uptime, queue depth, open graphs,
+//! workers) are retained per backend and reported through the
+//! coordinator's Stats answer.
+//!
+//! The data path supplies faster, stronger evidence than probes: when a
+//! relay fails on a *freshly dialed* connection (pool retry exhausted),
+//! the backend is unreachable right now — it is marked down immediately
+//! and its idle sockets are dropped, without waiting out the probe
+//! cadence. The prober then owns bringing it back with the usual rise
+//! hysteresis. In-protocol answers, including typed errors, never count
+//! against health: a backend saying `BadInput` is a backend *working*.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pacds_serve::client::Client;
+use pacds_serve::protocol::StatsResult;
+
+use crate::pool::ConnPool;
+use crate::ClusterStats;
+
+/// Socket read timeout on prober connections.
+const PROBE_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// The health fields a backend reports in its Stats answer (PR 10's cheap
+/// probe extension), as of the last successful probe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeHealth {
+    /// Seconds since the backend started.
+    pub uptime_s: u64,
+    /// Accepted connections not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Open churn graphs.
+    pub open_graphs: u64,
+    /// Worker-pool size.
+    pub workers: u64,
+}
+
+impl ProbeHealth {
+    /// Extracts the health fields from a Stats answer (zeros for any field
+    /// an older backend doesn't report — the probe still counts as alive).
+    pub fn from_stats(stats: &StatsResult) -> Self {
+        let f = |name| stats.counter(name).unwrap_or(0);
+        Self {
+            uptime_s: f("uptime_s"),
+            queue_depth: f("queue_depth"),
+            open_graphs: f("open_graphs"),
+            workers: f("workers"),
+        }
+    }
+}
+
+/// One configured backend: identity, liveness belief, connection pool, and
+/// always-on per-backend counters.
+#[derive(Debug)]
+pub struct Backend {
+    /// Stable operator-chosen id — the ring hashes this, so moving a
+    /// backend to a new address keeps its arcs.
+    pub id: String,
+    /// Dial address.
+    pub addr: String,
+    /// Index into the coordinator's backend list (== ring member index).
+    pub index: u32,
+    /// The bounded connection pool.
+    pub pool: ConnPool,
+    /// Requests relayed to this backend.
+    pub routed: AtomicU64,
+    /// Relay failures charged to this backend.
+    pub errors: AtomicU64,
+    /// Liveness belief. Starts `true`: optimistically routable, and the
+    /// data path demotes an actually-dead backend on first contact.
+    healthy: AtomicBool,
+    /// Operator-requested drain: excluded from new routing, in-flight
+    /// requests finish (they hold their sockets, nothing is severed).
+    draining: AtomicBool,
+    consec_fail: AtomicU32,
+    consec_ok: AtomicU32,
+    relay_ns: AtomicU64,
+    relay_count: AtomicU64,
+    probe: Mutex<ProbeHealth>,
+}
+
+impl Backend {
+    /// A backend starting healthy and undrained.
+    pub fn new(id: String, addr: String, index: u32, pool: ConnPool) -> Self {
+        Self {
+            id,
+            addr,
+            index,
+            pool,
+            routed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            healthy: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            consec_fail: AtomicU32::new(0),
+            consec_ok: AtomicU32::new(0),
+            relay_ns: AtomicU64::new(0),
+            relay_count: AtomicU64::new(0),
+            probe: Mutex::new(ProbeHealth::default()),
+        }
+    }
+
+    /// Routable: believed healthy and not draining.
+    pub fn available(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed) && !self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Current liveness belief.
+    pub fn healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Whether the operator is draining this backend.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_draining(&self, v: bool) {
+        self.draining.store(v, Ordering::Relaxed);
+    }
+
+    /// Last successful probe's health fields.
+    pub fn probe_health(&self) -> ProbeHealth {
+        *self.probe.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one successful relay's wall time.
+    pub(crate) fn record_relay_ns(&self, ns: u64) {
+        self.relay_ns.fetch_add(ns, Ordering::Relaxed);
+        self.relay_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean relay latency in microseconds (0 before any relay).
+    pub fn mean_relay_us(&self) -> u64 {
+        let count = self.relay_count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        self.relay_ns.load(Ordering::Relaxed) / count / 1_000
+    }
+
+    /// A successful probe: reset failure streak, maybe rise.
+    pub(crate) fn probe_ok(&self, health: ProbeHealth, rise_threshold: u32, stats: &ClusterStats) {
+        *self.probe.lock().unwrap_or_else(|e| e.into_inner()) = health;
+        self.consec_fail.store(0, Ordering::Relaxed);
+        let ok = self.consec_ok.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.healthy.load(Ordering::Relaxed) && ok >= rise_threshold {
+            self.healthy.store(true, Ordering::Relaxed);
+            stats.health_flips.fetch_add(1, Ordering::Relaxed);
+            pacds_obs::inc(pacds_obs::Counter::ClusterHealthFlips);
+        }
+    }
+
+    /// A failed probe: reset success streak, maybe fall. One missed probe
+    /// never flips a healthy backend (`fail_threshold >= 2` by default).
+    pub(crate) fn probe_failed(&self, fail_threshold: u32, stats: &ClusterStats) {
+        self.consec_ok.store(0, Ordering::Relaxed);
+        let fails = self.consec_fail.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.healthy.load(Ordering::Relaxed) && fails >= fail_threshold {
+            self.mark_down(stats);
+        }
+    }
+
+    /// Data-path verdict: a relay failed on a *fresh* connection, so the
+    /// backend is unreachable now — down immediately, no probe hysteresis
+    /// (the request itself has already failed over; this just stops the
+    /// ring from offering the corpse to the next thousand requests).
+    pub(crate) fn data_failure(&self, stats: &ClusterStats) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.consec_ok.store(0, Ordering::Relaxed);
+        if self.healthy.load(Ordering::Relaxed) {
+            self.mark_down(stats);
+        }
+    }
+
+    fn mark_down(&self, stats: &ClusterStats) {
+        self.healthy.store(false, Ordering::Relaxed);
+        self.pool.clear_idle();
+        stats.health_flips.fetch_add(1, Ordering::Relaxed);
+        pacds_obs::inc(pacds_obs::Counter::ClusterHealthFlips);
+    }
+}
+
+/// One prober pass: probe every backend once (drained backends included —
+/// their health keeps being tracked so an undrain is instant). `clients`
+/// is the prober's persistent per-backend connection slots; a slot holds
+/// `None` until a connect succeeds and reverts to `None` when the probe
+/// connection dies *and* reconnecting fails.
+pub(crate) fn probe_all(
+    backends: &[std::sync::Arc<Backend>],
+    clients: &mut [Option<Client>],
+    fail_threshold: u32,
+    rise_threshold: u32,
+    stats: &ClusterStats,
+) {
+    for (b, slot) in backends.iter().zip(clients.iter_mut()) {
+        if slot.is_none() {
+            *slot = Client::connect(&b.addr).ok().and_then(|mut c| {
+                // A wedged backend must fail the probe, not hang the
+                // prober: bound the wait for the health answer.
+                c.set_read_timeout(Some(PROBE_READ_TIMEOUT)).ok()?;
+                Some(c)
+            });
+        }
+        let Some(client) = slot.as_mut() else {
+            b.probe_failed(fail_threshold, stats);
+            continue;
+        };
+        match client.health() {
+            Ok(result) => b.probe_ok(ProbeHealth::from_stats(&result), rise_threshold, stats),
+            Err(e) => {
+                // The client reconnects once by itself on the next call;
+                // only drop the slot if the connection is actually gone.
+                if e.is_connection_lost() {
+                    *slot = None;
+                }
+                b.probe_failed(fail_threshold, stats);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! # pacds-cluster — horizontal scaling for `pacds-serve`
+//!
+//! A std-only coordinator that makes N `pacds-serve` backends look like
+//! one: it speaks the serve wire protocol on the front, consistent-hashes
+//! each request's **canonical 128-bit digest** (the same digest the
+//! backends use as their cache key, via `pacds_serve::keys`) onto a ring
+//! of backends, and relays frames **byte-for-byte** — the protocol passes
+//! through unchanged, so existing clients, the loadgen, and the CLI all
+//! work against a coordinator without knowing it is one.
+//!
+//! Routing by the *content* digest rather than by connection gives the
+//! cluster cache affinity for free: two clients submitting the same
+//! (graph, config, energy) compute land on the same backend and the
+//! second one hits its LRU. Stateful frames (OpenGraph / Mutate /
+//! QueryTile / CloseGraph / Subscribe) route by the graph-*name* digest
+//! instead, pinning a named graph's whole lifetime to one backend.
+//!
+//! The moving parts, one module each:
+//!
+//! * [`ring`] — the consistent-hash ring: virtual nodes keyed by backend
+//!   id, lookup-time liveness filtering, minimal-disruption reshard.
+//! * [`pool`] — per-backend bounded connection pools; stale-socket retry;
+//!   verbatim frame relay.
+//! * [`health`] — membership belief: active Stats/Health probing with
+//!   hysteresis both directions, plus immediate data-path demotion.
+//! * [`proxy`] — the coordinator server: classification, routing,
+//!   retry-once failover, subscribe push relay, drain, local Ping/Stats.
+//!
+//! Failure semantics in one line: a lost backend makes its keys **cold,
+//! never wrong** — affected requests fail over to the next backend
+//! clockwise (which recomputes from scratch), stateful requests for its
+//! graphs surface typed `UnknownGraph`/`Rejected` errors, and nothing is
+//! ever answered from the wrong state.
+
+pub mod health;
+pub mod pool;
+pub mod proxy;
+pub mod ring;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use health::{Backend, ProbeHealth};
+pub use pool::ConnPool;
+pub use proxy::{cluster, ClusterConfig, ClusterHandle, ClusterState};
+pub use ring::{HashRing, DEFAULT_VNODES, MAX_BACKENDS};
+
+/// One configured backend: a stable operator-chosen id (what the ring
+/// hashes) and a dial address (what the pools connect to).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSpec {
+    /// Ring identity. Re-addressing a backend under the same id keeps its
+    /// arcs (and thus its cache locality).
+    pub id: String,
+    /// `host:port` the coordinator dials.
+    pub addr: String,
+}
+
+impl BackendSpec {
+    /// A spec from id + address.
+    pub fn new(id: impl Into<String>, addr: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            addr: addr.into(),
+        }
+    }
+}
+
+/// Always-on coordinator counters (independent of the `obs` feature, like
+/// `pacds_serve::handler::ServerStats`): answered to Stats probes against
+/// the coordinator and asserted on by the failure-mode tests.
+#[derive(Debug, Default)]
+pub struct ClusterStats {
+    /// Request frames accepted for classification.
+    pub requests: AtomicU64,
+    /// Frames relayed to a backend (success path).
+    pub routed: AtomicU64,
+    /// Subset of `routed` that were stateful (graph-name-pinned) frames.
+    pub routed_stateful: AtomicU64,
+    /// Frames answered by the coordinator itself (Ping, Stats).
+    pub local_answers: AtomicU64,
+    /// Relays that succeeded on the second backend after the first failed.
+    pub failed_over: AtomicU64,
+    /// Requests refused because no healthy backend remained.
+    pub no_backend: AtomicU64,
+    /// Health transitions in either direction (up→down and down→up).
+    pub health_flips: AtomicU64,
+    /// Drains initiated by the operator.
+    pub drains: AtomicU64,
+    /// Subscriptions successfully established through the proxy.
+    pub subscriptions: AtomicU64,
+    /// Push frames pumped backend → subscriber.
+    pub push_relayed: AtomicU64,
+    /// Malformed / unversioned / unknown-kind frames from clients.
+    pub protocol_errors: AtomicU64,
+    /// Connections refused with `Rejected` because the queue was full.
+    pub rejected: AtomicU64,
+}
+
+impl ClusterStats {
+    /// Snapshot as named entries: the coordinator-global counters first,
+    /// then per-backend rows (`backend.<id>.<field>`) covering traffic,
+    /// belief, and the last probe's health fields.
+    pub fn entries(&self, backends: &[Arc<Backend>]) -> Vec<(String, u64)> {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out: Vec<(String, u64)> = vec![
+            ("cluster.requests".into(), g(&self.requests)),
+            ("cluster.routed".into(), g(&self.routed)),
+            ("cluster.routed_stateful".into(), g(&self.routed_stateful)),
+            ("cluster.local_answers".into(), g(&self.local_answers)),
+            ("cluster.failed_over".into(), g(&self.failed_over)),
+            ("cluster.no_backend".into(), g(&self.no_backend)),
+            ("cluster.health_flips".into(), g(&self.health_flips)),
+            ("cluster.drains".into(), g(&self.drains)),
+            ("cluster.subscriptions".into(), g(&self.subscriptions)),
+            ("cluster.push_relayed".into(), g(&self.push_relayed)),
+            ("cluster.protocol_errors".into(), g(&self.protocol_errors)),
+            ("cluster.rejected".into(), g(&self.rejected)),
+            ("cluster.backends".into(), backends.len() as u64),
+            (
+                "cluster.backends_available".into(),
+                backends.iter().filter(|b| b.available()).count() as u64,
+            ),
+        ];
+        for b in backends {
+            let probe = b.probe_health();
+            let rows: [(&str, u64); 8] = [
+                ("routed", b.routed.load(Ordering::Relaxed)),
+                ("errors", b.errors.load(Ordering::Relaxed)),
+                ("healthy", u64::from(b.healthy())),
+                ("draining", u64::from(b.draining())),
+                ("mean_relay_us", b.mean_relay_us()),
+                ("queue_depth", probe.queue_depth),
+                ("open_graphs", probe.open_graphs),
+                ("uptime_s", probe.uptime_s),
+            ];
+            for (field, value) in rows {
+                out.push((format!("backend.{}.{field}", b.id), value));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,864 @@
+//! The coordinator proxy: accept loop, request classification, routing,
+//! and relay.
+//!
+//! The worker structure mirrors `pacds_serve::server` — one acceptor
+//! feeding a bounded queue, a small worker pool, explicit backpressure
+//! with a pre-encoded `Rejected` frame — because the coordinator *is* a
+//! protocol server; it just answers most frames by asking someone else.
+//!
+//! Per frame kind:
+//!
+//! * `ComputeCds` / `GenCompute` — decoded just far enough to derive the
+//!   canonical request digest (`pacds_serve::keys`), then relayed verbatim
+//!   to the ring owner. The digest is the backends' cache key, so the ring
+//!   and the backend LRUs agree by construction.
+//! * `OpenGraph` / `Mutate` / `CloseGraph` / `QueryTile` — routed by the
+//!   graph-*name* digest: a named graph and all frames touching it pin to
+//!   one backend for the graph's lifetime.
+//! * `Subscribe` — pinned like the other stateful frames (stats-only
+//!   subscriptions route by a fixed key); on ack the connection pair is
+//!   handed to a dedicated relay thread that pumps backend pushes to the
+//!   client byte-for-byte.
+//! * `Ping` / `Stats` — answered locally: a coordinator's liveness and
+//!   counters are its own, not some backend's.
+//!
+//! Failover is retry-once: a relay that dies on its fresh connection marks
+//! the backend down, and the request is re-sent to the next distinct
+//! backend clockwise — at most one such hop, then a typed `Rejected`.
+//! Retrying is always safe: a backend that died took its state with it
+//! (there is nothing half-applied to double-apply), and a stateful frame
+//! failing over to a backend that never saw the graph gets a typed
+//! `UnknownGraph` — **cold, never wrong**.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use pacds_serve::keys;
+use pacds_serve::protocol::{
+    self, encode_error, ComputeCdsRequest, ErrorCode, GenComputeRequest, RequestKind, ResponseKind,
+    StatsFormat, WireWrite, DEFAULT_MAX_FRAME_LEN, LEN_PREFIX, PROTOCOL_VERSION,
+};
+
+use crate::health::{probe_all, Backend};
+use crate::pool::{response_is_fatal_error, ConnPool};
+use crate::ring::{HashRing, DEFAULT_VNODES, MAX_BACKENDS};
+use crate::{BackendSpec, ClusterStats};
+
+/// How often blocked reads poll the shutdown flag (mirrors serve).
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Write timeout towards subscribed clients: the relay holds no queue, so
+/// a stalled client is disconnected rather than buffered for.
+const PUSH_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Routing key for stats-only subscriptions (no graph name to pin by).
+const SUBSCRIBE_STATS_KEY: u128 = 0;
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Proxy worker threads (0 = 4).
+    pub workers: usize,
+    /// Accept-queue depth (0 = 4 × workers).
+    pub queue: usize,
+    /// Virtual nodes per backend on the ring (0 = [`DEFAULT_VNODES`]).
+    pub vnodes: u32,
+    /// Idle connections retained per backend pool.
+    pub max_idle: usize,
+    /// Backend connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-read timeout while awaiting a backend response (None = wait
+    /// forever; the health prober still reaps wedged backends).
+    pub relay_timeout: Option<Duration>,
+    /// Health-probe cadence.
+    pub probe_interval: Duration,
+    /// Consecutive failed probes before a healthy backend is marked down.
+    pub fail_threshold: u32,
+    /// Consecutive successful probes before a down backend is marked up.
+    pub rise_threshold: u32,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue: 0,
+            vnodes: 0,
+            max_idle: 2,
+            connect_timeout: Duration::from_secs(2),
+            relay_timeout: Some(Duration::from_secs(30)),
+            probe_interval: Duration::from_millis(200),
+            fail_threshold: 2,
+            rise_threshold: 2,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Shared coordinator state.
+#[derive(Debug)]
+pub struct ClusterState {
+    /// Configured backends, ring-member order.
+    pub backends: Vec<Arc<Backend>>,
+    /// The consistent-hash ring over backend ids.
+    pub ring: HashRing,
+    /// Always-on coordinator counters.
+    pub stats: ClusterStats,
+    /// Maximum accepted frame payload length.
+    pub max_frame_len: u32,
+}
+
+impl ClusterState {
+    /// First available backend clockwise from `key`, skipping `exclude`.
+    pub fn owner(&self, key: u128, exclude: Option<u32>) -> Option<&Arc<Backend>> {
+        let idx = self
+            .ring
+            .owner(key, |b| self.backends[b as usize].available(), exclude)?;
+        Some(&self.backends[idx as usize])
+    }
+
+    /// Starts draining the backend with `id`: it stops receiving new
+    /// requests (its arcs fall to their clockwise successors), while
+    /// requests already relaying on its sockets run to completion — the
+    /// drain severs nothing. Returns `false` for an unknown id.
+    pub fn drain(&self, id: &str) -> bool {
+        let Some(b) = self.backends.iter().find(|b| b.id == id) else {
+            return false;
+        };
+        b.set_draining(true);
+        self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Reverses a drain: the backend resumes exactly its old arcs (ring
+    /// positions depend only on ids).
+    pub fn undrain(&self, id: &str) -> bool {
+        let Some(b) = self.backends.iter().find(|b| b.id == id) else {
+            return false;
+        };
+        b.set_draining(false);
+        true
+    }
+}
+
+/// A running coordinator. Dropping it shuts it down.
+#[derive(Debug)]
+pub struct ClusterHandle {
+    addr: SocketAddr,
+    state: Arc<ClusterState>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ClusterHandle {
+    /// The bound coordinator address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared coordinator state (ring, backends, counters).
+    pub fn state(&self) -> &Arc<ClusterState> {
+        &self.state
+    }
+
+    /// Starts draining the backend with `id` — see [`ClusterState::drain`].
+    pub fn drain(&self, id: &str) -> bool {
+        self.state.drain(id)
+    }
+
+    /// Reverses a drain — see [`ClusterState::undrain`].
+    pub fn undrain(&self, id: &str) -> bool {
+        self.state.undrain(id)
+    }
+
+    /// Stops accepting, drains queued and in-flight work, joins all
+    /// threads. Idempotent. (Detached subscribe-relay threads observe the
+    /// flag within one poll interval and exit on their own.)
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClusterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts coordinating `backends`. Returns once the
+/// listener is live (backends may still be down: the ring starts
+/// optimistic and the prober/data path converge it).
+pub fn cluster(
+    addr: &str,
+    backends: &[BackendSpec],
+    cfg: ClusterConfig,
+) -> io::Result<ClusterHandle> {
+    if backends.is_empty() || backends.len() > MAX_BACKENDS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cluster needs 1..=64 backends",
+        ));
+    }
+    for (i, b) in backends.iter().enumerate() {
+        if b.id.is_empty() || backends[..i].iter().any(|o| o.id == b.id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "backend ids must be non-empty and distinct",
+            ));
+        }
+    }
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let workers = if cfg.workers == 0 { 4 } else { cfg.workers };
+    let queue = if cfg.queue == 0 { workers * 4 } else { cfg.queue };
+    let vnodes = if cfg.vnodes == 0 { DEFAULT_VNODES } else { cfg.vnodes };
+
+    let members: Vec<Arc<Backend>> = backends
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            Arc::new(Backend::new(
+                spec.id.clone(),
+                spec.addr.clone(),
+                i as u32,
+                ConnPool::new(
+                    spec.addr.clone(),
+                    cfg.max_idle,
+                    cfg.connect_timeout,
+                    cfg.relay_timeout,
+                    cfg.max_frame_len,
+                ),
+            ))
+        })
+        .collect();
+    let ids: Vec<&str> = backends.iter().map(|b| b.id.as_str()).collect();
+    let state = Arc::new(ClusterState {
+        backends: members,
+        ring: HashRing::build(&ids, vnodes),
+        stats: ClusterStats::default(),
+        max_frame_len: cfg.max_frame_len,
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = sync_channel::<TcpStream>(queue);
+    let rx = Arc::new(Mutex::new(rx));
+    let mut worker_handles = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let rx = Arc::clone(&rx);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("pacds-cluster-{i}"))
+                .spawn(move || worker_loop(&rx, &state, &stop))?,
+        );
+    }
+
+    let mut rejected_frame = Vec::new();
+    encode_error(
+        &mut rejected_frame,
+        ErrorCode::Rejected,
+        "coordinator queue full; retry later",
+    );
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("pacds-cluster-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    match tx.try_send(conn) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut conn)) => {
+                            state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = conn.write_all(&rejected_frame);
+                            let _ = conn.flush();
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            })?
+    };
+
+    let prober = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        let (interval, fail_t, rise_t) = (cfg.probe_interval, cfg.fail_threshold, cfg.rise_threshold);
+        std::thread::Builder::new()
+            .name("pacds-cluster-probe".into())
+            .spawn(move || {
+                let mut clients = Vec::new();
+                clients.resize_with(state.backends.len(), || None);
+                while !stop.load(Ordering::SeqCst) {
+                    probe_all(&state.backends, &mut clients, fail_t, rise_t, &state.stats);
+                    // Stop-aware sleep in small steps.
+                    let until = Instant::now() + interval;
+                    while Instant::now() < until && !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(25).min(interval));
+                    }
+                }
+            })?
+    };
+
+    Ok(ClusterHandle {
+        addr,
+        state,
+        stop,
+        acceptor: Some(acceptor),
+        prober: Some(prober),
+        workers: worker_handles,
+    })
+}
+
+/// Per-worker retained buffers.
+struct ProxyScratch {
+    /// Canonicalised edge buffer for compute-key derivation.
+    edges: Vec<(u32, u32)>,
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<ClusterState>, stop: &Arc<AtomicBool>) {
+    let mut scratch = ProxyScratch { edges: Vec::new() };
+    let mut frame = Vec::new();
+    let mut resp = Vec::new();
+    loop {
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(POLL_INTERVAL)
+        };
+        match conn {
+            Ok(conn) => serve_connection(conn, state, &mut scratch, &mut frame, &mut resp, stop),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// What the connection loop should do after a routed frame.
+enum Outcome {
+    /// `resp` holds a complete frame; write it, keep the connection.
+    Reply,
+    /// Write `resp`, then close (framing lost or backend went fatal).
+    CloseAfterReply,
+    /// The connection was handed to a subscribe-relay thread.
+    Subscribed,
+}
+
+fn serve_connection(
+    mut conn: TcpStream,
+    state: &Arc<ClusterState>,
+    scratch: &mut ProxyScratch,
+    frame: &mut Vec<u8>,
+    resp: &mut Vec<u8>,
+    stop: &Arc<AtomicBool>,
+) {
+    let _ = conn.set_nodelay(true);
+    let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        match read_frame(&mut conn, state, frame, stop) {
+            FrameRead::Frame => {}
+            FrameRead::Closed => return,
+            FrameRead::TooLarge => {
+                state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                resp.clear();
+                encode_error(resp, ErrorCode::Oversized, "frame exceeds maximum length");
+                let _ = conn.write_all(resp);
+                return;
+            }
+        }
+        resp.clear();
+        let outcome = route_frame(state, scratch, frame, resp, &mut conn, stop);
+        match outcome {
+            Outcome::Reply => {
+                if conn.write_all(resp).is_err() {
+                    return;
+                }
+            }
+            Outcome::CloseAfterReply => {
+                let _ = conn.write_all(resp);
+                return;
+            }
+            Outcome::Subscribed => return,
+        }
+        // Shutdown is observed between frames: a continuously-streaming
+        // client never leaves the socket idle, so the idle check in
+        // `read_frame` alone would let it pin this worker past
+        // `shutdown()`.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Classifies one request frame (`frame` = prefix + payload) and answers
+/// it — locally, or by relaying to the routed backend.
+fn route_frame(
+    state: &Arc<ClusterState>,
+    scratch: &mut ProxyScratch,
+    frame: &[u8],
+    resp: &mut Vec<u8>,
+    conn: &mut TcpStream,
+    stop: &Arc<AtomicBool>,
+) -> Outcome {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let route_timer = pacds_obs::phase_timer(pacds_obs::Phase::ClusterRoute);
+    let payload = &frame[LEN_PREFIX..];
+    if payload.len() < 2 {
+        return protocol_error(state, resp, ErrorCode::Malformed, "payload shorter than header");
+    }
+    if payload[0] != PROTOCOL_VERSION {
+        return protocol_error(state, resp, ErrorCode::UnsupportedVersion, "unsupported version");
+    }
+    let Some(kind) = RequestKind::from_wire(payload[1]) else {
+        return protocol_error(state, resp, ErrorCode::UnknownKind, "unknown request kind");
+    };
+    let body = &payload[2..];
+    let (key, stateful) = match kind {
+        RequestKind::Ping => {
+            state.stats.local_answers.fetch_add(1, Ordering::Relaxed);
+            protocol::begin_frame(resp, ResponseKind::Pong as u8);
+            protocol::end_frame(resp);
+            return Outcome::Reply;
+        }
+        RequestKind::Stats => return local_stats(state, body, resp),
+        RequestKind::ComputeCds => match compute_key_of(scratch, body) {
+            Ok(key) => (key, false),
+            Err(e) => return decode_failed(state, resp, &e),
+        },
+        RequestKind::GenCompute => match GenComputeRequest::decode(body) {
+            Ok(req) => (keys::gen_key(&req), false),
+            Err(e) => return decode_failed(state, resp, &e),
+        },
+        RequestKind::OpenGraph | RequestKind::Mutate | RequestKind::CloseGraph
+        | RequestKind::QueryTile => match peek_graph_name(body) {
+            Ok(name) => (keys::graph_name_key(name), true),
+            Err(e) => return decode_failed(state, resp, &e),
+        },
+        RequestKind::Subscribe => {
+            let key = match protocol::decode_subscribe(body) {
+                Ok(req) => req
+                    .graph
+                    .map_or(SUBSCRIBE_STATS_KEY, keys::graph_name_key),
+                Err(e) => return decode_failed(state, resp, &e),
+            };
+            drop(route_timer);
+            return relay_subscribe(state, key, frame, resp, conn, stop);
+        }
+    };
+    drop(route_timer);
+    relay(state, key, stateful, frame, resp)
+}
+
+/// Relays `frame` to the ring owner of `key`, failing over at most once.
+fn relay(
+    state: &Arc<ClusterState>,
+    key: u128,
+    stateful: bool,
+    frame: &[u8],
+    resp: &mut Vec<u8>,
+) -> Outcome {
+    let _relay_timer = pacds_obs::phase_timer(pacds_obs::Phase::ClusterRelay);
+    let mut exclude = None;
+    for attempt in 0..2u32 {
+        let Some(backend) = state.owner(key, exclude) else {
+            break;
+        };
+        let t0 = Instant::now();
+        match backend.pool.round_trip(frame, resp) {
+            Ok(()) => {
+                backend.record_relay_ns(t0.elapsed().as_nanos() as u64);
+                backend.routed.fetch_add(1, Ordering::Relaxed);
+                state.stats.routed.fetch_add(1, Ordering::Relaxed);
+                pacds_obs::inc(pacds_obs::Counter::ClusterRouted);
+                if stateful {
+                    state.stats.routed_stateful.fetch_add(1, Ordering::Relaxed);
+                }
+                if attempt > 0 {
+                    state.stats.failed_over.fetch_add(1, Ordering::Relaxed);
+                    pacds_obs::inc(pacds_obs::Counter::ClusterFailedOver);
+                }
+                return if response_is_fatal_error(resp) {
+                    // The backend is closing its end; mirror that to our
+                    // client — the relayed frame still carries the typed
+                    // error that explains why.
+                    Outcome::CloseAfterReply
+                } else {
+                    Outcome::Reply
+                };
+            }
+            Err(_) => {
+                // A fresh dial failed: the backend is gone right now. Mark
+                // it down and walk on — the next distinct backend answers
+                // this request (cold at worst, never wrong).
+                backend.data_failure(&state.stats);
+                exclude = Some(backend.index);
+            }
+        }
+    }
+    state.stats.no_backend.fetch_add(1, Ordering::Relaxed);
+    pacds_obs::inc(pacds_obs::Counter::ClusterNoBackend);
+    resp.clear();
+    encode_error(resp, ErrorCode::Rejected, "no healthy backend");
+    Outcome::Reply
+}
+
+/// Relays a Subscribe frame to the pinned backend on a dedicated
+/// connection; on a successful ack the `(backend, client)` socket pair is
+/// handed to a detached pump thread and the worker is released.
+fn relay_subscribe(
+    state: &Arc<ClusterState>,
+    key: u128,
+    frame: &[u8],
+    resp: &mut Vec<u8>,
+    conn: &mut TcpStream,
+    stop: &Arc<AtomicBool>,
+) -> Outcome {
+    let mut exclude = None;
+    for _attempt in 0..2u32 {
+        let Some(backend) = state.owner(key, exclude) else {
+            break;
+        };
+        // Subscriptions own their socket for their whole lifetime; they
+        // bypass the pool (and never return to it).
+        let upstream = match backend.pool.dial().and_then(|mut up| {
+            up.write_all(frame)?;
+            read_one_frame(&mut up, state.max_frame_len, resp)?;
+            Ok(up)
+        }) {
+            Ok(up) => up,
+            Err(_) => {
+                backend.data_failure(&state.stats);
+                exclude = Some(backend.index);
+                continue;
+            }
+        };
+        backend.routed.fetch_add(1, Ordering::Relaxed);
+        state.stats.routed.fetch_add(1, Ordering::Relaxed);
+        pacds_obs::inc(pacds_obs::Counter::ClusterRouted);
+        if resp.get(LEN_PREFIX + 1) != Some(&(ResponseKind::SubscribeAck as u8)) {
+            // The backend declined (typed error — e.g. UnknownGraph after
+            // a failover); relay its answer, stay in request mode.
+            return if response_is_fatal_error(resp) {
+                Outcome::CloseAfterReply
+            } else {
+                Outcome::Reply
+            };
+        }
+        if conn.write_all(resp).is_err() {
+            return Outcome::Subscribed; // client gone; nothing to pump
+        }
+        state.stats.subscriptions.fetch_add(1, Ordering::Relaxed);
+        let client = match conn.try_clone() {
+            Ok(c) => c,
+            Err(_) => return Outcome::Subscribed,
+        };
+        let state = Arc::clone(state);
+        let stop = Arc::clone(stop);
+        let sub_id = state.stats.subscriptions.load(Ordering::Relaxed);
+        let spawned = std::thread::Builder::new()
+            .name(format!("pacds-cluster-push-{sub_id}"))
+            .spawn(move || pump_pushes(upstream, client, &state, &stop));
+        drop(spawned);
+        return Outcome::Subscribed;
+    }
+    state.stats.no_backend.fetch_add(1, Ordering::Relaxed);
+    pacds_obs::inc(pacds_obs::Counter::ClusterNoBackend);
+    resp.clear();
+    encode_error(resp, ErrorCode::Rejected, "no healthy backend");
+    Outcome::Reply
+}
+
+/// Pumps pushed frames backend → client, one retained buffer, no queue:
+/// the socket pair provides all the backpressure there is, and a client
+/// that stalls past [`PUSH_WRITE_TIMEOUT`] is disconnected instead of
+/// buffered for — the coordinator's subscribe path is O(1) memory per
+/// subscriber by construction. A backend-side lag NACK
+/// ([`ErrorCode::SubscriberLagged`]) is just another frame here: relayed
+/// verbatim, then both sockets close (the backend closed its end).
+fn pump_pushes(mut upstream: TcpStream, mut client: TcpStream, state: &ClusterState, stop: &AtomicBool) {
+    let _ = upstream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = client.set_write_timeout(Some(PUSH_WRITE_TIMEOUT));
+    let mut buf = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_one_frame_polling(&mut upstream, state.max_frame_len, &mut buf, stop) {
+            Ok(true) => {}
+            Ok(false) => continue, // idle poll tick
+            Err(_) => return,      // backend closed (incl. after a lag NACK)
+        }
+        if client.write_all(&buf).is_err() {
+            return;
+        }
+        state.stats.push_relayed.fetch_add(1, Ordering::Relaxed);
+        pacds_obs::inc(pacds_obs::Counter::ClusterPushRelayed);
+    }
+}
+
+/// Answers a Stats request with the coordinator's own counters (global +
+/// per-backend), in the standard StatsResult frame shape. The text block
+/// renders the same table/JSONL/Prometheus forms a backend would, from
+/// the coordinator's obs snapshot; the Health form leaves it empty.
+fn local_stats(state: &ClusterState, body: &[u8], resp: &mut Vec<u8>) -> Outcome {
+    let mut r = protocol::Reader::new(body);
+    let format = match r.u8().map(StatsFormat::from_wire) {
+        Ok(Some(f)) => f,
+        Ok(None) => {
+            state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            encode_error(resp, ErrorCode::BadInput, "stats format");
+            return Outcome::Reply;
+        }
+        Err(e) => return decode_failed(state, resp, &e),
+    };
+    if let Err(e) = r.finish() {
+        return decode_failed(state, resp, &e);
+    }
+    state.stats.local_answers.fetch_add(1, Ordering::Relaxed);
+    let entries = state.stats.entries(&state.backends);
+    let mut text = Vec::new();
+    match format {
+        StatsFormat::Health => {}
+        StatsFormat::Table => {
+            for (name, value) in &entries {
+                text.extend_from_slice(format!("{name:<32} {value}\n").as_bytes());
+            }
+        }
+        StatsFormat::Jsonl => {
+            let _ = pacds_obs::write_jsonl(&pacds_obs::Snapshot::capture(), &mut text);
+        }
+        StatsFormat::Prometheus => {
+            let _ = pacds_obs::write_prometheus(&pacds_obs::Snapshot::capture(), &mut text);
+        }
+    }
+    protocol::begin_frame(resp, ResponseKind::StatsResult as u8);
+    resp.put_u32(entries.len() as u32);
+    for (name, value) in &entries {
+        resp.put_u16(name.len() as u16);
+        resp.put(name.as_bytes());
+        resp.put_u64(*value);
+    }
+    resp.put_u32(text.len() as u32);
+    resp.put(&text);
+    protocol::end_frame(resp);
+    Outcome::Reply
+}
+
+/// Derives the canonical compute key: validates and canonicalises the edge
+/// list exactly as a backend would, so coordinator and backend agree on
+/// both the digest and what counts as `BadInput`.
+fn compute_key_of(scratch: &mut ProxyScratch, body: &[u8]) -> Result<u128, protocol::DecodeError> {
+    let req = ComputeCdsRequest::decode(body)?;
+    let n = req.n;
+    scratch.edges.clear();
+    for (u, v) in req.edges() {
+        if u >= n || v >= n {
+            return Err(protocol::DecodeError::Bad("edge endpoint out of range"));
+        }
+        if u == v {
+            return Err(protocol::DecodeError::Bad("self-loop"));
+        }
+        scratch.edges.push((u, v));
+    }
+    pacds_graph::canonicalize_edges(&mut scratch.edges);
+    Ok(keys::compute_key(&req.cfg, req.energy_raw, n, &scratch.edges))
+}
+
+/// Reads the leading `name_len u16 | name` all stateful request bodies
+/// start with — the only part the coordinator needs; the pinned backend
+/// performs the full decode and answers any deeper malformation itself.
+fn peek_graph_name(body: &[u8]) -> Result<&str, protocol::DecodeError> {
+    let mut r = protocol::Reader::new(body);
+    let len = r.u16()? as usize;
+    if len == 0 || len > protocol::MAX_GRAPH_NAME {
+        return Err(protocol::DecodeError::Bad("graph name length"));
+    }
+    std::str::from_utf8(r.bytes(len)?).map_err(|_| protocol::DecodeError::Bad("graph name utf-8"))
+}
+
+fn protocol_error(
+    state: &ClusterState,
+    resp: &mut Vec<u8>,
+    code: ErrorCode,
+    msg: &str,
+) -> Outcome {
+    state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    resp.clear();
+    encode_error(resp, code, msg);
+    if code.is_connection_fatal() {
+        Outcome::CloseAfterReply
+    } else {
+        Outcome::Reply
+    }
+}
+
+/// Mirrors the backend's decode-failure mapping (`Bad` keeps the
+/// connection, framing-level failures close it).
+fn decode_failed(
+    state: &ClusterState,
+    resp: &mut Vec<u8>,
+    err: &protocol::DecodeError,
+) -> Outcome {
+    match err {
+        protocol::DecodeError::Bad(what) => {
+            state.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            resp.clear();
+            encode_error(resp, ErrorCode::BadInput, what);
+            Outcome::Reply
+        }
+        protocol::DecodeError::Truncated => {
+            protocol_error(state, resp, ErrorCode::Malformed, "truncated body")
+        }
+        protocol::DecodeError::Trailing => {
+            protocol_error(state, resp, ErrorCode::Malformed, "trailing bytes after body")
+        }
+    }
+}
+
+enum FrameRead {
+    Frame,
+    Closed,
+    TooLarge,
+}
+
+/// Reads one length-prefixed frame — *prefix retained* in `frame`, ready
+/// to forward verbatim — polling the shutdown flag while idle between
+/// frames (same drain guarantee as the backend server: a frame whose
+/// prefix has arrived completes, and its response is written, before the
+/// worker exits).
+fn read_frame(
+    conn: &mut TcpStream,
+    state: &ClusterState,
+    frame: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> FrameRead {
+    let mut prefix = [0u8; LEN_PREFIX];
+    let mut got = 0usize;
+    while got < LEN_PREFIX {
+        match conn.read(&mut prefix[got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) => {
+                if got == 0 && stop.load(Ordering::SeqCst) {
+                    return FrameRead::Closed;
+                }
+            }
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > state.max_frame_len as usize {
+        return FrameRead::TooLarge;
+    }
+    frame.clear();
+    frame.extend_from_slice(&prefix);
+    frame.resize(LEN_PREFIX + len, 0);
+    let mut got = 0usize;
+    while got < len {
+        match conn.read(&mut frame[LEN_PREFIX + got..]) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    FrameRead::Frame
+}
+
+/// Blocking read of one complete frame (prefix retained). Used for the
+/// subscribe ack, where the socket has no poll loop yet.
+fn read_one_frame(conn: &mut TcpStream, max_len: u32, buf: &mut Vec<u8>) -> io::Result<()> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    read_exact_patient(conn, &mut prefix)?;
+    finish_frame(conn, max_len, prefix, buf)
+}
+
+/// Poll-friendly read of one frame: `Ok(false)` when the read timed out
+/// before any prefix byte arrived (idle tick — caller checks `stop`).
+fn read_one_frame_polling(
+    conn: &mut TcpStream,
+    max_len: u32,
+    buf: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> io::Result<bool> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    let mut got = 0usize;
+    while got < LEN_PREFIX {
+        match conn.read(&mut prefix[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) => {
+                if got == 0 {
+                    return Ok(false);
+                }
+                if stop.load(Ordering::SeqCst) {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    finish_frame(conn, max_len, prefix, buf)?;
+    Ok(true)
+}
+
+fn finish_frame(
+    conn: &mut TcpStream,
+    max_len: u32,
+    prefix: [u8; LEN_PREFIX],
+    buf: &mut Vec<u8>,
+) -> io::Result<()> {
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len < 2 || len > max_len as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length out of range",
+        ));
+    }
+    buf.clear();
+    buf.extend_from_slice(&prefix);
+    buf.resize(LEN_PREFIX + len, 0);
+    read_exact_patient(conn, &mut buf[LEN_PREFIX..])
+}
+
+/// `read_exact` that rides out socket-timeout ticks (the sockets here
+/// carry read timeouts for poll loops; mid-frame we keep waiting).
+fn read_exact_patient(conn: &mut TcpStream, out: &mut [u8]) -> io::Result<()> {
+    let mut got = 0usize;
+    while got < out.len() {
+        match conn.read(&mut out[got..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(k) => got += k,
+            Err(e) if is_timeout(&e) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}

@@ -226,6 +226,11 @@ const ALL_COUNTERS: [Counter; NUM_COUNTERS] = {
         DpFloodTransmissions,
         DpFloodDuplicates,
         DpMisroutes,
+        ClusterRouted,
+        ClusterFailedOver,
+        ClusterNoBackend,
+        ClusterHealthFlips,
+        ClusterPushRelayed,
     ]
 };
 

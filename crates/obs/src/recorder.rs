@@ -175,6 +175,17 @@ metric_enum! {
         /// Dataplane: packets forwarded into a dead node. The NACK path
         /// makes this structurally impossible; benches assert it stays 0.
         DpMisroutes => "dp.misroutes",
+        /// Cluster: requests routed to a backend by the coordinator.
+        ClusterRouted => "cluster.routed",
+        /// Cluster: requests that failed over to another backend after the
+        /// ring owner died under them.
+        ClusterFailedOver => "cluster.failed_over",
+        /// Cluster: requests rejected because no healthy backend remained.
+        ClusterNoBackend => "cluster.no_backend",
+        /// Cluster: backend health transitions (up→down and down→up).
+        ClusterHealthFlips => "cluster.health_flips",
+        /// Cluster: push frames relayed to subscribed clients.
+        ClusterPushRelayed => "cluster.push_relayed",
     }
 }
 
@@ -225,6 +236,10 @@ metric_enum! {
         DpRouteBuild => "dp.route_build",
         /// Dataplane: one broadcast flood.
         DpFlood => "dp.flood",
+        /// Cluster: request classification + ring lookup.
+        ClusterRoute => "cluster.route",
+        /// Cluster: backend round trip (forward request, await response).
+        ClusterRelay => "cluster.relay",
     }
 }
 

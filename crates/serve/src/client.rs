@@ -7,7 +7,7 @@
 //! back as [`ClientError::Wire`].
 
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use pacds_core::CdsConfig;
@@ -29,12 +29,24 @@ pub enum Push {
 }
 
 /// Client-side failure.
+///
+/// The variants split along the axis a caller actually routes on:
+/// [`ConnectionLost`](ClientError::ConnectionLost) means *the backend is
+/// gone* (retry elsewhere, or just issue the next request — the client
+/// reconnects once on its own); `Decode`/`Unexpected` mean *the peer
+/// violated the protocol* (retrying the same bytes cannot help); `Wire` is
+/// the server speaking — a typed, in-protocol error.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Socket-level failure (includes the server dropping a connection
-    /// after a fatal protocol error, and backpressure REJECTED closes).
+    /// The connection died under the request: the socket failed mid-write
+    /// or mid-read (includes the server dropping a connection after a
+    /// fatal protocol error, and backpressure REJECTED closes). The client
+    /// is now stale; the next request transparently reconnects once.
+    ConnectionLost(io::Error),
+    /// Other socket-level failure (not tied to a dead connection).
     Io(io::Error),
-    /// The server's response bytes failed to parse.
+    /// The server's response bytes failed to parse: a protocol violation,
+    /// never cured by reconnecting and resending.
     Decode(DecodeError),
     /// The server answered with a typed error frame.
     Wire(WireError),
@@ -42,9 +54,19 @@ pub enum ClientError {
     Unexpected(u8),
 }
 
+impl ClientError {
+    /// Whether this failure means "backend gone" (a reconnect — to this
+    /// backend or another — may succeed) rather than a protocol violation
+    /// or an in-protocol server answer.
+    pub fn is_connection_lost(&self) -> bool {
+        matches!(self, ClientError::ConnectionLost(_))
+    }
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClientError::ConnectionLost(e) => write!(f, "connection lost: {e}"),
             ClientError::Io(e) => write!(f, "i/o: {e}"),
             ClientError::Decode(e) => write!(f, "bad response: {e}"),
             ClientError::Wire(e) => write!(f, "server error: {e}"),
@@ -68,28 +90,72 @@ impl From<DecodeError> for ClientError {
 }
 
 /// A blocking protocol client over one connection.
+///
+/// The client remembers its resolved address. When a request dies with
+/// [`ClientError::ConnectionLost`] the client marks itself **stale**, and
+/// the *next* request transparently re-dials once before sending — so a
+/// loop that just keeps issuing requests rides out a backend restart with
+/// exactly one surfaced error, no connection babysitting. A reconnect
+/// failure surfaces as `ConnectionLost` again (and the client stays
+/// stale); protocol violations never trigger a resend.
 #[derive(Debug)]
 pub struct Client {
+    addr: SocketAddr,
     conn: TcpStream,
     req: Vec<u8>,
     resp: Vec<u8>,
+    stale: bool,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
     /// Connects to a server.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
         let conn = TcpStream::connect(addr)?;
         conn.set_nodelay(true)?;
         Ok(Self {
+            addr,
             conn,
             req: Vec::new(),
             resp: Vec::new(),
+            stale: false,
+            read_timeout: None,
         })
     }
 
     /// Sets (or clears) the socket read timeout, e.g. for liveness tests.
+    /// Reapplied automatically after a reconnect.
     pub fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = dur;
         self.conn.set_read_timeout(dur)
+    }
+
+    /// The resolved server address this client (re)connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the connection is known dead; the next request will re-dial
+    /// once before sending.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// Drops the current socket and dials the remembered address again.
+    /// Called implicitly by the next request after a
+    /// [`ClientError::ConnectionLost`]; public for callers that want to
+    /// re-establish eagerly (e.g. a pool health-checking an idle slot).
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let conn = TcpStream::connect(self.addr)?;
+        conn.set_nodelay(true)?;
+        conn.set_read_timeout(self.read_timeout)?;
+        self.conn = conn;
+        self.stale = false;
+        Ok(())
     }
 
     /// Computes the gateway set of an explicit topology.
@@ -122,6 +188,12 @@ impl Client {
         let payload = self.round_trip()?;
         expect(payload, ResponseKind::StatsResult)?;
         Ok(decode_stats_result(&payload[2..])?)
+    }
+
+    /// The cheap health probe: counters only ([`StatsFormat::Health`]),
+    /// no obs snapshot rendering on the server.
+    pub fn health(&mut self) -> Result<StatsResult, ClientError> {
+        self.stats(StatsFormat::Health)
     }
 
     /// Opens a persistent named graph for mutation.
@@ -210,25 +282,43 @@ impl Client {
 
     /// Sends `self.req` (a complete frame) and reads one response frame,
     /// returning its payload. Reused buffers; no allocation at steady
-    /// state once the buffers reach their high-water marks.
+    /// state once the buffers reach their high-water marks. If the client
+    /// is stale from a previous `ConnectionLost`, re-dials once first.
     fn round_trip(&mut self) -> Result<&[u8], ClientError> {
-        self.conn.write_all(&self.req)?;
+        if self.stale {
+            self.reconnect().map_err(ClientError::ConnectionLost)?;
+        }
+        if let Err(e) = self.conn.write_all(&self.req) {
+            self.stale = true;
+            return Err(ClientError::ConnectionLost(e));
+        }
         self.read_frame()
     }
 
     /// Reads one frame into the retained response buffer and returns its
-    /// payload (version byte included).
+    /// payload (version byte included). Any failure here poisons the
+    /// connection (a short read leaves the stream mid-frame; a framing
+    /// violation leaves it unsynchronised), so all errors mark the client
+    /// stale — but only socket deaths are typed `ConnectionLost`.
     fn read_frame(&mut self) -> Result<&[u8], ClientError> {
         let mut prefix = [0u8; LEN_PREFIX];
-        self.conn.read_exact(&mut prefix)?;
+        if let Err(e) = self.conn.read_exact(&mut prefix) {
+            self.stale = true;
+            return Err(ClientError::ConnectionLost(e));
+        }
         let len = u32::from_le_bytes(prefix) as usize;
         if len < 2 || len > DEFAULT_MAX_FRAME_LEN as usize {
+            self.stale = true;
             return Err(ClientError::Decode(DecodeError::Bad("response length")));
         }
         self.resp.clear();
         self.resp.resize(len, 0);
-        self.conn.read_exact(&mut self.resp)?;
+        if let Err(e) = self.conn.read_exact(&mut self.resp) {
+            self.stale = true;
+            return Err(ClientError::ConnectionLost(e));
+        }
         if self.resp[0] != PROTOCOL_VERSION {
+            self.stale = true;
             return Err(ClientError::Decode(DecodeError::Bad("response version")));
         }
         Ok(&self.resp)

@@ -30,7 +30,9 @@ use std::time::{Duration, Instant};
 use pacds_core::{CdsConfig, CdsWorkspace};
 use pacds_geom::{Point2, Rect};
 use pacds_shard::{check_shardable, ChurnEngine, ChurnEvent, ShardSpec, ShardedCds, REQUIRED_HALO};
-use pacds_graph::digest::{fold_edges, DigestSink, Fnv1a128};
+use pacds_graph::digest::{DigestSink, Fnv1a128};
+
+use crate::keys;
 use pacds_graph::{algo, gen, Graph, NodeId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -44,10 +46,9 @@ use crate::protocol::{
     SUB_FLIPS,
 };
 
-/// Domain tags separating the cache-key spaces (and all of them from raw
-/// graph digests).
-const KEY_TAG_COMPUTE: &[u8] = b"pacds.serve.compute.v1";
-const KEY_TAG_GEN: &[u8] = b"pacds.serve.gen.v1";
+/// Tile results are keyed per (graph uid, tile, version) — a serve-local
+/// space, so the tag stays here; the compute/gen/graph-name tags live in
+/// [`keys`] where the cluster coordinator shares them.
 const KEY_TAG_TILE: &[u8] = b"pacds.serve.tile.v1";
 
 /// Maximum concurrently open churn graphs per server.
@@ -245,6 +246,15 @@ pub struct ServeState {
     pub graphs: GraphRegistry,
     /// Telemetry push subscribers.
     pub hub: SubscriberHub,
+    /// Process start, for the `uptime_s` health field.
+    pub started: Instant,
+    /// Connections accepted but not yet picked up by a worker (the accept
+    /// queue's fill level — `sync_channel` has no `len()`, so the acceptor
+    /// increments and workers decrement).
+    pub queue_depth: AtomicU64,
+    /// Worker-pool size, set once at server start (0 for bare handler
+    /// tests that never spawn a pool).
+    pub workers: AtomicU64,
 }
 
 impl ServeState {
@@ -257,7 +267,23 @@ impl ServeState {
             shard: ShardPolicy::default(),
             graphs: GraphRegistry::default(),
             hub: SubscriberHub::default(),
+            started: Instant::now(),
+            queue_depth: AtomicU64::new(0),
+            workers: AtomicU64::new(0),
         }
+    }
+
+    /// All Stats-frame entries: the legacy counters plus the cheap health
+    /// fields appended at the tail. The wire counter list is `k`-counted,
+    /// so decoders built before the health fields existed skip them
+    /// without noticing — pinned by `stats_frame_backward_decodable`.
+    pub fn stat_entries(&self) -> Vec<(&'static str, u64)> {
+        let mut out = self.stats.entries(&self.cache).to_vec();
+        out.push(("uptime_s", self.started.elapsed().as_secs()));
+        out.push(("queue_depth", self.queue_depth.load(Ordering::Relaxed)));
+        out.push(("open_graphs", self.graphs.len() as u64));
+        out.push(("workers", self.workers.load(Ordering::Relaxed)));
+        out
     }
 }
 
@@ -439,20 +465,8 @@ fn handle_compute(
     drop(decode_timer);
 
     let deadline = deadline_of(received, req.deadline_ms);
-    let key = (req.flags & FLAG_NO_CACHE == 0).then(|| {
-        let mut d = Fnv1a128::new();
-        d.write(KEY_TAG_COMPUTE);
-        put_config_key(&mut d, &req.cfg);
-        match req.energy_raw {
-            None => d.write(&[0]),
-            Some(raw) => {
-                d.write(&[1]);
-                d.write(raw);
-            }
-        }
-        fold_edges(&mut d, n as usize, &scratch.edges);
-        d.finish()
-    });
+    let key = (req.flags & FLAG_NO_CACHE == 0)
+        .then(|| keys::compute_key(&req.cfg, req.energy_raw, n, &scratch.edges));
     if let Some(key) = key {
         let lookup = pacds_obs::span(trace, pacds_obs::SpanKind::CacheLookup, 0);
         let hit = state.cache.get_into(key, resp);
@@ -494,24 +508,7 @@ fn handle_gen(
         Err(e) => return decode_failed(state, resp, &e),
     };
     let deadline = deadline_of(received, req.deadline_ms);
-    let key = (req.flags & FLAG_NO_CACHE == 0).then(|| {
-        let mut d = Fnv1a128::new();
-        d.write(KEY_TAG_GEN);
-        put_config_key(&mut d, &req.cfg);
-        d.write_u32(req.n);
-        d.write_u64(req.seed);
-        d.write_u64(req.radius.to_bits());
-        d.write_u64(req.side.to_bits());
-        d.write(&[req.connected as u8]);
-        match req.energy_seed {
-            None => d.write(&[0]),
-            Some(s) => {
-                d.write(&[1]);
-                d.write_u64(s);
-            }
-        }
-        d.finish()
-    });
+    let key = (req.flags & FLAG_NO_CACHE == 0).then(|| keys::gen_key(&req));
     if let Some(key) = key {
         let lookup = pacds_obs::span(trace, pacds_obs::SpanKind::CacheLookup, 0);
         let hit = state.cache.get_into(key, resp);
@@ -890,10 +887,26 @@ fn handle_stats(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOu
     if let Err(e) = r.finish() {
         return decode_failed(state, resp, &e);
     }
-    let entries = state.stats.entries(&state.cache);
+    let entries = state.stat_entries();
+    // The health form answers from the always-on atomics alone — no obs
+    // snapshot capture, no text rendering — so a coordinator probing every
+    // few hundred milliseconds costs the backend next to nothing.
+    if format == StatsFormat::Health {
+        begin_frame(resp, ResponseKind::StatsResult as u8);
+        resp.put_u32(entries.len() as u32);
+        for (name, value) in entries {
+            resp.put_u16(name.len() as u16);
+            resp.put(name.as_bytes());
+            resp.put_u64(value);
+        }
+        resp.put_u32(0);
+        end_frame(resp);
+        return HandleOutcome::KeepOpen;
+    }
     let snap = pacds_obs::Snapshot::capture();
     let mut text = Vec::new();
     match format {
+        StatsFormat::Health => unreachable!("answered above"),
         StatsFormat::Table => {
             for (name, value) in &entries {
                 text.extend_from_slice(format!("{name:<20} {value}\n").as_bytes());
@@ -925,12 +938,6 @@ fn handle_stats(state: &ServeState, body: &[u8], resp: &mut Vec<u8>) -> HandleOu
     resp.put(&text);
     end_frame(resp);
     HandleOutcome::KeepOpen
-}
-
-/// Folds the 4-byte config encoding into a digest (the exact
-/// [`protocol::config_bytes`] the wire carries — no allocation).
-fn put_config_key<D: DigestSink>(d: &mut D, cfg: &CdsConfig) {
-    d.write(&protocol::config_bytes(cfg));
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod cache;
 pub mod client;
 pub mod handler;
 pub mod hub;
+pub mod keys;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;

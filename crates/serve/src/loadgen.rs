@@ -27,7 +27,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::client::{Client, ClientError};
-use crate::protocol::{ErrorCode, WireEvent, FLAG_NO_CACHE};
+use crate::protocol::{ErrorCode, GenComputeRequest, WireEvent, FLAG_NO_CACHE};
 
 /// Name of the churn graph the mixed workload mutates and queries.
 const MIX_GRAPH: &str = "loadgen-mix";
@@ -76,6 +76,14 @@ pub struct LoadgenConfig {
     /// Every Nth request per worker is a QueryTile against the shared
     /// churn graph (0 = never).
     pub query_every: usize,
+    /// Cluster mode's key diversity: when > 0, compute slots send
+    /// `GenCompute` frames cycling through this many placement seeds
+    /// (`seed .. seed + gen_seeds`) instead of replaying one `ComputeCds`.
+    /// One request replayed forever hashes to one ring position — i.e. one
+    /// backend; a seed wheel spreads the keyspace across the whole ring,
+    /// which is what an aggregate-throughput measurement needs. All seeds
+    /// are warmed before the clock starts, so the run stays cache-warm.
+    pub gen_seeds: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -94,6 +102,7 @@ impl Default for LoadgenConfig {
             deadline_ms: 0,
             mutate_every: 0,
             query_every: 0,
+            gen_seeds: 0,
         }
     }
 }
@@ -245,6 +254,22 @@ struct WorkerTotals {
     kind_ns: [Vec<u64>; 3],
 }
 
+/// The seed-wheel `GenCompute` request for one seed (cluster mode's
+/// key-diverse compute slot).
+fn gen_request(cfg: &LoadgenConfig, seed: u64, flags: u8) -> GenComputeRequest {
+    GenComputeRequest {
+        flags,
+        deadline_ms: 0,
+        cfg: cfg.cds,
+        n: cfg.n as u32,
+        seed,
+        radius: cfg.radius,
+        side: cfg.side,
+        connected: false,
+        energy_seed: None,
+    }
+}
+
 /// Runs the load and aggregates the report. Blocks for `cfg.duration`
 /// plus connection teardown.
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
@@ -257,9 +282,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
     let n = g.n() as u32;
     let flags = if cfg.no_cache { FLAG_NO_CACHE } else { 0 };
 
-    // Fail fast (and warm the cache) with one synchronous request.
+    // Fail fast (and warm the cache) with one synchronous request. In
+    // seed-wheel mode, warm every seed the workers will cycle through so
+    // the measured window is cache-warm on every backend of a cluster.
     let mut probe = Client::connect(&cfg.addr)?;
     probe.compute_cds(&cfg.cds, n, &edges, None, flags, 0)?;
+    for s in 0..cfg.gen_seeds as u64 {
+        probe.gen_compute(&gen_request(cfg, cfg.seed + s, flags))?;
+    }
 
     // A mixed workload additionally needs a shared churn graph to mutate
     // and query; open it (and learn its tile count) before the clock runs.
@@ -303,6 +333,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
         let deadline_ms = cfg.deadline_ms;
         let (mutate_every, query_every) = (cfg.mutate_every, cfg.query_every);
         let (side, graph_n) = (cfg.side, cfg.n as u32);
+        let (gen_seeds, seed0) = (cfg.gen_seeds, cfg.seed);
+        let gen_cfg = cfg.clone();
         handles.push(std::thread::spawn(move || {
             let mut totals = WorkerTotals::default();
             let mut client = match Client::connect(&addr) {
@@ -353,6 +385,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
                 };
                 let mut cache_hit = false;
                 let sent = match kind {
+                    ReqKind::Compute if gen_seeds > 0 => {
+                        let mut req = gen_request(&gen_cfg, seed0 + (seq % gen_seeds) as u64, flags);
+                        req.deadline_ms = deadline_ms;
+                        c.gen_compute(&req).map(|r| cache_hit = r.cache_hit)
+                    }
                     ReqKind::Compute => c
                         .compute_cds(&cds, n, &edges, None, flags, deadline_ms)
                         .map(|r| cache_hit = r.cache_hit),
@@ -386,6 +423,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport, ClientError> {
                         ErrorCode::DeadlineExceeded => totals.deadline_exceeded += 1,
                         _ => totals.protocol_errors += 1,
                     },
+                    Err(e) if e.is_connection_lost() => {
+                        // The client marked itself stale and re-dials once
+                        // on the next request; keep it.
+                        totals.io_errors += 1;
+                    }
                     Err(ClientError::Io(_)) => {
                         totals.io_errors += 1;
                         client = None;

@@ -260,6 +260,10 @@ pub enum StatsFormat {
     Jsonl = 1,
     /// Prometheus text exposition.
     Prometheus = 2,
+    /// Counters only, empty text block: the cheap health-probe form — no
+    /// obs snapshot capture, no rendering. This is what a cluster
+    /// coordinator polls every few hundred milliseconds.
+    Health = 3,
 }
 
 impl StatsFormat {
@@ -269,6 +273,7 @@ impl StatsFormat {
             0 => Self::Table,
             1 => Self::Jsonl,
             2 => Self::Prometheus,
+            3 => Self::Health,
             _ => return None,
         })
     }

@@ -148,6 +148,7 @@ pub fn serve(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
     let queue = if cfg.queue == 0 { workers * 4 } else { cfg.queue };
     let mut st = ServeState::new(cfg.cache_bytes);
     st.shard = cfg.shard;
+    st.workers.store(workers as u64, Ordering::Relaxed);
     let state = Arc::new(st);
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -182,7 +183,9 @@ pub fn serve(addr: &str, cfg: ServerConfig) -> io::Result<ServerHandle> {
                     }
                     let Ok(conn) = conn else { continue };
                     match tx.try_send(conn) {
-                        Ok(()) => {}
+                        Ok(()) => {
+                            state.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        }
                         Err(TrySendError::Full(mut conn)) => {
                             state.stats.rejected.fetch_add(1, Ordering::Relaxed);
                             pacds_obs::inc(pacds_obs::Counter::ServeRejected);
@@ -258,7 +261,10 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, state: &Arc<ServeState>, stop: &
             rx.recv_timeout(POLL_INTERVAL)
         };
         match conn {
-            Ok(conn) => serve_connection(conn, state, &mut scratch, &mut payload, &mut resp, stop),
+            Ok(conn) => {
+                state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                serve_connection(conn, state, &mut scratch, &mut payload, &mut resp, stop)
+            }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 // Idle tick; during shutdown the sender is dropped, so the
                 // next recv on the drained queue returns Disconnected.
@@ -329,6 +335,15 @@ fn serve_connection(
             return;
         }
         if outcome == HandleOutcome::Close {
+            return;
+        }
+        // Shutdown is observed between frames here too: a peer that
+        // streams continuously (a pooled relay, a health prober) never
+        // leaves the connection idle, so the idle check in `read_frame`
+        // alone would let it pin this worker past `shutdown()`. A
+        // connection drained from the queue still gets its pending frame
+        // answered above before this closes it.
+        if stop.load(Ordering::SeqCst) {
             return;
         }
     }

@@ -1,0 +1,165 @@
+//! Backward/forward compatibility of the Stats response across the
+//! health-field extension (PR 10).
+//!
+//! The StatsResult body is a counted list of named entries plus a text
+//! block, so appending entries is wire-compatible *by construction* —
+//! but "by construction" claims rot silently when someone reshapes the
+//! frame. These tests pin the contract from both directions:
+//!
+//! * **new decoder, old frame** — a frame from a pre-health backend
+//!   (no `uptime_s` &c.) decodes cleanly; the missing fields read as
+//!   `None`, which is exactly what the cluster prober's
+//!   `ProbeHealth::from_stats` maps to zeros.
+//! * **old decoder, new frame** — a verbatim copy of the pre-extension
+//!   decoder (frozen below) decodes a live server's answer, extra
+//!   entries included, proving an unupgraded client survives an
+//!   upgraded backend.
+//! * **Health format** — the cheap probe form carries the counters and
+//!   the health fields with an *empty* text block (no obs snapshot
+//!   render on the probe path), at a fraction of the Table answer size.
+
+use pacds_serve::protocol::{
+    decode_stats_result, encode_stats_request, ResponseKind, StatsFormat, LEN_PREFIX,
+    PROTOCOL_VERSION,
+};
+use pacds_serve::{serve, Client, ServerConfig};
+use std::io::{Read, Write};
+
+fn tiny_server() -> pacds_serve::ServerHandle {
+    serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue: 4,
+            cache_bytes: 1 << 20,
+            shard: Default::default(),
+            metrics_addr: None,
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Builds a StatsResult *frame payload* the way a pre-health backend did:
+/// the same entry encoding, just without the appended health fields.
+fn old_style_stats_body(entries: &[(&str, u64)], text: &str) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, value) in entries {
+        body.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        body.extend_from_slice(name.as_bytes());
+        body.extend_from_slice(&value.to_le_bytes());
+    }
+    body.extend_from_slice(&(text.len() as u32).to_le_bytes());
+    body.extend_from_slice(text.as_bytes());
+    body
+}
+
+#[test]
+fn current_decoder_accepts_pre_health_frames() {
+    // A pre-extension backend answered only the classic counters.
+    let body = old_style_stats_body(&[("compute", 3), ("cache_hits", 1)], "compute 3\n");
+    let result = decode_stats_result(&body).expect("old frame decodes");
+    assert_eq!(result.counter("compute"), Some(3));
+    // The health fields simply aren't there — `None`, not an error; the
+    // cluster prober maps this to zeros and the probe still counts as
+    // alive.
+    assert_eq!(result.counter("uptime_s"), None);
+    assert_eq!(result.counter("queue_depth"), None);
+    assert_eq!(result.counter("workers"), None);
+}
+
+/// Verbatim copy of the decoder as it stood before the health extension.
+/// Frozen here on purpose: if the *current* encoder ever produces frames
+/// this decoder rejects, the extension broke old clients.
+mod frozen_v1 {
+    pub struct OldStatsResult {
+        pub counters: Vec<(String, u64)>,
+        pub text: String,
+    }
+
+    pub fn decode(body: &[u8]) -> Result<OldStatsResult, &'static str> {
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], &'static str> {
+            let s = body.get(at..at + n).ok_or("truncated")?;
+            at += n;
+            Ok(s)
+        };
+        let k = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let mut counters = Vec::new();
+        for _ in 0..k {
+            let name_len = u16::from_le_bytes(take(2)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(name_len)?)
+                .map_err(|_| "utf8")?
+                .to_string();
+            let value = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            counters.push((name, value));
+        }
+        let text_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let text = std::str::from_utf8(take(text_len)?)
+            .map_err(|_| "utf8")?
+            .to_string();
+        if at != body.len() {
+            return Err("trailing");
+        }
+        Ok(OldStatsResult { counters, text })
+    }
+}
+
+/// Raw round trip returning the response payload (version byte included).
+fn raw_stats(addr: std::net::SocketAddr, format: StatsFormat) -> Vec<u8> {
+    let mut req = Vec::new();
+    encode_stats_request(&mut req, format);
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(&req).unwrap();
+    let mut prefix = [0u8; LEN_PREFIX];
+    conn.read_exact(&mut prefix).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(prefix) as usize];
+    conn.read_exact(&mut payload).unwrap();
+    payload
+}
+
+#[test]
+fn frozen_old_decoder_accepts_current_frames() {
+    let server = tiny_server();
+    for format in [StatsFormat::Table, StatsFormat::Health] {
+        let payload = raw_stats(server.addr(), format);
+        assert_eq!(payload[0], PROTOCOL_VERSION);
+        assert_eq!(payload[1], ResponseKind::StatsResult as u8);
+        let old = frozen_v1::decode(&payload[2..]).expect("old decoder survives new frame");
+        // The old client sees the classic counters where it expects them…
+        assert!(old.counters.iter().any(|(n, _)| n == "compute"));
+        // …and the appended health fields are just more entries to it.
+        assert!(old.counters.iter().any(|(n, _)| n == "workers"));
+        // The text block still lands where the old client looks for it
+        // (rendered for Table, empty on the probe form).
+        assert_eq!(old.text.is_empty(), format == StatsFormat::Health);
+    }
+}
+
+#[test]
+fn health_format_reports_health_fields_without_text() {
+    let server = tiny_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+
+    let health = client.health().unwrap();
+    assert!(health.counter("uptime_s").is_some());
+    assert!(health.counter("queue_depth").is_some());
+    assert!(health.counter("open_graphs").is_some());
+    assert_eq!(health.counter("workers"), Some(2));
+    assert!(
+        health.text.is_empty(),
+        "the probe path must not render an obs snapshot"
+    );
+
+    // The classic formats carry the same health entries plus the text
+    // render — and are strictly larger on the wire.
+    let table = raw_stats(server.addr(), StatsFormat::Table);
+    let probe = raw_stats(server.addr(), StatsFormat::Health);
+    let decoded = decode_stats_result(&table[2..]).unwrap();
+    assert!(decoded.counter("uptime_s").is_some());
+    assert!(!decoded.text.is_empty());
+    assert!(probe.len() < table.len());
+}

@@ -256,6 +256,7 @@ fn mixed_loadgen_reports_per_kind_latencies() {
         radius: 15.0,
         side: 100.0,
         seed: 3,
+        gen_seeds: 0,
         no_cache: false,
         deadline_ms: 0,
         mutate_every: 5,
